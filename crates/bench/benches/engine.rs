@@ -1,0 +1,115 @@
+//! Criterion microbenchmarks of the substrates: packet codec, ICRC,
+//! event-injector pipeline, and end-to-end simulation throughput.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lumina_packet::builder::DataPacketBuilder;
+use lumina_packet::frame::{icrc_check, RoceFrame};
+use lumina_packet::opcode::Opcode;
+use std::hint::black_box;
+
+fn sample_frame_bytes(payload: usize) -> Bytes {
+    DataPacketBuilder::new()
+        .opcode(Opcode::RdmaWriteMiddle)
+        .psn(1234)
+        .dest_qp(0xea)
+        .payload_len(payload)
+        .build()
+        .emit()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let wire = sample_frame_bytes(1024);
+    let mut g = c.benchmark_group("packet_codec");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("parse_1024B", |b| {
+        b.iter(|| black_box(RoceFrame::parse(&wire).unwrap()))
+    });
+    let parsed = RoceFrame::parse(&wire).unwrap();
+    g.bench_function("emit_1024B", |b| b.iter(|| black_box(parsed.emit())));
+    g.bench_function("icrc_check_1024B", |b| {
+        b.iter(|| black_box(icrc_check(&wire)))
+    });
+    g.bench_function("parse_headers_trimmed", |b| {
+        b.iter(|| black_box(RoceFrame::parse_headers(&wire[..128]).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = vec![0xa5u8; 4096];
+    let mut g = c.benchmark_group("crc32");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("crc32_4k", |b| {
+        b.iter(|| black_box(lumina_packet::icrc::crc32(&data)))
+    });
+    g.finish();
+}
+
+fn bench_injector(c: &mut Criterion) {
+    use lumina_switch::iter::{ConnKey, IterTracker};
+    use lumina_switch::table::{InjectionKey, InjectionTable};
+    let key = ConnKey {
+        src_ip: std::net::Ipv4Addr::new(10, 0, 0, 1),
+        dst_ip: std::net::Ipv4Addr::new(10, 0, 0, 2),
+        dst_qpn: 0xea,
+    };
+    let mut g = c.benchmark_group("injector");
+    g.bench_function("iter_observe", |b| {
+        let mut t = IterTracker::default();
+        let mut psn = 0u32;
+        b.iter(|| {
+            psn = (psn + 1) & 0xff_ffff;
+            black_box(t.observe(key, psn))
+        })
+    });
+    g.bench_function("table_lookup_miss", |b| {
+        let mut t = InjectionTable::default();
+        for i in 0..10_000 {
+            t.insert(
+                InjectionKey {
+                    conn: key,
+                    psn: i,
+                    iter: 1,
+                },
+                lumina_switch::events::EventAction::Drop,
+            );
+        }
+        b.iter(|| {
+            black_box(t.lookup(&InjectionKey {
+                conn: key,
+                psn: 0xfff_fff,
+                iter: 1,
+            }))
+        })
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Simulated-seconds-per-wall-second: a full orchestrated run moving
+    // ~4 MB through the testbed.
+    let mut g = c.benchmark_group("end_to_end_sim");
+    g.sample_size(10);
+    g.bench_function("orchestrated_4MB_write", |b| {
+        let cfg = lumina_core::config::TestConfig::from_yaml(
+            r#"
+requester: { nic-type: cx5 }
+responder: { nic-type: cx5 }
+traffic:
+  num-connections: 2
+  rdma-verb: write
+  num-msgs-per-qp: 2
+  mtu: 1024
+  message-size: 1048576
+  tx-depth: 2
+"#,
+        )
+        .unwrap();
+        b.iter(|| black_box(lumina_core::orchestrator::run_test(&cfg).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(engine, bench_codec, bench_crc, bench_injector, bench_end_to_end);
+criterion_main!(engine);

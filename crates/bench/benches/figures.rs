@@ -1,0 +1,164 @@
+//! Criterion benchmarks: one group per table/figure of the paper.
+//!
+//! Each benchmark times the *reproduction harness* for that experiment
+//! (scaled-down parameters where the full figure would take seconds per
+//! iteration) — i.e. how fast the simulated Lumina testbed regenerates the
+//! paper's result. Run with `cargo bench -p lumina-bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig03_iter(c: &mut Criterion) {
+    c.bench_function("fig03_iter_tracking", |b| {
+        b.iter(|| black_box(lumina_bench::fig03_iter::run()))
+    });
+}
+
+fn bench_fig07_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_overhead");
+    g.sample_size(10);
+    g.bench_function("lumina_100kb_20msgs", |b| {
+        b.iter(|| black_box(lumina_bench::fig07_overhead::measure("lumina", 100, 20)))
+    });
+    g.bench_function("l2fwd_100kb_20msgs", |b| {
+        b.iter(|| black_box(lumina_bench::fig07_overhead::measure("l2-forward", 100, 20)))
+    });
+    g.finish();
+}
+
+fn bench_fig08_09_retrans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_09_retrans");
+    g.sample_size(10);
+    for nic in ["cx4", "cx5", "cx6", "e810"] {
+        g.bench_function(format!("write_drop_{nic}"), |b| {
+            b.iter(|| black_box(lumina_bench::fig08_09_retrans::measure(nic, "write", 40)))
+        });
+    }
+    g.bench_function("read_drop_e810_slowpath", |b| {
+        b.iter(|| black_box(lumina_bench::fig08_09_retrans::measure("e810", "read", 40)))
+    });
+    g.finish();
+}
+
+fn bench_fig10_ets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_ets");
+    g.sample_size(10);
+    for setting in lumina_bench::fig10_ets::SETTINGS {
+        g.bench_function(setting, |b| {
+            b.iter(|| black_box(lumina_bench::fig10_ets::measure("cx6", setting, 2)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig11_noisy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_noisy_neighbor");
+    g.sample_size(10);
+    g.bench_function("innocent_i8", |b| {
+        b.iter(|| black_box(lumina_bench::fig11_noisy::measure("cx4", 8, 24, 2)))
+    });
+    g.bench_function("collapse_i12", |b| {
+        b.iter(|| black_box(lumina_bench::fig11_noisy::measure("cx4", 12, 24, 2)))
+    });
+    g.finish();
+}
+
+fn bench_interop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec623_interop");
+    g.sample_size(10);
+    g.bench_function("e810_to_cx5_16qp", |b| {
+        b.iter(|| black_box(lumina_bench::interop::measure("e810-to-cx5", 16)))
+    });
+    g.bench_function("migfix_16qp", |b| {
+        b.iter(|| black_box(lumina_bench::interop::measure("e810-to-cx5-migfix", 16)))
+    });
+    g.finish();
+}
+
+fn bench_cnp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec63_cnp");
+    g.sample_size(10);
+    g.bench_function("interval_e810", |b| {
+        b.iter(|| black_box(lumina_bench::cnp_behavior::measure_interval("e810", 0)))
+    });
+    g.bench_function("mode_inference_cx4", |b| {
+        b.iter(|| black_box(lumina_bench::cnp_behavior::infer_mode("cx4")))
+    });
+    g.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec63_adaptive_retrans");
+    g.sample_size(10);
+    g.bench_function("timeout_sequence_cx6", |b| {
+        b.iter(|| {
+            black_box(lumina_bench::adaptive_retrans::timeout_sequence(
+                "cx6", true, 3,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_sec34_dumper(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec34_dumper_lb");
+    g.sample_size(10);
+    g.bench_function("wrr_pool", |b| {
+        b.iter(|| black_box(lumina_bench::sec34_dumper::measure("wrr-pool")))
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_detection");
+    g.sample_size(10);
+    // The cheapest single probe, representative of the suite's per-probe
+    // cost; the full table is exercised by the integration tests.
+    g.bench_function("counter_bug_probe_e810", |b| {
+        b.iter(|| {
+            let cfg = lumina_core::config::TestConfig::from_yaml(
+                r#"
+requester: { nic-type: e810, dcqcn-rp-enable: true }
+responder: { nic-type: e810, dcqcn-np-enable: true }
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 2
+  mtu: 1024
+  message-size: 20480
+  data-pkt-events:
+    - {qpn: 1, psn: 1, type: ecn, iter: 1, every: 2}
+"#,
+            )
+            .unwrap();
+            let res = lumina_core::orchestrator::run_test(&cfg).unwrap();
+            black_box(lumina_core::analyzers::counter::analyze(&res))
+        })
+    });
+    g.finish();
+}
+
+fn bench_sec5_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec5_switch");
+    g.sample_size(10);
+    g.bench_function("capacity_and_pressure", |b| {
+        b.iter(|| black_box(lumina_bench::sec5_switch::run()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig03_iter,
+    bench_fig07_overhead,
+    bench_fig08_09_retrans,
+    bench_fig10_ets,
+    bench_fig11_noisy,
+    bench_interop,
+    bench_cnp,
+    bench_adaptive,
+    bench_sec34_dumper,
+    bench_table2,
+    bench_sec5_switch,
+);
+criterion_main!(figures);

@@ -1,0 +1,149 @@
+//! `lumina-experiments` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! lumina-experiments all            # everything (slow)
+//! lumina-experiments fig08          # one experiment
+//! lumina-experiments fig10 --json   # machine-readable output
+//! ```
+
+use lumina_bench::*;
+
+const IDS: [&str; 12] = [
+    "fig03", "fig07", "fig08", "fig09", "fig10", "fig11", "table2", "interop", "cnp",
+    "adaptive", "sec34", "ablations",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    if wanted.is_empty() {
+        eprintln!("usage: lumina-experiments <id>... [--json] [--quick]");
+        eprintln!("ids: all sec5 {}", IDS.join(" "));
+        std::process::exit(2);
+    }
+    let run_all = wanted.contains(&"all");
+    let want = |id: &str| run_all || wanted.contains(&id);
+
+    let mut out = serde_json::Map::new();
+    if want("fig03") {
+        let f = fig03_iter::run();
+        if json {
+            out.insert("fig03".into(), serde_json::to_value(&f).unwrap());
+        } else {
+            fig03_iter::print(&f);
+        }
+    }
+    if want("fig07") {
+        let f = fig07_overhead::run_with_msgs(if quick { 100 } else { 1000 });
+        if json {
+            out.insert("fig07".into(), serde_json::to_value(&f).unwrap());
+        } else {
+            fig07_overhead::print(&f);
+        }
+    }
+    if want("fig08") || want("fig09") {
+        let f = fig08_09_retrans::run();
+        if json {
+            out.insert("fig08_09".into(), serde_json::to_value(&f).unwrap());
+        } else {
+            fig08_09_retrans::print(&f);
+        }
+    }
+    if want("fig10") {
+        let f = fig10_ets::run_on("cx6", if quick { 5 } else { 20 });
+        if json {
+            out.insert("fig10".into(), serde_json::to_value(&f).unwrap());
+        } else {
+            fig10_ets::print(&f);
+            let ablation = fig10_ets::run_on("cx5", if quick { 5 } else { 20 });
+            println!("\nablation — same settings on a work-conserving model (CX5):");
+            fig10_ets::print(&ablation);
+        }
+    }
+    if want("fig11") {
+        let f = if quick {
+            fig11_noisy::run_on("cx4", 24, 3)
+        } else {
+            fig11_noisy::run()
+        };
+        if json {
+            out.insert("fig11".into(), serde_json::to_value(&f).unwrap());
+        } else {
+            fig11_noisy::print(&f);
+        }
+    }
+    if want("table2") {
+        let t = table2_bugs::run();
+        if json {
+            out.insert("table2".into(), serde_json::to_value(&t).unwrap());
+        } else {
+            table2_bugs::print(&t);
+        }
+    }
+    if want("interop") {
+        let e = interop::run();
+        if json {
+            out.insert("interop".into(), serde_json::to_value(&e).unwrap());
+        } else {
+            interop::print(&e);
+        }
+    }
+    if want("cnp") {
+        let e = cnp_behavior::run();
+        if json {
+            out.insert("cnp".into(), serde_json::to_value(&e).unwrap());
+        } else {
+            cnp_behavior::print(&e);
+        }
+    }
+    if want("adaptive") {
+        let e = adaptive_retrans::run();
+        if json {
+            out.insert("adaptive".into(), serde_json::to_value(&e).unwrap());
+        } else {
+            adaptive_retrans::print(&e);
+        }
+    }
+    if want("sec34") {
+        let e = sec34_dumper::run();
+        if json {
+            out.insert("sec34".into(), serde_json::to_value(&e).unwrap());
+        } else {
+            sec34_dumper::print(&e);
+        }
+    }
+    if want("ablations") {
+        if json {
+            let fix = ablations::ets_fix(5);
+            out.insert("ablation_ets_fix".into(), serde_json::to_value(&fix).unwrap());
+            out.insert(
+                "ablation_contexts".into(),
+                serde_json::to_value(ablations::context_sweep(&[4, 8, 10, 16, 32])).unwrap(),
+            );
+            out.insert(
+                "ablation_apm".into(),
+                serde_json::to_value(ablations::apm_sweep(&[128, 512, 1024, 2048, 4096]))
+                    .unwrap(),
+            );
+        } else {
+            ablations::print_all();
+        }
+    }
+    if want("sec5") {
+        let r = sec5_switch::run();
+        if json {
+            out.insert("sec5".into(), serde_json::to_value(&r).unwrap());
+        } else {
+            sec5_switch::print(&r);
+        }
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    }
+}

@@ -1,0 +1,186 @@
+//! §6.3: CNP generation intervals and rate-limiting modes.
+//!
+//! Two experiments:
+//!
+//! 1. **Interval** — mark every data packet toward each NIC with CE and
+//!    measure the spacing of the CNPs it emits, with the coalescing knob
+//!    configured to zero. NVIDIA NICs honor the configuration; the Intel
+//!    E810 reveals a hidden ~50 µs floor.
+//! 2. **Mode inference** — run two marking scenarios (4 QPs sharing one
+//!    IP pair; 4 QPs with distinct IPs) and compare the merged CNP spacing
+//!    per port / per destination IP / per QP. The pattern identifies the
+//!    limiter granularity: per-destination-IP on CX4 Lx, per-QP on E810,
+//!    per-port on CX5 and CX6 Dx.
+
+use crate::common::{run_yaml, NICS};
+use lumina_core::analyzers::cnp::{self, CnpReport};
+use lumina_rnic::{CnpLimitMode, DeviceProfile};
+use lumina_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Interval measurement for one NIC.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntervalPoint {
+    /// NIC name.
+    pub nic: String,
+    /// Configured `min_time_between_cnps`, µs.
+    pub configured_us: u64,
+    /// Measured minimum CNP interval, µs.
+    pub measured_min_us: f64,
+    /// CNPs observed.
+    pub cnps: usize,
+    /// CE-marked packets observed.
+    pub ce_marked: usize,
+}
+
+/// Result of the mode-inference experiment for one NIC.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModePoint {
+    /// NIC name.
+    pub nic: String,
+    /// Inferred rate-limiting mode.
+    pub inferred: String,
+    /// Mode the device profile actually implements (ground truth).
+    pub actual: String,
+}
+
+/// Whole experiment output.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Interval sweep, one row per (nic, configured interval).
+    pub intervals: Vec<IntervalPoint>,
+    /// Mode inference, one row per NIC.
+    pub modes: Vec<ModePoint>,
+}
+
+fn run_marked(nic: &str, configured_us: u64, conns: u32, multi_gid: bool) -> CnpReport {
+    let yaml = format!(
+        r#"
+requester:
+  nic-type: {nic}
+  dcqcn-rp-enable: true
+responder:
+  nic-type: {nic}
+  dcqcn-np-enable: true
+  min-time-between-cnps-us: {configured_us}
+traffic:
+  num-connections: {conns}
+  rdma-verb: write
+  num-msgs-per-qp: 10
+  mtu: 1024
+  message-size: 102400
+  multi-gid: {multi_gid}
+  tx-depth: 2
+  data-pkt-events:
+    - {{qpn: 1, psn: 1, type: ecn, iter: 1, every: 1}}{extra}
+"#,
+        extra = (2..=conns)
+            .map(|q| format!(
+                "\n    - {{qpn: {q}, psn: 1, type: ecn, iter: 1, every: 1}}"
+            ))
+            .collect::<String>(),
+    );
+    let res = run_yaml(&yaml);
+    assert!(res.integrity.passed(), "{nic}: integrity failed");
+    cnp::analyze(res.trace.as_ref().unwrap())
+}
+
+/// Measure the CNP interval of one NIC at a configured coalescing value.
+pub fn measure_interval(nic: &str, configured_us: u64) -> IntervalPoint {
+    let rep = run_marked(nic, configured_us, 1, false);
+    let min = rep
+        .min_interval_global()
+        .unwrap_or(SimTime::ZERO)
+        .as_micros_f64();
+    IntervalPoint {
+        nic: nic.into(),
+        configured_us,
+        measured_min_us: min,
+        cnps: rep.total_cnps,
+        ce_marked: rep.total_ce_marked,
+    }
+}
+
+/// Infer the rate-limiting mode of one NIC from two scenarios.
+pub fn infer_mode(nic: &str) -> ModePoint {
+    // Use a configured interval large enough to be unmistakable.
+    let configured = 20u64;
+    let threshold = SimTime::from_micros(configured / 2);
+    // Scenario A: 4 QPs sharing one IP pair.
+    let a = run_marked(nic, configured, 4, false);
+    // Scenario B: 4 QPs with distinct IP pairs (multi-GID).
+    let b = run_marked(nic, configured, 4, true);
+    let a_global = a.min_interval_global().unwrap_or(SimTime::MAX);
+    let b_global = b.min_interval_global().unwrap_or(SimTime::MAX);
+    let inferred = if a_global < threshold {
+        // Different QPs to the same destination IP emit CNPs closer than
+        // the limiter interval → the limiter is per QP.
+        CnpLimitMode::PerQp
+    } else if b_global < threshold {
+        // Per-IP separation unthrottles flows, but same-IP flows share a
+        // limiter → per destination IP.
+        CnpLimitMode::PerDestinationIp
+    } else {
+        CnpLimitMode::PerPort
+    };
+    let actual = DeviceProfile::by_name(nic).unwrap().cnp_mode;
+    ModePoint {
+        nic: nic.into(),
+        inferred: format!("{inferred:?}"),
+        actual: format!("{actual:?}"),
+    }
+}
+
+/// Run the full §6.3 CNP experiment.
+pub fn run() -> Experiment {
+    let mut exp = Experiment::default();
+    for nic in NICS {
+        for configured in [0u64, 4] {
+            exp.intervals.push(measure_interval(nic, configured));
+        }
+        exp.modes.push(infer_mode(nic));
+    }
+    exp
+}
+
+/// Print it.
+pub fn print(exp: &Experiment) {
+    println!("\n§6.3: CNP generation interval (every packet CE-marked)");
+    let rows: Vec<Vec<String>> = exp
+        .intervals
+        .iter()
+        .map(|p| {
+            vec![
+                p.nic.to_uppercase(),
+                p.configured_us.to_string(),
+                format!("{:.1}", p.measured_min_us),
+                p.cnps.to_string(),
+                p.ce_marked.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        crate::common::render_table(
+            &["nic", "configured (us)", "measured min (us)", "CNPs", "CE marks"],
+            &rows
+        )
+    );
+    println!("\n§6.3: CNP rate-limiting mode inference");
+    let rows: Vec<Vec<String>> = exp
+        .modes
+        .iter()
+        .map(|p| {
+            vec![
+                p.nic.to_uppercase(),
+                p.inferred.clone(),
+                p.actual.clone(),
+                if p.inferred == p.actual { "yes" } else { "NO" }.into(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        crate::common::render_table(&["nic", "inferred", "actual", "match"], &rows)
+    );
+}

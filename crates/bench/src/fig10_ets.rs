@@ -1,0 +1,139 @@
+//! Figure 10: ETS work conservation on CX6 Dx (§6.2.1).
+//!
+//! Two QPs, 20 × 1 MB Writes each, DCQCN enabled. Three settings:
+//!
+//! 1. **Multi-queue vanilla** — two ETS queues, 50 % weight each, no ECN:
+//!    both QPs get ≈ half the line rate.
+//! 2. **Multi-queue with ECN** — mark one of every 50 packets of QP0:
+//!    DCQCN slows QP0; a *work-conserving* ETS would let QP1 absorb the
+//!    spare bandwidth, but the CX6 Dx pins QP1 at its 50 % guarantee.
+//! 3. **Single queue with ECN** — both QPs in one queue: QP1 does absorb
+//!    the spare bandwidth, proving the bandwidth is there to take.
+//!
+//! The module also runs an ablation on a work-conserving NIC (CX5 model)
+//! where setting 2 behaves correctly.
+
+use crate::common::run_yaml;
+use serde::{Deserialize, Serialize};
+
+/// The three paper settings.
+pub const SETTINGS: [&str; 3] = ["multi-queue-vanilla", "multi-queue-ecn", "single-queue-ecn"];
+
+/// Goodput of both QPs under one setting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bars {
+    /// Setting name.
+    pub setting: String,
+    /// NIC under test.
+    pub nic: String,
+    /// QP0 goodput, Gbps.
+    pub qp0_gbps: f64,
+    /// QP1 goodput, Gbps.
+    pub qp1_gbps: f64,
+}
+
+/// The figure: three settings on the NIC under test.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Figure {
+    /// One entry per setting.
+    pub bars: Vec<Bars>,
+}
+
+impl Figure {
+    /// Bars of one setting.
+    pub fn get(&self, setting: &str) -> &Bars {
+        self.bars
+            .iter()
+            .find(|b| b.setting == setting)
+            .unwrap_or_else(|| panic!("no bars for {setting}"))
+    }
+}
+
+/// Run one setting on one NIC model.
+pub fn measure(nic: &str, setting: &str, msgs_per_qp: u32) -> Bars {
+    let (ets, classes, ecn_event) = match setting {
+        "multi-queue-vanilla" => (
+            "ets:\n  queues: [{weight: 50}, {weight: 50}]",
+            "[0, 1]",
+            "",
+        ),
+        "multi-queue-ecn" => (
+            "ets:\n  queues: [{weight: 50}, {weight: 50}]",
+            "[0, 1]",
+            "\n    - {qpn: 1, psn: 50, type: ecn, iter: 1, every: 50}",
+        ),
+        "single-queue-ecn" => (
+            "ets:\n  queues: [{weight: 100}]",
+            "[0, 0]",
+            "\n    - {qpn: 1, psn: 50, type: ecn, iter: 1, every: 50}",
+        ),
+        other => panic!("unknown setting {other}"),
+    };
+    let yaml = format!(
+        r#"
+requester:
+  nic-type: {nic}
+  dcqcn-rp-enable: true
+responder:
+  nic-type: {nic}
+  dcqcn-np-enable: true
+  min-time-between-cnps-us: 4
+traffic:
+  num-connections: 2
+  rdma-verb: write
+  num-msgs-per-qp: {msgs_per_qp}
+  mtu: 1024
+  message-size: 1048576
+  tx-depth: 4
+  qp-traffic-class: {classes}
+  data-pkt-events:{events}
+{ets}
+"#,
+        events = if ecn_event.is_empty() { " []" } else { ecn_event },
+    );
+    let res = run_yaml(&yaml);
+    assert!(res.traffic_completed(), "{nic}/{setting} incomplete");
+    let qpns: Vec<u32> = res.conns.iter().map(|c| c.requester.qpn).collect();
+    let g = |qpn: u32| res.requester_metrics.flows[&qpn].goodput_gbps();
+    Bars {
+        setting: setting.into(),
+        nic: nic.into(),
+        qp0_gbps: g(qpns[0]),
+        qp1_gbps: g(qpns[1]),
+    }
+}
+
+/// Run the paper's figure (CX6 Dx).
+pub fn run() -> Figure {
+    run_on("cx6", 20)
+}
+
+/// Run the three settings on a given NIC model.
+pub fn run_on(nic: &str, msgs_per_qp: u32) -> Figure {
+    Figure {
+        bars: SETTINGS
+            .iter()
+            .map(|s| measure(nic, s, msgs_per_qp))
+            .collect(),
+    }
+}
+
+/// Print the figure.
+pub fn print(fig: &Figure) {
+    println!("\nFigure 10: goodput of two QPs under three settings ({})", fig.bars[0].nic);
+    let rows: Vec<Vec<String>> = fig
+        .bars
+        .iter()
+        .map(|b| {
+            vec![
+                b.setting.clone(),
+                format!("{:.1}", b.qp0_gbps),
+                format!("{:.1}", b.qp1_gbps),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        crate::common::render_table(&["setting", "QP0 (Gbps)", "QP1 (Gbps)"], &rows)
+    );
+}

@@ -1,0 +1,167 @@
+//! §6.2.3: the CX5↔E810 interoperability problem.
+//!
+//! Send traffic from an Intel E810 to an NVIDIA CX5, five 100 KB messages
+//! per QP, sweeping the number of QPs. The E810 transmits `MigReq = 0`;
+//! the CX5 pushes such packets through an APM slow path whose queue
+//! overflows when many QPs start simultaneously — the paper observes ~500
+//! RX discards at 16 QPs, timeouts on first messages, and a 130× MCT gap
+//! between affected and unaffected messages. Rewriting `MigReq` to 1 at
+//! the switch (the paper's confirmation experiment) makes the problem
+//! vanish, as does a CX5→CX5 baseline.
+
+use crate::common::run_yaml;
+use serde::{Deserialize, Serialize};
+
+/// One sweep cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Point {
+    /// Scenario label.
+    pub scenario: String,
+    /// Number of QPs.
+    pub qps: u32,
+    /// RX discards at the responder NIC.
+    pub responder_discards: u64,
+    /// Retransmission timeouts at the requester.
+    pub timeouts: u64,
+    /// Mean MCT of messages that hit packet drops, µs.
+    pub mct_affected_us: Option<f64>,
+    /// Mean MCT of clean messages, µs.
+    pub mct_clean_us: f64,
+}
+
+/// The experiment: three scenarios swept over QP counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Experiment {
+    /// All points.
+    pub points: Vec<Point>,
+}
+
+/// The paper's QP sweep.
+pub const QP_COUNTS: [u32; 4] = [1, 8, 16, 32];
+
+/// Scenario names.
+pub const SCENARIOS: [&str; 3] = ["e810-to-cx5", "e810-to-cx5-migfix", "cx5-to-cx5"];
+
+/// Run one cell.
+pub fn measure(scenario: &str, qps: u32) -> Point {
+    let (req_nic, rsp_nic, fix) = match scenario {
+        "e810-to-cx5" => ("e810", "cx5", false),
+        "e810-to-cx5-migfix" => ("e810", "cx5", true),
+        "cx5-to-cx5" => ("cx5", "cx5", false),
+        other => panic!("unknown scenario {other}"),
+    };
+    measure_raw(scenario, req_nic, rsp_nic, fix, qps)
+}
+
+/// Probe an arbitrary NIC pairing (used by the Table 2 detection suite).
+pub fn measure_pair(req_nic: &str, rsp_nic: &str, qps: u32) -> Point {
+    measure_raw(
+        &format!("{req_nic}-to-{rsp_nic}"),
+        req_nic,
+        rsp_nic,
+        false,
+        qps,
+    )
+}
+
+fn measure_raw(scenario: &str, req_nic: &str, rsp_nic: &str, fix: bool, qps: u32) -> Point {
+    // The MigReq fix: rewrite every data packet of every connection.
+    let mut events = String::new();
+    if fix {
+        for q in 1..=qps {
+            events.push_str(&format!(
+                "\n    - {{qpn: {q}, psn: 1, type: set-mig-1, iter: 1, every: 1}}"
+            ));
+        }
+    }
+    let yaml = format!(
+        r#"
+requester: {{ nic-type: {req_nic} }}
+responder: {{ nic-type: {rsp_nic} }}
+traffic:
+  num-connections: {qps}
+  rdma-verb: send
+  num-msgs-per-qp: 5
+  mtu: 1024
+  message-size: 102400
+  tx-depth: 1
+  data-pkt-events:{ev}
+network:
+  horizon-ms: 60000
+"#,
+        ev = if events.is_empty() { " []" } else { &events },
+    );
+    let res = run_yaml(&yaml);
+    assert!(res.traffic_completed(), "{scenario}/{qps}: incomplete");
+    // Affected messages: those that needed recovery. Approximate from MCT
+    // bimodality: anything ≥ 10× the minimum is "affected" (the paper
+    // separates messages with and without packet drops).
+    let mcts: Vec<f64> = res
+        .requester_metrics
+        .flows
+        .values()
+        .flat_map(|f| f.mcts.iter().map(|t| t.as_micros_f64()))
+        .collect();
+    let min = mcts.iter().cloned().fold(f64::INFINITY, f64::min);
+    let (affected, clean): (Vec<f64>, Vec<f64>) =
+        mcts.into_iter().partition(|&m| m >= 10.0 * min);
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    Point {
+        scenario: scenario.into(),
+        qps,
+        responder_discards: res.responder_counters.rx_discards_phy,
+        timeouts: res.requester_counters.local_ack_timeout_err,
+        mct_affected_us: if affected.is_empty() {
+            None
+        } else {
+            Some(avg(&affected))
+        },
+        mct_clean_us: avg(&clean),
+    }
+}
+
+/// Run the full experiment.
+pub fn run() -> Experiment {
+    let mut exp = Experiment::default();
+    for scenario in SCENARIOS {
+        for qps in QP_COUNTS {
+            exp.points.push(measure(scenario, qps));
+        }
+    }
+    exp
+}
+
+/// Print it.
+pub fn print(exp: &Experiment) {
+    println!("\n§6.2.3: CX5↔E810 interoperability (Send, 5 × 100 KB per QP)");
+    let rows: Vec<Vec<String>> = exp
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.scenario.clone(),
+                p.qps.to_string(),
+                p.responder_discards.to_string(),
+                p.timeouts.to_string(),
+                p.mct_affected_us
+                    .map(|v| format!("{v:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+                format!("{:.0}", p.mct_clean_us),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        crate::common::render_table(
+            &[
+                "scenario",
+                "QPs",
+                "rx_discards",
+                "timeouts",
+                "MCT affected (us)",
+                "MCT clean (us)"
+            ],
+            &rows
+        )
+    );
+}

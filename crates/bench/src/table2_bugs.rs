@@ -1,0 +1,196 @@
+//! Table 2: the bug and hidden-behavior summary.
+//!
+//! Runs a compact detection probe for each finding across all four NIC
+//! models and reports which NICs exhibit it, next to the paper's
+//! attribution:
+//!
+//! | finding | paper says |
+//! |---|---|
+//! | Non-work-conserving ETS | CX6 Dx |
+//! | Noisy neighbor | CX4 Lx |
+//! | Interoperability problem | CX5 + E810 |
+//! | Counter inconsistency | CX4 Lx, E810 |
+//! | CNP rate limiting (hidden/undocumented behavior) | all NICs |
+//! | Adaptive retransmission deviation | all CX NICs |
+
+use crate::common::NICS;
+use serde::{Deserialize, Serialize};
+
+/// One row of the table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Finding name.
+    pub finding: String,
+    /// NICs the detection probes flagged.
+    pub detected: Vec<String>,
+    /// NICs the paper attributes the finding to.
+    pub paper: Vec<String>,
+}
+
+impl Row {
+    /// Detection matches the paper exactly.
+    pub fn matches_paper(&self) -> bool {
+        let mut d = self.detected.clone();
+        let mut p = self.paper.clone();
+        d.sort();
+        p.sort();
+        d == p
+    }
+}
+
+/// The table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table {
+    /// All rows.
+    pub rows: Vec<Row>,
+}
+
+fn detect_non_work_conserving_ets(nic: &str) -> bool {
+    // Probe: the Figure 10 "multi-queue with ECN" setting; the bug shows
+    // as QP1 failing to exceed ~its 50 % guarantee although QP0 is slowed.
+    let bars = crate::fig10_ets::measure(nic, "multi-queue-ecn", 5);
+    let vanilla = crate::fig10_ets::measure(nic, "multi-queue-vanilla", 5);
+    bars.qp0_gbps < vanilla.qp0_gbps * 0.8 && bars.qp1_gbps < vanilla.qp1_gbps * 1.15
+}
+
+fn detect_noisy_neighbor(nic: &str) -> bool {
+    // Probe: a compact Figure 11 point — 24 read flows, 12 with drops.
+    let clean = crate::fig11_noisy::measure(nic, 0, 24, 3);
+    let noisy = crate::fig11_noisy::measure(nic, 12, 24, 3);
+    noisy.rx_discards > 0 && noisy.innocent_avg_mct_ms > clean.innocent_avg_mct_ms * 10.0
+}
+
+fn detect_interop(nic_pair: (&str, &str)) -> bool {
+    let p = crate::interop::measure_pair(nic_pair.0, nic_pair.1, 16);
+    p.responder_discards > 0
+}
+
+fn detect_counter_bug(nic: &str) -> bool {
+    use lumina_core::analyzers::counter;
+    use lumina_core::config::TestConfig;
+    use lumina_core::orchestrator::run_test;
+    // Probe 1: ECN toward the NP, check cnpSent (E810 bug).
+    let ecn = format!(
+        r#"
+requester: {{ nic-type: {nic}, dcqcn-rp-enable: true }}
+responder: {{ nic-type: {nic}, dcqcn-np-enable: true }}
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 2
+  mtu: 1024
+  message-size: 20480
+  data-pkt-events:
+    - {{qpn: 1, psn: 1, type: ecn, iter: 1, every: 2}}
+"#
+    );
+    let res = run_test(&TestConfig::from_yaml(&ecn).unwrap()).unwrap();
+    if !counter::analyze(&res).is_empty() {
+        return true;
+    }
+    // Probe 2: read-response drop, check implied_nak (CX4 Lx bug).
+    let read = format!(
+        r#"
+requester: {{ nic-type: {nic} }}
+responder: {{ nic-type: {nic} }}
+traffic:
+  num-connections: 1
+  rdma-verb: read
+  num-msgs-per-qp: 2
+  mtu: 1024
+  message-size: 10240
+  data-pkt-events:
+    - {{qpn: 1, psn: 4, type: drop, iter: 1}}
+"#
+    );
+    let res = run_test(&TestConfig::from_yaml(&read).unwrap()).unwrap();
+    !counter::analyze(&res).is_empty()
+}
+
+fn detect_cnp_rate_limiting(nic: &str) -> bool {
+    // Every NIC rate-limits CNP generation in some undocumented way: mark
+    // every packet and check that CNPs were coalesced (fewer CNPs than CE
+    // marks) or a minimum interval was enforced.
+    let p = crate::cnp_behavior::measure_interval(nic, 4);
+    p.cnps > 0 && (p.cnps < p.ce_marked || p.measured_min_us >= 3.9)
+}
+
+fn detect_adaptive_retrans(nic: &str) -> bool {
+    if !["cx4", "cx5", "cx6"].contains(&nic) {
+        return false; // feature absent on Intel
+    }
+    let seq = crate::adaptive_retrans::timeout_sequence(nic, true, 2);
+    // Deviation: any timeout under the configured 67.1 ms minimum.
+    seq.iter().any(|&ms| ms < 60.0)
+}
+
+/// Build the table.
+pub fn run() -> Table {
+    let mut rows = Vec::new();
+    let detect_all = |f: &dyn Fn(&str) -> bool| -> Vec<String> {
+        NICS.iter()
+            .filter(|n| f(n))
+            .map(|n| n.to_uppercase())
+            .collect()
+    };
+
+    rows.push(Row {
+        finding: "Non-work-conserving ETS".into(),
+        detected: detect_all(&detect_non_work_conserving_ets),
+        paper: vec!["CX6".into()],
+    });
+    rows.push(Row {
+        finding: "Noisy neighbor".into(),
+        detected: detect_all(&detect_noisy_neighbor),
+        paper: vec!["CX4".into()],
+    });
+    rows.push(Row {
+        finding: "Interoperability problem".into(),
+        detected: {
+            let mut v = Vec::new();
+            if detect_interop(("e810", "cx5")) {
+                v.push("CX5".into());
+                v.push("E810".into());
+            }
+            v
+        },
+        paper: vec!["CX5".into(), "E810".into()],
+    });
+    rows.push(Row {
+        finding: "Counter inconsistency".into(),
+        detected: detect_all(&detect_counter_bug),
+        paper: vec!["CX4".into(), "E810".into()],
+    });
+    rows.push(Row {
+        finding: "CNP rate limiting".into(),
+        detected: detect_all(&detect_cnp_rate_limiting),
+        paper: NICS.iter().map(|n| n.to_uppercase()).collect(),
+    });
+    rows.push(Row {
+        finding: "Adaptive retransmission".into(),
+        detected: detect_all(&detect_adaptive_retrans),
+        paper: vec!["CX4".into(), "CX5".into(), "CX6".into()],
+    });
+    Table { rows }
+}
+
+/// Print it.
+pub fn print(table: &Table) {
+    println!("\nTable 2: bugs and hidden behaviors — detected vs paper");
+    let rows: Vec<Vec<String>> = table
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.finding.clone(),
+                r.detected.join("+"),
+                r.paper.join("+"),
+                if r.matches_paper() { "yes" } else { "NO" }.into(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        crate::common::render_table(&["finding", "detected", "paper", "match"], &rows)
+    );
+}

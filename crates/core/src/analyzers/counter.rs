@@ -1,0 +1,266 @@
+//! Counter analyzer (§4, "Hardware network stack counter"): cross-check
+//! the counters the NICs report against ground truth derived from the
+//! packet trace. This is how Lumina exposed the E810's stuck `cnpSent` and
+//! the CX4 Lx's frozen `implied_nak_seq_err` (§6.2.4).
+
+use crate::orchestrator::TestResults;
+use lumina_packet::opcode::Opcode;
+use lumina_switch::events::EventType;
+use serde::{Deserialize, Serialize};
+
+/// One counter inconsistency.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterFinding {
+    /// Which host: "requester" or "responder".
+    pub host: String,
+    /// Canonical counter name.
+    pub counter: String,
+    /// Value derived from the packet trace.
+    pub expected_from_trace: u64,
+    /// Value the NIC reported.
+    pub reported: u64,
+    /// Explanation.
+    pub detail: String,
+}
+
+/// Cross-check all verifiable counters. Empty = consistent.
+pub fn analyze(results: &TestResults) -> Vec<CounterFinding> {
+    let mut findings = Vec::new();
+    let Some(trace) = results.trace.as_ref() else {
+        return findings;
+    };
+
+    // Ground truth from the trace.
+    let req_ips: Vec<_> = results.conns.iter().map(|c| c.requester.ip).collect();
+    let rsp_ips: Vec<_> = results.conns.iter().map(|c| c.responder.ip).collect();
+    let mut cnps_from_requester = 0u64;
+    let mut cnps_from_responder = 0u64;
+    let mut reread_requests = 0u64;
+    // Fresh read requests advance a per-connection frontier; a request
+    // whose PSN range overlaps already-requested PSN space is a re-read
+    // (it asks again from the first missing response, §6.1).
+    let mut read_frontier: std::collections::HashMap<(std::net::Ipv4Addr, u32), u32> =
+        std::collections::HashMap::new();
+    let mtu = results.cfg.traffic.mtu.max(1);
+    let mut corrupt_toward_responder = 0u64;
+    for e in trace.iter() {
+        let f = &e.frame;
+        match f.bth.opcode {
+            Opcode::Cnp => {
+                if req_ips.contains(&f.ipv4.src) {
+                    cnps_from_requester += 1;
+                } else if rsp_ips.contains(&f.ipv4.src) {
+                    cnps_from_responder += 1;
+                }
+            }
+            Opcode::RdmaReadRequest => {
+                let npkts = f
+                    .ext
+                    .reth
+                    .map(|r| r.dma_len.div_ceil(mtu).max(1))
+                    .unwrap_or(1);
+                let end = lumina_packet::bth::psn_add(f.bth.psn, npkts);
+                let key = (f.ipv4.src, f.bth.dest_qp);
+                match read_frontier.get_mut(&key) {
+                    None => {
+                        read_frontier.insert(key, end);
+                    }
+                    Some(frontier) => {
+                        if lumina_packet::bth::psn_distance(*frontier, f.bth.psn) < 0 {
+                            reread_requests += 1;
+                        }
+                        if lumina_packet::bth::psn_distance(*frontier, end) > 0 {
+                            *frontier = end;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        if e.event == EventType::Corrupt && rsp_ips.contains(&f.ipv4.dst) {
+            corrupt_toward_responder += 1;
+        }
+    }
+
+    // CNPs sent: the NP side's counter must match the CNPs on the wire.
+    let check_cnp = |host: &str, reported: u64, on_wire: u64, out: &mut Vec<CounterFinding>| {
+        if reported != on_wire {
+            out.push(CounterFinding {
+                host: host.into(),
+                counter: "np_cnp_sent".into(),
+                expected_from_trace: on_wire,
+                reported,
+                detail: format!(
+                    "{on_wire} CNPs observed on the wire from the {host}, counter reads {reported}"
+                ),
+            });
+        }
+    };
+    check_cnp(
+        "requester",
+        results.requester_counters.np_cnp_sent,
+        cnps_from_requester,
+        &mut findings,
+    );
+    check_cnp(
+        "responder",
+        results.responder_counters.np_cnp_sent,
+        cnps_from_responder,
+        &mut findings,
+    );
+
+    // Implied NAKs: every re-issued read request not explained by a
+    // timeout implies the requester detected out-of-order read responses.
+    // Timeout-driven re-reads also re-issue, so the trace-derived count is
+    // an upper bound only when timeouts fired; when no timeouts fired the
+    // counter must match exactly.
+    if results.requester_counters.local_ack_timeout_err == 0
+        && results.requester_counters.implied_nak_seq_err != reread_requests
+    {
+        findings.push(CounterFinding {
+            host: "requester".into(),
+            counter: "implied_nak_seq_err".into(),
+            expected_from_trace: reread_requests,
+            reported: results.requester_counters.implied_nak_seq_err,
+            detail: format!(
+                "{reread_requests} re-issued read requests on the wire (no timeouts fired), counter reads {}",
+                results.requester_counters.implied_nak_seq_err
+            ),
+        });
+    }
+
+    // ICRC errors: every corrupt event toward the responder must be
+    // counted there.
+    if results.responder_counters.rx_icrc_errors != corrupt_toward_responder {
+        findings.push(CounterFinding {
+            host: "responder".into(),
+            counter: "rx_icrc_errors".into(),
+            expected_from_trace: corrupt_toward_responder,
+            reported: results.responder_counters.rx_icrc_errors,
+            detail: "corrupted packets vs ICRC error counter mismatch".into(),
+        });
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TestConfig;
+    use crate::orchestrator::run_test;
+
+    #[test]
+    fn healthy_nic_counters_consistent() {
+        let yaml = r#"
+requester: { nic-type: cx5, dcqcn-rp-enable: true }
+responder: { nic-type: cx5, dcqcn-np-enable: true }
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 3
+  mtu: 1024
+  message-size: 20480
+  data-pkt-events:
+    - {qpn: 1, psn: 3, type: ecn, iter: 1, every: 5}
+"#;
+        let res = run_test(&TestConfig::from_yaml(yaml).unwrap()).unwrap();
+        let findings = analyze(&res);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(res.responder_counters.np_cnp_sent >= 1);
+    }
+
+    #[test]
+    fn e810_cnp_sent_bug_flagged() {
+        // §6.2.4: inject ECN toward an E810 notification point; the wire
+        // shows CNPs, the counter stays flat.
+        let yaml = r#"
+requester: { nic-type: e810, dcqcn-rp-enable: true }
+responder: { nic-type: e810, dcqcn-np-enable: true }
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 3
+  mtu: 1024
+  message-size: 20480
+  data-pkt-events:
+    - {qpn: 1, psn: 1, type: ecn, iter: 1, every: 2}
+"#;
+        let res = run_test(&TestConfig::from_yaml(yaml).unwrap()).unwrap();
+        let findings = analyze(&res);
+        let f = findings
+            .iter()
+            .find(|f| f.counter == "np_cnp_sent" && f.host == "responder")
+            .expect("cnpSent bug must be flagged");
+        assert_eq!(f.reported, 0);
+        assert!(f.expected_from_trace >= 1);
+    }
+
+    #[test]
+    fn cx4_implied_nak_bug_flagged() {
+        // §6.2.4: drop read responses toward a CX4 Lx requester; re-reads
+        // happen, the counter does not move.
+        let yaml = r#"
+requester: { nic-type: cx4 }
+responder: { nic-type: cx4 }
+traffic:
+  num-connections: 1
+  rdma-verb: read
+  num-msgs-per-qp: 2
+  mtu: 1024
+  message-size: 10240
+  data-pkt-events:
+    - {qpn: 1, psn: 4, type: drop, iter: 1}
+"#;
+        let res = run_test(&TestConfig::from_yaml(yaml).unwrap()).unwrap();
+        let findings = analyze(&res);
+        let f = findings
+            .iter()
+            .find(|f| f.counter == "implied_nak_seq_err")
+            .expect("implied_nak freeze must be flagged");
+        assert_eq!(f.reported, 0);
+        assert_eq!(f.expected_from_trace, 1);
+    }
+
+    #[test]
+    fn cx5_implied_nak_counter_ok() {
+        let yaml = r#"
+requester: { nic-type: cx5 }
+responder: { nic-type: cx5 }
+traffic:
+  num-connections: 1
+  rdma-verb: read
+  num-msgs-per-qp: 2
+  mtu: 1024
+  message-size: 10240
+  data-pkt-events:
+    - {qpn: 1, psn: 4, type: drop, iter: 1}
+"#;
+        let res = run_test(&TestConfig::from_yaml(yaml).unwrap()).unwrap();
+        let findings = analyze(&res);
+        assert!(
+            findings.iter().all(|f| f.counter != "implied_nak_seq_err"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_events_counted_as_icrc_errors() {
+        let yaml = r#"
+requester: { nic-type: cx6 }
+responder: { nic-type: cx6 }
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 2
+  mtu: 1024
+  message-size: 10240
+  data-pkt-events:
+    - {qpn: 1, psn: 3, type: corrupt, iter: 1}
+"#;
+        let res = run_test(&TestConfig::from_yaml(yaml).unwrap()).unwrap();
+        assert!(res.traffic_completed());
+        assert_eq!(res.responder_counters.rx_icrc_errors, 1);
+        assert!(analyze(&res).is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+//! The test suite (§4): built-in analyzers over reconstructed traces.
+
+pub mod cnp;
+pub mod counter;
+pub mod gbn_fsm;
+pub mod retrans_perf;
+
+pub use cnp::CnpReport;
+pub use counter::CounterFinding;
+pub use gbn_fsm::GbnReport;
+pub use retrans_perf::{RetransBreakdown, RetransKind};

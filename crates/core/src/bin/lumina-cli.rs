@@ -1,0 +1,155 @@
+//! `lumina-cli` — run a Lumina test from a YAML file.
+//!
+//! ```text
+//! lumina-cli test.yaml                 # run, print the human report
+//! lumina-cli test.yaml --json          # print the JSON report instead
+//! lumina-cli test.yaml --pcap out.pcap # also write the trace as pcap
+//! lumina-cli --validate test.yaml      # check the config, run nothing
+//! ```
+//!
+//! Exit codes: 0 success, 1 test ran but failed (integrity or incomplete
+//! traffic), 2 usage/configuration error.
+
+use lumina_core::analyzers::{cnp, counter, gbn_fsm, retrans_perf};
+use lumina_core::config::TestConfig;
+use lumina_core::orchestrator::run_test;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let validate_only = args.iter().any(|a| a == "--validate");
+    let pcap_path = args
+        .iter()
+        .position(|a| a == "--pcap")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut positional = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && !(*i > 0 && args[i - 1] == "--pcap")
+        })
+        .map(|(_, a)| a.clone());
+    let Some(path) = positional.next() else {
+        eprintln!("usage: lumina-cli <test.yaml> [--json] [--pcap <out.pcap>] [--validate]");
+        return ExitCode::from(2);
+    };
+
+    let yaml = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match TestConfig::from_yaml(&yaml) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {path} does not parse: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let problems = cfg.validate();
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("config error: {p}");
+        }
+        return ExitCode::from(2);
+    }
+    if validate_only {
+        println!("{path}: configuration valid");
+        return ExitCode::SUCCESS;
+    }
+
+    let results = match run_test(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: run failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let (Some(out), Some(trace)) = (&pcap_path, results.trace.as_ref()) {
+        match std::fs::File::create(out) {
+            Ok(f) => match trace.write_pcap(f) {
+                Ok(n) => eprintln!("wrote {n} packets to {out}"),
+                Err(e) => eprintln!("warning: pcap write failed: {e}"),
+            },
+            Err(e) => eprintln!("warning: cannot create {out}: {e}"),
+        }
+    }
+
+    if json {
+        let mut report = results.report_json();
+        // Attach analyzer output to the machine-readable report.
+        if let Some(trace) = results.trace.as_ref() {
+            let gbn = gbn_fsm::analyze(trace, &results.conns);
+            report["gbn_compliant"] = serde_json::json!(gbn.compliant());
+            report["gbn_violations"] = serde_json::json!(gbn.violations());
+            report["retransmissions"] =
+                serde_json::to_value(retrans_perf::analyze(trace, &results.conns)).unwrap();
+            let cnp_rep = cnp::analyze(trace);
+            report["cnp_total"] = serde_json::json!(cnp_rep.total_cnps);
+            report["ce_marked"] = serde_json::json!(cnp_rep.total_ce_marked);
+        }
+        report["counter_findings"] =
+            serde_json::to_value(counter::analyze(&results)).unwrap();
+        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    } else {
+        println!("test            : {path}");
+        println!("finished at     : {}", results.end_time);
+        println!("traffic complete: {}", results.traffic_completed());
+        println!(
+            "integrity       : {}",
+            if results.integrity.passed() { "pass" } else { "FAIL" }
+        );
+        println!(
+            "events          : {} fired, {} unfired",
+            results.events_fired, results.events_unfired
+        );
+        if let Some(trace) = results.trace.as_ref() {
+            println!("trace packets   : {}", trace.len());
+            let gbn = gbn_fsm::analyze(trace, &results.conns);
+            println!(
+                "go-back-N FSM   : {}",
+                if gbn.compliant() { "compliant" } else { "VIOLATIONS" }
+            );
+            for v in gbn.violations() {
+                println!("  !! {v}");
+            }
+            for b in retrans_perf::analyze(trace, &results.conns) {
+                println!(
+                    "retransmission  : conn {} psn {} {:?} total {}",
+                    b.conn_index,
+                    b.dropped_psn,
+                    b.kind,
+                    b.total()
+                );
+            }
+        }
+        for f in counter::analyze(&results) {
+            println!("counter finding : {} {} — {}", f.host, f.counter, f.detail);
+        }
+        for c in &results.conns {
+            let fm = &results.requester_metrics.flows[&c.requester.qpn];
+            println!(
+                "conn {:>3}       : {}/{} msgs, goodput {:.2} Gbps, avg MCT {}",
+                c.index,
+                fm.completed,
+                fm.completed + fm.failed,
+                fm.goodput_gbps(),
+                fm.avg_mct().map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            );
+        }
+    }
+
+    let ok = results.traffic_completed()
+        && (results.trace.is_none() || results.integrity.passed());
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,505 @@
+//! Test configuration: the YAML schema of Listings 1 and 2 of the paper,
+//! plus a `network` section describing the simulated substrate (which the
+//! real Lumina gets from physical hardware).
+
+use lumina_rnic::Verb;
+use lumina_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// NIC settings of one host (Listing 1's `nic` + `roce-parameters`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct HostConfig {
+    /// NIC model: `cx4`, `cx5`, `cx6`, `e810`.
+    pub nic_type: String,
+    /// DCQCN reaction point (rate reduction on CNPs) enabled.
+    #[serde(default)]
+    pub dcqcn_rp_enable: bool,
+    /// DCQCN notification point (CNP generation) enabled.
+    #[serde(default)]
+    pub dcqcn_np_enable: bool,
+    /// Configured minimum interval between CNPs, in microseconds.
+    #[serde(default)]
+    pub min_time_between_cnps_us: u64,
+    /// NVIDIA adaptive retransmission.
+    #[serde(default)]
+    pub adaptive_retrans: bool,
+    /// Ablation override: replace the profile's recovery-context count
+    /// (the CX4 Lx noisy-neighbor knob).
+    #[serde(default)]
+    pub override_recovery_contexts: Option<usize>,
+    /// Ablation override: force ETS work conservation on/off ("fix" the
+    /// CX6 Dx or break a healthy NIC).
+    #[serde(default)]
+    pub override_ets_work_conserving: Option<bool>,
+    /// Ablation override: APM slow-path queue capacity (the CX5 interop
+    /// knob).
+    #[serde(default)]
+    pub override_apm_queue_capacity: Option<usize>,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            nic_type: "cx5".into(),
+            dcqcn_rp_enable: false,
+            dcqcn_np_enable: false,
+            min_time_between_cnps_us: 4,
+            adaptive_retrans: false,
+            override_recovery_contexts: None,
+            override_ets_work_conserving: None,
+            override_apm_queue_capacity: None,
+        }
+    }
+}
+
+impl HostConfig {
+    /// Resolve the device profile with any ablation overrides applied.
+    pub fn resolved_profile(&self) -> Option<lumina_rnic::DeviceProfile> {
+        let mut p = lumina_rnic::DeviceProfile::by_name(&self.nic_type)?;
+        if let Some(n) = self.override_recovery_contexts {
+            match p.noisy_neighbor.as_mut() {
+                Some(m) => m.recovery_contexts = n,
+                None => {
+                    p.noisy_neighbor =
+                        Some(lumina_rnic::profile::NoisyNeighborModel { recovery_contexts: n })
+                }
+            }
+        }
+        if let Some(wc) = self.override_ets_work_conserving {
+            p.ets_work_conserving = wc;
+        }
+        if let Some(cap) = self.override_apm_queue_capacity {
+            if let Some(apm) = p.apm_slowpath_on_migreq0.as_mut() {
+                apm.queue_capacity = cap;
+            }
+        }
+        Some(p)
+    }
+}
+
+/// One injection event (Listing 2's `data-pkt-events` entries). QPN and
+/// PSN are *relative*: `qpn: 1` is the first connection, `psn: 4` the
+/// fourth data packet, `iter: 2` its first retransmission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct EventSpec {
+    /// 1-based connection index.
+    pub qpn: u32,
+    /// 1-based data-packet index within the connection.
+    pub psn: u32,
+    /// Event type: `drop`, `ecn`, `corrupt`, `set-mig-0`, `set-mig-1`,
+    /// `delay`, `reorder` (the last two implement §7's future-work list).
+    pub r#type: String,
+    /// 1-based transmission round (1 = first transmission).
+    #[serde(default = "one")]
+    pub iter: u32,
+    /// Extension: repeat the event every `every` data packets starting at
+    /// `psn` (used for "mark one of every 50 packets" scenarios like the
+    /// Figure 10 ETS experiment). 0 = no repetition.
+    #[serde(default)]
+    pub every: u32,
+    /// For `type: delay` — extra hold time in microseconds.
+    #[serde(default)]
+    pub delay_us: u64,
+    /// For `type: reorder` — release the packet after this many subsequent
+    /// data packets of the connection have passed.
+    #[serde(default = "one")]
+    pub reorder_by: u32,
+}
+
+fn one() -> u32 {
+    1
+}
+
+/// Traffic shape (Listing 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct TrafficConfig {
+    /// Number of QP connections.
+    pub num_connections: u32,
+    /// Verb: `write`, `read` or `send` — or a `+`-separated combination
+    /// (e.g. `send+read`), cycled across messages, which generates the
+    /// bi-directional data traffic §3.2 describes.
+    pub rdma_verb: String,
+    /// Messages per QP.
+    pub num_msgs_per_qp: u32,
+    /// Path MTU.
+    pub mtu: u32,
+    /// Message size in bytes.
+    pub message_size: u32,
+    /// Give each connection its own source IP (GID), emulating traffic
+    /// from multiple hosts.
+    #[serde(default)]
+    pub multi_gid: bool,
+    /// Barrier synchronization across QPs.
+    #[serde(default)]
+    pub barrier_sync: bool,
+    /// Maximum outstanding messages per QP.
+    #[serde(default = "one")]
+    pub tx_depth: u32,
+    /// IB timeout code (`4.096 µs × 2^code`).
+    #[serde(default = "default_timeout")]
+    pub min_retransmit_timeout: u8,
+    /// IB retry count.
+    #[serde(default = "default_retry")]
+    pub max_retransmit_retry: u32,
+    /// Events to inject on data packets.
+    #[serde(default)]
+    pub data_pkt_events: Vec<EventSpec>,
+    /// ETS traffic class of each connection (index into `ets.queues`);
+    /// empty = all class 0.
+    #[serde(default)]
+    pub qp_traffic_class: Vec<usize>,
+}
+
+fn default_timeout() -> u8 {
+    14
+}
+fn default_retry() -> u32 {
+    7
+}
+
+impl TrafficConfig {
+    /// Primary verb: the first of the (possibly combined) verb list. Event
+    /// intents target this verb's data direction.
+    pub fn verb(&self) -> Result<Verb, String> {
+        Ok(self.verbs()?[0])
+    }
+
+    /// All verbs of the (possibly `+`-combined) `rdma-verb` field.
+    pub fn verbs(&self) -> Result<Vec<Verb>, String> {
+        let out: Result<Vec<Verb>, String> = self
+            .rdma_verb
+            .split('+')
+            .map(|part| {
+                Verb::from_config_str(part.trim())
+                    .ok_or_else(|| format!("unknown rdma-verb {:?}", part))
+            })
+            .collect();
+        let out = out?;
+        if out.is_empty() {
+            return Err("empty rdma-verb".into());
+        }
+        Ok(out)
+    }
+
+    /// Data packets per message at this MTU.
+    pub fn pkts_per_msg(&self) -> u32 {
+        if self.message_size == 0 {
+            1
+        } else {
+            self.message_size.div_ceil(self.mtu)
+        }
+    }
+}
+
+/// One ETS queue (traffic class).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct EtsQueueConfig {
+    /// Weight among non-strict queues.
+    pub weight: u32,
+    /// Strict priority.
+    #[serde(default)]
+    pub strict: bool,
+}
+
+/// ETS configuration (defaults to one best-effort queue).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct EtsSection {
+    /// The queues.
+    pub queues: Vec<EtsQueueConfig>,
+}
+
+impl Default for EtsSection {
+    fn default() -> Self {
+        EtsSection {
+            queues: vec![EtsQueueConfig {
+                weight: 100,
+                strict: false,
+            }],
+        }
+    }
+}
+
+/// Which switch program runs — the Figure 7 variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum SwitchMode {
+    /// Full Lumina: injection + mirroring.
+    Lumina,
+    /// Lumina without mirroring ("Lumina-nm").
+    LuminaNm,
+    /// Lumina without event injection ("Lumina-ne").
+    LuminaNe,
+    /// Plain L2 forwarding baseline.
+    L2Forward,
+}
+
+impl Default for SwitchMode {
+    fn default() -> Self {
+        SwitchMode::Lumina
+    }
+}
+
+/// The simulated substrate (our stand-in for the physical testbed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct NetworkConfig {
+    /// Deterministic seed; same seed + same config = identical trace.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// One-way propagation delay per link, nanoseconds.
+    #[serde(default = "default_prop")]
+    pub propagation_delay_ns: u64,
+    /// Number of traffic-dumper hosts.
+    #[serde(default = "default_dumpers")]
+    pub num_dumpers: usize,
+    /// CPU cores per dumper.
+    #[serde(default = "default_cores")]
+    pub dumper_cores: usize,
+    /// Per-core dumper service rate, packets per second.
+    #[serde(default = "default_core_rate")]
+    pub dumper_core_rate_pps: u64,
+    /// Switch program variant.
+    #[serde(default)]
+    pub switch_mode: SwitchMode,
+    /// Disable the switch's UDP-port randomization for dumper RSS (the
+    /// §3.4 ablation).
+    #[serde(default)]
+    pub no_dport_randomization: bool,
+    /// Mirror per ingress port instead of WRR pooling (the §3.4 ablation).
+    #[serde(default)]
+    pub per_port_mirroring: bool,
+    /// Simulation horizon in milliseconds (safety stop).
+    #[serde(default = "default_horizon")]
+    pub horizon_ms: u64,
+}
+
+fn default_seed() -> u64 {
+    1
+}
+fn default_prop() -> u64 {
+    500
+}
+fn default_dumpers() -> usize {
+    3
+}
+fn default_cores() -> usize {
+    8
+}
+fn default_core_rate() -> u64 {
+    2_500_000
+}
+fn default_horizon() -> u64 {
+    30_000
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        serde_yaml::from_str("{}").unwrap()
+    }
+}
+
+/// A complete test configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct TestConfig {
+    /// Requester host (Listing 1).
+    #[serde(default)]
+    pub requester: HostConfig,
+    /// Responder host.
+    #[serde(default)]
+    pub responder: HostConfig,
+    /// Traffic and events (Listing 2).
+    pub traffic: TrafficConfig,
+    /// ETS queues.
+    #[serde(default)]
+    pub ets: EtsSection,
+    /// Simulated substrate.
+    #[serde(default)]
+    pub network: NetworkConfig,
+}
+
+impl TestConfig {
+    /// Parse from YAML.
+    pub fn from_yaml(s: &str) -> Result<TestConfig, String> {
+        serde_yaml::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Serialize to YAML.
+    pub fn to_yaml(&self) -> String {
+        serde_yaml::to_string(self).expect("config serializes")
+    }
+
+    /// Configured minimum CNP interval of the responder NP.
+    pub fn min_cnp_interval(&self, responder_side: bool) -> SimTime {
+        let host = if responder_side {
+            &self.responder
+        } else {
+            &self.requester
+        };
+        SimTime::from_micros(host.min_time_between_cnps_us)
+    }
+
+    /// Basic sanity validation; returns a list of problems.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.traffic.num_connections == 0 {
+            problems.push("num-connections must be ≥ 1".into());
+        }
+        if self.traffic.mtu == 0 || self.traffic.mtu > 4096 {
+            problems.push(format!("mtu {} out of range (1..=4096)", self.traffic.mtu));
+        }
+        if self.traffic.verb().is_err() {
+            problems.push(format!("unknown rdma-verb {:?}", self.traffic.rdma_verb));
+        }
+        if lumina_rnic::DeviceProfile::by_name(&self.requester.nic_type).is_none() {
+            problems.push(format!("unknown requester nic {:?}", self.requester.nic_type));
+        }
+        if lumina_rnic::DeviceProfile::by_name(&self.responder.nic_type).is_none() {
+            problems.push(format!("unknown responder nic {:?}", self.responder.nic_type));
+        }
+        if self.traffic.min_retransmit_timeout >= 32 {
+            problems.push("min-retransmit-timeout must be a 5-bit code".into());
+        }
+        let ppm = self.traffic.pkts_per_msg();
+        for (i, ev) in self.traffic.data_pkt_events.iter().enumerate() {
+            if ev.qpn == 0 || ev.qpn > self.traffic.num_connections {
+                problems.push(format!("event {i}: qpn {} out of range", ev.qpn));
+            }
+            if ev.psn == 0 || (ev.every == 0 && ev.psn > ppm * self.traffic.num_msgs_per_qp) {
+                problems.push(format!("event {i}: psn {} out of range", ev.psn));
+            }
+            if ev.iter == 0 {
+                problems.push(format!("event {i}: iter must be ≥ 1"));
+            }
+            if !matches!(
+                ev.r#type.as_str(),
+                "drop" | "ecn" | "corrupt" | "set-mig-0" | "set-mig-1" | "delay" | "reorder"
+            ) {
+                problems.push(format!("event {i}: unknown type {:?}", ev.r#type));
+            }
+            if ev.r#type == "delay" && ev.delay_us == 0 {
+                problems.push(format!("event {i}: delay requires delay-us ≥ 1"));
+            }
+            if ev.r#type == "reorder" && ev.reorder_by == 0 {
+                problems.push(format!("event {i}: reorder-by must be ≥ 1"));
+            }
+        }
+        for (i, &tc) in self.traffic.qp_traffic_class.iter().enumerate() {
+            if tc >= self.ets.queues.len() {
+                problems.push(format!("qp {i}: traffic class {tc} out of range"));
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Listing 2, adapted to this schema.
+    const LISTING2: &str = r#"
+requester:
+  nic-type: cx4
+  dcqcn-rp-enable: false
+  dcqcn-np-enable: true
+  min-time-between-cnps-us: 0
+  adaptive-retrans: false
+responder:
+  nic-type: cx4
+  dcqcn-np-enable: true
+traffic:
+  num-connections: 2
+  rdma-verb: write
+  num-msgs-per-qp: 10
+  mtu: 1024
+  message-size: 10240
+  multi-gid: true
+  barrier-sync: true
+  tx-depth: 1
+  min-retransmit-timeout: 14
+  max-retransmit-retry: 7
+  data-pkt-events:
+    # Mark ECN on the 4th pkt of the 1st QP conn
+    - {qpn: 1, psn: 4, type: ecn, iter: 1}
+    # Drop the 5th pkt of the 2nd QP conn
+    - {qpn: 2, psn: 5, type: drop, iter: 1}
+    # Drop the retransmitted 5th pkt of the 2nd QP conn
+    - {qpn: 2, psn: 5, type: drop, iter: 2}
+"#;
+
+    #[test]
+    fn parses_listing2() {
+        let cfg = TestConfig::from_yaml(LISTING2).unwrap();
+        assert_eq!(cfg.requester.nic_type, "cx4");
+        assert!(cfg.requester.dcqcn_np_enable);
+        assert!(!cfg.requester.dcqcn_rp_enable);
+        assert_eq!(cfg.traffic.num_connections, 2);
+        assert_eq!(cfg.traffic.verb().unwrap(), Verb::Write);
+        assert!(cfg.traffic.barrier_sync);
+        assert_eq!(cfg.traffic.data_pkt_events.len(), 3);
+        let ev = &cfg.traffic.data_pkt_events[2];
+        assert_eq!((ev.qpn, ev.psn, ev.iter), (2, 5, 2));
+        assert_eq!(ev.r#type, "drop");
+        assert!(cfg.validate().is_empty(), "{:?}", cfg.validate());
+    }
+
+    #[test]
+    fn yaml_roundtrip() {
+        let cfg = TestConfig::from_yaml(LISTING2).unwrap();
+        let cfg2 = TestConfig::from_yaml(&cfg.to_yaml()).unwrap();
+        assert_eq!(cfg2.traffic.message_size, 10240);
+        assert_eq!(cfg2.traffic.data_pkt_events.len(), 3);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut cfg = TestConfig::from_yaml(LISTING2).unwrap();
+        cfg.traffic.num_connections = 0;
+        cfg.traffic.rdma_verb = "bogus".into();
+        cfg.requester.nic_type = "cx9".into();
+        cfg.traffic.data_pkt_events[0].qpn = 99;
+        let problems = cfg.validate();
+        assert!(problems.len() >= 4, "{problems:?}");
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let minimal = r#"
+traffic:
+  num-connections: 1
+  rdma-verb: read
+  num-msgs-per-qp: 5
+  mtu: 1024
+  message-size: 4096
+"#;
+        let cfg = TestConfig::from_yaml(minimal).unwrap();
+        assert_eq!(cfg.traffic.tx_depth, 1);
+        assert_eq!(cfg.traffic.min_retransmit_timeout, 14);
+        assert_eq!(cfg.traffic.max_retransmit_retry, 7);
+        assert_eq!(cfg.network.num_dumpers, 3);
+        assert_eq!(cfg.network.switch_mode, SwitchMode::Lumina);
+        assert_eq!(cfg.ets.queues.len(), 1);
+        assert_eq!(cfg.traffic.pkts_per_msg(), 4);
+        assert!(cfg.validate().is_empty());
+    }
+
+    #[test]
+    fn unknown_fields_rejected() {
+        let bad = r#"
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 1
+  mtu: 1024
+  message-size: 1024
+  bogus-field: 7
+"#;
+        assert!(TestConfig::from_yaml(bad).is_err());
+    }
+}

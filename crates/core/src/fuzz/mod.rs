@@ -1,0 +1,235 @@
+//! Genetic test-case generation (§4, Algorithm 1).
+//!
+//! The fuzzer maintains a pool of configurations. Each iteration picks a
+//! random member, mutates it, runs Lumina, scores the outcome with a
+//! multi-objective anomaly function, and keeps "high-quality"
+//! configurations (score ≥ pool median; low scorers survive with
+//! probability `p`). This is the module that surfaced the CX4 Lx noisy
+//! neighbor (§6.2.2).
+
+pub mod mutate;
+pub mod score;
+
+use crate::config::TestConfig;
+use crate::orchestrator::{run_test, TestResults};
+use lumina_sim::SimRng;
+use mutate::Mutator;
+
+/// Fuzzing campaign parameters.
+#[derive(Debug, Clone)]
+pub struct FuzzParams {
+    /// Initial pool size.
+    pub pool_size: usize,
+    /// Iterations (each = one simulation run).
+    pub iterations: usize,
+    /// Probability of keeping a below-median configuration.
+    pub accept_prob: f64,
+    /// Score at or above which a configuration is recorded as an anomaly.
+    pub anomaly_threshold: f64,
+    /// Seed for the fuzzer's own randomness.
+    pub seed: u64,
+}
+
+impl Default for FuzzParams {
+    fn default() -> Self {
+        FuzzParams {
+            pool_size: 8,
+            iterations: 30,
+            accept_prob: 0.25,
+            anomaly_threshold: 10.0,
+            seed: 0xf022,
+        }
+    }
+}
+
+/// One scored pool member.
+#[derive(Debug, Clone)]
+pub struct Scored {
+    /// The configuration.
+    pub cfg: TestConfig,
+    /// Its anomaly score.
+    pub score: f64,
+}
+
+/// Campaign outcome.
+#[derive(Debug)]
+pub struct FuzzOutcome {
+    /// Highest-scoring configuration seen, with its score.
+    pub best: Option<Scored>,
+    /// Configurations that crossed the anomaly threshold, in discovery
+    /// order, with a short description.
+    pub anomalies: Vec<(Scored, String)>,
+    /// Score of every evaluated configuration, in order.
+    pub history: Vec<f64>,
+    /// Runs whose configuration failed validation or execution.
+    pub rejected: usize,
+}
+
+/// Run Algorithm 1.
+///
+/// `score` maps a finished run to an anomaly score (higher = more
+/// anomalous) and an optional description used when the threshold is
+/// crossed.
+pub fn fuzz<S>(base: &TestConfig, mutator: &mut dyn Mutator, score: S, params: &FuzzParams) -> FuzzOutcome
+where
+    S: Fn(&TestConfig, &TestResults) -> (f64, String),
+{
+    let mut rng = SimRng::seed_from_u64(params.seed);
+    let mut outcome = FuzzOutcome {
+        best: None,
+        anomalies: Vec::new(),
+        history: Vec::new(),
+        rejected: 0,
+    };
+
+    // 1. Initialization: a pool of valid configurations derived from the
+    // base.
+    let mut pool: Vec<Scored> = Vec::new();
+    for _ in 0..params.pool_size {
+        let cfg = mutator.initial(base, &mut rng);
+        if cfg.validate().is_empty() {
+            pool.push(Scored { cfg, score: 0.0 });
+        }
+    }
+    if pool.is_empty() {
+        pool.push(Scored {
+            cfg: base.clone(),
+            score: 0.0,
+        });
+    }
+
+    for _ in 0..params.iterations {
+        // 2. Mutation.
+        let parent = &pool[rng.index(pool.len())].cfg.clone();
+        let cand = mutator.mutate(parent, &mut rng);
+        if !cand.validate().is_empty() {
+            outcome.rejected += 1;
+            continue;
+        }
+        // 3. Scoring.
+        let results = match run_test(&cand) {
+            Ok(r) => r,
+            Err(_) => {
+                outcome.rejected += 1;
+                continue;
+            }
+        };
+        let (s, desc) = score(&cand, &results);
+        outcome.history.push(s);
+        let scored = Scored {
+            cfg: cand,
+            score: s,
+        };
+        if outcome.best.as_ref().map_or(true, |b| s > b.score) {
+            outcome.best = Some(scored.clone());
+        }
+        if s >= params.anomaly_threshold {
+            outcome.anomalies.push((scored.clone(), desc));
+        }
+        // 4. Selection.
+        let median = median_score(&pool);
+        if s >= median || rng.unit_f64() < params.accept_prob {
+            pool.push(scored);
+            // Bound the pool: evict the worst member.
+            if pool.len() > params.pool_size * 4 {
+                let worst = pool
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.score.partial_cmp(&b.1.score).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap();
+                pool.swap_remove(worst);
+            }
+        }
+    }
+    outcome
+}
+
+fn median_score(pool: &[Scored]) -> f64 {
+    let mut scores: Vec<f64> = pool.iter().map(|s| s.score).collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if scores.is_empty() {
+        0.0
+    } else {
+        scores[scores.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutate::EventMutator;
+
+    fn tiny_base() -> TestConfig {
+        TestConfig::from_yaml(
+            r#"
+requester: { nic-type: cx5 }
+responder: { nic-type: cx5 }
+traffic:
+  num-connections: 2
+  rdma-verb: write
+  num-msgs-per-qp: 2
+  mtu: 1024
+  message-size: 4096
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn campaign_runs_and_scores() {
+        let base = tiny_base();
+        let mut mutator = EventMutator::default();
+        let params = FuzzParams {
+            pool_size: 3,
+            iterations: 6,
+            ..Default::default()
+        };
+        let out = fuzz(
+            &base,
+            &mut mutator,
+            |_cfg, res| {
+                let s = res.requester_counters.retransmitted_packets as f64;
+                (s, "retransmissions".into())
+            },
+            &params,
+        );
+        assert!(out.history.len() + out.rejected >= 6);
+        assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let base = tiny_base();
+        let params = FuzzParams {
+            pool_size: 3,
+            iterations: 5,
+            ..Default::default()
+        };
+        let run = || {
+            let mut m = EventMutator::default();
+            fuzz(
+                &base,
+                &mut m,
+                |_c, r| (r.requester_counters.retransmitted_packets as f64, String::new()),
+                &params,
+            )
+            .history
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn anomaly_threshold_collects() {
+        let base = tiny_base();
+        let mut m = EventMutator::default();
+        let params = FuzzParams {
+            pool_size: 2,
+            iterations: 4,
+            anomaly_threshold: -1.0, // everything is an anomaly
+            ..Default::default()
+        };
+        let out = fuzz(&base, &mut m, |_c, _r| (0.0, "x".into()), &params);
+        assert_eq!(out.anomalies.len(), out.history.len());
+    }
+}

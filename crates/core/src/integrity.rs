@@ -1,0 +1,134 @@
+//! The §3.5 integrity check: a trace is analyzable only when
+//!
+//! 1. consecutive mirror sequence numbers are present,
+//! 2. the number of packets the injector mirrored equals the trace length,
+//! 3. the number of RoCE packets the injector received equals the trace
+//!    length.
+
+use lumina_dumper::{reconstruct, CapturedPacket, ReconstructError, Trace};
+use lumina_switch::device::SwitchCounters;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the integrity check.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IntegrityReport {
+    /// Condition 1: mirror sequence numbers are consecutive.
+    pub seq_consecutive: bool,
+    /// Condition 2: mirrored count matches trace length.
+    pub mirrored_matches: bool,
+    /// Condition 3: RoCE RX count matches trace length.
+    pub roce_rx_matches: bool,
+    /// Human-readable details for failures.
+    pub details: Vec<String>,
+}
+
+impl IntegrityReport {
+    /// All three conditions hold.
+    pub fn passed(&self) -> bool {
+        self.seq_consecutive && self.mirrored_matches && self.roce_rx_matches
+    }
+}
+
+/// Reconstruct the trace from all dumpers' captures and run the check.
+/// Returns the trace even on count mismatches (it may still be useful for
+/// debugging) but `None` when reconstruction itself failed.
+pub fn check(
+    captures: &[Vec<CapturedPacket>],
+    switch: &SwitchCounters,
+) -> (Option<Trace>, IntegrityReport) {
+    let mut report = IntegrityReport::default();
+    let trace = match reconstruct(captures) {
+        Ok(t) => t,
+        Err(e @ ReconstructError::Gaps { .. }) | Err(e @ ReconstructError::DuplicateSeq(_)) => {
+            report.details.push(e.to_string());
+            report.mirrored_matches = false;
+            report.roce_rx_matches = false;
+            return (None, report);
+        }
+        Err(e) => {
+            report.details.push(e.to_string());
+            return (None, report);
+        }
+    };
+    report.seq_consecutive = true;
+    let n = trace.len() as u64;
+    report.mirrored_matches = switch.mirrored_total == n;
+    if !report.mirrored_matches {
+        report.details.push(format!(
+            "injector mirrored {} packets but the trace holds {n}",
+            switch.mirrored_total
+        ));
+    }
+    report.roce_rx_matches = switch.roce_rx_total == n;
+    if !report.roce_rx_matches {
+        report.details.push(format!(
+            "injector received {} RoCE packets but the trace holds {n}",
+            switch.roce_rx_total
+        ));
+    }
+    (Some(trace), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumina_packet::builder::DataPacketBuilder;
+    use lumina_packet::opcode::Opcode;
+    use lumina_sim::SimTime;
+    use lumina_switch::events::EventType;
+    use lumina_switch::mirror;
+
+    fn capture(seq: u64) -> CapturedPacket {
+        let mut buf = DataPacketBuilder::new()
+            .opcode(Opcode::RdmaWriteOnly)
+            .psn(seq as u32)
+            .payload_len(64)
+            .build()
+            .emit()
+            .to_vec();
+        mirror::embed(&mut buf, seq, SimTime::from_nanos(seq), EventType::None, None);
+        CapturedPacket {
+            rx_time: SimTime::ZERO,
+            orig_len: buf.len(),
+            bytes: buf,
+        }
+    }
+
+    fn counters(mirrored: u64, roce_rx: u64) -> SwitchCounters {
+        SwitchCounters {
+            mirrored_total: mirrored,
+            roce_rx_total: roce_rx,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_conditions_pass() {
+        let caps = vec![vec![capture(0), capture(2)], vec![capture(1)]];
+        let (trace, rep) = check(&caps, &counters(3, 3));
+        assert!(rep.passed(), "{rep:?}");
+        assert_eq!(trace.unwrap().len(), 3);
+    }
+
+    #[test]
+    fn gap_fails_condition_one() {
+        let caps = vec![vec![capture(0), capture(2)]];
+        let (trace, rep) = check(&caps, &counters(3, 3));
+        assert!(trace.is_none());
+        assert!(!rep.passed());
+        assert!(!rep.seq_consecutive);
+        assert!(!rep.details.is_empty());
+    }
+
+    #[test]
+    fn count_mismatch_fails_conditions_two_three() {
+        let caps = vec![vec![capture(0), capture(1)]];
+        let (trace, rep) = check(&caps, &counters(5, 4));
+        assert!(trace.is_some(), "trace still returned for debugging");
+        assert!(rep.seq_consecutive);
+        assert!(!rep.mirrored_matches);
+        assert!(!rep.roce_rx_matches);
+        assert!(!rep.passed());
+        assert_eq!(rep.details.len(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Lumina proper: the paper's primary contribution.
+//!
+//! This crate ties the substrates together into the tool the paper
+//! describes:
+//!
+//! * [`config`] — the YAML test schema of Listings 1–2;
+//! * [`translate`] — intent → match-action translation (Figure 2);
+//! * [`orchestrator`] — environment setup, execution, Table-1 result
+//!   collection;
+//! * [`integrity`] — the three-condition trace integrity check (§3.5);
+//! * [`analyzers`] — the test suite (§4): Go-back-N FSM compliance,
+//!   retransmission performance breakdown (Figure 5), CNP behavior and
+//!   counter consistency;
+//! * [`fuzz`] — the genetic test-case generation module (Algorithm 1).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lumina_core::config::TestConfig;
+//! use lumina_core::orchestrator::run_test;
+//!
+//! let cfg = TestConfig::from_yaml(r#"
+//! requester: { nic-type: cx5 }
+//! responder: { nic-type: cx5 }
+//! traffic:
+//!   num-connections: 1
+//!   rdma-verb: write
+//!   num-msgs-per-qp: 2
+//!   mtu: 1024
+//!   message-size: 4096
+//!   data-pkt-events:
+//!     - {qpn: 1, psn: 2, type: drop, iter: 1}
+//! "#).unwrap();
+//! let results = run_test(&cfg).unwrap();
+//! assert!(results.integrity.passed());
+//! assert!(results.traffic_completed());
+//! assert_eq!(results.requester_counters.packet_seq_err, 1);
+//! ```
+
+pub mod analyzers;
+pub mod config;
+pub mod fuzz;
+pub mod integrity;
+pub mod orchestrator;
+pub mod translate;
+
+pub use config::TestConfig;
+pub use integrity::IntegrityReport;
+pub use orchestrator::{run_test, TestResults};
+pub use translate::ConnMeta;

@@ -1,0 +1,351 @@
+//! The orchestrator (§3.1, Figure 1): build the testbed from a
+//! configuration, run it, collect every result Table 1 lists, reconstruct
+//! the trace and run the integrity check.
+
+use crate::config::{SwitchMode, TestConfig};
+use crate::integrity::{self, IntegrityReport};
+use crate::translate::{translate, ConnMeta};
+use lumina_dumper::node::{capture_handle, CaptureHandle, DumperConfig, DumperNode};
+use lumina_dumper::Trace;
+use lumina_gen::host::{HostNode, Role};
+use lumina_gen::metrics::{metrics_handle, GenMetrics};
+use lumina_gen::FlowPlan;
+use lumina_rnic::counters::Counters;
+use lumina_rnic::ets::{EtsConfig, TcConfig};
+use lumina_rnic::qp::{QpConfig, QpEndpoint};
+use lumina_rnic::Rnic;
+use lumina_sim::{Engine, EngineStats, PortId, RunOutcome, SimTime};
+use lumina_switch::device::{MirrorMode, SwitchConfig, SwitchCounters, SwitchNode};
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+pub use lumina_packet::MacAddr;
+
+/// Everything the orchestrator collects after a run (Table 1), plus the
+/// reconstructed trace and integrity verdict (§3.5).
+pub struct TestResults {
+    /// The configuration that produced this run.
+    pub cfg: TestConfig,
+    /// Runtime connection metadata (for analyzers).
+    pub conns: Vec<ConnMeta>,
+    /// Reconstructed packet trace (None if mirroring was off or
+    /// reconstruction failed).
+    pub trace: Option<Trace>,
+    /// Integrity check outcome.
+    pub integrity: IntegrityReport,
+    /// Requester NIC canonical counters.
+    pub requester_counters: Counters,
+    /// Responder NIC canonical counters.
+    pub responder_counters: Counters,
+    /// Requester counters under vendor names.
+    pub requester_vendor_counters: BTreeMap<String, u64>,
+    /// Responder counters under vendor names.
+    pub responder_vendor_counters: BTreeMap<String, u64>,
+    /// Requester application metrics (goodput, MCTs).
+    pub requester_metrics: GenMetrics,
+    /// Responder application metrics.
+    pub responder_metrics: GenMetrics,
+    /// Switch counters (per port + totals).
+    pub switch_counters: SwitchCounters,
+    /// Injection entries that fired.
+    pub events_fired: usize,
+    /// Injection entries that never matched.
+    pub events_unfired: usize,
+    /// Mirror copies lost to dumper overload.
+    pub dumper_discards: u64,
+    /// Final simulation time.
+    pub end_time: SimTime,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Engine statistics.
+    pub engine_stats: EngineStats,
+}
+
+impl TestResults {
+    /// True when all traffic completed and the run quiesced.
+    pub fn traffic_completed(&self) -> bool {
+        self.requester_metrics.done()
+    }
+
+    /// Machine-readable summary (the orchestrator's "test results" file).
+    pub fn report_json(&self) -> serde_json::Value {
+        #[derive(Serialize)]
+        struct Summary<'a> {
+            integrity_passed: bool,
+            integrity: &'a IntegrityReport,
+            trace_packets: usize,
+            requester_counters: &'a BTreeMap<String, u64>,
+            responder_counters: &'a BTreeMap<String, u64>,
+            requester_metrics: &'a GenMetrics,
+            switch: &'a SwitchCounters,
+            events_fired: usize,
+            events_unfired: usize,
+            dumper_discards: u64,
+            end_time_ns: u64,
+            traffic_completed: bool,
+        }
+        serde_json::to_value(Summary {
+            integrity_passed: self.integrity.passed(),
+            integrity: &self.integrity,
+            trace_packets: self.trace.as_ref().map_or(0, |t| t.len()),
+            requester_counters: &self.requester_vendor_counters,
+            responder_counters: &self.responder_vendor_counters,
+            requester_metrics: &self.requester_metrics,
+            switch: &self.switch_counters,
+            events_fired: self.events_fired,
+            events_unfired: self.events_unfired,
+            dumper_discards: self.dumper_discards,
+            end_time_ns: self.end_time.as_nanos(),
+            traffic_completed: self.traffic_completed(),
+        })
+        .expect("summary serializes")
+    }
+}
+
+/// Run one test end to end.
+pub fn run_test(cfg: &TestConfig) -> Result<TestResults, String> {
+    let problems = cfg.validate();
+    if !problems.is_empty() {
+        return Err(format!("invalid configuration: {problems:?}"));
+    }
+    let verb = cfg.traffic.verb()?;
+    let verbs = cfg.traffic.verbs()?;
+    let req_profile = cfg.requester.resolved_profile().unwrap();
+    let rsp_profile = cfg.responder.resolved_profile().unwrap();
+
+    let mut eng = Engine::new(cfg.network.seed);
+
+    // ---- Runtime metadata (the generators' random QPNs/PSNs, §3.2) ----
+    let ets_cfg = EtsConfig {
+        tcs: cfg
+            .ets
+            .queues
+            .iter()
+            .map(|q| TcConfig {
+                strict_priority: q.strict,
+                weight: q.weight,
+            })
+            .collect(),
+        work_conserving: true,
+    };
+    let req_mac = MacAddr::local(1);
+    let rsp_mac = MacAddr::local(2);
+    let switch_mac = MacAddr::local(100);
+    let mut req_rnic = Rnic::new(req_profile.clone(), ets_cfg.clone(), req_mac);
+    let mut rsp_rnic = Rnic::new(rsp_profile.clone(), ets_cfg, rsp_mac);
+
+    let n = cfg.traffic.num_connections;
+    let mut conns = Vec::with_capacity(n as usize);
+    let mut req_ips = Vec::new();
+    let mut rsp_ips = Vec::new();
+    for i in 1..=n {
+        let (req_ip, rsp_ip) = if cfg.traffic.multi_gid {
+            (
+                Ipv4Addr::new(10, (i / 200) as u8, (i % 200) as u8, 1),
+                Ipv4Addr::new(10, (i / 200) as u8, (i % 200) as u8, 2),
+            )
+        } else {
+            (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+        };
+        req_ips.push(req_ip);
+        rsp_ips.push(rsp_ip);
+        let req_qpn = req_rnic.alloc_qpn(eng.rng());
+        let rsp_qpn = rsp_rnic.alloc_qpn(eng.rng());
+        let req_ipsn = eng.rng().bits24();
+        let rsp_ipsn = eng.rng().bits24();
+        conns.push(ConnMeta {
+            index: i,
+            requester: QpEndpoint {
+                ip: req_ip,
+                qpn: req_qpn,
+                ipsn: req_ipsn,
+            },
+            responder: QpEndpoint {
+                ip: rsp_ip,
+                qpn: rsp_qpn,
+                ipsn: rsp_ipsn,
+            },
+            verb,
+        });
+    }
+
+    // ---- QP creation on both RNICs ----
+    for (i, c) in conns.iter().enumerate() {
+        let tc = cfg
+            .traffic
+            .qp_traffic_class
+            .get(i)
+            .copied()
+            .unwrap_or(0);
+        let base = |local: QpEndpoint, remote: QpEndpoint, host: &crate::config::HostConfig| {
+            QpConfig {
+                local,
+                remote,
+                remote_mac: switch_mac,
+                mtu: cfg.traffic.mtu,
+                timeout_code: cfg.traffic.min_retransmit_timeout,
+                retry_cnt: cfg.traffic.max_retransmit_retry,
+                adaptive_retrans: host.adaptive_retrans,
+                traffic_class: tc,
+                dcqcn_rp: host.dcqcn_rp_enable,
+                dcqcn_np: host.dcqcn_np_enable,
+                min_time_between_cnps: SimTime::from_micros(host.min_time_between_cnps_us),
+                udp_src_port: 49152 + c.index as u16,
+            }
+        };
+        req_rnic.create_qp(base(c.requester, c.responder, &cfg.requester));
+        rsp_rnic.create_qp(base(c.responder, c.requester, &cfg.responder));
+        if verbs.contains(&lumina_rnic::Verb::Send) {
+            for k in 0..cfg.traffic.num_msgs_per_qp {
+                rsp_rnic.post_recv(
+                    c.responder.qpn,
+                    (c.index as u64) << 32 | k as u64,
+                    cfg.traffic.message_size,
+                );
+            }
+        }
+    }
+
+    // ---- Hosts ----
+    let plans: Vec<FlowPlan> = conns
+        .iter()
+        .map(|c| FlowPlan {
+            qpn: c.requester.qpn,
+            verbs: verbs.clone(),
+            num_msgs: cfg.traffic.num_msgs_per_qp,
+            msg_size: cfg.traffic.message_size,
+            tx_depth: cfg.traffic.tx_depth,
+        })
+        .collect();
+    let req_metrics = metrics_handle();
+    let rsp_metrics = metrics_handle();
+    let requester = HostNode::new(
+        req_rnic,
+        Role::Requester {
+            plans,
+            barrier_sync: cfg.traffic.barrier_sync,
+        },
+        req_metrics.clone(),
+        "requester",
+    );
+    let responder = HostNode::new(rsp_rnic, Role::Responder, rsp_metrics.clone(), "responder");
+
+    // ---- Switch ----
+    let mut forward: HashMap<Ipv4Addr, PortId> = HashMap::new();
+    for ip in &req_ips {
+        forward.insert(*ip, PortId(0));
+    }
+    for ip in &rsp_ips {
+        forward.insert(*ip, PortId(1));
+    }
+    let num_dumpers = cfg.network.num_dumpers.max(1);
+    let dumper_ports: Vec<(PortId, u32)> =
+        (0..num_dumpers).map(|i| (PortId(2 + i), 1u32)).collect();
+    let mut sw_cfg = match cfg.network.switch_mode {
+        SwitchMode::L2Forward => SwitchConfig::l2_forward(forward),
+        SwitchMode::Lumina => SwitchConfig::lumina(forward, dumper_ports.clone()),
+        SwitchMode::LuminaNm => {
+            let mut c = SwitchConfig::lumina(forward, dumper_ports.clone());
+            c.mirroring = false;
+            c
+        }
+        SwitchMode::LuminaNe => {
+            let mut c = SwitchConfig::lumina(forward, dumper_ports.clone());
+            c.injection = false;
+            c
+        }
+    };
+    if cfg.network.no_dport_randomization {
+        sw_cfg.randomize_dport = false;
+    }
+    if cfg.network.per_port_mirroring {
+        sw_cfg.mirror_mode = MirrorMode::PerIngressPort;
+    }
+    let mirroring = sw_cfg.mirroring;
+    let mut switch = SwitchNode::new(sw_cfg);
+    for (key, action) in translate(cfg, &conns)? {
+        switch.table.insert(key, action);
+    }
+
+    // ---- Topology ----
+    let req_id = eng.add_node(Box::new(requester));
+    let rsp_id = eng.add_node(Box::new(responder));
+    let sw_id = eng.add_node(Box::new(switch));
+    let prop = SimTime::from_nanos(cfg.network.propagation_delay_ns);
+    eng.connect(req_id, PortId(0), sw_id, PortId(0), req_profile.port_bandwidth, prop);
+    eng.connect(rsp_id, PortId(0), sw_id, PortId(1), rsp_profile.port_bandwidth, prop);
+    let mut dumper_handles: Vec<CaptureHandle> = Vec::new();
+    for i in 0..num_dumpers {
+        let handle = capture_handle();
+        let d = DumperNode::new(
+            DumperConfig {
+                cores: cfg.network.dumper_cores,
+                per_core_rate_pps: cfg.network.dumper_core_rate_pps,
+                ring_capacity: 1024,
+                trim_bytes: 128,
+            },
+            handle.clone(),
+        );
+        let d_id = eng.add_node(Box::new(d));
+        eng.connect(
+            sw_id,
+            PortId(2 + i),
+            d_id,
+            PortId(0),
+            lumina_sim::Bandwidth::gbps(100),
+            prop,
+        );
+        dumper_handles.push(handle);
+    }
+
+    // ---- Run ----
+    eng.schedule_timer(req_id, SimTime::from_micros(1), HostNode::start_token());
+    let outcome = eng.run(Some(SimTime::from_millis(cfg.network.horizon_ms)));
+    let end_time = outcome.end_time();
+    let engine_stats = eng.stats();
+
+    // ---- Collect (Table 1) ----
+    let req_any: Box<dyn std::any::Any> = eng.remove_node(req_id);
+    let req_host = req_any.downcast::<HostNode>().expect("requester type");
+    let rsp_any: Box<dyn std::any::Any> = eng.remove_node(rsp_id);
+    let rsp_host = rsp_any.downcast::<HostNode>().expect("responder type");
+    let sw_any: Box<dyn std::any::Any> = eng.remove_node(sw_id);
+    let sw = sw_any.downcast::<SwitchNode>().expect("switch type");
+
+    let captures: Vec<Vec<lumina_dumper::CapturedPacket>> = dumper_handles
+        .iter()
+        .map(|h| h.borrow().packets.clone())
+        .collect();
+    let dumper_discards: u64 = dumper_handles.iter().map(|h| h.borrow().rx_discards).sum();
+
+    let (trace, integrity) = if mirroring {
+        integrity::check(&captures, &sw.counters)
+    } else {
+        (None, IntegrityReport::default())
+    };
+
+    let req_counters = req_host.rnic.counters.clone();
+    let rsp_counters = rsp_host.rnic.counters.clone();
+    let requester_metrics = req_metrics.borrow().clone();
+    let responder_metrics = rsp_metrics.borrow().clone();
+    Ok(TestResults {
+        cfg: cfg.clone(),
+        conns,
+        trace,
+        integrity,
+        requester_vendor_counters: req_counters.vendor_view(req_profile.vendor),
+        responder_vendor_counters: rsp_counters.vendor_view(rsp_profile.vendor),
+        requester_counters: req_counters,
+        responder_counters: rsp_counters,
+        requester_metrics,
+        responder_metrics,
+        events_fired: sw.table.fired().len(),
+        events_unfired: sw.table.unfired().len(),
+        switch_counters: sw.counters.clone(),
+        dumper_discards,
+        end_time,
+        outcome,
+        engine_stats,
+    })
+}

@@ -1,0 +1,282 @@
+//! The analyzers must have teeth: hand-built traces that *violate* the
+//! Go-back-N specification must be flagged. (Compliance on healthy models
+//! is covered elsewhere; these tests prove the FSM detects broken
+//! implementations — the paper's actual purpose.)
+
+use lumina_core::analyzers::gbn_fsm;
+use lumina_core::translate::ConnMeta;
+use lumina_dumper::trace::{Trace, TraceEntry};
+use lumina_packet::aeth::{Aeth, AethSyndrome, NakCode};
+use lumina_packet::builder::{ack_frame, nack_frame, DataPacketBuilder};
+use lumina_packet::frame::RoceFrame;
+use lumina_packet::opcode::Opcode;
+use lumina_packet::bth::psn_add;
+use lumina_rnic::qp::QpEndpoint;
+use lumina_rnic::Verb;
+use lumina_sim::SimTime;
+use lumina_switch::events::EventType;
+use std::net::Ipv4Addr;
+
+const REQ_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const RSP_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const REQ_QPN: u32 = 0x11;
+const RSP_QPN: u32 = 0x22;
+const IPSN: u32 = 1000;
+
+fn meta() -> ConnMeta {
+    ConnMeta {
+        index: 1,
+        requester: QpEndpoint {
+            ip: REQ_IP,
+            qpn: REQ_QPN,
+            ipsn: IPSN,
+        },
+        responder: QpEndpoint {
+            ip: RSP_IP,
+            qpn: RSP_QPN,
+            ipsn: 5000,
+        },
+        verb: Verb::Write,
+    }
+}
+
+struct TraceBuilder {
+    entries: Vec<TraceEntry>,
+    t: u64,
+}
+
+impl TraceBuilder {
+    fn new() -> TraceBuilder {
+        TraceBuilder {
+            entries: Vec::new(),
+            t: 0,
+        }
+    }
+
+    fn push(&mut self, frame: RoceFrame, event: EventType) -> &mut Self {
+        self.t += 1000;
+        let seq = self.entries.len() as u64;
+        self.entries.push(TraceEntry {
+            seq,
+            timestamp: SimTime::from_nanos(self.t),
+            event,
+            frame,
+            orig_len: 1100,
+        });
+        self
+    }
+
+    /// Data packet with 1-based relative position `rel`.
+    fn data(&mut self, rel: u32, event: EventType) -> &mut Self {
+        let frame = DataPacketBuilder::new()
+            .src_ip(REQ_IP)
+            .dst_ip(RSP_IP)
+            .opcode(Opcode::RdmaWriteMiddle)
+            .dest_qp(RSP_QPN)
+            .psn(psn_add(IPSN, rel - 1))
+            .payload_len(0)
+            .build();
+        self.push(frame, event)
+    }
+
+    fn nack(&mut self, rel_expected: u32) -> &mut Self {
+        let frame = nack_frame(
+            RSP_IP,
+            REQ_IP,
+            REQ_QPN,
+            psn_add(IPSN, rel_expected - 1),
+            0,
+        );
+        self.push(frame, EventType::None)
+    }
+
+    fn ack(&mut self, rel: u32) -> &mut Self {
+        let frame = ack_frame(
+            RSP_IP,
+            REQ_IP,
+            REQ_QPN,
+            psn_add(IPSN, rel - 1),
+            AethSyndrome::Ack { credit: 31 },
+            0,
+        );
+        self.push(frame, EventType::None)
+    }
+
+    fn build(&mut self) -> Trace {
+        Trace {
+            entries: std::mem::take(&mut self.entries),
+        }
+    }
+}
+
+fn analyze(trace: &Trace) -> gbn_fsm::ConnGbnReport {
+    gbn_fsm::analyze(trace, &[meta()]).per_conn.remove(0)
+}
+
+#[test]
+fn compliant_drop_recovery_accepted() {
+    // 1 2 [3 dropped] 4 5, NACK(3), retransmit 3 4 5, ACK(5).
+    let mut b = TraceBuilder::new();
+    b.data(1, EventType::None)
+        .data(2, EventType::None)
+        .data(3, EventType::Drop)
+        .data(4, EventType::None)
+        .data(5, EventType::None)
+        .nack(3)
+        .data(3, EventType::None)
+        .data(4, EventType::None)
+        .data(5, EventType::None)
+        .ack(5);
+    let rep = analyze(&b.build());
+    assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+    assert_eq!(rep.nacks, 1);
+    assert_eq!(rep.ooo_episodes, 1);
+    assert_eq!(rep.acks, 1);
+}
+
+#[test]
+fn spurious_nack_flagged() {
+    // A NACK with no out-of-sequence episode is a spec violation.
+    let mut b = TraceBuilder::new();
+    b.data(1, EventType::None)
+        .data(2, EventType::None)
+        .nack(3);
+    let rep = analyze(&b.build());
+    // The PSN happens to match the receiver's expectation, so exactly one
+    // violation: the missing episode.
+    assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+    assert!(rep.violations[0].contains("without an out-of-sequence episode"));
+}
+
+#[test]
+fn nack_with_wrong_psn_flagged() {
+    // Receiver expects 3 (it was dropped) but the NACK claims 4.
+    let mut b = TraceBuilder::new();
+    b.data(1, EventType::None)
+        .data(2, EventType::None)
+        .data(3, EventType::Drop)
+        .data(4, EventType::None)
+        .nack(4);
+    let rep = analyze(&b.build());
+    assert!(
+        rep.violations.iter().any(|v| v.contains("expected")),
+        "{:?}",
+        rep.violations
+    );
+}
+
+#[test]
+fn duplicate_nack_within_episode_flagged() {
+    let mut b = TraceBuilder::new();
+    b.data(1, EventType::None)
+        .data(2, EventType::Drop)
+        .data(3, EventType::None)
+        .nack(2)
+        .data(4, EventType::None) // still the same round, still OOO
+        .nack(2); // second NACK without a new round: violation
+    let rep = analyze(&b.build());
+    assert!(
+        rep.violations.iter().any(|v| v.contains("second NACK")),
+        "{:?}",
+        rep.violations
+    );
+}
+
+#[test]
+fn renack_after_dropped_retransmission_accepted() {
+    // Drop 2, NACK, retransmission round drops 2 again → a SECOND NACK is
+    // legitimate (new round).
+    let mut b = TraceBuilder::new();
+    b.data(1, EventType::None)
+        .data(2, EventType::Drop)
+        .data(3, EventType::None)
+        .nack(2)
+        .data(2, EventType::Drop) // retransmission dropped again
+        .data(3, EventType::None) // new round, still OOO
+        .nack(2)
+        .data(2, EventType::None)
+        .data(3, EventType::None)
+        .ack(3);
+    let rep = analyze(&b.build());
+    assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+    assert_eq!(rep.nacks, 2);
+    assert_eq!(rep.ooo_episodes, 2);
+}
+
+#[test]
+fn selective_repeat_flagged_as_non_gbn() {
+    // After NACK(2), a Go-back-N sender must resume at 2. Resuming at 4
+    // (selective repeat of only the missing tail) is flagged.
+    let mut b = TraceBuilder::new();
+    b.data(1, EventType::None)
+        .data(2, EventType::Drop)
+        .data(3, EventType::None)
+        .data(4, EventType::None)
+        .nack(2)
+        .data(3, EventType::None); // round restarts at 3, not the NACKed 2
+    let rep = analyze(&b.build());
+    assert!(
+        rep.violations
+            .iter()
+            .any(|v| v.contains("retransmission round started at")),
+        "{:?}",
+        rep.violations
+    );
+}
+
+#[test]
+fn ack_regression_flagged() {
+    let mut b = TraceBuilder::new();
+    b.data(1, EventType::None)
+        .data(2, EventType::None)
+        .data(3, EventType::None)
+        .ack(3)
+        .ack(1); // ACK PSN went backwards
+    let rep = analyze(&b.build());
+    assert!(
+        rep.violations.iter().any(|v| v.contains("regressed")),
+        "{:?}",
+        rep.violations
+    );
+}
+
+#[test]
+fn other_nak_codes_ignored_by_gbn_fsm() {
+    // A remote-access-error NAK is not a sequence-error NACK; the GBN FSM
+    // must not treat it as one.
+    let mut b = TraceBuilder::new();
+    b.data(1, EventType::None);
+    let frame = DataPacketBuilder::new()
+        .src_ip(RSP_IP)
+        .dst_ip(REQ_IP)
+        .opcode(Opcode::Acknowledge)
+        .dest_qp(REQ_QPN)
+        .psn(IPSN)
+        .aeth(Aeth {
+            syndrome: AethSyndrome::Nak(NakCode::RemoteAccessError),
+            msn: 0,
+        })
+        .build();
+    b.push(frame, EventType::None);
+    let rep = analyze(&b.build());
+    assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+    assert_eq!(rep.nacks, 0);
+}
+
+#[test]
+fn corrupt_event_counts_as_not_delivered() {
+    // A corrupted packet is dropped by the receiver on ICRC: the trace
+    // must be interpreted with packet 2 missing.
+    let mut b = TraceBuilder::new();
+    b.data(1, EventType::None)
+        .data(2, EventType::Corrupt)
+        .data(3, EventType::None)
+        .nack(2)
+        .data(2, EventType::None)
+        .data(3, EventType::None)
+        .ack(3);
+    let rep = analyze(&b.build());
+    assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+    assert_eq!(rep.nacks, 1);
+    assert_eq!(rep.ooo_episodes, 1);
+}

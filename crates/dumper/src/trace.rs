@@ -1,0 +1,244 @@
+//! Trace reconstruction (§3.5 of the paper).
+//!
+//! The orchestrator gathers the capture buffers of every dumper host and
+//! rebuilds the complete, time-ordered packet trace by sorting on the
+//! mirror sequence number the switch embedded into each copy. Gaps in the
+//! sequence mean mirror copies were lost (dumper overload) and the trace is
+//! invalid for analysis.
+
+use lumina_packet::frame::RoceFrame;
+use lumina_sim::SimTime;
+use lumina_switch::events::EventType;
+use lumina_switch::mirror;
+
+/// One packet as captured by a dumper host (trimmed, dport restored).
+#[derive(Debug, Clone)]
+pub struct CapturedPacket {
+    /// Arrival time at the dumper (not used for analysis — the mirror
+    /// timestamp is authoritative).
+    pub rx_time: SimTime,
+    /// Original wire length before trimming.
+    pub orig_len: usize,
+    /// Trimmed bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// One entry of the reconstructed trace.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Mirror sequence number.
+    pub seq: u64,
+    /// Switch ingress timestamp — the measurement timestamp for all
+    /// analyzers (uniform, no clock sync needed, §3.4).
+    pub timestamp: SimTime,
+    /// Event the injector applied to this packet.
+    pub event: EventType,
+    /// Parsed headers (payload absent — captures are trimmed).
+    pub frame: RoceFrame,
+    /// Original wire length.
+    pub orig_len: usize,
+}
+
+/// The reconstructed, seq-ordered trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Entries in mirror-sequence order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Write the trace as a nanosecond pcap file.
+    pub fn write_pcap<W: std::io::Write>(&self, out: W) -> std::io::Result<u64> {
+        let mut w = lumina_sim::pcap::PcapWriter::new(out, 128)?;
+        for e in &self.entries {
+            let bytes = e.frame.emit();
+            w.write_packet(e.timestamp, &bytes[..bytes.len().min(128)], e.orig_len)?;
+        }
+        let n = w.packets();
+        w.finish()?;
+        Ok(n)
+    }
+}
+
+/// Why reconstruction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconstructError {
+    /// A mirror sequence number appears twice.
+    DuplicateSeq(u64),
+    /// Sequence numbers are not consecutive; the missing ones are listed
+    /// (capped at 16 for readability).
+    Gaps {
+        /// First missing sequence numbers.
+        missing: Vec<u64>,
+        /// Total number of missing packets.
+        total_missing: u64,
+    },
+    /// A captured packet's headers did not parse.
+    BadCapture(u64),
+}
+
+impl std::fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconstructError::DuplicateSeq(s) => write!(f, "duplicate mirror seq {s}"),
+            ReconstructError::Gaps {
+                missing,
+                total_missing,
+            } => write!(
+                f,
+                "{total_missing} mirror copies missing (first: {missing:?})"
+            ),
+            ReconstructError::BadCapture(s) => write!(f, "capture {s} failed to parse"),
+        }
+    }
+}
+
+impl std::error::Error for ReconstructError {}
+
+/// Merge the captures of all dumper hosts into one trace, sorted by mirror
+/// sequence number, verifying the sequence is gap-free and duplicate-free
+/// (integrity condition 1 of §3.5).
+pub fn reconstruct(captures: &[Vec<CapturedPacket>]) -> Result<Trace, ReconstructError> {
+    let mut entries: Vec<TraceEntry> = Vec::new();
+    for cap in captures {
+        for p in cap {
+            let meta = mirror::extract(&p.bytes)
+                .ok_or(ReconstructError::BadCapture(entries.len() as u64))?;
+            let frame = RoceFrame::parse_headers(&p.bytes)
+                .map_err(|_| ReconstructError::BadCapture(meta.seq))?;
+            entries.push(TraceEntry {
+                seq: meta.seq,
+                timestamp: meta.timestamp,
+                event: meta.event,
+                frame,
+                orig_len: p.orig_len,
+            });
+        }
+    }
+    entries.sort_by_key(|e| e.seq);
+    for w in entries.windows(2) {
+        if w[0].seq == w[1].seq {
+            return Err(ReconstructError::DuplicateSeq(w[0].seq));
+        }
+    }
+    // Sequences must be 0..n consecutive.
+    let mut missing = Vec::new();
+    let mut total_missing = 0u64;
+    let mut expect = 0u64;
+    for e in &entries {
+        while expect < e.seq {
+            if missing.len() < 16 {
+                missing.push(expect);
+            }
+            total_missing += 1;
+            expect += 1;
+        }
+        expect += 1;
+    }
+    if total_missing > 0 {
+        return Err(ReconstructError::Gaps {
+            missing,
+            total_missing,
+        });
+    }
+    Ok(Trace { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumina_packet::builder::DataPacketBuilder;
+    use lumina_packet::opcode::Opcode;
+
+    fn capture(seq: u64, ts_ns: u64) -> CapturedPacket {
+        let mut buf = DataPacketBuilder::new()
+            .opcode(Opcode::RdmaWriteMiddle)
+            .psn(seq as u32)
+            .payload_len(1024)
+            .build()
+            .emit()
+            .to_vec();
+        mirror::embed(
+            &mut buf,
+            seq,
+            SimTime::from_nanos(ts_ns),
+            EventType::None,
+            None,
+        );
+        let orig_len = buf.len();
+        buf.truncate(128);
+        CapturedPacket {
+            rx_time: SimTime::from_nanos(ts_ns + 10_000),
+            orig_len,
+            bytes: buf,
+        }
+    }
+
+    #[test]
+    fn merges_and_sorts_across_dumpers() {
+        // Packets interleaved across two dumpers, out of order.
+        let d1 = vec![capture(3, 300), capture(0, 0), capture(5, 500)];
+        let d2 = vec![capture(4, 400), capture(1, 100), capture(2, 200)];
+        let t = reconstruct(&[d1, d2]).unwrap();
+        assert_eq!(t.len(), 6);
+        let seqs: Vec<u64> = t.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+        // Timestamps come from the mirror metadata, not dumper arrival.
+        assert_eq!(t.entries[3].timestamp, SimTime::from_nanos(300));
+        // PSN survives the trim.
+        assert_eq!(t.entries[5].frame.bth.psn, 5);
+    }
+
+    #[test]
+    fn gap_detected() {
+        let d1 = vec![capture(0, 0), capture(1, 100), capture(3, 300)];
+        let err = reconstruct(&[d1]).unwrap_err();
+        assert_eq!(
+            err,
+            ReconstructError::Gaps {
+                missing: vec![2],
+                total_missing: 1
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let d1 = vec![capture(0, 0), capture(1, 100), capture(1, 150)];
+        assert_eq!(
+            reconstruct(&[d1]).unwrap_err(),
+            ReconstructError::DuplicateSeq(1)
+        );
+    }
+
+    #[test]
+    fn empty_trace_ok() {
+        let t = reconstruct(&[vec![], vec![]]).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn pcap_export() {
+        let d1 = vec![capture(0, 0), capture(1, 100)];
+        let t = reconstruct(&[d1]).unwrap();
+        let mut buf = Vec::new();
+        let n = t.write_pcap(&mut buf).unwrap();
+        assert_eq!(n, 2);
+        assert!(buf.len() > 24 + 2 * 16);
+    }
+}

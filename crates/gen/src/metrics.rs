@@ -1,0 +1,132 @@
+//! Application-level metrics: goodput and message completion times.
+
+use lumina_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Per-flow (per-QP) metrics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowMetrics {
+    /// Completion time of each message (completion − post), in order.
+    pub mcts: Vec<SimTime>,
+    /// Messages completed successfully.
+    pub completed: u32,
+    /// Messages that failed (retry exhaustion / flush).
+    pub failed: u32,
+    /// Payload bytes successfully transferred.
+    pub bytes: u64,
+    /// Time the first message was posted.
+    pub first_post: Option<SimTime>,
+    /// Time the last completion arrived.
+    pub last_completion: Option<SimTime>,
+}
+
+impl FlowMetrics {
+    /// Mean message completion time.
+    pub fn avg_mct(&self) -> Option<SimTime> {
+        if self.mcts.is_empty() {
+            return None;
+        }
+        let sum: u64 = self.mcts.iter().map(|t| t.as_nanos()).sum();
+        Some(SimTime::from_nanos(sum / self.mcts.len() as u64))
+    }
+
+    /// Goodput over the flow's active interval, in Gbps.
+    pub fn goodput_gbps(&self) -> f64 {
+        match (self.first_post, self.last_completion) {
+            (Some(a), Some(b)) if b > a => {
+                self.bytes as f64 * 8.0 / b.saturating_since(a).as_nanos() as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Metrics of all flows on one generator host.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GenMetrics {
+    /// Keyed by requester-side QPN.
+    pub flows: BTreeMap<u32, FlowMetrics>,
+    /// Time all flows finished (success or failure).
+    pub all_done_at: Option<SimTime>,
+}
+
+impl GenMetrics {
+    /// Aggregate goodput across flows over the common active interval.
+    pub fn total_goodput_gbps(&self) -> f64 {
+        let first = self.flows.values().filter_map(|f| f.first_post).min();
+        let last = self.flows.values().filter_map(|f| f.last_completion).max();
+        let bytes: u64 = self.flows.values().map(|f| f.bytes).sum();
+        match (first, last) {
+            (Some(a), Some(b)) if b > a => {
+                bytes as f64 * 8.0 / b.saturating_since(a).as_nanos() as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Mean MCT across all flows.
+    pub fn avg_mct(&self) -> Option<SimTime> {
+        let all: Vec<u64> = self
+            .flows
+            .values()
+            .flat_map(|f| f.mcts.iter().map(|t| t.as_nanos()))
+            .collect();
+        if all.is_empty() {
+            None
+        } else {
+            Some(SimTime::from_nanos(all.iter().sum::<u64>() / all.len() as u64))
+        }
+    }
+
+    /// True when every flow completed (or failed) all its messages.
+    pub fn done(&self) -> bool {
+        self.all_done_at.is_some()
+    }
+}
+
+/// Shared handle to a host's metrics, alive after the simulation ends.
+pub type MetricsHandle = Rc<RefCell<GenMetrics>>;
+
+/// Create an empty metrics handle.
+pub fn metrics_handle() -> MetricsHandle {
+    Rc::new(RefCell::new(GenMetrics::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_math() {
+        let mut f = FlowMetrics::default();
+        f.first_post = Some(SimTime::ZERO);
+        f.last_completion = Some(SimTime::from_micros(8));
+        f.bytes = 100_000; // 100 KB in 8 µs = 100 Gbps
+        assert!((f.goodput_gbps() - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn avg_mct() {
+        let mut f = FlowMetrics::default();
+        f.mcts = vec![SimTime::from_micros(10), SimTime::from_micros(20)];
+        assert_eq!(f.avg_mct(), Some(SimTime::from_micros(15)));
+        assert_eq!(FlowMetrics::default().avg_mct(), None);
+    }
+
+    #[test]
+    fn aggregate_over_flows() {
+        let mut g = GenMetrics::default();
+        for q in 0..2u32 {
+            let mut f = FlowMetrics::default();
+            f.first_post = Some(SimTime::ZERO);
+            f.last_completion = Some(SimTime::from_micros(8));
+            f.bytes = 50_000;
+            g.flows.insert(q, f);
+        }
+        assert!((g.total_goodput_gbps() - 100.0).abs() < 0.1);
+        assert!(!g.done());
+    }
+}

@@ -1,0 +1,69 @@
+//! Per-flow traffic plans.
+
+use lumina_rnic::Verb;
+use serde::{Deserialize, Serialize};
+
+/// What the requester runs on one QP.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowPlan {
+    /// Local (requester-side) QPN the plan drives.
+    pub qpn: u32,
+    /// RDMA verbs, cycled per message. A single entry is the common case;
+    /// multiple entries reproduce the paper's "verb combinations, such as
+    /// Send and Read" bi-directional traffic (§3.2).
+    pub verbs: Vec<Verb>,
+    /// Messages to transfer.
+    pub num_msgs: u32,
+    /// Bytes per message.
+    pub msg_size: u32,
+    /// Maximum outstanding messages on this QP (the paper's default is 1:
+    /// "each QP sends multiple messages back-to-back, thus keeping a
+    /// single in-flight message").
+    pub tx_depth: u32,
+}
+
+impl FlowPlan {
+    /// Total payload bytes this plan transfers.
+    pub fn total_bytes(&self) -> u64 {
+        self.num_msgs as u64 * self.msg_size as u64
+    }
+
+    /// Verb of the `i`-th (0-based) message.
+    pub fn verb_of_msg(&self, i: u32) -> Verb {
+        self.verbs[i as usize % self.verbs.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let p = FlowPlan {
+            qpn: 1,
+            verbs: vec![Verb::Write],
+            num_msgs: 10,
+            msg_size: 10_240,
+            tx_depth: 1,
+        };
+        assert_eq!(p.total_bytes(), 102_400);
+        assert_eq!(p.verb_of_msg(0), Verb::Write);
+        assert_eq!(p.verb_of_msg(7), Verb::Write);
+    }
+
+    #[test]
+    fn verb_combination_cycles() {
+        let p = FlowPlan {
+            qpn: 1,
+            verbs: vec![Verb::Send, Verb::Read],
+            num_msgs: 4,
+            msg_size: 1024,
+            tx_depth: 1,
+        };
+        assert_eq!(p.verb_of_msg(0), Verb::Send);
+        assert_eq!(p.verb_of_msg(1), Verb::Read);
+        assert_eq!(p.verb_of_msg(2), Verb::Send);
+        assert_eq!(p.verb_of_msg(3), Verb::Read);
+    }
+}

@@ -1,0 +1,62 @@
+//! Congestion Notification Packets (CNP).
+//!
+//! In DCQCN the notification point (NP, the receiver) tells the reaction
+//! point (RP, the sender) to slow down by sending a CNP. On RoCEv2 a CNP is
+//! a BTH with opcode 0x81, `dest_qp` set to the RP's queue pair, PSN 0, and
+//! a 16-byte reserved payload. The paper's CNP analyzer (§4) measures CNP
+//! spacing to uncover vendor rate-limiting behavior (§6.3): NVIDIA's
+//! `min_time_between_cnps` knob, the E810's hidden ~50 µs interval, and the
+//! per-IP / per-QP / per-port limiting modes.
+
+use crate::bth::Bth;
+use crate::opcode::Opcode;
+
+/// Length of the reserved payload carried by a RoCEv2 CNP.
+pub const CNP_PAYLOAD_LEN: usize = 16;
+
+/// DSCP/traffic-class value commonly used for CNPs (high priority).
+pub const CNP_DSCP: u8 = 48;
+
+/// Build the BTH for a CNP aimed at queue pair `dest_qp`.
+pub fn cnp_bth(dest_qp: u32) -> Bth {
+    Bth {
+        opcode: Opcode::Cnp,
+        solicited: false,
+        mig_req: false,
+        pad_count: 0,
+        tver: 0,
+        pkey: 0xffff,
+        dest_qp,
+        ack_req: false,
+        psn: 0,
+    }
+}
+
+/// True if a parsed BTH is a CNP.
+pub fn is_cnp(bth: &Bth) -> bool {
+    bth.opcode == Opcode::Cnp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnp_bth_shape() {
+        let bth = cnp_bth(0x1234);
+        assert!(is_cnp(&bth));
+        assert_eq!(bth.dest_qp, 0x1234);
+        assert_eq!(bth.psn, 0);
+        assert!(!bth.ack_req);
+    }
+
+    #[test]
+    fn cnp_roundtrips_through_wire() {
+        let bth = cnp_bth(7);
+        let mut buf = [0u8; crate::bth::BTH_LEN];
+        bth.emit(&mut buf).unwrap();
+        assert_eq!(buf[0], 0x81);
+        let parsed = Bth::parse(&buf).unwrap();
+        assert!(is_cnp(&parsed));
+    }
+}

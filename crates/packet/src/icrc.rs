@@ -1,0 +1,166 @@
+//! Invariant CRC (ICRC) for RoCEv2.
+//!
+//! Every RoCEv2 packet ends with a 4-byte CRC computed with the Ethernet
+//! CRC-32 polynomial over the fields that do not change in flight. Mutable
+//! fields are replaced by ones for the computation, per the RoCEv2 annex:
+//!
+//! * an 8-byte pseudo-LRH of 0xff,
+//! * IPv4 TOS (DSCP+ECN), TTL and header checksum masked to 0xff,
+//! * UDP checksum masked to 0xff,
+//! * BTH `resv8a` (byte 4) masked to 0xff.
+//!
+//! Masking the ECN bits is what allows the switch to mark CE without
+//! breaking the ICRC — and conversely, the `corrupt` injection event flips a
+//! *payload* byte, which is covered, so the receiver must detect it.
+//!
+//! The 32-bit result is appended little-endian (the convention used by
+//! software RoCE implementations such as Linux `rxe`).
+
+/// CRC-32 (IEEE 802.3, reflected, init all-ones, final xor all-ones).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    crc ^ 0xffff_ffff
+}
+
+/// Streaming CRC-32 with the same parameters as [`crc32`].
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Start a new computation.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xffff_ffff }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state = (self.state >> 8) ^ CRC_TABLE[((self.state ^ b as u32) & 0xff) as usize];
+        }
+    }
+
+    /// Finish and return the CRC value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+}
+
+/// Compute the RoCEv2 ICRC over a frame laid out as
+/// `ip_header ++ udp_header ++ ib_headers_and_payload` (Ethernet header and
+/// trailing ICRC excluded). `bth_offset` is the offset of the BTH within
+/// that region (i.e. IP header length + UDP header length).
+pub fn icrc_over_masked(l3_and_up: &[u8], bth_offset: usize) -> u32 {
+    debug_assert!(bth_offset + 12 <= l3_and_up.len());
+    let mut crc = Crc32::new();
+    // Pseudo-LRH: 8 bytes of ones.
+    crc.update(&[0xff; 8]);
+    // Copy and mask the mutable fields. Frames are small (<= MTU), the copy
+    // is cheap and keeps the masking logic obvious.
+    let mut masked = l3_and_up.to_vec();
+    // IPv4: TOS (byte 1), TTL (byte 8), checksum (bytes 10-11).
+    masked[1] = 0xff;
+    masked[8] = 0xff;
+    masked[10] = 0xff;
+    masked[11] = 0xff;
+    // UDP checksum: bytes 6-7 of the UDP header, which starts at byte 20.
+    masked[20 + 6] = 0xff;
+    masked[20 + 7] = 0xff;
+    // BTH resv8a.
+    masked[bth_offset + 4] = 0xff;
+    crc.update(&masked);
+    crc.finish()
+}
+
+/// Precomputed table for the reflected IEEE polynomial 0xEDB88320.
+static CRC_TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"hello icrc world, this is a longer buffer";
+        let mut c = Crc32::new();
+        c.update(&data[..10]);
+        c.update(&data[10..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn icrc_invariant_under_mutable_fields() {
+        // Build a minimal IPv4+UDP+BTH region and check that flipping the
+        // masked fields does not change the ICRC, while flipping a covered
+        // byte does.
+        let mut region = vec![0u8; 20 + 8 + 12 + 16];
+        region[0] = 0x45;
+        let base = icrc_over_masked(&region, 28);
+
+        let mut ecn_marked = region.clone();
+        ecn_marked[1] |= 0x03; // set ECN CE
+        assert_eq!(icrc_over_masked(&ecn_marked, 28), base);
+
+        let mut ttl_changed = region.clone();
+        ttl_changed[8] = 63;
+        assert_eq!(icrc_over_masked(&ttl_changed, 28), base);
+
+        let mut udp_csum = region.clone();
+        udp_csum[26] = 0xaa;
+        assert_eq!(icrc_over_masked(&udp_csum, 28), base);
+
+        region[20 + 8 + 12] ^= 0x01; // payload byte
+        assert_ne!(icrc_over_masked(&region, 28), base);
+    }
+
+    #[test]
+    fn icrc_covers_psn_and_qpn() {
+        let mut region = vec![0u8; 20 + 8 + 12];
+        region[0] = 0x45;
+        let base = icrc_over_masked(&region, 28);
+        let mut psn_changed = region.clone();
+        psn_changed[20 + 8 + 11] ^= 1; // PSN low byte
+        assert_ne!(icrc_over_masked(&psn_changed, 28), base);
+        let mut qp_changed = region;
+        qp_changed[20 + 8 + 7] ^= 1; // destQP low byte
+        assert_ne!(icrc_over_masked(&qp_changed, 28), base);
+    }
+}

@@ -1,0 +1,248 @@
+//! IPv4 header with explicit ECN handling.
+//!
+//! The event injector's "mark ECN" action sets the ECN codepoint to CE
+//! (Congestion Experienced); the DCQCN notification point reacts to CE on
+//! data packets by emitting CNPs. The TTL field is additionally scavenged on
+//! *mirrored* packets to carry the injected-event type (§3.4 of the paper).
+
+use crate::{check_len, ParseError, Result};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Length of an IPv4 header without options (IHL = 5).
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// IP protocol number for UDP.
+pub const IP_PROTO_UDP: u8 = 17;
+
+/// The two-bit ECN codepoint (RFC 3168).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ecn {
+    /// 00 — not ECN-capable transport.
+    NotEct,
+    /// 01 — ECN-capable transport, codepoint 1.
+    Ect1,
+    /// 10 — ECN-capable transport, codepoint 0.
+    Ect0,
+    /// 11 — congestion experienced.
+    Ce,
+}
+
+impl Ecn {
+    /// The raw two-bit value.
+    pub fn bits(self) -> u8 {
+        match self {
+            Ecn::NotEct => 0b00,
+            Ecn::Ect1 => 0b01,
+            Ecn::Ect0 => 0b10,
+            Ecn::Ce => 0b11,
+        }
+    }
+
+    /// Decode from the low two bits of `v`.
+    pub fn from_bits(v: u8) -> Ecn {
+        match v & 0b11 {
+            0b00 => Ecn::NotEct,
+            0b01 => Ecn::Ect1,
+            0b10 => Ecn::Ect0,
+            _ => Ecn::Ce,
+        }
+    }
+
+    /// True for the Congestion Experienced codepoint.
+    pub fn is_ce(self) -> bool {
+        self == Ecn::Ce
+    }
+}
+
+/// An IPv4 header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    /// Differentiated services codepoint (6 bits).
+    pub dscp: u8,
+    /// ECN codepoint (2 bits).
+    pub ecn: Ecn,
+    /// Total length of the IP datagram including this header.
+    pub total_len: u16,
+    /// Identification field.
+    pub identification: u16,
+    /// Don't-fragment flag.
+    pub dont_fragment: bool,
+    /// Time to live. Scavenged on mirrored packets to carry the event type.
+    pub ttl: u8,
+    /// Payload protocol (UDP = 17 for RoCEv2).
+    pub protocol: u8,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Parse a header from the front of `buf`. The stored checksum is
+    /// verified; a mismatch is reported as a [`ParseError::BadField`].
+    pub fn parse(buf: &[u8]) -> Result<Ipv4Header> {
+        check_len(buf, IPV4_HEADER_LEN, "ipv4 header")?;
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(ParseError::BadField {
+                what: "ipv4 version",
+                value: version as u64,
+            });
+        }
+        let ihl = (buf[0] & 0x0f) as usize;
+        if ihl != 5 {
+            return Err(ParseError::BadField {
+                what: "ipv4 ihl (options unsupported)",
+                value: ihl as u64,
+            });
+        }
+        let stored_csum = u16::from_be_bytes([buf[10], buf[11]]);
+        let computed = checksum_with_zeroed_field(&buf[..IPV4_HEADER_LEN]);
+        if stored_csum != computed {
+            return Err(ParseError::BadField {
+                what: "ipv4 checksum",
+                value: stored_csum as u64,
+            });
+        }
+        Ok(Ipv4Header {
+            dscp: buf[1] >> 2,
+            ecn: Ecn::from_bits(buf[1]),
+            total_len: u16::from_be_bytes([buf[2], buf[3]]),
+            identification: u16::from_be_bytes([buf[4], buf[5]]),
+            dont_fragment: buf[6] & 0x40 != 0,
+            ttl: buf[8],
+            protocol: buf[9],
+            src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
+            dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
+        })
+    }
+
+    /// Serialize into the front of `buf` (at least [`IPV4_HEADER_LEN`]
+    /// bytes), computing the header checksum.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < IPV4_HEADER_LEN {
+            return Err(ParseError::Truncated {
+                what: "ipv4 emit buffer",
+                need: IPV4_HEADER_LEN,
+                have: buf.len(),
+            });
+        }
+        buf[0] = 0x45;
+        buf[1] = (self.dscp << 2) | self.ecn.bits();
+        buf[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        buf[6] = if self.dont_fragment { 0x40 } else { 0x00 };
+        buf[7] = 0;
+        buf[8] = self.ttl;
+        buf[9] = self.protocol;
+        buf[10] = 0;
+        buf[11] = 0;
+        buf[12..16].copy_from_slice(&self.src.octets());
+        buf[16..20].copy_from_slice(&self.dst.octets());
+        let csum = checksum_with_zeroed_field(&buf[..IPV4_HEADER_LEN]);
+        buf[10..12].copy_from_slice(&csum.to_be_bytes());
+        Ok(())
+    }
+}
+
+/// RFC 1071 internet checksum over `data` treating bytes 10..12 (the
+/// checksum field itself) as zero.
+fn checksum_with_zeroed_field(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut i = 0;
+    while i + 1 < data.len() {
+        let word = if i == 10 {
+            0
+        } else {
+            u16::from_be_bytes([data[i], data[i + 1]]) as u32
+        };
+        sum += word;
+        i += 2;
+    }
+    if i < data.len() {
+        sum += (data[i] as u32) << 8;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header {
+            dscp: 26,
+            ecn: Ecn::Ect0,
+            total_len: 1100,
+            identification: 0x1234,
+            dont_fragment: true,
+            ttl: 64,
+            protocol: IP_PROTO_UDP,
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let mut buf = [0u8; IPV4_HEADER_LEN];
+        h.emit(&mut buf).unwrap();
+        assert_eq!(Ipv4Header::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn checksum_validated_on_parse() {
+        let h = sample();
+        let mut buf = [0u8; IPV4_HEADER_LEN];
+        h.emit(&mut buf).unwrap();
+        buf[8] = buf[8].wrapping_add(1); // corrupt TTL without fixing checksum
+        assert!(matches!(
+            Ipv4Header::parse(&buf),
+            Err(ParseError::BadField { what: "ipv4 checksum", .. })
+        ));
+    }
+
+    #[test]
+    fn ecn_bits_roundtrip() {
+        for e in [Ecn::NotEct, Ecn::Ect0, Ecn::Ect1, Ecn::Ce] {
+            assert_eq!(Ecn::from_bits(e.bits()), e);
+        }
+        assert!(Ecn::Ce.is_ce());
+        assert!(!Ecn::Ect0.is_ce());
+    }
+
+    #[test]
+    fn rejects_ipv6_and_options() {
+        let h = sample();
+        let mut buf = [0u8; IPV4_HEADER_LEN];
+        h.emit(&mut buf).unwrap();
+        let mut v6 = buf;
+        v6[0] = 0x65;
+        assert!(Ipv4Header::parse(&v6).is_err());
+        let mut opts = buf;
+        opts[0] = 0x46;
+        assert!(Ipv4Header::parse(&opts).is_err());
+    }
+
+    #[test]
+    fn ce_marking_changes_only_ecn_bits() {
+        let mut h = sample();
+        let mut before = [0u8; IPV4_HEADER_LEN];
+        h.emit(&mut before).unwrap();
+        h.ecn = Ecn::Ce;
+        let mut after = [0u8; IPV4_HEADER_LEN];
+        h.emit(&mut after).unwrap();
+        // Only the TOS byte and the checksum may differ.
+        for (i, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+            if i == 1 || i == 10 || i == 11 {
+                continue;
+            }
+            assert_eq!(b, a, "byte {i} changed by ECN marking");
+        }
+    }
+}

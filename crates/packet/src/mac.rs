@@ -1,0 +1,124 @@
+//! 48-bit MAC addresses.
+//!
+//! Besides ordinary addressing, Lumina scavenges the two MAC address fields
+//! of mirrored packets to carry metadata (§3.4 of the paper): the source MAC
+//! carries the 48-bit *mirror sequence number* and the destination MAC the
+//! 48-bit *mirror timestamp*. [`MacAddr::from_u48`] / [`MacAddr::to_u48`]
+//! implement that packing.
+
+use serde::{Deserialize, Serialize};
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The all-zero address.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Build a MAC address from the low 48 bits of `v` (big-endian layout).
+    ///
+    /// Values above 2^48 - 1 are truncated; this is intentional — the mirror
+    /// timestamp is a nanosecond counter that wraps at 2^48 ns (~78 hours),
+    /// far beyond any single test run.
+    pub fn from_u48(v: u64) -> MacAddr {
+        let b = v.to_be_bytes();
+        MacAddr([b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Recover the 48-bit integer packed by [`MacAddr::from_u48`].
+    pub fn to_u48(self) -> u64 {
+        let b = self.0;
+        u64::from_be_bytes([0, 0, b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// True if this is a multicast (group) address.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// A deterministic locally-administered unicast address derived from an
+    /// index, handy for assigning addresses to simulated hosts.
+    pub fn local(index: u32) -> MacAddr {
+        let b = index.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl std::str::FromStr for MacAddr {
+    type Err = crate::ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in out.iter_mut() {
+            let part = parts.next().ok_or(crate::ParseError::BadField {
+                what: "mac: too few octets",
+                value: 0,
+            })?;
+            *slot = u8::from_str_radix(part, 16).map_err(|_| crate::ParseError::BadField {
+                what: "mac: bad hex octet",
+                value: 0,
+            })?;
+        }
+        if parts.next().is_some() {
+            return Err(crate::ParseError::BadField {
+                what: "mac: too many octets",
+                value: 0,
+            });
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u48_roundtrip() {
+        for v in [0u64, 1, 0xdead_beef, (1 << 48) - 1] {
+            assert_eq!(MacAddr::from_u48(v).to_u48(), v);
+        }
+    }
+
+    #[test]
+    fn u48_truncates_high_bits() {
+        assert_eq!(MacAddr::from_u48(1 << 48).to_u48(), 0);
+        assert_eq!(MacAddr::from_u48((1 << 48) | 7).to_u48(), 7);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        let m: MacAddr = "02:00:00:00:00:2a".parse().unwrap();
+        assert_eq!(m, MacAddr::local(42));
+        assert_eq!(m.to_string(), "02:00:00:00:00:2a");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("02:00:00:00:00".parse::<MacAddr>().is_err());
+        assert!("02:00:00:00:00:00:00".parse::<MacAddr>().is_err());
+        assert!("02:00:xx:00:00:00".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn multicast_bit() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::local(1).is_multicast());
+    }
+}

@@ -1,0 +1,380 @@
+//! InfiniBand RC opcodes (transport `000`, RoCEv2 RC service).
+//!
+//! The opcode determines which extension headers follow the BTH and whether
+//! the packet carries a payload — knowledge both the event injector (which
+//! must distinguish *data* packets from control packets; Lumina only injects
+//! events on data packets) and the analyzers rely on.
+
+use serde::{Deserialize, Serialize};
+
+/// RC transport opcodes, plus the RoCEv2 CNP opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // names mirror the IB specification directly
+pub enum Opcode {
+    SendFirst,
+    SendMiddle,
+    SendLast,
+    SendLastImm,
+    SendOnly,
+    SendOnlyImm,
+    RdmaWriteFirst,
+    RdmaWriteMiddle,
+    RdmaWriteLast,
+    RdmaWriteLastImm,
+    RdmaWriteOnly,
+    RdmaWriteOnlyImm,
+    RdmaReadRequest,
+    RdmaReadResponseFirst,
+    RdmaReadResponseMiddle,
+    RdmaReadResponseLast,
+    RdmaReadResponseOnly,
+    Acknowledge,
+    AtomicAcknowledge,
+    CompareSwap,
+    FetchAdd,
+    /// RoCEv2 Congestion Notification Packet (opcode 0x81).
+    Cnp,
+}
+
+impl Opcode {
+    /// The 8-bit wire value.
+    pub fn value(self) -> u8 {
+        use Opcode::*;
+        match self {
+            SendFirst => 0x00,
+            SendMiddle => 0x01,
+            SendLast => 0x02,
+            SendLastImm => 0x03,
+            SendOnly => 0x04,
+            SendOnlyImm => 0x05,
+            RdmaWriteFirst => 0x06,
+            RdmaWriteMiddle => 0x07,
+            RdmaWriteLast => 0x08,
+            RdmaWriteLastImm => 0x09,
+            RdmaWriteOnly => 0x0a,
+            RdmaWriteOnlyImm => 0x0b,
+            RdmaReadRequest => 0x0c,
+            RdmaReadResponseFirst => 0x0d,
+            RdmaReadResponseMiddle => 0x0e,
+            RdmaReadResponseLast => 0x0f,
+            RdmaReadResponseOnly => 0x10,
+            Acknowledge => 0x11,
+            AtomicAcknowledge => 0x12,
+            CompareSwap => 0x13,
+            FetchAdd => 0x14,
+            Cnp => 0x81,
+        }
+    }
+
+    /// Decode from the 8-bit wire value.
+    pub fn from_value(v: u8) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match v {
+            0x00 => SendFirst,
+            0x01 => SendMiddle,
+            0x02 => SendLast,
+            0x03 => SendLastImm,
+            0x04 => SendOnly,
+            0x05 => SendOnlyImm,
+            0x06 => RdmaWriteFirst,
+            0x07 => RdmaWriteMiddle,
+            0x08 => RdmaWriteLast,
+            0x09 => RdmaWriteLastImm,
+            0x0a => RdmaWriteOnly,
+            0x0b => RdmaWriteOnlyImm,
+            0x0c => RdmaReadRequest,
+            0x0d => RdmaReadResponseFirst,
+            0x0e => RdmaReadResponseMiddle,
+            0x0f => RdmaReadResponseLast,
+            0x10 => RdmaReadResponseOnly,
+            0x11 => Acknowledge,
+            0x12 => AtomicAcknowledge,
+            0x13 => CompareSwap,
+            0x14 => FetchAdd,
+            0x81 => Cnp,
+            _ => return None,
+        })
+    }
+
+    /// Every defined opcode, for exhaustive tests.
+    pub fn all() -> &'static [Opcode] {
+        use Opcode::*;
+        &[
+            SendFirst,
+            SendMiddle,
+            SendLast,
+            SendLastImm,
+            SendOnly,
+            SendOnlyImm,
+            RdmaWriteFirst,
+            RdmaWriteMiddle,
+            RdmaWriteLast,
+            RdmaWriteLastImm,
+            RdmaWriteOnly,
+            RdmaWriteOnlyImm,
+            RdmaReadRequest,
+            RdmaReadResponseFirst,
+            RdmaReadResponseMiddle,
+            RdmaReadResponseLast,
+            RdmaReadResponseOnly,
+            Acknowledge,
+            AtomicAcknowledge,
+            CompareSwap,
+            FetchAdd,
+            Cnp,
+        ]
+    }
+
+    /// True if a RETH follows the BTH.
+    pub fn has_reth(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            RdmaWriteFirst | RdmaWriteOnly | RdmaWriteOnlyImm | RdmaReadRequest
+        )
+    }
+
+    /// True if an AETH follows the BTH.
+    pub fn has_aeth(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            Acknowledge
+                | AtomicAcknowledge
+                | RdmaReadResponseFirst
+                | RdmaReadResponseLast
+                | RdmaReadResponseOnly
+        )
+    }
+
+    /// True if a 4-byte immediate follows the other extension headers.
+    pub fn has_immdt(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            SendLastImm | SendOnlyImm | RdmaWriteLastImm | RdmaWriteOnlyImm
+        )
+    }
+
+    /// True if the packet carries a data payload.
+    pub fn has_payload(self) -> bool {
+        use Opcode::*;
+        !matches!(
+            self,
+            RdmaReadRequest | Acknowledge | AtomicAcknowledge | CompareSwap | FetchAdd | Cnp
+        )
+    }
+
+    /// True for packets that Lumina treats as *data packets* — the only
+    /// packets eligible for event injection and ITER tracking (§3.3). Read
+    /// requests count: they are the requester's "data" toward the responder
+    /// and consume PSN space; ACK/NACK/CNP control packets do not.
+    pub fn is_data(self) -> bool {
+        use Opcode::*;
+        !matches!(self, Acknowledge | AtomicAcknowledge | Cnp)
+    }
+
+    /// True for requester-to-responder packets.
+    pub fn is_request(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            SendFirst
+                | SendMiddle
+                | SendLast
+                | SendLastImm
+                | SendOnly
+                | SendOnlyImm
+                | RdmaWriteFirst
+                | RdmaWriteMiddle
+                | RdmaWriteLast
+                | RdmaWriteLastImm
+                | RdmaWriteOnly
+                | RdmaWriteOnlyImm
+                | RdmaReadRequest
+                | CompareSwap
+                | FetchAdd
+        )
+    }
+
+    /// True for responder-to-requester packets (including read responses).
+    pub fn is_response(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            Acknowledge
+                | AtomicAcknowledge
+                | RdmaReadResponseFirst
+                | RdmaReadResponseMiddle
+                | RdmaReadResponseLast
+                | RdmaReadResponseOnly
+        )
+    }
+
+    /// True for read responses of any position.
+    pub fn is_read_response(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            RdmaReadResponseFirst
+                | RdmaReadResponseMiddle
+                | RdmaReadResponseLast
+                | RdmaReadResponseOnly
+        )
+    }
+
+    /// True if this opcode starts a message (FIRST or ONLY variants).
+    pub fn is_first(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            SendFirst | RdmaWriteFirst | RdmaReadResponseFirst
+        ) || self.is_only()
+    }
+
+    /// True if this opcode ends a message (LAST or ONLY variants).
+    pub fn is_last(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            SendLast | SendLastImm | RdmaWriteLast | RdmaWriteLastImm | RdmaReadResponseLast
+        ) || self.is_only()
+    }
+
+    /// True for single-packet (ONLY) variants.
+    pub fn is_only(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            SendOnly
+                | SendOnlyImm
+                | RdmaWriteOnly
+                | RdmaWriteOnlyImm
+                | RdmaReadRequest
+                | RdmaReadResponseOnly
+                | Acknowledge
+                | AtomicAcknowledge
+                | CompareSwap
+                | FetchAdd
+                | Cnp
+        )
+    }
+}
+
+/// Pick the Send opcode for packet `index` out of `total` packets.
+pub fn send_opcode(index: u32, total: u32) -> Opcode {
+    debug_assert!(index < total);
+    if total == 1 {
+        Opcode::SendOnly
+    } else if index == 0 {
+        Opcode::SendFirst
+    } else if index == total - 1 {
+        Opcode::SendLast
+    } else {
+        Opcode::SendMiddle
+    }
+}
+
+/// Pick the RDMA Write opcode for packet `index` out of `total` packets.
+pub fn write_opcode(index: u32, total: u32) -> Opcode {
+    debug_assert!(index < total);
+    if total == 1 {
+        Opcode::RdmaWriteOnly
+    } else if index == 0 {
+        Opcode::RdmaWriteFirst
+    } else if index == total - 1 {
+        Opcode::RdmaWriteLast
+    } else {
+        Opcode::RdmaWriteMiddle
+    }
+}
+
+/// Pick the read-response opcode for packet `index` out of `total` packets.
+pub fn read_response_opcode(index: u32, total: u32) -> Opcode {
+    debug_assert!(index < total);
+    if total == 1 {
+        Opcode::RdmaReadResponseOnly
+    } else if index == 0 {
+        Opcode::RdmaReadResponseFirst
+    } else if index == total - 1 {
+        Opcode::RdmaReadResponseLast
+    } else {
+        Opcode::RdmaReadResponseMiddle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_value_roundtrip() {
+        for &op in Opcode::all() {
+            assert_eq!(Opcode::from_value(op.value()), Some(op), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn undefined_values_rejected() {
+        assert_eq!(Opcode::from_value(0x15), None);
+        assert_eq!(Opcode::from_value(0x80), None);
+        assert_eq!(Opcode::from_value(0xff), None);
+    }
+
+    #[test]
+    fn header_layout_consistency() {
+        // A packet cannot carry both RETH and AETH.
+        for &op in Opcode::all() {
+            assert!(!(op.has_reth() && op.has_aeth()), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn read_request_is_data_without_payload() {
+        let op = Opcode::RdmaReadRequest;
+        assert!(op.is_data());
+        assert!(!op.has_payload());
+        assert!(op.has_reth());
+    }
+
+    #[test]
+    fn control_packets_not_data() {
+        assert!(!Opcode::Acknowledge.is_data());
+        assert!(!Opcode::Cnp.is_data());
+        assert!(Opcode::RdmaWriteMiddle.is_data());
+        assert!(Opcode::RdmaReadResponseMiddle.is_data());
+    }
+
+    #[test]
+    fn position_helpers() {
+        assert!(Opcode::SendOnly.is_first() && Opcode::SendOnly.is_last());
+        assert!(Opcode::RdmaWriteFirst.is_first() && !Opcode::RdmaWriteFirst.is_last());
+        assert!(!Opcode::RdmaWriteMiddle.is_first() && !Opcode::RdmaWriteMiddle.is_last());
+        assert!(Opcode::RdmaWriteLast.is_last());
+    }
+
+    #[test]
+    fn packetization_helpers() {
+        assert_eq!(write_opcode(0, 1), Opcode::RdmaWriteOnly);
+        assert_eq!(write_opcode(0, 3), Opcode::RdmaWriteFirst);
+        assert_eq!(write_opcode(1, 3), Opcode::RdmaWriteMiddle);
+        assert_eq!(write_opcode(2, 3), Opcode::RdmaWriteLast);
+        assert_eq!(send_opcode(0, 1), Opcode::SendOnly);
+        assert_eq!(send_opcode(2, 3), Opcode::SendLast);
+        assert_eq!(read_response_opcode(0, 1), Opcode::RdmaReadResponseOnly);
+        assert_eq!(read_response_opcode(1, 3), Opcode::RdmaReadResponseMiddle);
+    }
+
+    #[test]
+    fn request_response_partition() {
+        for &op in Opcode::all() {
+            if op == Opcode::Cnp {
+                continue; // CNPs travel NP->RP, outside the partition
+            }
+            assert!(
+                op.is_request() ^ op.is_response(),
+                "{op:?} must be exactly one of request/response"
+            );
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! DCQCN congestion control (Zhu et al., SIGCOMM 2015), as implemented by
+//! commodity RNICs.
+//!
+//! Two halves:
+//!
+//! * **Notification point (NP)** — the receiver. On a CE-marked data packet
+//!   it emits a CNP toward the sender, but rate-limits CNP generation. The
+//!   limiter's granularity is vendor-specific (§6.3 of the paper:
+//!   per-destination-IP on CX4 Lx, per-QP on E810, per-port on CX5/CX6 Dx)
+//!   and the E810 enforces a hidden ~50 µs minimum interval on top of any
+//!   configuration.
+//! * **Reaction point (RP)** — the sender. Each handled CNP multiplicatively
+//!   cuts the sending rate; timers and byte counters then drive fast
+//!   recovery, additive increase and hyper increase back toward line rate.
+
+use crate::profile::{CnpLimitMode, DeviceProfile};
+use lumina_sim::{Bandwidth, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Key of one CNP rate limiter, derived from the vendor's limiting mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CnpLimiterKey {
+    /// Per destination IP of the generated CNP (CX4 Lx).
+    Ip(Ipv4Addr),
+    /// Per local QP (E810).
+    Qp(u32),
+    /// Whole port (CX5, CX6 Dx).
+    Port,
+}
+
+/// Notification-point state: tracks, per limiter key, when the last CNP
+/// left, and generates at most one CNP per interval.
+#[derive(Debug, Clone, Default)]
+pub struct NotificationPoint {
+    last_cnp: HashMap<CnpLimiterKey, SimTime>,
+    /// CNPs actually generated.
+    pub cnps_generated: u64,
+    /// CNPs suppressed by the rate limiter (coalesced).
+    pub cnps_coalesced: u64,
+}
+
+impl NotificationPoint {
+    /// Effective minimum interval between CNPs: the configured
+    /// `min_time_between_cnps`, floored by any hidden hardware interval
+    /// (E810: ~50 µs regardless of configuration).
+    pub fn effective_interval(profile: &DeviceProfile, configured: SimTime) -> SimTime {
+        match profile.cnp_hidden_min_interval {
+            Some(hidden) => configured.max(hidden),
+            None => configured,
+        }
+    }
+
+    /// Derive the limiter key for a CE packet arriving on `local_qpn` from
+    /// `remote_ip`.
+    pub fn limiter_key(
+        mode: CnpLimitMode,
+        remote_ip: Ipv4Addr,
+        local_qpn: u32,
+    ) -> CnpLimiterKey {
+        match mode {
+            CnpLimitMode::PerDestinationIp => CnpLimiterKey::Ip(remote_ip),
+            CnpLimitMode::PerQp => CnpLimiterKey::Qp(local_qpn),
+            CnpLimitMode::PerPort => CnpLimiterKey::Port,
+        }
+    }
+
+    /// A CE-marked packet arrived; decide whether a CNP may be generated
+    /// now. Updates limiter state when the answer is yes.
+    pub fn on_ce_packet(
+        &mut self,
+        key: CnpLimiterKey,
+        now: SimTime,
+        min_interval: SimTime,
+    ) -> bool {
+        let allow = match self.last_cnp.get(&key) {
+            None => true,
+            Some(&last) => now.saturating_since(last) >= min_interval,
+        };
+        if allow {
+            self.last_cnp.insert(key, now);
+            self.cnps_generated += 1;
+        } else {
+            self.cnps_coalesced += 1;
+        }
+        allow
+    }
+}
+
+/// DCQCN constants. Values follow the SIGCOMM'15 paper and Mellanox
+/// defaults; they are fields so experiments can sweep them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcqcnParams {
+    /// g: alpha EWMA gain.
+    pub g: f64,
+    /// Alpha-update timer period.
+    pub alpha_timer: SimTime,
+    /// Rate-increase timer period.
+    pub rate_timer: SimTime,
+    /// Byte counter threshold for a rate-increase event.
+    pub byte_counter: u64,
+    /// Stage threshold F separating fast recovery from additive increase.
+    pub f_threshold: u32,
+    /// Divisor of the multiplicative decrease: `Rc ← Rc·(1 − α/divisor)`.
+    /// The SIGCOMM'15 paper uses 2; commodity RNICs cut more gently
+    /// (calibrated so a 1-in-50 ECN marking settles near the ~20 Gbps the
+    /// paper's Figure 10 shows for QP0).
+    pub cut_divisor: f64,
+    /// Additive increase step.
+    pub rai: Bandwidth,
+    /// Hyper increase step.
+    pub rhai: Bandwidth,
+    /// Minimum rate floor.
+    pub min_rate: Bandwidth,
+}
+
+impl Default for DcqcnParams {
+    fn default() -> Self {
+        // Byte counter and increase steps follow commodity-RNIC defaults
+        // (Mellanox: 32 KB byte reset) rather than the SIGCOMM'15 paper's
+        // 10 MB — the small byte counter is what lets hardware recover to
+        // a ~20 Gbps equilibrium under 1-in-50 ECN marking (Figure 10).
+        DcqcnParams {
+            g: 1.0 / 256.0,
+            alpha_timer: SimTime::from_micros(55),
+            rate_timer: SimTime::from_micros(55),
+            byte_counter: 16 * 1024,
+            f_threshold: 1,
+            cut_divisor: 4.0,
+            rai: Bandwidth::mbps(400),
+            rhai: Bandwidth::mbps(4000),
+            min_rate: Bandwidth::mbps(10),
+        }
+    }
+}
+
+/// Reaction-point (sender) rate machine for one QP.
+#[derive(Debug, Clone)]
+pub struct ReactionPoint {
+    /// Parameters.
+    pub params: DcqcnParams,
+    /// Line rate — the rate ceiling.
+    pub line_rate: Bandwidth,
+    /// Current sending rate (bits/s).
+    pub rc: f64,
+    /// Target rate (bits/s).
+    pub rt: f64,
+    /// Congestion estimate.
+    pub alpha: f64,
+    /// Rate-increase timer events since last cut.
+    pub t_events: u32,
+    /// Byte-counter events since last cut.
+    pub bc_events: u32,
+    /// Bytes sent since the last byte-counter event.
+    pub bytes_since_bc: u64,
+    /// True if a CNP arrived since the last alpha-timer tick.
+    cnp_since_alpha_tick: bool,
+    /// CNPs handled.
+    pub cnps_handled: u64,
+}
+
+impl ReactionPoint {
+    /// A fresh RP running at line rate.
+    pub fn new(line_rate: Bandwidth, params: DcqcnParams) -> ReactionPoint {
+        ReactionPoint {
+            params,
+            line_rate,
+            rc: line_rate.bits_per_sec() as f64,
+            rt: line_rate.bits_per_sec() as f64,
+            alpha: 1.0,
+            t_events: 0,
+            bc_events: 0,
+            bytes_since_bc: 0,
+            cnp_since_alpha_tick: false,
+            cnps_handled: 0,
+        }
+    }
+
+    /// Current rate as [`Bandwidth`].
+    pub fn current_rate(&self) -> Bandwidth {
+        Bandwidth(self.rc.max(self.params.min_rate.bits_per_sec() as f64) as u64)
+    }
+
+    /// True when the QP is not rate-limited (sending at line rate).
+    pub fn at_line_rate(&self) -> bool {
+        self.rc >= self.line_rate.bits_per_sec() as f64 * 0.999
+    }
+
+    /// Handle a CNP: multiplicative decrease and reset of the increase
+    /// machinery.
+    pub fn on_cnp(&mut self) {
+        self.cnps_handled += 1;
+        self.cnp_since_alpha_tick = true;
+        self.rt = self.rc;
+        self.rc *= 1.0 - self.alpha / self.params.cut_divisor;
+        let floor = self.params.min_rate.bits_per_sec() as f64;
+        if self.rc < floor {
+            self.rc = floor;
+        }
+        self.alpha = (1.0 - self.params.g) * self.alpha + self.params.g;
+        self.t_events = 0;
+        self.bc_events = 0;
+        self.bytes_since_bc = 0;
+    }
+
+    /// Alpha-update timer tick.
+    pub fn on_alpha_timer(&mut self) {
+        if !self.cnp_since_alpha_tick {
+            self.alpha *= 1.0 - self.params.g;
+        }
+        self.cnp_since_alpha_tick = false;
+    }
+
+    /// Rate-increase timer tick.
+    pub fn on_rate_timer(&mut self) {
+        self.t_events += 1;
+        self.increase();
+    }
+
+    /// Account `bytes` sent; may trigger a byte-counter increase event.
+    pub fn on_bytes_sent(&mut self, bytes: u64) {
+        self.bytes_since_bc += bytes;
+        while self.bytes_since_bc >= self.params.byte_counter {
+            self.bytes_since_bc -= self.params.byte_counter;
+            self.bc_events += 1;
+            self.increase();
+        }
+    }
+
+    fn increase(&mut self) {
+        let f = self.params.f_threshold;
+        let line = self.line_rate.bits_per_sec() as f64;
+        if self.t_events > f && self.bc_events > f {
+            // Hyper increase.
+            self.rt += self.params.rhai.bits_per_sec() as f64;
+        } else if self.t_events.max(self.bc_events) > f {
+            // Additive increase.
+            self.rt += self.params.rai.bits_per_sec() as f64;
+        }
+        // Fast recovery step happens on every event.
+        if self.rt > line {
+            self.rt = line;
+        }
+        self.rc = (self.rt + self.rc) / 2.0;
+        if self.rc > line {
+            self.rc = line;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rp() -> ReactionPoint {
+        ReactionPoint::new(Bandwidth::gbps(100), DcqcnParams::default())
+    }
+
+    #[test]
+    fn cnp_cuts_rate_initially() {
+        let mut r = rp();
+        assert!(r.at_line_rate());
+        r.on_cnp();
+        // alpha = 1 → cut by factor (1 - 1/divisor) = 0.75.
+        let expect = 100e9 * (1.0 - 1.0 / DcqcnParams::default().cut_divisor);
+        assert!((r.rc - expect).abs() < 1e6, "rc = {}", r.rc);
+        assert!(!r.at_line_rate());
+        assert_eq!(r.cnps_handled, 1);
+    }
+
+    #[test]
+    fn repeated_cnps_floor_at_min_rate() {
+        let mut r = rp();
+        for _ in 0..200 {
+            r.on_cnp();
+        }
+        assert_eq!(
+            r.current_rate().bits_per_sec(),
+            DcqcnParams::default().min_rate.bits_per_sec()
+        );
+    }
+
+    #[test]
+    fn fast_recovery_approaches_target() {
+        let mut r = rp();
+        r.on_cnp(); // rt = 100G, rc cut below
+        for _ in 0..5 {
+            r.on_rate_timer();
+        }
+        // rc converges toward rt geometrically: after 5 halvings of the
+        // gap, within ~3.2% of 100G.
+        assert!(r.rc > 95e9, "rc = {}", r.rc);
+    }
+
+    #[test]
+    fn alpha_decays_without_cnps() {
+        let mut r = rp();
+        r.on_cnp();
+        let a0 = r.alpha;
+        for _ in 0..100 {
+            r.on_alpha_timer();
+        }
+        assert!(r.alpha < a0 * 0.7);
+        // Later CNPs cut less deeply once alpha decayed.
+        let before = r.rc;
+        r.on_cnp();
+        assert!(r.rc > before * 0.5);
+    }
+
+    #[test]
+    fn byte_counter_triggers_increase() {
+        let mut r = rp();
+        r.on_cnp();
+        let before = r.rc;
+        r.on_bytes_sent(DcqcnParams::default().byte_counter);
+        assert!(r.rc > before);
+    }
+
+    #[test]
+    fn additive_increase_raises_target() {
+        let mut r = rp();
+        for _ in 0..3 {
+            r.on_cnp();
+        }
+        let line = 100e9;
+        // Burn through fast recovery via timer events.
+        for _ in 0..DcqcnParams::default().f_threshold + 3 {
+            r.on_rate_timer();
+        }
+        assert!(r.rt <= line);
+        assert!(r.rc <= line);
+        assert!(r.rc > 0.0);
+    }
+
+    #[test]
+    fn np_limiter_modes_key_correctly() {
+        let ip = Ipv4Addr::new(10, 0, 0, 1);
+        assert_eq!(
+            NotificationPoint::limiter_key(CnpLimitMode::PerDestinationIp, ip, 5),
+            CnpLimiterKey::Ip(ip)
+        );
+        assert_eq!(
+            NotificationPoint::limiter_key(CnpLimitMode::PerQp, ip, 5),
+            CnpLimiterKey::Qp(5)
+        );
+        assert_eq!(
+            NotificationPoint::limiter_key(CnpLimitMode::PerPort, ip, 5),
+            CnpLimiterKey::Port
+        );
+    }
+
+    #[test]
+    fn np_rate_limits_per_key() {
+        let mut np = NotificationPoint::default();
+        let k = CnpLimiterKey::Port;
+        let iv = SimTime::from_micros(4);
+        assert!(np.on_ce_packet(k, SimTime::from_micros(0), iv));
+        assert!(!np.on_ce_packet(k, SimTime::from_micros(1), iv));
+        assert!(!np.on_ce_packet(k, SimTime::from_micros(3), iv));
+        assert!(np.on_ce_packet(k, SimTime::from_micros(4), iv));
+        assert_eq!(np.cnps_generated, 2);
+        assert_eq!(np.cnps_coalesced, 2);
+    }
+
+    #[test]
+    fn np_per_qp_keys_are_independent() {
+        let mut np = NotificationPoint::default();
+        let iv = SimTime::from_micros(50);
+        let t = SimTime::from_micros(1);
+        assert!(np.on_ce_packet(CnpLimiterKey::Qp(1), t, iv));
+        assert!(np.on_ce_packet(CnpLimiterKey::Qp(2), t, iv));
+        assert!(!np.on_ce_packet(CnpLimiterKey::Qp(1), t, iv));
+    }
+
+    #[test]
+    fn e810_hidden_interval_floors_configuration() {
+        let e810 = DeviceProfile::e810();
+        // Even configured to zero, the effective interval is ~50 µs.
+        assert_eq!(
+            NotificationPoint::effective_interval(&e810, SimTime::ZERO),
+            SimTime::from_micros(50)
+        );
+        // A larger configured value wins.
+        assert_eq!(
+            NotificationPoint::effective_interval(&e810, SimTime::from_micros(100)),
+            SimTime::from_micros(100)
+        );
+        // NVIDIA NICs have no hidden floor.
+        let cx5 = DeviceProfile::cx5();
+        assert_eq!(
+            NotificationPoint::effective_interval(&cx5, SimTime::ZERO),
+            SimTime::ZERO
+        );
+    }
+
+    use crate::profile::DeviceProfile;
+}

@@ -1,0 +1,98 @@
+//! Verbs-level types: work requests and completions.
+//!
+//! These mirror the subset of `libibverbs` the paper's traffic generator
+//! uses (§3.2): Reliable Connection transport with Send/Recv, Write and
+//! Read verbs.
+
+use lumina_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The RDMA verb of a work request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verb {
+    /// Two-sided send; consumes a receive WQE at the responder.
+    Send,
+    /// One-sided RDMA write.
+    Write,
+    /// One-sided RDMA read; data flows responder → requester.
+    Read,
+}
+
+impl Verb {
+    /// Parse the `rdma-verb` field of Lumina's YAML configs.
+    pub fn from_config_str(s: &str) -> Option<Verb> {
+        match s {
+            "send" => Some(Verb::Send),
+            "write" => Some(Verb::Write),
+            "read" => Some(Verb::Read),
+            _ => None,
+        }
+    }
+
+    /// True if the message's data packets flow responder → requester.
+    pub fn data_from_responder(self) -> bool {
+        matches!(self, Verb::Read)
+    }
+}
+
+/// A send-queue work request posted by the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkRequest {
+    /// Application-chosen identifier, returned in the completion.
+    pub wr_id: u64,
+    /// Which verb.
+    pub verb: Verb,
+    /// Message length in bytes. Must be at least 1.
+    pub len: u32,
+}
+
+/// Why a completion was generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompletionStatus {
+    /// The operation completed successfully.
+    Success,
+    /// Retransmission retries were exhausted; the QP moved to the error
+    /// state.
+    RetryExceeded,
+    /// The QP was already in the error state when this WQE would have
+    /// executed (flush error).
+    WrFlushed,
+}
+
+/// A completion-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The `wr_id` of the completed work request.
+    pub wr_id: u64,
+    /// Local QPN the completion belongs to.
+    pub qpn: u32,
+    /// Outcome.
+    pub status: CompletionStatus,
+    /// Simulation time at which the completion was generated.
+    pub time: SimTime,
+    /// True for responder-side receive completions (Send/Recv), false for
+    /// requester-side send completions.
+    pub is_recv: bool,
+    /// Bytes transferred.
+    pub len: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verb_config_parsing() {
+        assert_eq!(Verb::from_config_str("write"), Some(Verb::Write));
+        assert_eq!(Verb::from_config_str("read"), Some(Verb::Read));
+        assert_eq!(Verb::from_config_str("send"), Some(Verb::Send));
+        assert_eq!(Verb::from_config_str("sendrecv"), None);
+    }
+
+    #[test]
+    fn read_data_direction() {
+        assert!(Verb::Read.data_from_responder());
+        assert!(!Verb::Write.data_from_responder());
+        assert!(!Verb::Send.data_from_responder());
+    }
+}

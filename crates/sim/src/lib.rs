@@ -1,0 +1,58 @@
+//! Deterministic discrete-event network simulation engine.
+//!
+//! This crate is the substrate that replaces Lumina's physical testbed: two
+//! traffic-generation hosts, a Tofino switch, and a pool of traffic dumpers
+//! become [`Node`] implementations wired together by [`Link`]s with
+//! bandwidth, propagation delay and serialization queuing.
+//!
+//! Design choices (following the smoltcp school of network code):
+//!
+//! * **Deterministic.** A single event queue ordered by `(time, seq)`;
+//!   ties broken by insertion order; all randomness comes from one seeded
+//!   PRNG. Running the same configuration twice produces byte-identical
+//!   traces — exactly the reproducibility Lumina demands of its tests.
+//! * **Synchronous.** No async runtime: simulation is CPU-bound
+//!   deterministic work, the case the Tokio guide itself excludes.
+//! * **Bytes on the wire.** Nodes exchange serialized frames
+//!   ([`bytes::Bytes`]), so every component parses and re-emits real packet
+//!   bytes, the same way the hardware pipeline sees them.
+
+pub mod engine;
+pub mod link;
+pub mod pcap;
+pub mod rng;
+pub mod testutil;
+pub mod time;
+
+pub use engine::{Engine, EngineStats, NodeCtx, NodeId, PortId, RunOutcome};
+pub use link::Link;
+pub use rng::SimRng;
+pub use time::{Bandwidth, SimTime};
+
+use bytes::Bytes;
+
+/// A simulated device attached to the network.
+///
+/// Implementations receive frames and timer callbacks and react by emitting
+/// frames and arming timers through the [`NodeCtx`] passed in.
+/// `Node: Any` enables recovering the concrete type after a run via dyn
+/// upcasting: `let any: Box<dyn Any> = engine.remove_node(id);` then
+/// `any.downcast::<HostNode>()` — how the orchestrator reads counters and
+/// captures back out of the finished simulation.
+pub trait Node: std::any::Any {
+
+    /// A frame has fully arrived on `port` (last bit received).
+    fn on_frame(&mut self, port: PortId, frame: Bytes, ctx: &mut NodeCtx<'_>);
+
+    /// A timer armed via [`NodeCtx::set_timer`] has fired.
+    fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx<'_>);
+
+    /// Called once when the engine finishes, at the final simulation time.
+    /// Nodes can flush buffered state (e.g. the dumper writing its trace).
+    fn on_finish(&mut self, _ctx: &mut NodeCtx<'_>) {}
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "node"
+    }
+}

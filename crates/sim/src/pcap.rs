@@ -1,0 +1,109 @@
+//! libpcap trace files with nanosecond timestamps.
+//!
+//! The orchestrator writes reconstructed packet traces in the standard
+//! pcap format (magic `0xa1b23c4d`, the nanosecond-resolution variant) so
+//! they can be opened in Wireshark/tcpdump, mirroring how Lumina's users
+//! analyze dumped traffic offline.
+
+use crate::time::SimTime;
+use std::io::{self, Write};
+
+/// Nanosecond-resolution pcap magic number.
+pub const PCAP_MAGIC_NS: u32 = 0xa1b2_3c4d;
+/// Link type: Ethernet.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Streaming pcap writer.
+pub struct PcapWriter<W: Write> {
+    out: W,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Create a writer and emit the global header. `snaplen` is the
+    /// maximum capture length recorded in the header (Lumina's dumpers trim
+    /// mirrored packets to 128 bytes).
+    pub fn new(mut out: W, snaplen: u32) -> io::Result<PcapWriter<W>> {
+        out.write_all(&PCAP_MAGIC_NS.to_le_bytes())?;
+        out.write_all(&2u16.to_le_bytes())?; // version major
+        out.write_all(&4u16.to_le_bytes())?; // version minor
+        out.write_all(&0i32.to_le_bytes())?; // thiszone
+        out.write_all(&0u32.to_le_bytes())?; // sigfigs
+        out.write_all(&snaplen.to_le_bytes())?;
+        out.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(PcapWriter { out, packets: 0 })
+    }
+
+    /// Append one packet. `orig_len` is the original wire length before any
+    /// trimming; `data` is the (possibly trimmed) capture.
+    pub fn write_packet(&mut self, ts: SimTime, data: &[u8], orig_len: usize) -> io::Result<()> {
+        let ns = ts.as_nanos();
+        let secs = (ns / 1_000_000_000) as u32;
+        let nanos = (ns % 1_000_000_000) as u32;
+        self.out.write_all(&secs.to_le_bytes())?;
+        self.out.write_all(&nanos.to_le_bytes())?;
+        self.out.write_all(&(data.len() as u32).to_le_bytes())?;
+        self.out.write_all(&(orig_len as u32).to_le_bytes())?;
+        self.out.write_all(data)?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Number of packets written so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_layout() {
+        let w = PcapWriter::new(Vec::new(), 128).unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(buf.len(), 24);
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), PCAP_MAGIC_NS);
+        assert_eq!(u16::from_le_bytes(buf[4..6].try_into().unwrap()), 2);
+        assert_eq!(u16::from_le_bytes(buf[6..8].try_into().unwrap()), 4);
+        assert_eq!(u32::from_le_bytes(buf[16..20].try_into().unwrap()), 128);
+        assert_eq!(
+            u32::from_le_bytes(buf[20..24].try_into().unwrap()),
+            LINKTYPE_ETHERNET
+        );
+    }
+
+    #[test]
+    fn packet_record_layout() {
+        let mut w = PcapWriter::new(Vec::new(), 128).unwrap();
+        let ts = SimTime::from_secs(3) + SimTime::from_nanos(42);
+        w.write_packet(ts, &[0xaa; 60], 1024).unwrap();
+        assert_eq!(w.packets(), 1);
+        let buf = w.finish().unwrap();
+        let rec = &buf[24..];
+        assert_eq!(u32::from_le_bytes(rec[0..4].try_into().unwrap()), 3);
+        assert_eq!(u32::from_le_bytes(rec[4..8].try_into().unwrap()), 42);
+        assert_eq!(u32::from_le_bytes(rec[8..12].try_into().unwrap()), 60);
+        assert_eq!(u32::from_le_bytes(rec[12..16].try_into().unwrap()), 1024);
+        assert_eq!(&rec[16..76], &[0xaa; 60]);
+    }
+
+    #[test]
+    fn multiple_packets_append() {
+        let mut w = PcapWriter::new(Vec::new(), 65535).unwrap();
+        for i in 0..5u64 {
+            w.write_packet(SimTime::from_micros(i), &[i as u8; 10], 10)
+                .unwrap();
+        }
+        assert_eq!(w.packets(), 5);
+        let buf = w.finish().unwrap();
+        assert_eq!(buf.len(), 24 + 5 * (16 + 10));
+    }
+}

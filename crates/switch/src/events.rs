@@ -1,0 +1,129 @@
+//! Injection event types and their on-wire encoding in mirrored packets.
+
+use lumina_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The action an injection-table hit applies to a matched data packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventAction {
+    /// Drop the packet (after mirroring).
+    Drop,
+    /// Set the ECN codepoint to CE.
+    EcnMark,
+    /// Flip a payload byte, leaving the ICRC stale so the receiver detects
+    /// the corruption.
+    Corrupt,
+    /// Rewrite the BTH MigReq bit — the extension used to confirm the
+    /// CX5↔E810 interoperability hypothesis (§6.2.3). The ICRC is
+    /// recomputed, as the real extension must do (MigReq is ICRC-covered).
+    SetMigReq(bool),
+    /// Hold the packet for an additional quantitative delay before
+    /// forwarding — one of the two event types §7 lists as future work.
+    Delay(SimTime),
+    /// Hold the packet until `n` subsequent data packets of the same
+    /// connection have been forwarded, then release it — deterministic
+    /// packet reordering, the other §7 future-work event.
+    Reorder(u32),
+}
+
+/// Event code embedded into the TTL field of mirrored packets (§3.4:
+/// "indicating events").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventType {
+    /// No event was applied.
+    None,
+    /// The packet was ECN-marked.
+    Ecn,
+    /// The packet was dropped after mirroring.
+    Drop,
+    /// The packet was corrupted.
+    Corrupt,
+    /// The packet's MigReq bit was rewritten.
+    MigRewrite,
+    /// The packet was held for an injected delay.
+    Delay,
+    /// The packet was held for deterministic reordering.
+    Reorder,
+}
+
+impl EventType {
+    /// TTL encoding of the event type.
+    pub fn code(self) -> u8 {
+        match self {
+            EventType::None => 1,
+            EventType::Ecn => 2,
+            EventType::Drop => 3,
+            EventType::Corrupt => 4,
+            EventType::MigRewrite => 5,
+            EventType::Delay => 6,
+            EventType::Reorder => 7,
+        }
+    }
+
+    /// Decode a TTL value back into an event type.
+    pub fn from_code(v: u8) -> Option<EventType> {
+        Some(match v {
+            1 => EventType::None,
+            2 => EventType::Ecn,
+            3 => EventType::Drop,
+            4 => EventType::Corrupt,
+            5 => EventType::MigRewrite,
+            6 => EventType::Delay,
+            7 => EventType::Reorder,
+            _ => return None,
+        })
+    }
+
+    /// The event type a given action stamps on the mirror copy.
+    pub fn of_action(action: Option<EventAction>) -> EventType {
+        match action {
+            None => EventType::None,
+            Some(EventAction::Drop) => EventType::Drop,
+            Some(EventAction::EcnMark) => EventType::Ecn,
+            Some(EventAction::Corrupt) => EventType::Corrupt,
+            Some(EventAction::SetMigReq(_)) => EventType::MigRewrite,
+            Some(EventAction::Delay(_)) => EventType::Delay,
+            Some(EventAction::Reorder(_)) => EventType::Reorder,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for e in [
+            EventType::None,
+            EventType::Ecn,
+            EventType::Drop,
+            EventType::Corrupt,
+            EventType::MigRewrite,
+            EventType::Delay,
+            EventType::Reorder,
+        ] {
+            assert_eq!(EventType::from_code(e.code()), Some(e));
+        }
+        assert_eq!(EventType::from_code(0), None);
+        assert_eq!(EventType::from_code(64), None);
+    }
+
+    #[test]
+    fn action_maps_to_event_type() {
+        assert_eq!(EventType::of_action(None), EventType::None);
+        assert_eq!(EventType::of_action(Some(EventAction::Drop)), EventType::Drop);
+        assert_eq!(
+            EventType::of_action(Some(EventAction::SetMigReq(true))),
+            EventType::MigRewrite
+        );
+        assert_eq!(
+            EventType::of_action(Some(EventAction::Delay(SimTime::from_micros(5)))),
+            EventType::Delay
+        );
+        assert_eq!(
+            EventType::of_action(Some(EventAction::Reorder(1))),
+            EventType::Reorder
+        );
+    }
+}

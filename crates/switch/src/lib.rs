@@ -1,0 +1,36 @@
+//! The Lumina event injector: a behavioral model of the paper's
+//! P4-programmed Intel Tofino switch (§3.3–3.4, Figure 6).
+//!
+//! Pipeline stages, mirroring the paper's data plane:
+//!
+//! 1. **RoCE classification** — only RoCEv2 packets are considered for
+//!    injection and mirroring.
+//! 2. **ITER tracking** — per-connection retransmission-round counter
+//!    (Figure 3): when a data packet's PSN is not larger than the last PSN
+//!    seen, a new round has begun.
+//! 3. **Event injection** — an exact match-action table keyed on
+//!    `(src IP, dst IP, dst QPN, PSN, ITER)` applies drop / ECN-mark /
+//!    corrupt / set-MigReq actions. The set-MigReq action is the extension
+//!    the authors added to confirm the CX5↔E810 interoperability bug
+//!    (§6.2.3).
+//! 4. **Ingress mirroring** — every RoCE packet is cloned *before* any drop
+//!    takes effect, stamped with metadata scavenged into existing header
+//!    fields (TTL = event type, source MAC = mirror sequence number,
+//!    destination MAC = nanosecond timestamp), its UDP destination port
+//!    randomized so the dumpers' RSS spreads load, and dispatched to the
+//!    dumper pool by weighted round-robin.
+//! 5. **L2/L3 forwarding** with a fixed pipeline latency (< 0.4 µs in the
+//!    paper's measurements) and per-port counters for the integrity check.
+
+pub mod device;
+pub mod events;
+pub mod iter;
+pub mod mirror;
+pub mod table;
+pub mod wrr;
+
+pub use device::{MirrorMode, SwitchConfig, SwitchNode};
+pub use events::{EventAction, EventType};
+pub use iter::IterTracker;
+pub use table::{InjectionKey, InjectionTable};
+pub use wrr::WeightedRoundRobin;

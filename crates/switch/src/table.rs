@@ -1,0 +1,154 @@
+//! The event-injection match-action table.
+//!
+//! Exact match on `(src IP, dst IP, dst QPN, PSN, ITER)` → [`EventAction`],
+//! populated by the orchestrator from user intents plus the runtime traffic
+//! metadata the generators share (Figure 2). Each entry fires at most once
+//! — a deterministic test injects each event exactly once.
+
+use crate::events::EventAction;
+use crate::iter::ConnKey;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Full match key of one injection entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InjectionKey {
+    /// Connection (direction-sensitive).
+    pub conn: ConnKey,
+    /// Wire PSN to match.
+    pub psn: u32,
+    /// Retransmission round to match (1 = first transmission).
+    pub iter: u32,
+}
+
+/// The match-action table.
+#[derive(Debug, Clone, Default)]
+pub struct InjectionTable {
+    entries: HashMap<InjectionKey, EventAction>,
+    hits: u64,
+    /// Entries that have fired (kept for reporting).
+    fired: Vec<(InjectionKey, EventAction)>,
+}
+
+impl InjectionTable {
+    /// Install an entry. Returns the previous action if the key was
+    /// already present (a configuration error worth surfacing).
+    pub fn insert(&mut self, key: InjectionKey, action: EventAction) -> Option<EventAction> {
+        self.entries.insert(key, action)
+    }
+
+    /// Number of installed (un-fired) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up and consume the entry for a packet. One-shot: a fired entry
+    /// is removed so the same (PSN, ITER) cannot fire twice.
+    pub fn lookup(&mut self, key: &InjectionKey) -> Option<EventAction> {
+        let action = self.entries.remove(key)?;
+        self.hits += 1;
+        self.fired.push((*key, action));
+        Some(action)
+    }
+
+    /// How many entries have fired.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Entries that fired, in firing order.
+    pub fn fired(&self) -> &[(InjectionKey, EventAction)] {
+        &self.fired
+    }
+
+    /// Entries that never fired (useful to diagnose a mis-specified test).
+    pub fn unfired(&self) -> Vec<(InjectionKey, EventAction)> {
+        let mut v: Vec<_> = self.entries.iter().map(|(k, a)| (*k, *a)).collect();
+        v.sort_by_key(|(k, _)| (k.conn.dst_qpn, k.psn, k.iter));
+        v
+    }
+
+    /// Approximate on-chip memory: key (4+4+3+3+2 B) + action (1 B) per
+    /// entry, per the §5 capacity accounting (~1 MB for 100 K events).
+    pub fn memory_bytes(&self) -> usize {
+        (self.entries.len() + self.fired.len()) * 17
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(psn: u32, iter: u32) -> InjectionKey {
+        InjectionKey {
+            conn: ConnKey {
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+                dst_qpn: 0xea,
+            },
+            psn,
+            iter,
+        }
+    }
+
+    #[test]
+    fn entries_fire_exactly_once() {
+        let mut t = InjectionTable::default();
+        t.insert(key(1004, 1), EventAction::Drop);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(&key(1004, 1)), Some(EventAction::Drop));
+        assert_eq!(t.lookup(&key(1004, 1)), None, "one-shot entries");
+        assert_eq!(t.hits(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.fired().len(), 1);
+    }
+
+    #[test]
+    fn iter_disambiguates_retransmissions() {
+        let mut t = InjectionTable::default();
+        t.insert(key(1005, 1), EventAction::Drop);
+        t.insert(key(1005, 2), EventAction::Drop);
+        // First transmission matches iter 1 only.
+        assert!(t.lookup(&key(1005, 1)).is_some());
+        // Retransmission (iter 2) matches the second entry.
+        assert!(t.lookup(&key(1005, 2)).is_some());
+        // A third transmission matches nothing.
+        assert!(t.lookup(&key(1005, 3)).is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_reports_prior() {
+        let mut t = InjectionTable::default();
+        assert!(t.insert(key(1, 1), EventAction::Drop).is_none());
+        assert_eq!(
+            t.insert(key(1, 1), EventAction::EcnMark),
+            Some(EventAction::Drop)
+        );
+    }
+
+    #[test]
+    fn capacity_100k_events_fits_2mb() {
+        let mut t = InjectionTable::default();
+        for i in 0..100_000u32 {
+            t.insert(key(i, 1), EventAction::EcnMark);
+        }
+        assert!(t.memory_bytes() <= 2_000_000, "{} bytes", t.memory_bytes());
+    }
+
+    #[test]
+    fn unfired_reports_leftovers() {
+        let mut t = InjectionTable::default();
+        t.insert(key(1, 1), EventAction::Drop);
+        t.insert(key(2, 1), EventAction::Drop);
+        t.lookup(&key(1, 1));
+        let left = t.unfired();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].0.psn, 2);
+    }
+}

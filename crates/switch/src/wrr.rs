@@ -1,0 +1,104 @@
+//! Smooth weighted round-robin over the traffic-dumper pool (§3.4: the
+//! event injector "implements a weighted round-robin scheduler to forward
+//! mirrored packets to different traffic dumpers based on their individual
+//! processing capacities").
+
+use serde::{Deserialize, Serialize};
+
+/// Smooth WRR (the nginx algorithm): each pick adds every member's weight
+/// to its current credit, picks the member with the highest credit, and
+/// subtracts the total weight from the winner. Produces the smoothest
+/// possible interleaving for the given weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeightedRoundRobin {
+    weights: Vec<u32>,
+    current: Vec<i64>,
+    total: i64,
+}
+
+impl WeightedRoundRobin {
+    /// Build from per-member weights. Zero-weight members never get picked
+    /// (unless all weights are zero, which is rejected).
+    pub fn new(weights: Vec<u32>) -> WeightedRoundRobin {
+        assert!(!weights.is_empty(), "WRR needs at least one member");
+        let total: i64 = weights.iter().map(|&w| w as i64).sum();
+        assert!(total > 0, "WRR needs a positive total weight");
+        WeightedRoundRobin {
+            current: vec![0; weights.len()],
+            weights,
+            total,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True if there are no members (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Pick the next member index.
+    pub fn next(&mut self) -> usize {
+        let mut best = 0usize;
+        for i in 0..self.weights.len() {
+            self.current[i] += self.weights[i] as i64;
+            if self.current[i] > self.current[best] {
+                best = i;
+            }
+        }
+        self.current[best] -= self.total;
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_alternate() {
+        let mut w = WeightedRoundRobin::new(vec![1, 1]);
+        let picks: Vec<usize> = (0..6).map(|_| w.next()).collect();
+        assert_eq!(picks.iter().filter(|&&p| p == 0).count(), 3);
+        assert_eq!(picks.iter().filter(|&&p| p == 1).count(), 3);
+        // Perfect alternation, no two consecutive picks equal.
+        for pair in picks.windows(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn proportional_to_weights() {
+        let mut w = WeightedRoundRobin::new(vec![3, 1]);
+        let picks: Vec<usize> = (0..400).map(|_| w.next()).collect();
+        let zeros = picks.iter().filter(|&&p| p == 0).count();
+        assert_eq!(zeros, 300);
+    }
+
+    #[test]
+    fn smoothness() {
+        // With weights 2:1:1, member 0 never appears three times in a row.
+        let mut w = WeightedRoundRobin::new(vec![2, 1, 1]);
+        let picks: Vec<usize> = (0..100).map(|_| w.next()).collect();
+        for window in picks.windows(3) {
+            assert!(window.iter().any(|&p| p != 0), "{window:?}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_member_skipped() {
+        let mut w = WeightedRoundRobin::new(vec![0, 5]);
+        for _ in 0..10 {
+            assert_eq!(w.next(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn all_zero_weights_rejected() {
+        WeightedRoundRobin::new(vec![0, 0]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Switch-level tests of every injection action, including the §7
+//! extension events (delay, reorder) and WRR mirror distribution.
+
+use bytes::Bytes;
+use lumina_packet::builder::DataPacketBuilder;
+use lumina_packet::frame::RoceFrame;
+use lumina_packet::opcode::Opcode;
+use lumina_sim::testutil::{recording, Collector, Recording, Script};
+use lumina_sim::{Bandwidth, Engine, PortId, SimTime};
+use lumina_switch::device::{SwitchConfig, SwitchNode};
+use lumina_switch::events::{EventAction, EventType};
+use lumina_switch::iter::ConnKey;
+use lumina_switch::mirror;
+use lumina_switch::table::InjectionKey;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+const H1: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const H2: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const QPN: u32 = 0xea;
+
+fn data_frame(psn: u32) -> Bytes {
+    DataPacketBuilder::new()
+        .src_ip(H1)
+        .dst_ip(H2)
+        .opcode(Opcode::RdmaWriteMiddle)
+        .dest_qp(QPN)
+        .psn(psn)
+        .payload_len(512)
+        .build()
+        .emit()
+}
+
+fn key(psn: u32) -> InjectionKey {
+    InjectionKey {
+        conn: ConnKey {
+            src_ip: H1,
+            dst_ip: H2,
+            dst_qpn: QPN,
+        },
+        psn,
+        iter: 1,
+    }
+}
+
+/// Build script → switch → {host, N dumpers}; return recordings.
+fn rig(
+    entries: Vec<(InjectionKey, EventAction)>,
+    num_dumpers: usize,
+    psns: Vec<u32>,
+) -> (Recording, Vec<Recording>) {
+    let mut eng = Engine::new(11);
+    let mut forward = HashMap::new();
+    forward.insert(H2, PortId(1));
+    let dumper_ports: Vec<(PortId, u32)> =
+        (0..num_dumpers).map(|i| (PortId(2 + i), 1)).collect();
+    let mut sw = SwitchNode::new(SwitchConfig::lumina(forward, dumper_ports));
+    for (k, a) in entries {
+        sw.table.insert(k, a);
+    }
+    let plan: Vec<(SimTime, PortId, Bytes)> = psns
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (SimTime::from_nanos(i as u64 * 200), PortId(0), data_frame(p)))
+        .collect();
+    let script = eng.add_node(Box::new(Script::new(plan)));
+    let sw_id = eng.add_node(Box::new(sw));
+    let host_rx = recording();
+    let host = eng.add_node(Box::new(Collector::new(host_rx.clone())));
+    let bw = Bandwidth::gbps(100);
+    eng.connect(script, PortId(0), sw_id, PortId(0), bw, SimTime::ZERO);
+    eng.connect(sw_id, PortId(1), host, PortId(0), bw, SimTime::ZERO);
+    let mut dump_rx = Vec::new();
+    for i in 0..num_dumpers {
+        let r = recording();
+        let d = eng.add_node(Box::new(Collector::new(r.clone())));
+        eng.connect(sw_id, PortId(2 + i), d, PortId(0), bw, SimTime::ZERO);
+        dump_rx.push(r);
+    }
+    eng.schedule_timer(script, SimTime::ZERO, Script::KICKOFF);
+    eng.run(None);
+    (host_rx, dump_rx)
+}
+
+#[test]
+fn ecn_action_marks_ce_and_preserves_icrc() {
+    let (host, _) = rig(
+        vec![(key(102), EventAction::EcnMark)],
+        1,
+        vec![100, 101, 102, 103],
+    );
+    let frames: Vec<RoceFrame> = host
+        .borrow()
+        .iter()
+        .map(|(_, _, f)| RoceFrame::parse(f).unwrap())
+        .collect();
+    assert_eq!(frames.len(), 4);
+    for f in &frames {
+        let marked = f.bth.psn == 102;
+        assert_eq!(f.ipv4.ecn.is_ce(), marked, "psn {}", f.bth.psn);
+    }
+    for (_, _, raw) in host.borrow().iter() {
+        assert!(lumina_packet::frame::icrc_check(raw), "ICRC must survive");
+    }
+}
+
+#[test]
+fn corrupt_action_breaks_icrc_only_for_target() {
+    let (host, _) = rig(
+        vec![(key(101), EventAction::Corrupt)],
+        1,
+        vec![100, 101, 102],
+    );
+    let host = host.borrow();
+    assert_eq!(host.len(), 3);
+    for (_, _, raw) in host.iter() {
+        let f = RoceFrame::parse(raw).unwrap();
+        let ok = lumina_packet::frame::icrc_check(raw);
+        assert_eq!(ok, f.bth.psn != 101, "psn {}", f.bth.psn);
+    }
+}
+
+#[test]
+fn set_migreq_action_flips_bit_and_recomputes_icrc() {
+    let (host, _) = rig(
+        vec![(key(100), EventAction::SetMigReq(false))],
+        1,
+        vec![100, 101],
+    );
+    let host = host.borrow();
+    let f0 = RoceFrame::parse(&host[0].2).unwrap();
+    let f1 = RoceFrame::parse(&host[1].2).unwrap();
+    assert!(!f0.bth.mig_req, "rewritten");
+    assert!(f1.bth.mig_req, "untouched (builder default is 1)");
+    assert!(lumina_packet::frame::icrc_check(&host[0].2));
+}
+
+#[test]
+fn delay_action_holds_without_blocking_others() {
+    let (host, _) = rig(
+        vec![(key(101), EventAction::Delay(SimTime::from_micros(50)))],
+        1,
+        vec![100, 101, 102, 103],
+    );
+    let host = host.borrow();
+    assert_eq!(host.len(), 4);
+    let order: Vec<u32> = host
+        .iter()
+        .map(|(_, _, f)| RoceFrame::parse(f).unwrap().bth.psn)
+        .collect();
+    // 101 exits last; 102/103 were NOT blocked behind it.
+    assert_eq!(order, vec![100, 102, 103, 101]);
+    let t_102 = host[1].0;
+    let t_101 = host[3].0;
+    assert!(t_101.saturating_since(t_102) >= SimTime::from_micros(49));
+}
+
+#[test]
+fn reorder_action_releases_after_n_passes() {
+    let (host, _) = rig(
+        vec![(key(101), EventAction::Reorder(2))],
+        1,
+        vec![100, 101, 102, 103, 104],
+    );
+    let order: Vec<u32> = host
+        .borrow()
+        .iter()
+        .map(|(_, _, f)| RoceFrame::parse(f).unwrap().bth.psn)
+        .collect();
+    // Held behind two subsequent packets: 100, 102, 103, then 101, 104.
+    assert_eq!(order, vec![100, 102, 103, 101, 104]);
+}
+
+#[test]
+fn reorder_without_followers_flushes_by_timer() {
+    let (host, _) = rig(
+        vec![(key(102), EventAction::Reorder(5))],
+        1,
+        vec![100, 101, 102],
+    );
+    let host = host.borrow();
+    assert_eq!(host.len(), 3, "safety flush must release the packet");
+    let last = &host[2];
+    assert_eq!(RoceFrame::parse(&last.2).unwrap().bth.psn, 102);
+    assert!(last.0 >= SimTime::from_millis(1), "released at the 1 ms flush");
+}
+
+#[test]
+fn wrr_spreads_mirrors_evenly() {
+    let psns: Vec<u32> = (0..90).map(|i| 100 + i).collect();
+    let (_, dumpers) = rig(vec![], 3, psns);
+    let counts: Vec<usize> = dumpers.iter().map(|d| d.borrow().len()).collect();
+    assert_eq!(counts.iter().sum::<usize>(), 90);
+    for c in &counts {
+        assert_eq!(*c, 30, "{counts:?}");
+    }
+    // Mirror sequence numbers are globally consecutive across the pool.
+    let mut seqs: Vec<u64> = dumpers
+        .iter()
+        .flat_map(|d| {
+            d.borrow()
+                .iter()
+                .map(|(_, _, f)| mirror::extract(f).unwrap().seq)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    seqs.sort();
+    assert_eq!(seqs, (0..90).collect::<Vec<u64>>());
+}
+
+#[test]
+fn mirror_copies_stamp_the_event_type() {
+    let (_, dumpers) = rig(
+        vec![
+            (key(100), EventAction::Drop),
+            (key(101), EventAction::Delay(SimTime::from_micros(5))),
+            (key(102), EventAction::Reorder(1)),
+        ],
+        1,
+        vec![100, 101, 102, 103],
+    );
+    let metas: Vec<EventType> = dumpers[0]
+        .borrow()
+        .iter()
+        .map(|(_, _, f)| mirror::extract(f).unwrap().event)
+        .collect();
+    assert_eq!(
+        metas,
+        vec![
+            EventType::Drop,
+            EventType::Delay,
+            EventType::Reorder,
+            EventType::None
+        ]
+    );
+}

@@ -1,0 +1,49 @@
+//! ETS work-conservation study (§6.2.1 of the paper).
+//!
+//! Reproduces Figure 10 on the CX6 Dx model and contrasts it with a
+//! work-conserving device (the CX5 model) — the ablation that pinpoints
+//! the non-work-conserving scheduler as the cause of the throughput loss.
+//!
+//! ```text
+//! cargo run --release --example ets_scheduler
+//! ```
+
+use lumina_bench::fig10_ets;
+
+fn main() {
+    println!("== ETS work conservation (§6.2.1, Figure 10) ==");
+    println!("Two QPs, 1 MB Writes, DCQCN on; QP0 ECN-marked 1-in-50 in the");
+    println!("ECN settings. A work-conserving scheduler lets QP1 take the");
+    println!("bandwidth QP0 leaves idle; the CX6 Dx does not.\n");
+
+    for nic in ["cx6", "cx5"] {
+        let fig = fig10_ets::run_on(nic, 10);
+        println!(
+            "--- {} ({}) ---",
+            nic.to_uppercase(),
+            if nic == "cx6" {
+                "the buggy device"
+            } else {
+                "work-conserving ablation"
+            }
+        );
+        for b in &fig.bars {
+            println!(
+                "{:>22}: QP0 {:>5.1} Gbps | QP1 {:>5.1} Gbps",
+                b.setting, b.qp0_gbps, b.qp1_gbps
+            );
+        }
+        let vanilla = fig.get("multi-queue-vanilla");
+        let ecn = fig.get("multi-queue-ecn");
+        let single = fig.get("single-queue-ecn");
+        let conserving = ecn.qp1_gbps > vanilla.qp1_gbps * 1.15;
+        println!(
+            "verdict: multi-queue QP1 {} spare bandwidth (ECN: {:.1} vs vanilla {:.1}; \
+             single-queue shows {:.1} is reachable)\n",
+            if conserving { "DOES absorb" } else { "does NOT absorb" },
+            ecn.qp1_gbps,
+            vanilla.qp1_gbps,
+            single.qp1_gbps
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! The §6.2.3 debugging story, step by step: how Lumina localized the
+//! CX5↔E810 interoperability bug to the BTH MigReq bit.
+//!
+//! 1. Run E810→CX5 Send traffic at 16 QPs; observe RX discards and slow
+//!    first messages.
+//! 2. Dump the trace; diff the headers against a CX5→CX5 run — the only
+//!    difference is `MigReq`: E810 sends 0, NVIDIA sends 1.
+//! 3. Extend the injector with a `set-mig-1` action and rewrite every
+//!    packet; the discards vanish, confirming the hypothesis.
+//!
+//! ```text
+//! cargo run --release --example interop_debugging
+//! ```
+
+use lumina_core::config::TestConfig;
+use lumina_core::orchestrator::run_test;
+
+fn run(req: &str, rsp: &str, fix: bool) -> lumina_core::orchestrator::TestResults {
+    let events = if fix {
+        (1..=16)
+            .map(|q| format!("\n    - {{qpn: {q}, psn: 1, type: set-mig-1, iter: 1, every: 1}}"))
+            .collect::<String>()
+    } else {
+        " []".to_string()
+    };
+    let yaml = format!(
+        r#"
+requester: {{ nic-type: {req} }}
+responder: {{ nic-type: {rsp} }}
+traffic:
+  num-connections: 16
+  rdma-verb: send
+  num-msgs-per-qp: 5
+  mtu: 1024
+  message-size: 102400
+  data-pkt-events:{events}
+network:
+  horizon-ms: 60000
+"#
+    );
+    run_test(&TestConfig::from_yaml(&yaml).unwrap()).unwrap()
+}
+
+fn mct_spread(res: &lumina_core::orchestrator::TestResults) -> (f64, f64) {
+    let mcts: Vec<f64> = res
+        .requester_metrics
+        .flows
+        .values()
+        .flat_map(|f| f.mcts.iter().map(|t| t.as_micros_f64()))
+        .collect();
+    let min = mcts.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = mcts.iter().cloned().fold(0.0, f64::max);
+    (min, max)
+}
+
+fn main() {
+    println!("== §6.2.3: debugging the CX5↔E810 interoperability problem ==\n");
+
+    println!("step 1 — reproduce: E810 → CX5, Send, 16 QPs, 5 × 100 KB each");
+    let bug = run("e810", "cx5", false);
+    let (lo, hi) = mct_spread(&bug);
+    println!(
+        "  rx_discards_phy on CX5: {}   (paper: ~500 at 16 QPs)",
+        bug.responder_counters.rx_discards_phy
+    );
+    println!("  MCT spread: {lo:.0} µs … {hi:.0} µs — first messages suffer\n");
+
+    println!("step 2 — inspect the dumped trace: what differs from CX5→CX5?");
+    let trace = bug.trace.as_ref().expect("trace");
+    let migreq_zero = trace
+        .iter()
+        .filter(|e| e.frame.bth.opcode.is_request() && !e.frame.bth.mig_req)
+        .count();
+    let migreq_one = trace
+        .iter()
+        .filter(|e| e.frame.bth.opcode.is_request() && e.frame.bth.mig_req)
+        .count();
+    println!("  request packets with MigReq=0: {migreq_zero} (all from the E810)");
+    println!("  request packets with MigReq=1: {migreq_one}");
+    let baseline = run("cx5", "cx5", false);
+    let baseline_zero = baseline
+        .trace
+        .as_ref()
+        .unwrap()
+        .iter()
+        .filter(|e| e.frame.bth.opcode.is_request() && !e.frame.bth.mig_req)
+        .count();
+    println!(
+        "  CX5→CX5 baseline: MigReq=0 packets: {baseline_zero}, discards: {}\n",
+        baseline.responder_counters.rx_discards_phy
+    );
+
+    println!("step 3 — confirm: rewrite MigReq to 1 at the switch (set-mig-1)");
+    let fixed = run("e810", "cx5", true);
+    let (flo, fhi) = mct_spread(&fixed);
+    println!(
+        "  rx_discards_phy on CX5: {}   MCT spread: {flo:.0} µs … {fhi:.0} µs",
+        fixed.responder_counters.rx_discards_phy
+    );
+    println!(
+        "  mig rewrites applied by the injector: {}\n",
+        fixed.switch_counters.injected_mig_rewrites
+    );
+
+    if bug.responder_counters.rx_discards_phy > 0
+        && fixed.responder_counters.rx_discards_phy == 0
+    {
+        println!(">>> hypothesis confirmed: the MigReq mismatch drives CX5's APM slow path.");
+    } else {
+        println!(">>> unexpected outcome — model drifted, check calibration.");
+    }
+}

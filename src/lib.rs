@@ -1,0 +1,22 @@
+//! Workspace root crate for the Lumina reproduction.
+//!
+//! This crate re-exports the public surface of every sub-crate so that the
+//! examples and integration tests in this repository (and downstream users
+//! who just want "all of Lumina") can depend on a single crate.
+//!
+//! The individual crates are:
+//!
+//! * [`lumina_packet`] — RoCEv2 wire formats (Ethernet/IPv4/UDP/IB BTH/…).
+//! * [`lumina_sim`] — the deterministic discrete-event simulation engine.
+//! * [`lumina_rnic`] — behavioral models of the four RNICs under test.
+//! * [`lumina_switch`] — the programmable-switch event injector.
+//! * [`lumina_dumper`] — the traffic-dumper pool and trace reconstruction.
+//! * [`lumina_gen`] — the verbs-style traffic generator.
+//! * [`lumina_core`] — orchestrator, analyzers, integrity checks and fuzzer.
+pub use lumina_core as core;
+pub use lumina_dumper as dumper;
+pub use lumina_gen as gen;
+pub use lumina_packet as packet;
+pub use lumina_rnic as rnic;
+pub use lumina_sim as sim;
+pub use lumina_switch as switch;

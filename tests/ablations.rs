@@ -1,0 +1,46 @@
+//! Ablation shape tests: each modeled quirk is causally responsible for
+//! its bug — fixing the knob fixes the symptom, and the symptom scales
+//! with the knob.
+
+use lumina_bench::ablations;
+
+#[test]
+fn ets_work_conservation_fix_recovers_bandwidth() {
+    let fix = ablations::ets_fix(3);
+    // Stock CX6 Dx pins QP1 near its guarantee even with QP0 slowed…
+    assert!(
+        fix.stock_qp1_gbps < fix.vanilla_qp1_gbps * 1.15,
+        "stock {} vs vanilla {}",
+        fix.stock_qp1_gbps,
+        fix.vanilla_qp1_gbps
+    );
+    // …while the work-conservation fix lets it absorb the spare bandwidth.
+    assert!(
+        fix.fixed_qp1_gbps > fix.vanilla_qp1_gbps * 1.1,
+        "fixed {} vs vanilla {}",
+        fix.fixed_qp1_gbps,
+        fix.vanilla_qp1_gbps
+    );
+}
+
+#[test]
+fn recovery_context_pool_controls_the_noisy_neighbor_cliff() {
+    let sweep = ablations::context_sweep(&[8, 16]);
+    let small = &sweep[0];
+    let large = &sweep[1];
+    // 12 concurrent drops overflow 8 contexts…
+    assert!(small.rx_discards > 0, "{small:?}");
+    assert!(small.innocent_mct_ms > 1.0, "{small:?}");
+    // …but fit in 16: innocent flows untouched.
+    assert_eq!(large.rx_discards, 0, "{large:?}");
+    assert!(large.innocent_mct_ms < 1.0, "{large:?}");
+}
+
+#[test]
+fn apm_queue_capacity_controls_interop_discards() {
+    let sweep = ablations::apm_sweep(&[256, 4096]);
+    assert!(sweep[0].rx_discards > 0, "{:?}", sweep[0]);
+    assert_eq!(sweep[1].rx_discards, 0, "{:?}", sweep[1]);
+    // Monotone: more capacity, fewer discards.
+    assert!(sweep[0].rx_discards > sweep[1].rx_discards);
+}

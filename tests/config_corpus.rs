@@ -1,0 +1,59 @@
+//! Every shipped preset in `configs/` must parse, validate, and — except
+//! the deliberately heavy ones — run green end to end.
+
+use lumina_core::config::TestConfig;
+use lumina_core::orchestrator::run_test;
+
+fn corpus() -> Vec<(String, TestConfig)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/configs");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("configs/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("yaml") {
+            continue;
+        }
+        let yaml = std::fs::read_to_string(&path).unwrap();
+        let cfg = TestConfig::from_yaml(&yaml)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        out.push((path.file_name().unwrap().to_string_lossy().into_owned(), cfg));
+    }
+    assert!(out.len() >= 8, "corpus shrank: {}", out.len());
+    out
+}
+
+#[test]
+fn all_presets_parse_and_validate() {
+    for (name, cfg) in corpus() {
+        let problems = cfg.validate();
+        assert!(problems.is_empty(), "{name}: {problems:?}");
+    }
+}
+
+#[test]
+fn light_presets_run_green() {
+    // The noisy-neighbor preset runs hundreds of ms of simulated
+    // collapse; exclude it here (its behavior is asserted in
+    // tests/figures_shape.rs) and run everything else end to end.
+    for (name, cfg) in corpus() {
+        if name == "fig11_noisy_neighbor.yaml" || name == "fig10_ets_bug.yaml" {
+            continue;
+        }
+        let res = run_test(&cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(res.traffic_completed(), "{name}: traffic incomplete");
+        assert!(res.integrity.passed(), "{name}: {:?}", res.integrity);
+    }
+}
+
+#[test]
+fn listing2_preset_reproduces_its_events() {
+    let yaml = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/configs/listing2.yaml"
+    ))
+    .unwrap();
+    let res = run_test(&TestConfig::from_yaml(&yaml).unwrap()).unwrap();
+    assert_eq!(res.events_fired, 3);
+    assert_eq!(res.switch_counters.injected_ecn, 1);
+    assert_eq!(res.switch_counters.injected_drops, 2);
+    assert_eq!(res.responder_counters.np_cnp_sent, 1);
+}

@@ -1,0 +1,192 @@
+//! End-to-end orchestrator tests: Table-1 result collection, determinism,
+//! and integrity across verbs and NIC models.
+
+use lumina_core::config::TestConfig;
+use lumina_core::orchestrator::run_test;
+
+fn cfg(nic: &str, verb: &str, events: &str) -> TestConfig {
+    TestConfig::from_yaml(&format!(
+        r#"
+requester: {{ nic-type: {nic} }}
+responder: {{ nic-type: {nic} }}
+traffic:
+  num-connections: 2
+  rdma-verb: {verb}
+  num-msgs-per-qp: 3
+  mtu: 1024
+  message-size: 10240
+  data-pkt-events:{events}
+"#
+    ))
+    .unwrap()
+}
+
+#[test]
+fn clean_runs_complete_for_all_nics_and_verbs() {
+    for nic in ["cx4", "cx5", "cx6", "e810"] {
+        for verb in ["write", "read", "send"] {
+            let res = run_test(&cfg(nic, verb, " []")).unwrap();
+            assert!(res.traffic_completed(), "{nic}/{verb}");
+            assert!(res.integrity.passed(), "{nic}/{verb}: {:?}", res.integrity);
+            assert!(res.outcome.is_quiescent(), "{nic}/{verb}");
+            // 2 QPs × 3 msgs × 10 KB.
+            let bytes: u64 = res
+                .requester_metrics
+                .flows
+                .values()
+                .map(|f| f.bytes)
+                .sum();
+            assert_eq!(bytes, 2 * 3 * 10_240, "{nic}/{verb}");
+            assert_eq!(res.requester_counters.retransmitted_packets, 0);
+        }
+    }
+}
+
+#[test]
+fn table1_results_all_collected() {
+    // Table 1: dumped packets, network stack counters, traffic generator
+    // log, switch counters.
+    let res = run_test(&cfg(
+        "cx5",
+        "write",
+        "\n    - {qpn: 1, psn: 5, type: drop, iter: 1}",
+    ))
+    .unwrap();
+    // Dumped packets.
+    let trace = res.trace.as_ref().expect("trace present");
+    assert!(trace.len() > 60);
+    // NIC counters, vendor naming.
+    assert!(res.requester_vendor_counters.contains_key("packet_seq_err"));
+    assert!(res.responder_vendor_counters.contains_key("out_of_sequence"));
+    assert_eq!(res.responder_vendor_counters["out_of_sequence"], 5);
+    // Generator log.
+    assert_eq!(res.requester_metrics.flows.len(), 2);
+    assert!(res.requester_metrics.avg_mct().is_some());
+    // Switch counters, per port.
+    assert!(res.switch_counters.roce_rx_total > 0);
+    assert_eq!(res.switch_counters.injected_drops, 1);
+    assert!(!res.switch_counters.ports.is_empty());
+    let mirrored_ports: u64 = res
+        .switch_counters
+        .ports
+        .values()
+        .map(|p| p.mirrored)
+        .sum();
+    assert_eq!(mirrored_ports, res.switch_counters.mirrored_total);
+    // JSON report round-trips.
+    let report = res.report_json();
+    assert_eq!(report["integrity_passed"], true);
+    assert_eq!(report["events_fired"], 1);
+}
+
+#[test]
+fn same_seed_reproduces_identical_traces() {
+    let run = || {
+        let res = run_test(&cfg(
+            "cx6",
+            "read",
+            "\n    - {qpn: 2, psn: 4, type: drop, iter: 1}",
+        ))
+        .unwrap();
+        res.trace
+            .unwrap()
+            .iter()
+            .map(|e| (e.seq, e.timestamp.as_nanos(), e.frame.bth.psn, e.frame.bth.opcode.value()))
+            .collect::<Vec<_>>()
+    };
+    let a = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, run());
+}
+
+#[test]
+fn different_seeds_randomize_qpns_and_psns() {
+    let mut c1 = cfg("cx5", "write", " []");
+    let mut c2 = cfg("cx5", "write", " []");
+    c1.network.seed = 1;
+    c2.network.seed = 2;
+    let r1 = run_test(&c1).unwrap();
+    let r2 = run_test(&c2).unwrap();
+    // QPNs and IPSNs are generated at runtime from the seed (§3.2).
+    assert_ne!(
+        (r1.conns[0].requester.qpn, r1.conns[0].requester.ipsn),
+        (r2.conns[0].requester.qpn, r2.conns[0].requester.ipsn)
+    );
+    // Both still pass integrity and complete.
+    assert!(r1.integrity.passed() && r2.integrity.passed());
+}
+
+#[test]
+fn heterogeneous_nics_work() {
+    let yaml = r#"
+requester: { nic-type: cx5 }
+responder: { nic-type: e810 }
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 2
+  mtu: 1024
+  message-size: 4096
+"#;
+    let res = run_test(&TestConfig::from_yaml(yaml).unwrap()).unwrap();
+    assert!(res.traffic_completed());
+    // Vendor views differ per side.
+    assert!(res.requester_vendor_counters.contains_key("np_cnp_sent"));
+    assert!(res.responder_vendor_counters.contains_key("cnpSent"));
+}
+
+#[test]
+fn invalid_config_rejected_with_reasons() {
+    let mut c = cfg("cx5", "write", " []");
+    c.traffic.rdma_verb = "teleport".into();
+    let err = match run_test(&c) {
+        Err(e) => e,
+        Ok(_) => panic!("invalid config must be rejected"),
+    };
+    assert!(err.contains("rdma-verb"), "{err}");
+}
+
+#[test]
+fn mtu_variants_complete() {
+    for mtu in [256u32, 512, 1024, 4096] {
+        let mut c = cfg("cx5", "write", " []");
+        c.traffic.mtu = mtu;
+        let res = run_test(&c).unwrap();
+        assert!(res.traffic_completed(), "mtu {mtu}");
+        assert!(res.integrity.passed(), "mtu {mtu}");
+    }
+}
+
+#[test]
+fn barrier_sync_rounds_complete_in_lockstep() {
+    let yaml = r#"
+requester: { nic-type: cx5 }
+responder: { nic-type: cx5 }
+traffic:
+  num-connections: 4
+  rdma-verb: write
+  num-msgs-per-qp: 5
+  mtu: 1024
+  message-size: 10240
+  barrier-sync: true
+"#;
+    let res = run_test(&TestConfig::from_yaml(yaml).unwrap()).unwrap();
+    assert!(res.traffic_completed());
+    for f in res.requester_metrics.flows.values() {
+        assert_eq!(f.completed, 5);
+    }
+}
+
+#[test]
+fn unfired_events_reported() {
+    // An event aimed at a retransmission that never happens stays unfired.
+    let res = run_test(&cfg(
+        "cx5",
+        "write",
+        "\n    - {qpn: 1, psn: 5, type: drop, iter: 9}",
+    ))
+    .unwrap();
+    assert_eq!(res.events_fired, 0);
+    assert_eq!(res.events_unfired, 1);
+    assert_eq!(res.requester_counters.retransmitted_packets, 0);
+}
