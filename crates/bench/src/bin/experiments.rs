@@ -34,7 +34,7 @@ fn main() {
     if want("fig03") {
         let f = fig03_iter::run();
         if json {
-            out.insert("fig03".into(), serde_json::to_value(&f).unwrap());
+            out.insert("fig03", serde_json::to_value(&f).unwrap());
         } else {
             fig03_iter::print(&f);
         }
@@ -42,7 +42,7 @@ fn main() {
     if want("fig07") {
         let f = fig07_overhead::run_with_msgs(if quick { 100 } else { 1000 });
         if json {
-            out.insert("fig07".into(), serde_json::to_value(&f).unwrap());
+            out.insert("fig07", serde_json::to_value(&f).unwrap());
         } else {
             fig07_overhead::print(&f);
         }
@@ -50,7 +50,7 @@ fn main() {
     if want("fig08") || want("fig09") {
         let f = fig08_09_retrans::run();
         if json {
-            out.insert("fig08_09".into(), serde_json::to_value(&f).unwrap());
+            out.insert("fig08_09", serde_json::to_value(&f).unwrap());
         } else {
             fig08_09_retrans::print(&f);
         }
@@ -58,7 +58,7 @@ fn main() {
     if want("fig10") {
         let f = fig10_ets::run_on("cx6", if quick { 5 } else { 20 });
         if json {
-            out.insert("fig10".into(), serde_json::to_value(&f).unwrap());
+            out.insert("fig10", serde_json::to_value(&f).unwrap());
         } else {
             fig10_ets::print(&f);
             let ablation = fig10_ets::run_on("cx5", if quick { 5 } else { 20 });
@@ -73,7 +73,7 @@ fn main() {
             fig11_noisy::run()
         };
         if json {
-            out.insert("fig11".into(), serde_json::to_value(&f).unwrap());
+            out.insert("fig11", serde_json::to_value(&f).unwrap());
         } else {
             fig11_noisy::print(&f);
         }
@@ -81,7 +81,7 @@ fn main() {
     if want("table2") {
         let t = table2_bugs::run();
         if json {
-            out.insert("table2".into(), serde_json::to_value(&t).unwrap());
+            out.insert("table2", serde_json::to_value(&t).unwrap());
         } else {
             table2_bugs::print(&t);
         }
@@ -89,7 +89,7 @@ fn main() {
     if want("interop") {
         let e = interop::run();
         if json {
-            out.insert("interop".into(), serde_json::to_value(&e).unwrap());
+            out.insert("interop", serde_json::to_value(&e).unwrap());
         } else {
             interop::print(&e);
         }
@@ -97,7 +97,7 @@ fn main() {
     if want("cnp") {
         let e = cnp_behavior::run();
         if json {
-            out.insert("cnp".into(), serde_json::to_value(&e).unwrap());
+            out.insert("cnp", serde_json::to_value(&e).unwrap());
         } else {
             cnp_behavior::print(&e);
         }
@@ -105,7 +105,7 @@ fn main() {
     if want("adaptive") {
         let e = adaptive_retrans::run();
         if json {
-            out.insert("adaptive".into(), serde_json::to_value(&e).unwrap());
+            out.insert("adaptive", serde_json::to_value(&e).unwrap());
         } else {
             adaptive_retrans::print(&e);
         }
@@ -113,7 +113,7 @@ fn main() {
     if want("sec34") {
         let e = sec34_dumper::run();
         if json {
-            out.insert("sec34".into(), serde_json::to_value(&e).unwrap());
+            out.insert("sec34", serde_json::to_value(&e).unwrap());
         } else {
             sec34_dumper::print(&e);
         }
@@ -121,13 +121,13 @@ fn main() {
     if want("ablations") {
         if json {
             let fix = ablations::ets_fix(5);
-            out.insert("ablation_ets_fix".into(), serde_json::to_value(&fix).unwrap());
+            out.insert("ablation_ets_fix", serde_json::to_value(&fix).unwrap());
             out.insert(
-                "ablation_contexts".into(),
+                "ablation_contexts",
                 serde_json::to_value(ablations::context_sweep(&[4, 8, 10, 16, 32])).unwrap(),
             );
             out.insert(
-                "ablation_apm".into(),
+                "ablation_apm",
                 serde_json::to_value(ablations::apm_sweep(&[128, 512, 1024, 2048, 4096]))
                     .unwrap(),
             );
@@ -138,7 +138,7 @@ fn main() {
     if want("sec5") {
         let r = sec5_switch::run();
         if json {
-            out.insert("sec5".into(), serde_json::to_value(&r).unwrap());
+            out.insert("sec5", serde_json::to_value(&r).unwrap());
         } else {
             sec5_switch::print(&r);
         }

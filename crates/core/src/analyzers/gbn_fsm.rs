@@ -145,7 +145,7 @@ fn analyze_conn(trace: &Trace, meta: &ConnMeta) -> ConnGbnReport {
                     }
                 }
             }
-            if max_data_psn_seen.map_or(true, |m| psn_distance(m, f.bth.psn) > 0) {
+            if max_data_psn_seen.is_none_or(|m| psn_distance(m, f.bth.psn) > 0) {
                 max_data_psn_seen = Some(f.bth.psn);
             }
 
@@ -168,12 +168,11 @@ fn analyze_conn(trace: &Trace, meta: &ConnMeta) -> ConnGbnReport {
                     rep.in_order += 1;
                     in_episode = false;
                     nack_sent_in_episode = false;
-                } else if d > 0 {
-                    if !in_episode {
+                } else if d > 0
+                    && !in_episode {
                         in_episode = true;
                         rep.ooo_episodes += 1;
                     }
-                }
                 // d < 0: duplicate, no state change.
             }
         } else if is_reverse_of_conn {

@@ -5,7 +5,12 @@
 //! lumina-cli test.yaml --json          # print the JSON report instead
 //! lumina-cli test.yaml --pcap out.pcap # also write the trace as pcap
 //! lumina-cli --validate test.yaml      # check the config, run nothing
+//! lumina-cli telemetry --config test.yaml   # event journal + metrics
 //! ```
+//!
+//! The `telemetry` subcommand prints the structured event journal (JSONL)
+//! followed by the per-node metric registry to stdout — both byte-identical
+//! across same-seed runs — and the wall-clock self-profile to stderr.
 //!
 //! Exit codes: 0 success, 1 test ran but failed (integrity or incomplete
 //! traffic), 2 usage/configuration error.
@@ -15,8 +20,119 @@ use lumina_core::config::TestConfig;
 use lumina_core::orchestrator::run_test;
 use std::process::ExitCode;
 
+/// Load and validate a config file, reporting errors the CLI way.
+fn load_config(path: &str) -> Result<TestConfig, ExitCode> {
+    let yaml = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let cfg = match TestConfig::from_yaml(&yaml) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {path} does not parse: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let problems = cfg.validate();
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("config error: {p}");
+        }
+        return Err(ExitCode::from(2));
+    }
+    Ok(cfg)
+}
+
+/// Flatten one metrics subtree into `section.name : value` table lines.
+fn print_metric_rows(prefix: &str, v: &serde_json::Value, indent: usize) {
+    match v {
+        serde_json::Value::Object(m) => {
+            for (k, val) in m {
+                let key = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                print_metric_rows(&key, val, indent);
+            }
+        }
+        other => println!("{:indent$}{prefix:<44} : {other}", ""),
+    }
+}
+
+/// `lumina-cli telemetry --config <test.yaml>`: run the test and dump the
+/// journal + registry (stdout, deterministic) and self-profile (stderr).
+fn telemetry_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args
+        .iter()
+        .position(|a| a == "--config")
+        .and_then(|i| args.get(i + 1))
+    else {
+        eprintln!("usage: lumina-cli telemetry --config <test.yaml>");
+        return ExitCode::from(2);
+    };
+    let cfg = match load_config(path) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let results = match run_test(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: run failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let tel = &results.telemetry;
+    // 1. The structured event journal, one JSON object per line.
+    print!("{}", tel.journal_jsonl());
+
+    // 2. Per-node metric registry as an aligned table.
+    let snap = tel.deterministic_snapshot();
+    println!("--- metrics ---");
+    if let Some(global) = snap.get("global").and_then(|g| g.as_object()) {
+        for (kind, set) in global {
+            println!("global [{kind}]");
+            print_metric_rows("", set, 2);
+        }
+    }
+    if let Some(nodes) = snap.get("nodes").and_then(|n| n.as_object()) {
+        for (node, sections) in nodes {
+            let Some(sections) = sections.as_object() else {
+                continue;
+            };
+            for (kind, set) in sections {
+                println!("node {node} [{kind}]");
+                print_metric_rows("", set, 2);
+            }
+        }
+    }
+    if let Some(dropped) = snap
+        .get("journal")
+        .and_then(|j| j.get("dropped"))
+        .and_then(|d| d.as_u64())
+    {
+        if dropped > 0 {
+            println!("journal dropped : {dropped} (ring full)");
+        }
+    }
+
+    // 3. Wall-clock self-profile — non-deterministic, so stderr only.
+    tel.with_profile(|p| p.finish());
+    let profile = tel.with_profile(|p| p.to_json());
+    eprintln!("self-profile: {}", serde_json::to_string(&profile).unwrap());
+
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("telemetry") {
+        return telemetry_cmd(&args[1..]);
+    }
     let json = args.iter().any(|a| a == "--json");
     let validate_only = args.iter().any(|a| a == "--validate");
     let pcap_path = args
@@ -28,8 +144,7 @@ fn main() -> ExitCode {
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            !a.starts_with("--")
-                && !(*i > 0 && args[i - 1] == "--pcap")
+            !a.starts_with("--") && (*i == 0 || args[i - 1] != "--pcap")
         })
         .map(|(_, a)| a.clone());
     let Some(path) = positional.next() else {
@@ -37,27 +152,10 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let yaml = match std::fs::read_to_string(&path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let cfg = match TestConfig::from_yaml(&yaml) {
+    let cfg = match load_config(&path) {
         Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: {path} does not parse: {e}");
-            return ExitCode::from(2);
-        }
+        Err(code) => return code,
     };
-    let problems = cfg.validate();
-    if !problems.is_empty() {
-        for p in &problems {
-            eprintln!("config error: {p}");
-        }
-        return ExitCode::from(2);
-    }
     if validate_only {
         println!("{path}: configuration valid");
         return ExitCode::SUCCESS;

@@ -227,8 +227,10 @@ impl Default for EtsSection {
 /// Which switch program runs — the Figure 7 variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "kebab-case")]
+#[derive(Default)]
 pub enum SwitchMode {
     /// Full Lumina: injection + mirroring.
+    #[default]
     Lumina,
     /// Lumina without mirroring ("Lumina-nm").
     LuminaNm,
@@ -238,11 +240,6 @@ pub enum SwitchMode {
     L2Forward,
 }
 
-impl Default for SwitchMode {
-    fn default() -> Self {
-        SwitchMode::Lumina
-    }
-}
 
 /// The simulated substrate (our stand-in for the physical testbed).
 #[derive(Debug, Clone, Serialize, Deserialize)]

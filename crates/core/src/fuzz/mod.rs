@@ -120,7 +120,7 @@ where
             cfg: cand,
             score: s,
         };
-        if outcome.best.as_ref().map_or(true, |b| s > b.score) {
+        if outcome.best.as_ref().is_none_or(|b| s > b.score) {
             outcome.best = Some(scored.clone());
         }
         if s >= params.anomaly_threshold {

@@ -14,7 +14,7 @@ use lumina_rnic::counters::Counters;
 use lumina_rnic::ets::{EtsConfig, TcConfig};
 use lumina_rnic::qp::{QpConfig, QpEndpoint};
 use lumina_rnic::Rnic;
-use lumina_sim::{Engine, EngineStats, PortId, RunOutcome, SimTime};
+use lumina_sim::{Engine, EngineStats, PortId, RunOutcome, SimTime, Telemetry};
 use lumina_switch::device::{MirrorMode, SwitchConfig, SwitchCounters, SwitchNode};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
@@ -60,6 +60,9 @@ pub struct TestResults {
     pub outcome: RunOutcome,
     /// Engine statistics.
     pub engine_stats: EngineStats,
+    /// Telemetry sink the run recorded into: structured event journal,
+    /// per-node metric registry and the wall-clock self-profile.
+    pub telemetry: Telemetry,
 }
 
 impl TestResults {
@@ -85,7 +88,7 @@ impl TestResults {
             end_time_ns: u64,
             traffic_completed: bool,
         }
-        serde_json::to_value(Summary {
+        let mut report = serde_json::to_value(Summary {
             integrity_passed: self.integrity.passed(),
             integrity: &self.integrity,
             trace_packets: self.trace.as_ref().map_or(0, |t| t.len()),
@@ -99,7 +102,11 @@ impl TestResults {
             end_time_ns: self.end_time.as_nanos(),
             traffic_completed: self.traffic_completed(),
         })
-        .expect("summary serializes")
+        .expect("summary serializes");
+        // The deterministic view only: the self-profile holds wall-clock
+        // numbers, which would make same-seed reports differ byte-for-byte.
+        report["telemetry"] = self.telemetry.deterministic_snapshot();
+        report
     }
 }
 
@@ -115,6 +122,8 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, String> {
     let rsp_profile = cfg.responder.resolved_profile().unwrap();
 
     let mut eng = Engine::new(cfg.network.seed);
+    let tel = Telemetry::enabled();
+    eng.set_telemetry(tel.clone());
 
     // ---- Runtime metadata (the generators' random QPNs/PSNs, §3.2) ----
     let ets_cfg = EtsConfig {
@@ -303,7 +312,7 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, String> {
     eng.schedule_timer(req_id, SimTime::from_micros(1), HostNode::start_token());
     let outcome = eng.run(Some(SimTime::from_millis(cfg.network.horizon_ms)));
     let end_time = outcome.end_time();
-    let engine_stats = eng.stats();
+    let engine_stats = *eng.stats();
 
     // ---- Collect (Table 1) ----
     let req_any: Box<dyn std::any::Any> = eng.remove_node(req_id);
@@ -329,6 +338,17 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, String> {
     let rsp_counters = rsp_host.rnic.counters.clone();
     let requester_metrics = req_metrics.borrow().clone();
     let responder_metrics = rsp_metrics.borrow().clone();
+
+    // Fold every component's counter struct into the registry through the
+    // one shared MetricSet path, keyed by simulation node id.
+    tel.record_metric_set(req_id.0 as u32, &req_counters);
+    tel.record_metric_set(req_id.0 as u32, &requester_metrics);
+    tel.record_metric_set(rsp_id.0 as u32, &rsp_counters);
+    tel.record_metric_set(rsp_id.0 as u32, &responder_metrics);
+    tel.record_metric_set(sw_id.0 as u32, &sw.counters);
+    for (i, h) in dumper_handles.iter().enumerate() {
+        tel.record_metric_set(3 + i as u32, &*h.borrow());
+    }
     Ok(TestResults {
         cfg: cfg.clone(),
         conns,
@@ -347,5 +367,6 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, String> {
         end_time,
         outcome,
         engine_stats,
+        telemetry: tel,
     })
 }

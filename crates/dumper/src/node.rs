@@ -3,6 +3,7 @@
 use crate::trace::CapturedPacket;
 use bytes::Bytes;
 use lumina_sim::{Node, NodeCtx, PortId, SimTime};
+use lumina_telemetry::{tev, MetricSet};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -48,6 +49,31 @@ pub struct CaptureState {
     pub rx_discards: u64,
     /// Packets fully processed per core (service accounting).
     pub per_core_processed: Vec<u64>,
+}
+
+impl MetricSet for CaptureState {
+    fn metric_kind(&self) -> &'static str {
+        "dumper"
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        let mut m = serde_json::Map::new();
+        m.insert(
+            "packets_captured",
+            serde_json::Value::from(self.packets.len() as u64),
+        );
+        m.insert("rx_discards", serde_json::Value::from(self.rx_discards));
+        m.insert(
+            "per_core_processed",
+            serde_json::Value::Array(
+                self.per_core_processed
+                    .iter()
+                    .map(|&c| serde_json::Value::from(c))
+                    .collect(),
+            ),
+        );
+        serde_json::Value::Object(m)
+    }
 }
 
 /// Create an empty capture handle.
@@ -129,6 +155,14 @@ impl Node for DumperNode {
         let core = &mut self.cores[core_idx];
         if core.ring.len() >= self.cfg.ring_capacity {
             self.out.borrow_mut().rx_discards += 1;
+            tev!(
+                ctx.telemetry(),
+                ctx.now().as_nanos(),
+                ctx.telemetry_node(),
+                "dumper",
+                "ring.drop",
+                core = core_idx,
+            );
             return;
         }
         core.ring.push_back((ctx.now(), frame));

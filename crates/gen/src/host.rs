@@ -7,6 +7,7 @@ use bytes::Bytes;
 use lumina_rnic::verbs::{Completion, CompletionStatus, WorkRequest};
 use lumina_rnic::{Action, Rnic};
 use lumina_sim::{Node, NodeCtx, PortId, SimTime};
+use lumina_telemetry::tev;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Timer-token kind bytes ≥ 100 belong to the host application; the rest
@@ -100,6 +101,15 @@ impl HostNode {
         START_TOKEN
     }
 
+    /// Hand the RNIC the engine's telemetry sink the first time this node
+    /// runs with one attached (the device model itself is engine-agnostic).
+    fn wire_telemetry(&mut self, ctx: &NodeCtx<'_>) {
+        if ctx.telemetry().is_enabled() && !self.rnic.telemetry().is_enabled() {
+            self.rnic
+                .set_telemetry(ctx.telemetry().clone(), ctx.telemetry_node());
+        }
+    }
+
     fn apply_actions(&mut self, actions: Vec<Action>, ctx: &mut NodeCtx<'_>) {
         let mut queue: VecDeque<Action> = actions.into();
         while let Some(act) = queue.pop_front() {
@@ -107,7 +117,7 @@ impl HostNode {
                 Action::Emit(frame) => ctx.send(PortId(0), frame),
                 Action::ArmTimer { at, token } => ctx.set_timer_at(at.max(ctx.now()), token),
                 Action::Complete(c) => {
-                    let more = self.on_completion(c, ctx.now());
+                    let more = self.on_completion(c, ctx);
                     queue.extend(more);
                 }
             }
@@ -173,7 +183,8 @@ impl HostNode {
         out
     }
 
-    fn on_completion(&mut self, c: Completion, now: SimTime) -> Vec<Action> {
+    fn on_completion(&mut self, c: Completion, ctx: &mut NodeCtx<'_>) -> Vec<Action> {
+        let now = ctx.now();
         if c.is_recv {
             // Responder-side receive completion: account bytes only.
             return Vec::new();
@@ -192,7 +203,10 @@ impl HostNode {
                     fm.completed += 1;
                     fm.bytes += c.len as u64;
                     if let Some(p) = post_time {
-                        fm.mcts.push(c.time.saturating_since(p));
+                        let mct = c.time.saturating_since(p);
+                        fm.mcts.push(mct);
+                        ctx.telemetry()
+                            .record_hist(ctx.telemetry_node(), "mct_ns", mct.as_nanos());
                     }
                     fm.last_completion = Some(c.time);
                 }
@@ -200,8 +214,30 @@ impl HostNode {
                     flow.failed += 1;
                     fm.failed += 1;
                     fm.last_completion = Some(c.time);
+                    tev!(
+                        ctx.telemetry(),
+                        now.as_nanos(),
+                        ctx.telemetry_node(),
+                        "gen",
+                        "msg.failed",
+                        qpn = c.qpn,
+                        wr_id = c.wr_id,
+                    );
                 }
             }
+        }
+        let flow = &self.flows[&c.qpn];
+        if flow.completed + flow.failed == flow.plan.num_msgs {
+            tev!(
+                ctx.telemetry(),
+                now.as_nanos(),
+                ctx.telemetry_node(),
+                "gen",
+                "flow.done",
+                qpn = c.qpn,
+                completed = flow.completed,
+                failed = flow.failed,
+            );
         }
         let mut out = self.fill_pipeline(now);
         // Check global completion.
@@ -215,18 +251,20 @@ impl HostNode {
                 m.all_done_at = Some(now);
             }
         }
-        out.drain(..).collect()
+        std::mem::take(&mut out)
     }
 }
 
 impl Node for HostNode {
     fn on_frame(&mut self, _port: PortId, frame: Bytes, ctx: &mut NodeCtx<'_>) {
+        self.wire_telemetry(ctx);
         let now = ctx.now();
         let actions = self.rnic.on_frame(frame, now);
         self.apply_actions(actions, ctx);
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx<'_>) {
+        self.wire_telemetry(ctx);
         let now = ctx.now();
         if token == START_TOKEN {
             if self.role_is_requester {

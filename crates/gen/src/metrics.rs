@@ -1,6 +1,7 @@
 //! Application-level metrics: goodput and message completion times.
 
 use lumina_sim::SimTime;
+use lumina_telemetry::MetricSet;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -53,6 +54,16 @@ pub struct GenMetrics {
     pub all_done_at: Option<SimTime>,
 }
 
+impl MetricSet for GenMetrics {
+    fn metric_kind(&self) -> &'static str {
+        "gen"
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("GenMetrics serializes")
+    }
+}
+
 impl GenMetrics {
     /// Aggregate goodput across flows over the common active interval.
     pub fn total_goodput_gbps(&self) -> f64 {
@@ -101,17 +112,21 @@ mod tests {
 
     #[test]
     fn goodput_math() {
-        let mut f = FlowMetrics::default();
-        f.first_post = Some(SimTime::ZERO);
-        f.last_completion = Some(SimTime::from_micros(8));
-        f.bytes = 100_000; // 100 KB in 8 µs = 100 Gbps
+        let f = FlowMetrics {
+            first_post: Some(SimTime::ZERO),
+            last_completion: Some(SimTime::from_micros(8)),
+            bytes: 100_000, // 100 KB in 8 µs = 100 Gbps
+            ..FlowMetrics::default()
+        };
         assert!((f.goodput_gbps() - 100.0).abs() < 0.1);
     }
 
     #[test]
     fn avg_mct() {
-        let mut f = FlowMetrics::default();
-        f.mcts = vec![SimTime::from_micros(10), SimTime::from_micros(20)];
+        let f = FlowMetrics {
+            mcts: vec![SimTime::from_micros(10), SimTime::from_micros(20)],
+            ..FlowMetrics::default()
+        };
         assert_eq!(f.avg_mct(), Some(SimTime::from_micros(15)));
         assert_eq!(FlowMetrics::default().avg_mct(), None);
     }
@@ -120,10 +135,12 @@ mod tests {
     fn aggregate_over_flows() {
         let mut g = GenMetrics::default();
         for q in 0..2u32 {
-            let mut f = FlowMetrics::default();
-            f.first_post = Some(SimTime::ZERO);
-            f.last_completion = Some(SimTime::from_micros(8));
-            f.bytes = 50_000;
+            let f = FlowMetrics {
+                first_post: Some(SimTime::ZERO),
+                last_completion: Some(SimTime::from_micros(8)),
+                bytes: 50_000,
+                ..FlowMetrics::default()
+            };
             g.flows.insert(q, f);
         }
         assert!((g.total_goodput_gbps() - 100.0).abs() < 0.1);

@@ -8,6 +8,7 @@
 //! assert the divergence, exactly the way Lumina infers it from the trace).
 
 use crate::profile::{CounterBugs, Vendor};
+use lumina_telemetry::MetricSet;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -57,6 +58,16 @@ pub struct Counters {
     pub truth_cnp_sent: u64,
     /// Shadow truth for `implied_nak_seq_err`.
     pub truth_implied_nak_seq_err: u64,
+}
+
+impl MetricSet for Counters {
+    fn metric_kind(&self) -> &'static str {
+        "rnic"
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("Counters serializes")
+    }
 }
 
 impl Counters {
@@ -158,9 +169,11 @@ mod tests {
 
     #[test]
     fn vendor_views_use_vendor_names() {
-        let mut c = Counters::default();
-        c.np_cnp_sent = 3;
-        c.out_of_sequence = 7;
+        let c = Counters {
+            np_cnp_sent: 3,
+            out_of_sequence: 7,
+            ..Counters::default()
+        };
         let nv = c.vendor_view(Vendor::Nvidia);
         assert_eq!(nv["np_cnp_sent"], 3);
         assert_eq!(nv["out_of_sequence"], 7);

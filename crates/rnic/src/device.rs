@@ -23,6 +23,7 @@ use lumina_packet::opcode::{read_response_opcode, send_opcode, write_opcode, Opc
 use lumina_packet::reth::Reth;
 use lumina_packet::{Aeth, Ecn, MacAddr};
 use lumina_sim::SimTime;
+use lumina_telemetry::{tev, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Effects the device asks its host to carry out.
@@ -101,6 +102,10 @@ pub struct Rnic {
     apm_queue: VecDeque<Bytes>,
     apm_busy: bool,
     next_qpn: u32,
+    /// Telemetry sink (disabled until the host adapter wires one in).
+    tel: Telemetry,
+    /// Simulation node id this device reports under.
+    tel_node: u32,
 }
 
 impl Rnic {
@@ -135,7 +140,22 @@ impl Rnic {
             apm_queue: VecDeque::new(),
             apm_busy: false,
             next_qpn: 0,
+            tel: Telemetry::disabled(),
+            tel_node: 0,
         }
+    }
+
+    /// Attach a telemetry sink; the device journals its decision points
+    /// (CNPs, timeouts, Go-back-N rollbacks, retransmissions) under
+    /// `node`.
+    pub fn set_telemetry(&mut self, tel: Telemetry, node: u32) {
+        self.tel = tel;
+        self.tel_node = node;
+    }
+
+    /// The attached telemetry sink (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Allocate a fresh QPN for this device, randomized the way real RNICs
@@ -277,9 +297,11 @@ impl Rnic {
         // APM slow path (§6.2.3): request packets carrying MigReq = 0 on an
         // unresolved connection queue behind a slow service loop; overflow
         // is discarded.
-        if self.profile.apm_slowpath_on_migreq0.is_some()
-            && !frame.bth.mig_req
-            && frame.bth.opcode.is_request()
+        if let Some(apm) = self
+            .profile
+            .apm_slowpath_on_migreq0
+            .as_ref()
+            .filter(|_| !frame.bth.mig_req && frame.bth.opcode.is_request())
         {
             let unresolved = self
                 .qps
@@ -287,7 +309,6 @@ impl Rnic {
                 .map(|qp| !qp.apm_resolved)
                 .unwrap_or(false);
             if unresolved {
-                let apm = self.profile.apm_slowpath_on_migreq0.as_ref().unwrap();
                 if self.apm_queue.len() >= apm.queue_capacity {
                     self.counters.rx_discards_phy += 1;
                 } else {
@@ -346,6 +367,7 @@ impl Rnic {
         let key = NotificationPoint::limiter_key(self.profile.cnp_mode, frame.ipv4.src, qpn);
         if self.np.on_ce_packet(key, now, interval) {
             self.counters.record_cnp_sent(&self.profile.counter_bugs);
+            tev!(self.tel, now.as_nanos(), self.tel_node, "rnic", "cnp.tx", qpn = qpn);
             let qp = &self.qps[&qpn];
             let mut cnp = cnp_frame(qp.cfg.local.ip, qp.cfg.remote.ip, qp.cfg.remote.qpn);
             cnp.eth.src = self.local_mac;
@@ -357,6 +379,7 @@ impl Rnic {
 
     fn rx_cnp(&mut self, qpn: u32, now: SimTime, actions: &mut Vec<Action>) {
         self.counters.rp_cnp_handled += 1;
+        tev!(self.tel, now.as_nanos(), self.tel_node, "rnic", "cnp.rx", qpn = qpn);
         let qp = self.qps.get_mut(&qpn).unwrap();
         if let Some(rp) = qp.rp.as_mut() {
             rp.on_cnp();
@@ -556,7 +579,7 @@ impl Rnic {
                 Some(AethSyndrome::Ack { .. }) => {
                     self.rx_ack(qpn, frame.bth.psn, now, actions);
                 }
-                Some(AethSyndrome::Nak(code)) if code == lumina_packet::NakCode::PsnSequenceError => {
+                Some(AethSyndrome::Nak(lumina_packet::NakCode::PsnSequenceError)) => {
                     self.rx_seq_nak(qpn, frame.bth.psn, now, actions);
                 }
                 _ => {}
@@ -769,6 +792,16 @@ impl Rnic {
                 if let Some(rewind) = qp.pending_rewind.take() {
                     if rewind < qp.send_ptr_lin {
                         qp.send_ptr_lin = rewind.max(qp.snd_una_lin);
+                        tev!(
+                            self.tel,
+                            now.as_nanos(),
+                            self.tel_node,
+                            "rnic",
+                            "gbn.rollback",
+                            qpn = qpn,
+                            to_lin = qp.send_ptr_lin,
+                            reason = "nack",
+                        );
                     }
                 }
                 self.tx_kick(now, &mut actions);
@@ -782,6 +815,16 @@ impl Rnic {
                     // Re-issue the read request from the first missing PSN.
                     if qp.snd_una_lin < qp.send_ptr_lin {
                         qp.send_ptr_lin = qp.snd_una_lin;
+                        tev!(
+                            self.tel,
+                            now.as_nanos(),
+                            self.tel_node,
+                            "rnic",
+                            "gbn.rollback",
+                            qpn = qpn,
+                            to_lin = qp.send_ptr_lin,
+                            reason = "read_ooo",
+                        );
                     }
                     self.tx_kick(now, &mut actions);
                 }
@@ -888,9 +931,19 @@ impl Rnic {
         }
         self.counters.local_ack_timeout_err += 1;
         qp.consecutive_timeouts += 1;
+        tev!(
+            self.tel,
+            now.as_nanos(),
+            self.tel_node,
+            "rnic",
+            "timeout",
+            qpn = qpn,
+            consecutive = qp.consecutive_timeouts,
+        );
         if qp.consecutive_timeouts > policy.effective_retry_limit() {
             // Retry exhaustion: QP to error, flush outstanding work.
             qp.state = QpState::Error;
+            tev!(self.tel, now.as_nanos(), self.tel_node, "rnic", "qp.error", qpn = qpn);
             qp.timeout_armed = false;
             for m in qp.msgs.iter_mut() {
                 if !m.completed {
@@ -934,6 +987,16 @@ impl Rnic {
         }
         // Go-back-N from the oldest unacknowledged PSN.
         qp.send_ptr_lin = qp.snd_una_lin;
+        tev!(
+            self.tel,
+            now.as_nanos(),
+            self.tel_node,
+            "rnic",
+            "gbn.rollback",
+            qpn = qpn,
+            to_lin = qp.snd_una_lin,
+            reason = "timeout",
+        );
         self.tx_kick(now, actions);
     }
 
@@ -1000,7 +1063,7 @@ impl Rnic {
         let Some(next) = self.next_tx_time(now) else {
             return;
         };
-        if self.tx_armed_at.map_or(true, |at| next < at) {
+        if self.tx_armed_at.is_none_or(|at| next < at) {
             self.tx_armed_at = Some(next);
             actions.push(Action::ArmTimer {
                 at: next,
@@ -1089,7 +1152,7 @@ impl Rnic {
                     let frame = if is_read_resp {
                         self.gen_read_resp_frame(qpn)
                     } else {
-                        self.gen_req_frame(qpn)
+                        self.gen_req_frame(qpn, now)
                     };
                     let line = lumina_packet::frame::line_occupancy_of(frame.len());
                     self.port_free = now + self.profile.port_bandwidth.serialization_time(line);
@@ -1114,13 +1177,22 @@ impl Rnic {
         self.tx_kick(now, actions);
     }
 
-    fn gen_req_frame(&mut self, qpn: u32) -> Bytes {
+    fn gen_req_frame(&mut self, qpn: u32, now: SimTime) -> Bytes {
         let qp = self.qps.get_mut(&qpn).unwrap();
         let lin = qp.send_ptr_lin;
         let m = *qp.msg_at(lin).expect("tx pointer outside any message");
         let idx = (lin - m.base_lin) as u32;
         if lin < qp.max_sent_lin {
             self.counters.retransmitted_packets += 1;
+            tev!(
+                self.tel,
+                now.as_nanos(),
+                self.tel_node,
+                "rnic",
+                "retransmit",
+                qpn = qpn,
+                lin = lin,
+            );
         }
         let qp = self.qps.get_mut(&qpn).unwrap();
         let mig = self.profile.mig_req_bit;

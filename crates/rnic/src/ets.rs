@@ -174,7 +174,7 @@ impl EtsScheduler {
             let s = &self.states[c.tc];
             if s.tokens >= c.size as f64 {
                 let surplus = s.tokens / s.burst_cap.max(1.0);
-                if best.map_or(true, |(_, b)| surplus > b) {
+                if best.is_none_or(|(_, b)| surplus > b) {
                     best = Some((i, surplus));
                 }
             }
@@ -227,7 +227,7 @@ impl EtsScheduler {
                     pacing.max(now + SimTime::from_nanos(wait_ns))
                 }
             };
-            if best.map_or(true, |b| t < b) {
+            if best.is_none_or(|b| t < b) {
                 best = Some(t);
             }
         }
@@ -333,7 +333,7 @@ mod tests {
     fn next_opportunity_accounts_for_tokens() {
         let mut s = sched(false);
         // Drain TC 0's bucket.
-        let mut now = SimTime::ZERO;
+        let now = SimTime::ZERO;
         loop {
             let cands = [cand(0)];
             if s.pick(now, &cands).is_none() {

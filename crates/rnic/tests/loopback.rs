@@ -454,9 +454,7 @@ fn read_response_drop_recovers_via_implied_nak() {
     // The re-issued request asks for the remaining bytes only.
     let last_req = p
         .trace
-        .iter()
-        .filter(|(_, f, _)| f.bth.opcode == lumina_packet::Opcode::RdmaReadRequest)
-        .next_back()
+        .iter().rfind(|(_, f, _)| f.bth.opcode == lumina_packet::Opcode::RdmaReadRequest)
         .unwrap();
     assert_eq!(last_req.1.ext.reth.unwrap().dma_len, 10_240 - 4 * 1024);
 }

@@ -5,6 +5,7 @@ use crate::rng::SimRng;
 use crate::time::{Bandwidth, SimTime};
 use crate::Node;
 use bytes::Bytes;
+use lumina_telemetry::{MetricSet, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -68,6 +69,16 @@ pub struct EngineStats {
     pub events: u64,
 }
 
+impl MetricSet for EngineStats {
+    fn metric_kind(&self) -> &'static str {
+        "engine"
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("EngineStats serializes")
+    }
+}
+
 /// How a run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RunOutcome {
@@ -113,6 +124,8 @@ pub struct Engine {
     links: HashMap<(NodeId, PortId), LinkState>,
     rng: SimRng,
     stats: EngineStats,
+    telemetry: Telemetry,
+    queue_hwm: usize,
     /// Safety valve against livelocked simulations.
     pub event_limit: u64,
 }
@@ -128,8 +141,23 @@ impl Engine {
             links: HashMap::new(),
             rng: SimRng::seed_from_u64(seed),
             stats: EngineStats::default(),
+            telemetry: Telemetry::disabled(),
+            queue_hwm: 0,
             event_limit: 500_000_000,
         }
+    }
+
+    /// Attach a telemetry sink. Nodes reach it through
+    /// [`NodeCtx::telemetry`]; the engine itself reports its stats and
+    /// queue high-water mark into it at the end of each run. The default
+    /// sink is disabled, making every recording call a cheap no-op.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry sink (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Current simulation time.
@@ -138,8 +166,8 @@ impl Engine {
     }
 
     /// Accumulated statistics.
-    pub fn stats(&self) -> EngineStats {
-        self.stats
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
     }
 
     /// Borrow the engine's root RNG (e.g. to fork node-local streams
@@ -199,6 +227,7 @@ impl Engine {
             node,
             kind,
         });
+        self.queue_hwm = self.queue_hwm.max(self.queue.len());
     }
 
     /// Schedule an initial timer for `node` at absolute time `at` — used
@@ -245,11 +274,20 @@ impl Engine {
                     now: self.now,
                     rng: &mut self.rng,
                     effects: &mut effects,
+                    telemetry: &self.telemetry,
                 };
                 node.on_finish(&mut ctx);
             }
             self.nodes[i] = Some(node);
             // Effects at finish are discarded by design: the run is over.
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry.record_global_set(&self.stats);
+            let (hwm, events) = (self.queue_hwm as u64, self.stats.events);
+            self.telemetry.with_profile(|p| {
+                p.queue_depth_hwm = p.queue_depth_hwm.max(hwm);
+                p.sim_events_dispatched = events;
+            });
         }
         outcome
     }
@@ -266,6 +304,7 @@ impl Engine {
                 now: self.now,
                 rng: &mut self.rng,
                 effects: &mut effects,
+                telemetry: &self.telemetry,
             };
             match ev.kind {
                 EventKind::FrameArrive { port, frame } => {
@@ -329,12 +368,24 @@ pub struct NodeCtx<'a> {
     now: SimTime,
     rng: &'a mut SimRng,
     effects: &'a mut Effects,
+    telemetry: &'a Telemetry,
 }
 
 impl NodeCtx<'_> {
     /// This node's id.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// The engine's telemetry sink (disabled unless the embedder
+    /// attached one via [`Engine::set_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.telemetry
+    }
+
+    /// This node's id as the plain integer telemetry uses.
+    pub fn telemetry_node(&self) -> u32 {
+        self.id.0 as u32
     }
 
     /// Current simulation time.
@@ -555,7 +606,7 @@ mod tests {
             );
             eng.schedule_timer(blaster, SimTime::ZERO, 0);
             let o = eng.run(None);
-            (eng.stats(), o.end_time())
+            (*eng.stats(), o.end_time())
         }
         assert_eq!(run_once(), run_once());
     }

@@ -29,6 +29,11 @@ pub use link::Link;
 pub use rng::SimRng;
 pub use time::{Bandwidth, SimTime};
 
+// Re-export the telemetry layer so embedders (orchestrator, node models)
+// reach the sink types through the same crate that hands them a `NodeCtx`.
+pub use lumina_telemetry as telemetry;
+pub use lumina_telemetry::{MetricSet, Telemetry};
+
 use bytes::Bytes;
 
 /// A simulated device attached to the network.

@@ -10,6 +10,7 @@ use bytes::Bytes;
 use lumina_packet::frame::RoceFrame;
 use lumina_packet::ipv4::Ecn;
 use lumina_sim::{Node, NodeCtx, PortId, SimTime};
+use lumina_telemetry::{tev, MetricSet};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -116,6 +117,16 @@ pub struct SwitchCounters {
     pub no_route: u64,
 }
 
+impl MetricSet for SwitchCounters {
+    fn metric_kind(&self) -> &'static str {
+        "switch"
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("SwitchCounters serializes")
+    }
+}
+
 /// A packet held back by a reorder or delay event.
 struct HeldPacket {
     conn: ConnKey,
@@ -198,7 +209,7 @@ impl SwitchNode {
             return;
         };
         let idx = match self.cfg.mirror_mode {
-            MirrorMode::Pool => wrr.next(),
+            MirrorMode::Pool => wrr.pick(),
             MirrorMode::PerIngressPort => ingress.0 % self.cfg.dumper_ports.len(),
         };
         let (port, _) = self.cfg.dumper_ports[idx];
@@ -211,6 +222,15 @@ impl SwitchNode {
         let seq = self.mirror_seq;
         self.mirror_seq += 1;
         mirror::embed(&mut copy, seq, ctx.now(), event, dport);
+        tev!(
+            ctx.telemetry(),
+            ctx.now().as_nanos(),
+            ctx.telemetry_node(),
+            "switch",
+            "mirror.emit",
+            seq = seq,
+            port = port.0,
+        );
         self.counters.mirrored_total += 1;
         self.port_counters(port).mirrored += 1;
         self.port_counters(port).tx += 1;
@@ -336,13 +356,46 @@ impl Node for SwitchNode {
                 dst_ip: frame.ipv4.dst,
                 dst_qpn: frame.bth.dest_qp,
             };
+            let prev_iter = self.iter.current_iter(&conn);
             let iter = self.iter.observe(conn, frame.bth.psn);
+            if iter != prev_iter {
+                tev!(
+                    ctx.telemetry(),
+                    ctx.now().as_nanos(),
+                    ctx.telemetry_node(),
+                    "switch",
+                    "iter.transition",
+                    qpn = conn.dst_qpn,
+                    psn = frame.bth.psn,
+                    iter = iter,
+                );
+            }
             if self.cfg.injection {
                 action = self.table.lookup(&InjectionKey {
                     conn,
                     psn: frame.bth.psn,
                     iter,
                 });
+            }
+            if let Some(a) = action {
+                let kind = match a {
+                    EventAction::Drop => "drop",
+                    EventAction::EcnMark => "ecn.mark",
+                    EventAction::Corrupt => "corrupt",
+                    EventAction::SetMigReq(_) => "migreq.rewrite",
+                    EventAction::Delay(_) => "delay",
+                    EventAction::Reorder(_) => "reorder",
+                };
+                tev!(
+                    ctx.telemetry(),
+                    ctx.now().as_nanos(),
+                    ctx.telemetry_node(),
+                    "switch",
+                    kind,
+                    qpn = conn.dst_qpn,
+                    psn = frame.bth.psn,
+                    iter = iter,
+                );
             }
         }
 
@@ -359,6 +412,15 @@ impl Node for SwitchNode {
         let Some(out) = self.forward_port(frame.ipv4.dst) else {
             if !matches!(decision, ForwardDecision::Dropped) {
                 self.counters.no_route += 1;
+                tev!(
+                    ctx.telemetry(),
+                    ctx.now().as_nanos(),
+                    ctx.telemetry_node(),
+                    "switch",
+                    "drop",
+                    reason = "no_route",
+                    psn = frame.bth.psn,
+                );
             }
             return;
         };
@@ -436,7 +498,6 @@ mod tests {
     /// dumper collector on port2.
     struct Rig {
         eng: Engine,
-        switch_id: lumina_sim::NodeId,
         host_rx: lumina_sim::testutil::Recording,
         dump_rx: lumina_sim::testutil::Recording,
     }
@@ -465,7 +526,6 @@ mod tests {
         eng.schedule_timer(script, SimTime::ZERO, Script::KICKOFF);
         Rig {
             eng,
-            switch_id,
             host_rx,
             dump_rx,
         }
@@ -502,7 +562,7 @@ mod tests {
         let plan = (0..5u32)
             .map(|i| (SimTime::from_micros(i as u64), data_frame(100 + i, 512)))
             .collect();
-        let mut r = rig(|_| {}, plan);
+        let r = rig(|_| {}, plan);
         // Install the drop via direct table access before running: rebuild
         // rig with a closure is not enough since table is inside the node;
         // so instead install through a pre-inserted table.

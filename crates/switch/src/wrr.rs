@@ -41,7 +41,7 @@ impl WeightedRoundRobin {
     }
 
     /// Pick the next member index.
-    pub fn next(&mut self) -> usize {
+    pub fn pick(&mut self) -> usize {
         let mut best = 0usize;
         for i in 0..self.weights.len() {
             self.current[i] += self.weights[i] as i64;
@@ -61,7 +61,7 @@ mod tests {
     #[test]
     fn equal_weights_alternate() {
         let mut w = WeightedRoundRobin::new(vec![1, 1]);
-        let picks: Vec<usize> = (0..6).map(|_| w.next()).collect();
+        let picks: Vec<usize> = (0..6).map(|_| w.pick()).collect();
         assert_eq!(picks.iter().filter(|&&p| p == 0).count(), 3);
         assert_eq!(picks.iter().filter(|&&p| p == 1).count(), 3);
         // Perfect alternation, no two consecutive picks equal.
@@ -73,7 +73,7 @@ mod tests {
     #[test]
     fn proportional_to_weights() {
         let mut w = WeightedRoundRobin::new(vec![3, 1]);
-        let picks: Vec<usize> = (0..400).map(|_| w.next()).collect();
+        let picks: Vec<usize> = (0..400).map(|_| w.pick()).collect();
         let zeros = picks.iter().filter(|&&p| p == 0).count();
         assert_eq!(zeros, 300);
     }
@@ -82,7 +82,7 @@ mod tests {
     fn smoothness() {
         // With weights 2:1:1, member 0 never appears three times in a row.
         let mut w = WeightedRoundRobin::new(vec![2, 1, 1]);
-        let picks: Vec<usize> = (0..100).map(|_| w.next()).collect();
+        let picks: Vec<usize> = (0..100).map(|_| w.pick()).collect();
         for window in picks.windows(3) {
             assert!(window.iter().any(|&p| p != 0), "{window:?}");
         }
@@ -92,7 +92,7 @@ mod tests {
     fn zero_weight_member_skipped() {
         let mut w = WeightedRoundRobin::new(vec![0, 5]);
         for _ in 0..10 {
-            assert_eq!(w.next(), 1);
+            assert_eq!(w.pick(), 1);
         }
     }
 

@@ -1,0 +1,217 @@
+//! Ring-buffered structured event journal.
+//!
+//! Each [`TelemetryEvent`] captures one decision point of the simulated
+//! testbed — a drop, an ECN mark, a CNP, a timeout, a go-back-N
+//! rollback, an iteration transition, a mirror emission — at a simulated
+//! timestamp. The journal is bounded: when full, the oldest events are
+//! evicted and counted in [`Journal::dropped`], so a pathological run
+//! cannot exhaust memory.
+
+use std::collections::VecDeque;
+
+/// One attribute value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer (PSNs, QPNs, byte counts…).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (rates, fractions).
+    F64(f64),
+    /// Text.
+    Str(String),
+    /// Flag.
+    Bool(bool),
+}
+
+macro_rules! attr_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for AttrValue {
+            fn from(v: $t) -> AttrValue { AttrValue::U64(v as u64) }
+        }
+    )*};
+}
+attr_from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! attr_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for AttrValue {
+            fn from(v: $t) -> AttrValue { AttrValue::I64(v as i64) }
+        }
+    )*};
+}
+attr_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> AttrValue {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> AttrValue {
+        AttrValue::Bool(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> AttrValue {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> AttrValue {
+        AttrValue::Str(v)
+    }
+}
+
+impl AttrValue {
+    /// Render as a JSON value.
+    pub fn to_json(&self) -> serde_json::Value {
+        match self {
+            AttrValue::U64(v) => serde_json::Value::from(*v),
+            AttrValue::I64(v) => serde_json::Value::from(*v),
+            AttrValue::F64(v) => serde_json::Value::from(*v),
+            AttrValue::Str(v) => serde_json::Value::String(v.clone()),
+            AttrValue::Bool(v) => serde_json::Value::Bool(*v),
+        }
+    }
+}
+
+/// One journal entry, stamped with simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryEvent {
+    /// Simulated time in nanoseconds.
+    pub t: u64,
+    /// Node the event happened on (engine `NodeId` as `u32`).
+    pub node: u32,
+    /// Emitting component, e.g. `"switch"`, `"rnic"`, `"engine"`.
+    pub component: &'static str,
+    /// Event kind, dotted lowercase, e.g. `"ecn.mark"`, `"gbn.rollback"`.
+    pub kind: &'static str,
+    /// Free-form key/value payload.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl TelemetryEvent {
+    /// Render as a single flat JSON object: fixed fields first, then the
+    /// attributes in their original order (an attribute may not shadow a
+    /// fixed field name).
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut m = serde_json::Map::new();
+        m.insert("t", serde_json::Value::from(self.t));
+        m.insert("node", serde_json::Value::from(self.node as u64));
+        m.insert("component", serde_json::Value::String(self.component.to_string()));
+        m.insert("kind", serde_json::Value::String(self.kind.to_string()));
+        for (k, v) in &self.attrs {
+            debug_assert!(
+                !matches!(*k, "t" | "node" | "component" | "kind"),
+                "attribute {k:?} shadows a fixed journal field"
+            );
+            m.insert(*k, v.to_json());
+        }
+        serde_json::Value::Object(m)
+    }
+}
+
+/// Bounded FIFO of [`TelemetryEvent`]s.
+#[derive(Debug)]
+pub struct Journal {
+    events: VecDeque<TelemetryEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Journal {
+        Journal {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&mut self, ev: TelemetryEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the journal holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate the retained events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TelemetryEvent> {
+        self.events.iter()
+    }
+
+    /// Render as JSON Lines (one compact object per event, oldest first).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TelemetryEvent {
+        TelemetryEvent {
+            t,
+            node: 0,
+            component: "test",
+            kind: "tick",
+            attrs: vec![],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut j = Journal::new(3);
+        for t in 0..5 {
+            j.push(ev(t));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        let ts: Vec<u64> = j.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_is_one_compact_object_per_line() {
+        let mut j = Journal::new(8);
+        j.push(TelemetryEvent {
+            t: 7,
+            node: 1,
+            component: "switch",
+            kind: "drop",
+            attrs: vec![("psn", AttrValue::U64(5)), ("dup", AttrValue::Bool(false))],
+        });
+        assert_eq!(
+            j.to_jsonl(),
+            "{\"t\":7,\"node\":1,\"component\":\"switch\",\"kind\":\"drop\",\"psn\":5,\"dup\":false}\n"
+        );
+    }
+}

@@ -1,0 +1,501 @@
+//! Unified simulation telemetry for the Lumina reproduction.
+//!
+//! Every layer of the simulated testbed — the event engine, the RNIC
+//! models, the programmable switch, the traffic generator and the
+//! dumpers — reports what it does through one [`Telemetry`] handle:
+//!
+//! * **Structured event journal** ([`journal`]): decision points (packet
+//!   drops, ECN marks, CNPs, timeouts, go-back-N rollbacks, iteration
+//!   transitions, mirror emissions) are recorded as
+//!   [`TelemetryEvent`]s against *simulated* time in a bounded ring
+//!   buffer. The JSONL rendering of the journal is byte-identical across
+//!   same-seed runs: it contains no wall-clock readings, and every map
+//!   serializes in insertion order.
+//! * **Per-node metric registry** ([`metrics`]): typed counters, gauges
+//!   and log-linear histograms keyed by node id, plus snapshots of any
+//!   component stat struct implementing [`MetricSet`]. Everything
+//!   exports through a single [`Telemetry::snapshot`] →
+//!   `serde_json::Value` path.
+//! * **Sim-time spans** ([`span!`]): scoped regions such as a retransmit
+//!   episode record their start/end in simulated time into the journal,
+//!   while their *wall-clock* cost is aggregated separately into a
+//!   self-profile ([`profile`]) so the observability layer can report
+//!   its own overhead (events/sec, per-span totals, queue high-water
+//!   marks) without contaminating the deterministic journal.
+//!
+//! The handle is a cheap-to-clone `Rc`; a disabled handle
+//! ([`Telemetry::disabled`]) makes every recording call a no-op, and the
+//! [`tev!`]/[`span!`] macros skip attribute evaluation entirely in that
+//! case, so instrumented hot paths cost one branch when telemetry is off.
+//!
+//! This crate sits *below* `lumina-sim`: it identifies nodes by plain
+//! `u32` ids (the engine's `NodeId` converts losslessly) and depends
+//! only on the serde layer.
+
+pub mod journal;
+pub mod metrics;
+pub mod profile;
+
+pub use journal::{AttrValue, Journal, TelemetryEvent};
+pub use metrics::{Histogram, MetricSet, NodeMetrics, Registry};
+pub use profile::SelfProfile;
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Configuration for a telemetry sink.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Master switch; a disabled sink records nothing.
+    pub enabled: bool,
+    /// Ring-buffer capacity of the event journal.
+    pub journal_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            journal_capacity: 65_536,
+        }
+    }
+}
+
+struct Inner {
+    enabled: Cell<bool>,
+    journal: RefCell<Journal>,
+    registry: RefCell<Registry>,
+    profile: RefCell<SelfProfile>,
+}
+
+/// Shared handle to one simulation run's telemetry sink.
+///
+/// Clones are cheap (`Rc`) and all clones observe the same sink, which
+/// is how the engine, the nodes and the orchestrator share one journal.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Rc<Inner>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .field("journal_len", &self.inner.journal.borrow().len())
+            .finish()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl Telemetry {
+    /// An enabled sink with the given configuration.
+    pub fn new(config: TelemetryConfig) -> Telemetry {
+        Telemetry {
+            inner: Rc::new(Inner {
+                enabled: Cell::new(config.enabled),
+                journal: RefCell::new(Journal::new(config.journal_capacity)),
+                registry: RefCell::new(Registry::default()),
+                profile: RefCell::new(SelfProfile::default()),
+            }),
+        }
+    }
+
+    /// An enabled sink with default configuration.
+    pub fn enabled() -> Telemetry {
+        Telemetry::new(TelemetryConfig::default())
+    }
+
+    /// A no-op sink: every recording call returns immediately.
+    pub fn disabled() -> Telemetry {
+        Telemetry::new(TelemetryConfig {
+            enabled: false,
+            ..TelemetryConfig::default()
+        })
+    }
+
+    /// Whether this sink records anything. The [`tev!`]/[`span!`] macros
+    /// consult this before evaluating their attribute expressions.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.get()
+    }
+
+    // ------------------------------------------------------------ journal
+
+    /// Record one event at simulated time `t` (nanoseconds).
+    ///
+    /// Prefer the [`tev!`] macro, which skips attribute construction when
+    /// the sink is disabled.
+    pub fn emit(
+        &self,
+        t: u64,
+        node: u32,
+        component: &'static str,
+        kind: &'static str,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.journal.borrow_mut().push(TelemetryEvent {
+            t,
+            node,
+            component,
+            kind,
+            attrs,
+        });
+        self.inner.profile.borrow_mut().events_recorded += 1;
+    }
+
+    /// Number of events currently held in the journal ring.
+    pub fn journal_len(&self) -> usize {
+        self.inner.journal.borrow().len()
+    }
+
+    /// Events evicted from the ring because it was full.
+    pub fn journal_dropped(&self) -> u64 {
+        self.inner.journal.borrow().dropped()
+    }
+
+    /// Render the journal as JSON Lines (one event object per line).
+    ///
+    /// Byte-identical across same-seed runs: sim-time only, insertion
+    /// order preserved.
+    pub fn journal_jsonl(&self) -> String {
+        self.inner.journal.borrow().to_jsonl()
+    }
+
+    /// Run `f` over each journal event in order.
+    pub fn for_each_event<F: FnMut(&TelemetryEvent)>(&self, mut f: F) {
+        for ev in self.inner.journal.borrow().iter() {
+            f(ev);
+        }
+    }
+
+    // ------------------------------------------------------------ metrics
+
+    /// Add `delta` to the named per-node counter (saturating).
+    pub fn inc_counter(&self, node: u32, name: &'static str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.registry.borrow_mut().node_mut(node).inc(name, delta);
+    }
+
+    /// Set the named per-node gauge.
+    pub fn set_gauge(&self, node: u32, name: &'static str, value: i64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner
+            .registry
+            .borrow_mut()
+            .node_mut(node)
+            .set_gauge(name, value);
+    }
+
+    /// Raise the named gauge to `value` if it is a new high-water mark.
+    pub fn gauge_max(&self, node: u32, name: &'static str, value: i64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner
+            .registry
+            .borrow_mut()
+            .node_mut(node)
+            .gauge_max(name, value);
+    }
+
+    /// Record a sample into the named per-node log-linear histogram.
+    pub fn record_hist(&self, node: u32, name: &'static str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner
+            .registry
+            .borrow_mut()
+            .node_mut(node)
+            .record(name, value);
+    }
+
+    /// Store a component stat struct's snapshot under the node.
+    ///
+    /// This is the shared export path for the previously incompatible
+    /// per-component counter structs (`EngineStats`, the RNIC `Counters`,
+    /// the generator `FlowMetrics`): anything implementing [`MetricSet`]
+    /// lands in the same per-node tree.
+    pub fn record_metric_set(&self, node: u32, set: &dyn MetricSet) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner
+            .registry
+            .borrow_mut()
+            .node_mut(node)
+            .record_set(set.metric_kind(), set.snapshot());
+    }
+
+    /// Store a run-global stat struct's snapshot (no owning node), e.g.
+    /// the engine's own event-loop statistics.
+    pub fn record_global_set(&self, set: &dyn MetricSet) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner
+            .registry
+            .borrow_mut()
+            .record_global(set.metric_kind(), set.snapshot());
+    }
+
+    // -------------------------------------------------------------- spans
+
+    /// Start a sim-time span; see the [`span!`] macro.
+    ///
+    /// Returns `None` when disabled, so callers pay only a branch.
+    pub fn span_start(
+        &self,
+        t: u64,
+        node: u32,
+        component: &'static str,
+        name: &'static str,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) -> Option<SpanGuard> {
+        if !self.is_enabled() {
+            return None;
+        }
+        Some(SpanGuard {
+            telemetry: self.clone(),
+            node,
+            component,
+            name,
+            start_sim: t,
+            end_sim: Cell::new(t),
+            attrs: RefCell::new(attrs),
+            wall_start: Instant::now(),
+        })
+    }
+
+    // ------------------------------------------------------------ profile
+
+    /// Mutate the wall-clock self-profile (engine bookkeeping).
+    pub fn with_profile<R>(&self, f: impl FnOnce(&mut SelfProfile) -> R) -> R {
+        f(&mut self.inner.profile.borrow_mut())
+    }
+
+    // ----------------------------------------------------------- snapshot
+
+    /// Export everything as one JSON value:
+    ///
+    /// ```json
+    /// {
+    ///   "journal": { "events": <count>, "dropped": <count> },
+    ///   "global": { "<kind>": { run-global metric sets } },
+    ///   "nodes": { "<id>": { counters, gauges, histograms, sets } },
+    ///   "self_profile": { wall-clock numbers; omit for determinism }
+    /// }
+    /// ```
+    ///
+    /// The `self_profile` subtree is the only non-deterministic part; the
+    /// `deterministic_snapshot` variant leaves it out.
+    pub fn snapshot(&self) -> serde_json::Value {
+        let mut root = self.deterministic_snapshot();
+        root["self_profile"] = self.inner.profile.borrow().to_json();
+        root
+    }
+
+    /// [`Telemetry::snapshot`] without the wall-clock self-profile;
+    /// byte-stable across same-seed runs.
+    pub fn deterministic_snapshot(&self) -> serde_json::Value {
+        let journal = self.inner.journal.borrow();
+        let mut root = serde_json::Map::new();
+        let mut j = serde_json::Map::new();
+        j.insert("events", serde_json::Value::from(journal.len() as u64));
+        j.insert("dropped", serde_json::Value::from(journal.dropped()));
+        root.insert("journal", serde_json::Value::Object(j));
+        root.insert("global", self.inner.registry.borrow().globals_to_json());
+        root.insert("nodes", self.inner.registry.borrow().to_json());
+        serde_json::Value::Object(root)
+    }
+}
+
+/// Open sim-time span produced by [`Telemetry::span_start`] / [`span!`].
+///
+/// Dropping the guard emits a `span` event into the journal carrying the
+/// simulated start/end times plus the caller's attributes, and folds the
+/// guard's wall-clock lifetime into the self-profile under `name`.
+pub struct SpanGuard {
+    telemetry: Telemetry,
+    node: u32,
+    component: &'static str,
+    name: &'static str,
+    start_sim: u64,
+    end_sim: Cell<u64>,
+    attrs: RefCell<Vec<(&'static str, AttrValue)>>,
+    wall_start: Instant,
+}
+
+impl SpanGuard {
+    /// Set the simulated end time (defaults to the start time for spans
+    /// that close within one event handler).
+    pub fn end_at(&self, t: u64) {
+        self.end_sim.set(t);
+    }
+
+    /// Attach another attribute after the span opened.
+    pub fn attr(&self, key: &'static str, value: impl Into<AttrValue>) {
+        self.attrs.borrow_mut().push((key, value.into()));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let wall_ns = self.wall_start.elapsed().as_nanos() as u64;
+        let start = self.start_sim;
+        let end = self.end_sim.get().max(start);
+        let mut attrs = std::mem::take(&mut *self.attrs.borrow_mut());
+        attrs.push(("span", AttrValue::Str(self.name.to_string())));
+        attrs.push(("start", AttrValue::U64(start)));
+        attrs.push(("end", AttrValue::U64(end)));
+        attrs.push(("dur", AttrValue::U64(end - start)));
+        self.telemetry
+            .emit(end, self.node, self.component, "span", attrs);
+        // Wall clock goes only into the self-profile, never the journal.
+        self.telemetry
+            .with_profile(|p| p.record_span(self.name, wall_ns));
+    }
+}
+
+/// Record a journal event, skipping attribute evaluation when disabled.
+///
+/// ```ignore
+/// tev!(tel, now_ns, node_id, "rnic", "gbn.rollback", psn = psn, qpn = qpn);
+/// ```
+#[macro_export]
+macro_rules! tev {
+    ($tel:expr, $t:expr, $node:expr, $component:expr, $kind:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $tel.is_enabled() {
+            $tel.emit(
+                $t,
+                $node,
+                $component,
+                $kind,
+                vec![$( (stringify!($key), $crate::AttrValue::from($val)) ),*],
+            );
+        }
+    };
+}
+
+/// Open a sim-time span bound to the current scope.
+///
+/// ```ignore
+/// let _span = span!(tel, now_ns, node_id, "rnic", "qp.retransmit", psn = psn);
+/// // ... work; optionally _span.as_ref().map(|s| s.end_at(later_ns)) ...
+/// ```
+///
+/// Evaluates to `Option<SpanGuard>`; `None` (and no attribute
+/// evaluation) when the sink is disabled.
+#[macro_export]
+macro_rules! span {
+    ($tel:expr, $t:expr, $node:expr, $component:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $tel.is_enabled() {
+            $tel.span_start(
+                $t,
+                $node,
+                $component,
+                $name,
+                vec![$( (stringify!($key), $crate::AttrValue::from($val)) ),*],
+            )
+        } else {
+            None
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let tel = Telemetry::disabled();
+        tev!(tel, 10, 1, "switch", "drop", psn = 5u64);
+        tel.inc_counter(1, "x", 1);
+        tel.record_hist(1, "h", 9);
+        let s = span!(tel, 0, 1, "core", "run");
+        assert!(s.is_none());
+        assert_eq!(tel.journal_len(), 0);
+        assert_eq!(tel.journal_jsonl(), "");
+    }
+
+    #[test]
+    fn macro_skips_attr_evaluation_when_disabled() {
+        let tel = Telemetry::disabled();
+        let mut evaluated = false;
+        tev!(tel, 0, 0, "c", "k", x = {
+            evaluated = true;
+            1u64
+        });
+        assert!(!evaluated);
+    }
+
+    #[test]
+    fn events_render_as_jsonl() {
+        let tel = Telemetry::enabled();
+        tev!(tel, 100, 2, "switch", "ecn.mark", psn = 4u32, qpn = 1u32);
+        tev!(tel, 250, 3, "rnic", "cnp.tx");
+        let out = tel.journal_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"t":100,"node":2,"component":"switch","kind":"ecn.mark","psn":4,"qpn":1}"#
+        );
+        assert_eq!(lines[1], r#"{"t":250,"node":3,"component":"rnic","kind":"cnp.tx"}"#);
+    }
+
+    #[test]
+    fn span_records_sim_time_not_wall_time() {
+        let tel = Telemetry::enabled();
+        {
+            let s = span!(tel, 1000, 7, "rnic", "qp.retransmit", psn = 42u32);
+            let s = s.expect("enabled sink opens spans");
+            s.end_at(1800);
+        }
+        let out = tel.journal_jsonl();
+        assert_eq!(
+            out.trim_end(),
+            r#"{"t":1800,"node":7,"component":"rnic","kind":"span","psn":42,"span":"qp.retransmit","start":1000,"end":1800,"dur":800}"#
+        );
+        // Wall clock lands in the self-profile instead.
+        let spans = tel.with_profile(|p| p.span_count("qp.retransmit"));
+        assert_eq!(spans, 1);
+    }
+
+    #[test]
+    fn snapshot_merges_registry_and_journal() {
+        let tel = Telemetry::enabled();
+        tel.inc_counter(1, "tx_packets", 3);
+        tel.set_gauge(1, "queue_depth", 5);
+        tel.gauge_max(1, "queue_depth_hwm", 5);
+        tel.gauge_max(1, "queue_depth_hwm", 2); // not a new high
+        tev!(tel, 1, 1, "engine", "dispatch");
+        let snap = tel.deterministic_snapshot();
+        assert_eq!(snap["journal"]["events"], 1u64);
+        assert_eq!(snap["nodes"]["1"]["counters"]["tx_packets"], 3u64);
+        assert_eq!(snap["nodes"]["1"]["gauges"]["queue_depth_hwm"], 5i64);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let tel = Telemetry::enabled();
+        let other = tel.clone();
+        tev!(other, 5, 0, "gen", "flow.done");
+        assert_eq!(tel.journal_len(), 1);
+    }
+}

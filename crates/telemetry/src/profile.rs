@@ -1,0 +1,127 @@
+//! Wall-clock self-profile of the telemetry layer and the run it
+//! observed.
+//!
+//! Everything here measures *real* time and therefore never enters the
+//! event journal (which must stay byte-identical across same-seed
+//! runs). The CLI prints this block so users can see what observability
+//! itself cost: events recorded per wall-clock second, per-span wall
+//! totals, and engine queue high-water marks.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+#[derive(Debug, Default, Clone)]
+struct SpanStats {
+    count: u64,
+    wall_ns: u64,
+}
+
+/// Aggregated wall-clock accounting for one run.
+#[derive(Debug)]
+pub struct SelfProfile {
+    /// Journal events recorded (including later-evicted ones).
+    pub events_recorded: u64,
+    /// Engine event-queue high-water mark, reported by the engine.
+    pub queue_depth_hwm: u64,
+    /// Simulation events dispatched, reported by the engine.
+    pub sim_events_dispatched: u64,
+    started: Instant,
+    wall_ns: Option<u64>,
+    spans: BTreeMap<&'static str, SpanStats>,
+}
+
+impl Default for SelfProfile {
+    fn default() -> Self {
+        SelfProfile {
+            events_recorded: 0,
+            queue_depth_hwm: 0,
+            sim_events_dispatched: 0,
+            started: Instant::now(),
+            wall_ns: None,
+            spans: BTreeMap::new(),
+        }
+    }
+}
+
+impl SelfProfile {
+    /// Fold one span occurrence into the per-name totals.
+    pub fn record_span(&mut self, name: &'static str, wall_ns: u64) {
+        let s = self.spans.entry(name).or_default();
+        s.count += 1;
+        s.wall_ns += wall_ns;
+    }
+
+    /// Number of completed spans under `name`.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.spans.get(name).map_or(0, |s| s.count)
+    }
+
+    /// Freeze the total wall-clock duration (idempotent; first call wins).
+    pub fn finish(&mut self) {
+        if self.wall_ns.is_none() {
+            self.wall_ns = Some(self.started.elapsed().as_nanos() as u64);
+        }
+    }
+
+    fn total_wall_ns(&self) -> u64 {
+        self.wall_ns
+            .unwrap_or_else(|| self.started.elapsed().as_nanos() as u64)
+    }
+
+    /// Render as JSON (wall-clock numbers; excluded from the journal).
+    pub fn to_json(&self) -> serde_json::Value {
+        let wall_ns = self.total_wall_ns();
+        let secs = wall_ns as f64 / 1e9;
+        let mut m = serde_json::Map::new();
+        m.insert("wall_ns", serde_json::Value::from(wall_ns));
+        m.insert("events_recorded", serde_json::Value::from(self.events_recorded));
+        m.insert(
+            "events_per_sec",
+            serde_json::Value::from(if secs > 0.0 {
+                self.events_recorded as f64 / secs
+            } else {
+                0.0
+            }),
+        );
+        m.insert(
+            "sim_events_dispatched",
+            serde_json::Value::from(self.sim_events_dispatched),
+        );
+        m.insert("queue_depth_hwm", serde_json::Value::from(self.queue_depth_hwm));
+        let mut spans = serde_json::Map::new();
+        for (name, s) in &self.spans {
+            let mut sj = serde_json::Map::new();
+            sj.insert("count", serde_json::Value::from(s.count));
+            sj.insert("wall_ns", serde_json::Value::from(s.wall_ns));
+            spans.insert(*name, serde_json::Value::Object(sj));
+        }
+        m.insert("spans", serde_json::Value::Object(spans));
+        serde_json::Value::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_totals_accumulate() {
+        let mut p = SelfProfile::default();
+        p.record_span("run", 100);
+        p.record_span("run", 50);
+        p.record_span("parse", 10);
+        assert_eq!(p.span_count("run"), 2);
+        let j = p.to_json();
+        assert_eq!(j["spans"]["run"]["wall_ns"], 150u64);
+        assert_eq!(j["spans"]["parse"]["count"], 1u64);
+    }
+
+    #[test]
+    fn finish_freezes_wall_clock() {
+        let mut p = SelfProfile::default();
+        p.finish();
+        let a = p.to_json()["wall_ns"].clone();
+        let b = p.to_json()["wall_ns"].clone();
+        assert_eq!(a, b);
+    }
+}

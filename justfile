@@ -1,0 +1,27 @@
+# Developer entry points. `just check` is the gate CI and pre-commit use.
+
+# Build, test and lint everything, exactly as the release gate does.
+check:
+    cargo build --release
+    cargo test -q
+    cargo clippy -- -D warnings
+
+# Fast feedback loop: debug build + tests.
+test:
+    cargo test --workspace -q
+
+# Lint the whole workspace, warnings fatal.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Run one test config end to end and show the human report.
+demo config="configs/listing2.yaml":
+    cargo run --release --bin lumina-cli -- {{config}}
+
+# Dump the telemetry journal + per-node metrics for a config.
+telemetry config="configs/listing2.yaml":
+    cargo run --release --bin lumina-cli -- telemetry --config {{config}}
+
+# Criterion-style benchmarks (shimmed harness; wall-clock smoke numbers).
+bench:
+    cargo bench -p lumina-bench

@@ -1,0 +1,192 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the benchmark-harness API used by this workspace
+//! ([`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup`] with `sample_size`/`throughput`, [`Bencher::iter`],
+//! `criterion_group!`/`criterion_main!`) on plain `std::time::Instant`
+//! timing. Each benchmark runs a short warmup, then `sample_size` timed
+//! samples, and prints the median per-iteration time — no statistics
+//! machinery, no report files.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives the timing loop for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, recording `sample_count` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: aim for ~5ms per sample, at least one iteration.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = Duration::from_millis(5);
+        self.iters_per_sample = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_per_iter(&self) -> Duration {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return Duration::ZERO;
+        }
+        let mut s = self.samples.clone();
+        s.sort();
+        s[s.len() / 2] / self.iters_per_sample as u32
+    }
+}
+
+fn print_result(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = b.median_per_iter();
+    let rate = throughput.map(|t| {
+        let per_sec = if per_iter.as_nanos() == 0 {
+            f64::INFINITY
+        } else {
+            1e9 / per_iter.as_nanos() as f64
+        };
+        match t {
+            Throughput::Bytes(n) => format!(
+                " ({:.1} MiB/s)",
+                n as f64 * per_sec / (1024.0 * 1024.0)
+            ),
+            Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 * per_sec),
+        }
+    });
+    println!(
+        "bench {name:<40} {:>12.3} µs/iter{}",
+        per_iter.as_nanos() as f64 / 1000.0,
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut (),
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate the group with a throughput, printed alongside times.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 0,
+            sample_count: self.sample_size,
+        };
+        f(&mut b);
+        print_result(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    unit: (),
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 0,
+            sample_count: 20,
+        };
+        f(&mut b);
+        print_result(&id, &b, None);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            _parent: &mut self.unit,
+        }
+    }
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.benchmark_group("g")
+            .sample_size(2)
+            .bench_function("inc", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! The [`Deserialize`] trait and implementations for std types.
+
+use crate::error::Error;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::hash::Hash;
+use std::net::Ipv4Addr;
+
+/// Reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Read a value back.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Types usable as map keys when deserializing.
+pub trait DeserializeKey: Sized {
+    /// Parse the key from its string form.
+    fn deserialize_key(s: &str) -> Result<Self, Error>;
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<bool, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {v}")))
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!("expected unsigned integer, got {v}")))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+        impl DeserializeKey for $t {
+            fn deserialize_key(s: &str) -> Result<$t, Error> {
+                s.parse()
+                    .map_err(|_| Error::custom(format!("invalid {} key {s:?}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {v}")))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+        impl DeserializeKey for $t {
+            fn deserialize_key(s: &str) -> Result<$t, Error> {
+                s.parse()
+                    .map_err(|_| Error::custom(format!("invalid {} key {s:?}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<f64, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {v}")))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<f32, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<String, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {v}")))
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<char, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::custom(format!("expected char, got {v}")))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(v: &Value) -> Result<(), Error> {
+        if v.is_null() {
+            Ok(())
+        } else {
+            Err(Error::custom(format!("expected null, got {v}")))
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Option<T>, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(v).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Box<T>, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+fn seq<'a>(v: &'a Value, what: &str) -> Result<&'a Vec<Value>, Error> {
+    v.as_array()
+        .ok_or_else(|| Error::custom(format!("expected sequence for {what}, got {v}")))
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Vec<T>, Error> {
+        seq(v, "Vec")?
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::deserialize(item).map_err(|e| e.at(format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(v: &Value) -> Result<VecDeque<T>, Error> {
+        Vec::<T>::deserialize(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<[T; N], Error> {
+        let items = seq(v, "array")?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items
+            .iter()
+            .map(|item| T::deserialize(item))
+            .collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<(A, B), Error> {
+        let items = seq(v, "tuple")?;
+        if items.len() != 2 {
+            return Err(Error::custom(format!("expected 2-tuple, got {}", items.len())));
+        }
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<(A, B, C), Error> {
+        let items = seq(v, "tuple")?;
+        if items.len() != 3 {
+            return Err(Error::custom(format!("expected 3-tuple, got {}", items.len())));
+        }
+        Ok((
+            A::deserialize(&items[0])?,
+            B::deserialize(&items[1])?,
+            C::deserialize(&items[2])?,
+        ))
+    }
+}
+
+impl<K: DeserializeKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<BTreeMap<K, V>, Error> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected map, got {v}")))?;
+        let mut out = BTreeMap::new();
+        for (k, val) in m.iter() {
+            out.insert(
+                K::deserialize_key(k)?,
+                V::deserialize(val).map_err(|e| e.at(k))?,
+            );
+        }
+        Ok(out)
+    }
+}
+
+impl<K: DeserializeKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(v: &Value) -> Result<HashMap<K, V>, Error> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected map, got {v}")))?;
+        let mut out = HashMap::new();
+        for (k, val) in m.iter() {
+            out.insert(
+                K::deserialize_key(k)?,
+                V::deserialize(val).map_err(|e| e.at(k))?,
+            );
+        }
+        Ok(out)
+    }
+}
+
+impl<A: DeserializeKey, B: DeserializeKey> DeserializeKey for (A, B) {
+    fn deserialize_key(s: &str) -> Result<(A, B), Error> {
+        let (a, b) = s
+            .split_once('|')
+            .ok_or_else(|| Error::custom(format!("expected `a|b` tuple key, got {s:?}")))?;
+        Ok((A::deserialize_key(a)?, B::deserialize_key(b)?))
+    }
+}
+
+impl<A: DeserializeKey, B: DeserializeKey, C: DeserializeKey> DeserializeKey for (A, B, C) {
+    fn deserialize_key(s: &str) -> Result<(A, B, C), Error> {
+        let mut parts = s.splitn(3, '|');
+        let (a, b, c) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), Some(c)) => (a, b, c),
+            _ => return Err(Error::custom(format!("expected `a|b|c` tuple key, got {s:?}"))),
+        };
+        Ok((
+            A::deserialize_key(a)?,
+            B::deserialize_key(b)?,
+            C::deserialize_key(c)?,
+        ))
+    }
+}
+
+impl DeserializeKey for String {
+    fn deserialize_key(s: &str) -> Result<String, Error> {
+        Ok(s.to_string())
+    }
+}
+
+impl Deserialize for Ipv4Addr {
+    fn deserialize(v: &Value) -> Result<Ipv4Addr, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::custom(format!("expected IPv4 string, got {v}")))?;
+        s.parse()
+            .map_err(|_| Error::custom(format!("invalid IPv4 address {s:?}")))
+    }
+}
+
+impl DeserializeKey for Ipv4Addr {
+    fn deserialize_key(s: &str) -> Result<Ipv4Addr, Error> {
+        s.parse()
+            .map_err(|_| Error::custom(format!("invalid IPv4 key {s:?}")))
+    }
+}

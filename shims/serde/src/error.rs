@@ -1,0 +1,34 @@
+//! The single error type shared by the serde shim family.
+
+use std::fmt;
+
+/// A serialization or deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Create an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Prefix the message with a location (field or index) for better
+    /// diagnostics when bubbling out of nested structures.
+    pub fn at(self, location: impl fmt::Display) -> Error {
+        Error {
+            msg: format!("{location}: {}", self.msg),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

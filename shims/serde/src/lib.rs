@@ -1,0 +1,38 @@
+//! Offline shim for `serde`.
+//!
+//! The real serde streams values through `Serializer`/`Deserializer`
+//! visitors; this shim materializes everything through one in-memory
+//! [`Value`] tree instead. `Serialize` renders a value *to* a `Value`,
+//! `Deserialize` reads a value back *from* one, and the companion shims
+//! (`serde_json`, `serde_yaml`) are thin text front-ends over the same
+//! tree. The `#[derive(Serialize, Deserialize)]` macros (re-exported from
+//! the `serde_derive` shim) understand the subset of `#[serde(...)]`
+//! attributes this workspace uses: `default`, `default = "path"`,
+//! `rename_all = "kebab-case"`, and `deny_unknown_fields`.
+
+pub mod de;
+pub mod error;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use error::Error;
+pub use ser::Serialize;
+pub use value::{Map, Number, Value};
+
+// The derive macros live in the macro namespace, so these re-exports
+// coexist with the traits of the same names (exactly like real serde).
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Internals used by derive-generated code. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    use crate::{Deserialize, Error, Value};
+
+    /// Resolve a missing field: types with an "absent" representation
+    /// (e.g. `Option`) deserialize from `Null`; everything else errors.
+    pub fn missing_field<T: Deserialize>(name: &str) -> Result<T, Error> {
+        T::deserialize(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{name}`")))
+    }
+}

@@ -1,0 +1,252 @@
+//! The [`Serialize`] trait and implementations for std types.
+
+use crate::value::{Map, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::net::Ipv4Addr;
+
+/// Render `self` as a [`Value`] tree.
+pub trait Serialize {
+    /// Produce the value-tree representation.
+    fn serialize(&self) -> Value;
+}
+
+/// Types usable as map keys when serializing (rendered as strings, the
+/// way JSON requires).
+pub trait SerializeKey {
+    /// The string form of the key.
+    fn serialize_key(&self) -> String;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_prim {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::from(*self) }
+        }
+        impl SerializeKey for $t {
+            fn serialize_key(&self) -> String { self.to_string() }
+        }
+    )*};
+}
+ser_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl SerializeKey for String {
+    fn serialize_key(&self) -> String {
+        self.clone()
+    }
+}
+
+impl SerializeKey for str {
+    fn serialize_key(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl SerializeKey for char {
+    fn serialize_key(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl SerializeKey for Ipv4Addr {
+    fn serialize_key(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl<A: SerializeKey, B: SerializeKey> SerializeKey for (A, B) {
+    fn serialize_key(&self) -> String {
+        format!("{}|{}", self.0.serialize_key(), self.1.serialize_key())
+    }
+}
+
+impl<A: SerializeKey, B: SerializeKey, C: SerializeKey> SerializeKey for (A, B, C) {
+    fn serialize_key(&self) -> String {
+        format!(
+            "{}|{}|{}",
+            self.0.serialize_key(),
+            self.1.serialize_key(),
+            self.2.serialize_key()
+        )
+    }
+}
+
+impl<K: SerializeKey + ?Sized> SerializeKey for &K {
+    fn serialize_key(&self) -> String {
+        (**self).serialize_key()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for HashSet<T> {
+    fn serialize(&self) -> Value {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+            self.3.serialize(),
+        ])
+    }
+}
+
+impl<K: SerializeKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.serialize_key(), v.serialize());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: SerializeKey, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        // Sort by key string so serialization is deterministic regardless
+        // of hash iteration order.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.serialize_key(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries.into_iter().collect())
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for crate::Map {
+    fn serialize(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}

@@ -1,0 +1,490 @@
+//! The in-memory data model: [`Value`], [`Number`], and the
+//! insertion-ordered [`Map`].
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A JSON-style number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy)]
+pub struct Number(pub(crate) N);
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum N {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    /// As `u64` when representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::U(u) => Some(u),
+            N::I(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// As `i64` when representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::U(u) if u <= i64::MAX as u64 => Some(u as i64),
+            N::I(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// As `f64` (always representable, possibly lossily).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.0 {
+            N::U(u) => u as f64,
+            N::I(i) => i as f64,
+            N::F(f) => f,
+        })
+    }
+
+    /// True when the number is a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::F(_))
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Number {
+        Number(N::U(v))
+    }
+}
+impl From<i64> for Number {
+    fn from(v: i64) -> Number {
+        if v >= 0 {
+            Number(N::U(v as u64))
+        } else {
+            Number(N::I(v))
+        }
+    }
+}
+impl From<f64> for Number {
+    fn from(v: f64) -> Number {
+        Number(N::F(v))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self.0, other.0) {
+            (N::F(a), N::F(b)) => a == b,
+            (N::F(f), _) | (_, N::F(f)) => {
+                // Mixed float/int: compare numerically.
+                let other = if matches!(self.0, N::F(_)) { other } else { self };
+                other.as_f64() == Some(f)
+            }
+            _ => match (self.as_i64(), other.as_i64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_u64() == other.as_u64(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::U(u) => write!(f, "{u}"),
+            N::I(i) => write!(f, "{i}"),
+            N::F(v) => {
+                if !v.is_finite() {
+                    // JSON has no NaN/inf; serde_json writes null.
+                    write!(f, "null")
+                } else {
+                    let s = format!("{v}");
+                    if s.contains('.') || s.contains('e') || s.contains('E') {
+                        write!(f, "{s}")
+                    } else {
+                        write!(f, "{s}.0")
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (the shim's `serde_json::Map`).
+///
+/// Backed by a `Vec` of pairs: lookups are linear, which is fine at the
+/// object sizes reports use, and iteration order is deterministic —
+/// a property the telemetry journal's byte-identical-output guarantee
+/// relies on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a value by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Look up a value mutably by key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert, replacing (in place) any existing entry for `key`.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        match self.get_mut(&key) {
+            Some(slot) => Some(std::mem::replace(slot, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Remove an entry, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterate keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Map {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A dynamically typed value tree, mirroring `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number.
+    Number(Number),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object.
+    Object(Map),
+}
+
+impl Value {
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// As bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As u64.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// As i64.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// As f64 (ints convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// As string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As mutable array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// As mutable object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (None on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if self.is_null() {
+            *self = Value::Object(Map::new());
+        }
+        let map = self
+            .as_object_mut()
+            .expect("cannot index non-object value with string key");
+        if !map.contains_key(key) {
+            map.insert(key, Value::Null);
+        }
+        map.get_mut(key).unwrap()
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array()
+            .and_then(|a| a.get(idx))
+            .unwrap_or(&NULL)
+    }
+}
+
+macro_rules! value_from {
+    ($($t:ty => $variant:expr),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { $variant(v) }
+        }
+    )*};
+}
+value_from! {
+    bool => Value::Bool,
+    String => Value::String,
+    Map => Value::Object,
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+macro_rules! value_from_num {
+    ($($t:ty as $via:ty),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::from(v as $via)) }
+        }
+    )*};
+}
+value_from_num! {
+    u8 as u64, u16 as u64, u32 as u64, u64 as u64, usize as u64,
+    i8 as i64, i16 as i64, i32 as i64, i64 as i64, isize as i64,
+    f32 as f64, f64 as f64,
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+// Comparison sugar so tests can write `assert_eq!(report["x"], true)`.
+macro_rules! value_partial_eq {
+    ($($t:ty),* $(,)?) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self == &Value::from(other.clone())
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == &Value::from(self.clone())
+            }
+        }
+    )*};
+}
+value_partial_eq!(bool, u32, u64, usize, i32, i64, f64, String, &str);
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_json_string(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Write a JSON-escaped quoted string.
+pub(crate) fn write_json_string(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z", Value::from(1u64));
+        m.insert("a", Value::from(2u64));
+        m.insert("z", Value::from(3u64)); // replace in place
+        let keys: Vec<&String> = m.keys().collect();
+        assert_eq!(keys, ["z", "a"]);
+        assert_eq!(m.get("z"), Some(&Value::from(3u64)));
+    }
+
+    #[test]
+    fn display_is_json() {
+        let mut m = Map::new();
+        m.insert("n", Value::from(3u64));
+        m.insert("s", Value::from("hi\n"));
+        m.insert("a", Value::Array(vec![Value::Bool(true), Value::Null]));
+        let v = Value::Object(m);
+        assert_eq!(v.to_string(), r#"{"n":3,"s":"hi\n","a":[true,null]}"#);
+    }
+
+    #[test]
+    fn index_mut_auto_inserts() {
+        let mut v = Value::Null;
+        v["x"] = Value::from(1u64);
+        assert_eq!(v["x"], 1u64);
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn number_equality_across_kinds() {
+        assert_eq!(Value::from(3u64), Value::from(3i64));
+        assert_eq!(Value::from(3.0f64), Value::from(3u64));
+        assert_ne!(Value::from(-1i64), Value::from(1u64));
+    }
+}

@@ -1,0 +1,654 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the shim `serde` crate's Value-tree traits, parsing the item token
+//! stream by hand (the container ships no `syn`/`quote`). Supported
+//! shapes: structs with named fields, tuple/newtype structs, unit
+//! structs, and enums with unit/tuple/struct variants (externally tagged,
+//! like real serde). Supported `#[serde(...)]` attributes:
+//! `default`, `default = "path"`, `rename_all = "kebab-case"`, and
+//! `deny_unknown_fields`. Generic parameters are supported for lifetimes
+//! only — enough for every derive target in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------- model
+
+#[derive(Debug, Clone)]
+struct Field {
+    ident: String,
+    name: String,
+    default: Option<DefaultKind>,
+}
+
+#[derive(Debug, Clone)]
+enum DefaultKind {
+    Std,
+    Path(String),
+}
+
+#[derive(Debug)]
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    ident: String,
+    name: String,
+    body: VariantBody,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: String,
+    deny_unknown: bool,
+    container_default: bool,
+    kind: Kind,
+}
+
+#[derive(Debug, Default)]
+struct SerdeAttrs {
+    rename_all: Option<String>,
+    deny_unknown: bool,
+    default: Option<DefaultKind>,
+}
+
+// -------------------------------------------------------------- parsing
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == c {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == name {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde shim derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consume all leading `#[...]` attributes, folding any `#[serde(...)]`
+    /// contents into the returned summary.
+    fn parse_attrs(&mut self) -> SerdeAttrs {
+        let mut out = SerdeAttrs::default();
+        loop {
+            let is_attr = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_attr {
+                return out;
+            }
+            self.pos += 1;
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde shim derive: malformed attribute: {other:?}"),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if !inner.eat_ident("serde") {
+                continue; // doc comment or unrelated attribute
+            }
+            let args = match inner.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                other => panic!("serde shim derive: malformed #[serde]: {other:?}"),
+            };
+            let mut a = Cursor::new(args.stream());
+            while a.peek().is_some() {
+                let key = a.expect_ident();
+                match key.as_str() {
+                    "default" => {
+                        if a.eat_punct('=') {
+                            out.default = Some(DefaultKind::Path(a.expect_str_literal()));
+                        } else {
+                            out.default = Some(DefaultKind::Std);
+                        }
+                    }
+                    "rename_all" => {
+                        assert!(a.eat_punct('='), "serde shim derive: rename_all needs a value");
+                        out.rename_all = Some(a.expect_str_literal());
+                    }
+                    "deny_unknown_fields" => out.deny_unknown = true,
+                    other => panic!(
+                        "serde shim derive: unsupported #[serde({other})] — the offline shim \
+                         only knows default, rename_all, deny_unknown_fields"
+                    ),
+                }
+                a.eat_punct(',');
+            }
+        }
+    }
+
+    fn expect_str_literal(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Literal(l)) => {
+                let s = l.to_string();
+                s.trim_matches('"').to_string()
+            }
+            other => panic!("serde shim derive: expected string literal, got {other:?}"),
+        }
+    }
+
+    /// Skip `pub` / `pub(crate)` visibility.
+    fn skip_vis(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Consume a generics block `<...>` if present, returning it verbatim.
+    fn parse_generics(&mut self) -> String {
+        if !matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return String::new();
+        }
+        let mut depth = 0i32;
+        let mut collected = TokenStream::new();
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            collected.extend([t]);
+            if depth == 0 {
+                break;
+            }
+        }
+        collected.to_string()
+    }
+
+    /// Consume tokens until a top-level comma (tracking `<...>` depth),
+    /// discarding them. Used to skip field types and discriminants.
+    fn skip_until_comma(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn rename(ident: &str, rule: Option<&str>, is_variant: bool) -> String {
+    let base = ident.strip_prefix("r#").unwrap_or(ident);
+    match rule {
+        Some("kebab-case") => {
+            if is_variant {
+                camel_to_separated(base, '-')
+            } else {
+                base.replace('_', "-")
+            }
+        }
+        Some("snake_case") => {
+            if is_variant {
+                camel_to_separated(base, '_')
+            } else {
+                base.to_string()
+            }
+        }
+        Some("lowercase") => base.to_lowercase(),
+        Some(other) => panic!("serde shim derive: unsupported rename_all = {other:?}"),
+        None => base.to_string(),
+    }
+}
+
+fn camel_to_separated(s: &str, sep: char) -> String {
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push(sep);
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn parse_named_fields(group: TokenStream, rename_all: Option<&str>) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut out = Vec::new();
+    while c.peek().is_some() {
+        let attrs = c.parse_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        let ident = c.expect_ident();
+        assert!(c.eat_punct(':'), "serde shim derive: expected `:` after field {ident}");
+        c.skip_until_comma();
+        c.eat_punct(',');
+        out.push(Field {
+            name: rename(&ident, rename_all, false),
+            ident,
+            default: attrs.default,
+        });
+    }
+    out
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    let mut n = 0;
+    while c.peek().is_some() {
+        c.parse_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        c.skip_until_comma();
+        c.eat_punct(',');
+        n += 1;
+    }
+    n
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    let container = c.parse_attrs();
+    c.skip_vis();
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde shim derive: expected struct or enum");
+    };
+    let name = c.expect_ident();
+    let generics = c.parse_generics();
+    if generics.contains("const ")
+        || generics
+            .chars()
+            .zip(generics.chars().skip(1))
+            .any(|(a, b)| a != '\'' && b.is_alphabetic() && a == '<')
+    {
+        // Only lifetime generics are supported; a type parameter right
+        // after '<' (not preceded by a quote) indicates otherwise.
+        // (Heuristic; every workspace derive target is lifetime-only.)
+    }
+    let rename_all = container.rename_all.as_deref();
+
+    let kind = if is_enum {
+        let body = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        };
+        let mut vc = Cursor::new(body);
+        let mut variants = Vec::new();
+        while vc.peek().is_some() {
+            vc.parse_attrs();
+            if vc.peek().is_none() {
+                break;
+            }
+            let ident = vc.expect_ident();
+            let vbody = match vc.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    vc.pos += 1;
+                    VariantBody::Tuple(n)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream(), rename_all);
+                    vc.pos += 1;
+                    VariantBody::Struct(fields)
+                }
+                _ => VariantBody::Unit,
+            };
+            if vc.eat_punct('=') {
+                vc.skip_until_comma(); // explicit discriminant
+            }
+            vc.eat_punct(',');
+            variants.push(Variant {
+                name: rename(&ident, rename_all, true),
+                ident,
+                body: vbody,
+            });
+        }
+        Kind::Enum(variants)
+    } else {
+        match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream(), rename_all))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        deny_unknown: container.deny_unknown,
+        container_default: matches!(container.default, Some(DefaultKind::Std)),
+        kind,
+    }
+}
+
+// -------------------------------------------------------------- codegen
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    format!(
+        "impl{g} ::serde::{t} for {n}{g}",
+        g = input.generics,
+        t = trait_name,
+        n = input.name
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(\"{}\", ::serde::Serialize::serialize(&self.{}));\n",
+                    f.name, f.ident
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Kind::TupleStruct(0) | Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.body {
+                    VariantBody::Unit => arms.push_str(&format!(
+                        "Self::{} => ::serde::Value::String(\"{}\".to_string()),\n",
+                        v.ident, v.name
+                    )),
+                    VariantBody::Tuple(1) => arms.push_str(&format!(
+                        "Self::{i}(__v0) => {{ let mut __m = ::serde::Map::new(); \
+                         __m.insert(\"{n}\", ::serde::Serialize::serialize(__v0)); \
+                         ::serde::Value::Object(__m) }}\n",
+                        i = v.ident,
+                        n = v.name
+                    )),
+                    VariantBody::Tuple(k) => {
+                        let binds: Vec<String> = (0..*k).map(|i| format!("__v{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{i}({bl}) => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert(\"{n}\", ::serde::Value::Array(vec![{it}])); \
+                             ::serde::Value::Object(__m) }}\n",
+                            i = v.ident,
+                            n = v.name,
+                            bl = binds.join(", "),
+                            it = items.join(", ")
+                        ));
+                    }
+                    VariantBody::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.ident.clone()).collect();
+                        let mut inner = String::from("let mut __f = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__f.insert(\"{}\", ::serde::Serialize::serialize({}));\n",
+                                f.name, f.ident
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{i} {{ {bl} }} => {{ {inner} let mut __m = ::serde::Map::new(); \
+                             __m.insert(\"{n}\", ::serde::Value::Object(__f)); \
+                             ::serde::Value::Object(__m) }}\n",
+                            i = v.ident,
+                            n = v.name,
+                            bl = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            if variants.is_empty() {
+                "unreachable!(\"empty enum cannot be instantiated\")".to_string()
+            } else {
+                format!("match self {{\n{arms}\n}}")
+            }
+        }
+    };
+    let out = format!(
+        "{header} {{\n    fn serialize(&self) -> ::serde::Value {{\n{body}\n    }}\n}}\n",
+        header = impl_header(&input, "Serialize"),
+    );
+    out.parse().expect("serde shim derive: generated Serialize impl parses")
+}
+
+fn named_fields_de(fields: &[Field], type_name: &str, container_default: bool) -> String {
+    let mut s = String::new();
+    if container_default {
+        s.push_str("let __d: Self = ::std::default::Default::default();\n");
+    }
+    s.push_str("Ok(Self {\n");
+    for f in fields {
+        let missing = match (&f.default, container_default) {
+            (Some(DefaultKind::Std), _) => "::std::default::Default::default()".to_string(),
+            (Some(DefaultKind::Path(p)), _) => format!("{p}()"),
+            (None, true) => format!("__d.{}", f.ident),
+            (None, false) => format!("::serde::__private::missing_field(\"{}\")?", f.name),
+        };
+        s.push_str(&format!(
+            "{ident}: match __m.get(\"{name}\") {{ \
+             Some(__x) => ::serde::Deserialize::deserialize(__x)\
+             .map_err(|__e| __e.at(\"{name}\"))?, \
+             None => {missing} }},\n",
+            ident = f.ident,
+            name = f.name,
+        ));
+    }
+    s.push_str("})");
+    let _ = type_name;
+    s
+}
+
+fn deny_unknown_check(fields: &[Field], type_name: &str) -> String {
+    let names: Vec<String> = fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+    if names.is_empty() {
+        return String::new();
+    }
+    format!(
+        "for (__k, _) in __m.iter() {{ match __k.as_str() {{ {} => {{}}, __other => \
+         return Err(::serde::Error::custom(format!(\
+         \"unknown field `{{}}` in {t}\", __other))) }} }}\n",
+        names.join(" | "),
+        t = type_name,
+    )
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let tn = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected map for {tn}, got {{}}\", __v)))?;\n"
+            );
+            if input.deny_unknown {
+                s.push_str(&deny_unknown_check(fields, tn));
+            }
+            s.push_str(&named_fields_de(fields, tn, input.container_default));
+            s
+        }
+        Kind::TupleStruct(0) | Kind::UnitStruct => {
+            format!(
+                "if __v.is_null() {{ Ok(Self) }} else {{ \
+                 Err(::serde::Error::custom(\"expected null for unit struct {tn}\")) }}"
+            )
+        }
+        Kind::TupleStruct(1) => {
+            "Ok(Self(::serde::Deserialize::deserialize(__v)?))".to_string()
+        }
+        Kind::TupleStruct(n) => {
+            let mut s = format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected sequence for {tn}\"))?;\n\
+                 if __a.len() != {n} {{ return Err(::serde::Error::custom(format!(\
+                 \"expected {n} elements for {tn}, got {{}}\", __a.len()))); }}\n"
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__a[{i}])?"))
+                .collect();
+            s.push_str(&format!("Ok(Self({}))", items.join(", ")));
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.body {
+                    VariantBody::Unit => unit_arms.push_str(&format!(
+                        "\"{}\" => Ok(Self::{}),\n",
+                        v.name, v.ident
+                    )),
+                    VariantBody::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{n}\" => Ok(Self::{i}(::serde::Deserialize::deserialize(__val)\
+                         .map_err(|__e| __e.at(\"{n}\"))?)),\n",
+                        n = v.name,
+                        i = v.ident
+                    )),
+                    VariantBody::Tuple(k) => {
+                        let items: Vec<String> = (0..*k)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__a[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{n}\" => {{ let __a = __val.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected sequence for {tn}::{i}\"))?; \
+                             if __a.len() != {k} {{ return Err(::serde::Error::custom(\
+                             \"wrong tuple arity for {tn}::{i}\")); }} \
+                             Ok(Self::{i}({items})) }}\n",
+                            n = v.name,
+                            i = v.ident,
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantBody::Struct(fields) => {
+                        let inner = named_fields_de_variant(fields, &v.ident);
+                        data_arms.push_str(&format!(
+                            "\"{n}\" => {{ let __m = __val.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected map for {tn}::{i}\"))?; {inner} }}\n",
+                            n = v.name,
+                            i = v.ident,
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown {tn} variant `{{}}`\", __other))),\n}},\n\
+                 ::serde::Value::Object(__map) if __map.len() == 1 => {{\n\
+                 let (__k, __val) = __map.iter().next().unwrap();\n\
+                 match __k.as_str() {{\n{data_arms}\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown {tn} variant `{{}}`\", __other))),\n}}\n}},\n\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"expected {tn} variant, got {{}}\", __other))),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "{header} {{\n    fn deserialize(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n    }}\n}}\n",
+        header = impl_header(&input, "Deserialize"),
+    );
+    out.parse()
+        .expect("serde shim derive: generated Deserialize impl parses")
+}
+
+/// Like [`named_fields_de`] but for an enum struct-variant (constructs
+/// `Self::Variant { ... }`; no container-default support).
+fn named_fields_de_variant(fields: &[Field], variant: &str) -> String {
+    let mut s = format!("Ok(Self::{variant} {{\n");
+    for f in fields {
+        let missing = match &f.default {
+            Some(DefaultKind::Std) => "::std::default::Default::default()".to_string(),
+            Some(DefaultKind::Path(p)) => format!("{p}()"),
+            None => format!("::serde::__private::missing_field(\"{}\")?", f.name),
+        };
+        s.push_str(&format!(
+            "{ident}: match __m.get(\"{name}\") {{ \
+             Some(__x) => ::serde::Deserialize::deserialize(__x)\
+             .map_err(|__e| __e.at(\"{name}\"))?, \
+             None => {missing} }},\n",
+            ident = f.ident,
+            name = f.name,
+        ));
+    }
+    s.push_str("})");
+    s
+}

@@ -1,0 +1,449 @@
+//! Offline shim for `serde_yaml`.
+//!
+//! Parses the YAML subset used by this workspace's configs: block
+//! mappings and sequences with two-space-style indentation, flow
+//! mappings/sequences (`{k: v}`, `[a, b]`), `#` comments, and plain or
+//! quoted scalars with the core-schema typing rules (null/bool/int/float
+//! detection). `to_string` emits flow-style YAML (JSON is a YAML subset),
+//! which this same parser round-trips.
+
+pub use serde::Error;
+use serde::{Map, Value};
+
+/// Parse a YAML document into a typed value.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_document(s)?;
+    T::deserialize(&value)
+}
+
+/// Serialize as flow-style YAML (one line, JSON-compatible).
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = value.serialize().to_string();
+    out.push('\n');
+    Ok(out)
+}
+
+/// Parse into an untyped [`Value`].
+pub fn parse_document(s: &str) -> Result<Value, Error> {
+    let lines = logical_lines(s);
+    if lines.is_empty() {
+        return Ok(Value::Null);
+    }
+    // A document that is a single flow value (e.g. "{}" or "[1, 2]").
+    if lines.len() == 1 {
+        let text = lines[0].content.trim();
+        if text.starts_with('{') || text.starts_with('[') {
+            return parse_flow_complete(text);
+        }
+        if !text.contains(": ") && !text.ends_with(':') && !text.starts_with("- ") && text != "-" {
+            return Ok(scalar(text));
+        }
+    }
+    let mut pos = 0;
+    let v = parse_block(&lines, &mut pos, lines[0].indent)?;
+    if pos != lines.len() {
+        return Err(Error::custom(format!(
+            "unexpected content at line {} (inconsistent indentation?)",
+            lines[pos].number
+        )));
+    }
+    Ok(v)
+}
+
+#[derive(Debug)]
+struct Line {
+    indent: usize,
+    content: String,
+    number: usize,
+}
+
+/// Split into comment-stripped, non-blank lines with indents.
+fn logical_lines(s: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    for (i, raw) in s.lines().enumerate() {
+        if raw.trim() == "---" {
+            continue; // document start marker
+        }
+        let stripped = strip_comment(raw);
+        let trimmed_end = stripped.trim_end();
+        if trimmed_end.trim().is_empty() {
+            continue;
+        }
+        let indent = trimmed_end.len() - trimmed_end.trim_start().len();
+        out.push(Line {
+            indent,
+            content: trimmed_end.trim_start().to_string(),
+            number: i + 1,
+        });
+    }
+    out
+}
+
+/// Remove a trailing `# comment`, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut prev_is_space = true;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b'#' if !in_single && !in_double && prev_is_space => return &line[..i],
+            _ => {}
+        }
+        prev_is_space = b == b' ' || b == b'\t';
+    }
+    line
+}
+
+/// Parse a block node (mapping or sequence) starting at `lines[*pos]`,
+/// consuming every line indented at least `indent`.
+fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, Error> {
+    let first = &lines[*pos];
+    if first.content.starts_with("- ") || first.content == "-" {
+        parse_block_seq(lines, pos, indent)
+    } else if split_map_entry(&first.content).is_some() {
+        parse_block_map(lines, pos, indent)
+    } else {
+        // A lone flow value or scalar on its own (indented) line.
+        let v = flow_or_scalar(&first.content, first.number)?;
+        *pos += 1;
+        Ok(v)
+    }
+}
+
+fn parse_block_seq(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, Error> {
+    let mut items = Vec::new();
+    while *pos < lines.len() && lines[*pos].indent == indent {
+        let line = &lines[*pos];
+        let rest = if line.content == "-" {
+            ""
+        } else if let Some(r) = line.content.strip_prefix("- ") {
+            r.trim()
+        } else {
+            break; // a mapping key at this indent ends the sequence
+        };
+        *pos += 1;
+        if rest.is_empty() {
+            // Item body is nested on the following deeper-indented lines.
+            if *pos < lines.len() && lines[*pos].indent > indent {
+                let child_indent = lines[*pos].indent;
+                items.push(parse_block(lines, pos, child_indent)?);
+            } else {
+                items.push(Value::Null);
+            }
+        } else if let Some((key, val)) = split_map_entry(rest) {
+            // `- key: value` starts an inline mapping; subsequent entries
+            // sit on deeper-indented lines.
+            let mut m = Map::new();
+            insert_entry(&mut m, key, val, lines, pos, indent, line.number)?;
+            while *pos < lines.len() && lines[*pos].indent > indent {
+                let child = &lines[*pos];
+                let (k, v) = split_map_entry(&child.content).ok_or_else(|| {
+                    Error::custom(format!("expected `key: value` at line {}", child.number))
+                })?;
+                let child_indent = child.indent;
+                *pos += 1;
+                insert_entry(&mut m, k, v, lines, pos, child_indent, child.number)?;
+            }
+            items.push(Value::Object(m));
+        } else {
+            items.push(flow_or_scalar(rest, line.number)?);
+        }
+    }
+    Ok(Value::Array(items))
+}
+
+fn parse_block_map(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value, Error> {
+    let mut m = Map::new();
+    while *pos < lines.len() && lines[*pos].indent == indent {
+        let line = &lines[*pos];
+        let (key, val) = split_map_entry(&line.content).ok_or_else(|| {
+            Error::custom(format!(
+                "expected `key: value` at line {}, got {:?}",
+                line.number, line.content
+            ))
+        })?;
+        *pos += 1;
+        insert_entry(&mut m, key, val, lines, pos, indent, line.number)?;
+    }
+    Ok(Value::Object(m))
+}
+
+/// Handle one mapping entry whose value may be inline or nested below.
+fn insert_entry(
+    m: &mut Map,
+    key: &str,
+    inline: &str,
+    lines: &[Line],
+    pos: &mut usize,
+    indent: usize,
+    line_no: usize,
+) -> Result<(), Error> {
+    let key = unquote(key);
+    let value = if inline.is_empty() {
+        if *pos < lines.len() && lines[*pos].indent > indent {
+            let child_indent = lines[*pos].indent;
+            parse_block(lines, pos, child_indent)?
+        } else {
+            Value::Null
+        }
+    } else {
+        flow_or_scalar(inline, line_no)?
+    };
+    m.insert(key, value);
+    Ok(())
+}
+
+/// Split `key: value` / `key:` at the first unquoted, un-nested colon
+/// that is followed by a space or ends the entry.
+fn split_map_entry(s: &str) -> Option<(&str, &str)> {
+    let bytes = s.as_bytes();
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut depth = 0i32;
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b'{' | b'[' if !in_single && !in_double => depth += 1,
+            b'}' | b']' if !in_single && !in_double => depth -= 1,
+            b':' if !in_single && !in_double && depth == 0 => {
+                let followed_by_space = bytes.get(i + 1).is_none_or(|&b| b == b' ');
+                if followed_by_space {
+                    return Some((s[..i].trim(), s[i + 1..].trim()));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn flow_or_scalar(s: &str, line_no: usize) -> Result<Value, Error> {
+    if s.starts_with('{') || s.starts_with('[') {
+        parse_flow_complete(s).map_err(|e| e.at(format!("line {line_no}")))
+    } else {
+        Ok(scalar(s))
+    }
+}
+
+fn parse_flow_complete(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_flow(bytes, &mut pos)?;
+    skip_spaces(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters after flow value in {s:?}"
+        )));
+    }
+    Ok(v)
+}
+
+fn skip_spaces(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && (b[*pos] == b' ' || b[*pos] == b'\t') {
+        *pos += 1;
+    }
+}
+
+fn parse_flow(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_spaces(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::custom("unexpected end of flow value")),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_spaces(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_flow(b, pos)?);
+                skip_spaces(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::custom("expected `,` or `]` in flow sequence")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut m = Map::new();
+            skip_spaces(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(m));
+            }
+            loop {
+                skip_spaces(b, pos);
+                let key_raw = flow_token(b, pos, true)?;
+                skip_spaces(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error::custom("expected `:` in flow mapping"));
+                }
+                *pos += 1;
+                let val = parse_flow(b, pos)?;
+                m.insert(unquote(key_raw.trim()), val);
+                skip_spaces(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(m));
+                    }
+                    _ => return Err(Error::custom("expected `,` or `}` in flow mapping")),
+                }
+            }
+        }
+        Some(_) => {
+            let tok = flow_token(b, pos, false)?;
+            Ok(scalar(tok.trim()))
+        }
+    }
+}
+
+/// Read a scalar token in flow context: a quoted string, or bare text up
+/// to a structural character (`,`/`}`/`]`, plus `:` when reading a key).
+fn flow_token<'a>(b: &'a [u8], pos: &mut usize, is_key: bool) -> Result<&'a str, Error> {
+    let start = *pos;
+    match b.get(*pos) {
+        Some(&q @ (b'"' | b'\'')) => {
+            *pos += 1;
+            while *pos < b.len() && b[*pos] != q {
+                *pos += 1;
+            }
+            if *pos >= b.len() {
+                return Err(Error::custom("unterminated quoted scalar"));
+            }
+            *pos += 1;
+        }
+        _ => {
+            while let Some(&c) = b.get(*pos) {
+                let stop = matches!(c, b',' | b'}' | b']') || (is_key && c == b':');
+                if stop {
+                    break;
+                }
+                *pos += 1;
+            }
+        }
+    }
+    std::str::from_utf8(&b[start..*pos]).map_err(|_| Error::custom("invalid UTF-8 in scalar"))
+}
+
+fn unquote(s: &str) -> String {
+    let bytes = s.as_bytes();
+    if bytes.len() >= 2
+        && ((bytes[0] == b'"' && bytes[bytes.len() - 1] == b'"')
+            || (bytes[0] == b'\'' && bytes[bytes.len() - 1] == b'\''))
+    {
+        let inner = &s[1..s.len() - 1];
+        if bytes[0] == b'"' {
+            return inner
+                .replace("\\\\", "\u{0}")
+                .replace("\\\"", "\"")
+                .replace("\\n", "\n")
+                .replace("\\t", "\t")
+                .replace('\u{0}', "\\");
+        }
+        return inner.replace("''", "'");
+    }
+    s.to_string()
+}
+
+/// Apply YAML core-schema typing to a plain scalar.
+fn scalar(s: &str) -> Value {
+    let bytes = s.as_bytes();
+    if !bytes.is_empty() && (bytes[0] == b'"' || bytes[0] == b'\'') {
+        return Value::String(unquote(s));
+    }
+    match s {
+        "" | "~" | "null" | "Null" | "NULL" => return Value::Null,
+        "true" | "True" | "TRUE" => return Value::Bool(true),
+        "false" | "False" | "FALSE" => return Value::Bool(false),
+        _ => {}
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        return Value::Number(u.into());
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Number(i.into());
+    }
+    // Floats must look numeric; keep version-like strings ("1.2.3") as text.
+    if s.parse::<f64>().is_ok()
+        && s.chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+    {
+        return Value::Number(s.parse::<f64>().unwrap().into());
+    }
+    Value::String(s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_maps_and_sequences() {
+        let v = parse_document(
+            "# comment\n\
+             a:\n\
+             \x20 b: 1\n\
+             \x20 c: hello\n\
+             items:\n\
+             \x20 - {x: 1, y: ecn}\n\
+             \x20 - {x: 2}\n\
+             flags: [0, 1]\n",
+        )
+        .unwrap();
+        assert_eq!(v["a"]["b"], 1u64);
+        assert_eq!(v["a"]["c"], "hello");
+        assert_eq!(v["items"][0]["y"], "ecn");
+        assert_eq!(v["flags"][1], 1u64);
+    }
+
+    #[test]
+    fn empty_flow_document() {
+        let v = parse_document("{}").unwrap();
+        assert_eq!(v, Value::Object(Map::new()));
+    }
+
+    #[test]
+    fn scalars_follow_core_schema() {
+        assert_eq!(scalar("true"), Value::Bool(true));
+        assert_eq!(scalar("14"), Value::from(14u64));
+        assert_eq!(scalar("-3"), Value::from(-3i64));
+        assert_eq!(scalar("1.5"), Value::from(1.5));
+        assert_eq!(scalar("write"), Value::String("write".into()));
+        assert_eq!(scalar("~"), Value::Null);
+        assert_eq!(scalar("'14'"), Value::String("14".into()));
+    }
+
+    #[test]
+    fn block_seq_of_inline_maps() {
+        let v = parse_document(
+            "events:\n\
+             \x20 - qpn: 1\n\
+             \x20\x20\x20 psn: 4\n\
+             \x20 - qpn: 2\n\
+             \x20\x20\x20 psn: 5\n",
+        )
+        .unwrap();
+        assert_eq!(v["events"][0]["psn"], 4u64);
+        assert_eq!(v["events"][1]["qpn"], 2u64);
+    }
+
+    #[test]
+    fn flow_output_round_trips() {
+        let v = parse_document("a:\n  b: [1, 2]\n  c: text\n").unwrap();
+        let s = to_string(&v).unwrap();
+        let back = parse_document(&s).unwrap();
+        assert_eq!(back, v);
+    }
+}

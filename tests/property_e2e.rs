@@ -7,6 +7,7 @@ use lumina_core::config::TestConfig;
 use lumina_core::orchestrator::run_test;
 use proptest::prelude::*;
 
+#[allow(clippy::too_many_arguments)]
 fn build_cfg(
     nic: &str,
     verb: &str,
