@@ -8,9 +8,9 @@
 
 use lumina_bench::*;
 
-const IDS: [&str; 12] = [
+const IDS: [&str; 13] = [
     "fig03", "fig07", "fig08", "fig09", "fig10", "fig11", "table2", "interop", "cnp",
-    "adaptive", "sec34", "ablations",
+    "adaptive", "sec34", "ablations", "fuzz",
 ];
 
 fn main() {
@@ -133,6 +133,14 @@ fn main() {
             );
         } else {
             ablations::print_all();
+        }
+    }
+    if want("fuzz") {
+        let f = fuzz_throughput::run_with(if quick { 8 } else { 32 });
+        if json {
+            out.insert("fuzz", serde_json::to_value(&f).unwrap());
+        } else {
+            fuzz_throughput::print(&f);
         }
     }
     if want("sec5") {

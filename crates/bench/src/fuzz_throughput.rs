@@ -1,0 +1,188 @@
+//! Fuzz-campaign throughput: serial vs. parallel executor.
+//!
+//! Runs the same genetic campaign (same seed, same base configuration)
+//! through the generation-based executor at several worker counts and
+//! records wall clock, runs/sec, the speedup over the serial path, and —
+//! because speed without equivalence would be worthless — whether each
+//! parallel campaign's outcome is bit-identical to the serial one.
+//!
+//! The speedup ceiling is `min(workers, available_parallelism, batch)`;
+//! on a single-core host every row measures ≈1×, which the output makes
+//! visible by reporting the host's parallelism alongside.
+
+use crate::common::render_table;
+use lumina_core::config::TestConfig;
+use lumina_core::fuzz::{fuzz, mutate::EventMutator, score, FuzzParams};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputRow {
+    /// Worker threads (0 = the thread-free serial path).
+    pub workers: usize,
+    /// End-to-end campaign wall clock, milliseconds.
+    pub wall_ms: f64,
+    /// Simulation runs executed (scored candidates).
+    pub runs: usize,
+    /// Runs per wall-clock second.
+    pub runs_per_sec: f64,
+    /// Serial wall clock / this wall clock.
+    pub speedup_vs_serial: f64,
+    /// Outcome (history, rejections, final pool) bit-identical to serial.
+    pub identical_outcome: bool,
+}
+
+/// The whole sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct FuzzThroughput {
+    /// Candidates per campaign.
+    pub iterations: usize,
+    /// Hardware threads the host offers (the speedup ceiling).
+    pub available_parallelism: usize,
+    /// One row per worker count.
+    pub rows: Vec<ThroughputRow>,
+}
+
+fn bench_base() -> TestConfig {
+    // Heavy enough that a run dominates scheduling overhead: 4
+    // connections pushing 6 x 10 KB messages each through the full
+    // switch + dumper pipeline.
+    TestConfig::from_yaml(
+        r#"
+requester: { nic-type: cx4 }
+responder: { nic-type: cx4 }
+traffic:
+  num-connections: 4
+  rdma-verb: write
+  num-msgs-per-qp: 6
+  mtu: 1024
+  message-size: 10240
+  data-pkt-events:
+    - {qpn: 1, psn: 5, type: drop, iter: 1}
+"#,
+    )
+    .unwrap()
+}
+
+/// Fingerprint of everything the campaign decided, for the equivalence
+/// column.
+type Fingerprint = (Vec<u64>, usize, Vec<u64>);
+
+fn fingerprint(out: &lumina_core::fuzz::FuzzOutcome) -> Fingerprint {
+    (
+        out.history.iter().map(|s| s.to_bits()).collect(),
+        out.rejected,
+        out.final_pool.iter().map(|s| s.score.to_bits()).collect(),
+    )
+}
+
+/// Default sweep: 32 candidates, workers ∈ {serial, 2, 4}.
+pub fn run() -> FuzzThroughput {
+    run_with(32)
+}
+
+/// Sweep with a custom campaign size.
+pub fn run_with(iterations: usize) -> FuzzThroughput {
+    let base = bench_base();
+    let params = FuzzParams {
+        pool_size: 4,
+        iterations,
+        batch_size: 8,
+        workers: 0,
+        anomaly_threshold: 5.0,
+        seed: 0xbe9c,
+        ..Default::default()
+    };
+    let mut rows: Vec<ThroughputRow> = Vec::new();
+    let mut serial: Option<(f64, Fingerprint)> = None;
+    for workers in [0usize, 2, 4] {
+        let mut m = EventMutator::default();
+        let t0 = Instant::now();
+        let out = fuzz(
+            &base,
+            &mut m,
+            score::default_score,
+            &FuzzParams {
+                workers,
+                ..params.clone()
+            },
+        );
+        let wall = t0.elapsed().as_secs_f64();
+        let fp = fingerprint(&out);
+        let (serial_wall, serial_fp) = match &serial {
+            None => {
+                serial = Some((wall, fp.clone()));
+                (wall, &serial.as_ref().unwrap().1)
+            }
+            Some((w, f)) => (*w, f),
+        };
+        rows.push(ThroughputRow {
+            workers,
+            wall_ms: wall * 1e3,
+            runs: out.history.len(),
+            runs_per_sec: if wall > 0.0 {
+                out.history.len() as f64 / wall
+            } else {
+                0.0
+            },
+            speedup_vs_serial: if wall > 0.0 { serial_wall / wall } else { 0.0 },
+            identical_outcome: fp == *serial_fp,
+        });
+    }
+    FuzzThroughput {
+        iterations,
+        available_parallelism: lumina_core::fuzz::default_workers(),
+        rows,
+    }
+}
+
+/// Human rendering for the experiments binary.
+pub fn print(f: &FuzzThroughput) {
+    println!(
+        "fuzz campaign throughput — {} candidates, host parallelism {}",
+        f.iterations, f.available_parallelism
+    );
+    let rows: Vec<Vec<String>> = f
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                if r.workers == 0 {
+                    "serial".into()
+                } else {
+                    format!("{}", r.workers)
+                },
+                format!("{:.1}", r.wall_ms),
+                format!("{}", r.runs),
+                format!("{:.1}", r.runs_per_sec),
+                format!("{:.2}x", r.speedup_vs_serial),
+                if r.identical_outcome { "yes" } else { "NO" }.into(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["workers", "wall ms", "runs", "runs/s", "speedup", "identical"],
+            &rows
+        )
+    );
+    if f.available_parallelism < 2 {
+        println!("(single hardware thread: parallel speedup is capped at ~1x on this host)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_identical_outcomes() {
+        let f = run_with(8);
+        assert_eq!(f.rows.len(), 3);
+        assert!(f.rows.iter().all(|r| r.identical_outcome));
+        assert!(f.rows.iter().all(|r| r.runs > 0));
+        assert!((f.rows[0].speedup_vs_serial - 1.0).abs() < 1e-9);
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`sec34_dumper`] | §3.4 — dumper load-balancing success ratio |
 //! | [`ablations`] | beyond the paper — causal knobs for each modeled quirk |
 //! | [`sec5_switch`] | §5 — injector capacity & latency accounting |
+//! | [`fuzz_throughput`] | §4 — fuzz-campaign throughput, serial vs. parallel |
 
 pub mod ablations;
 pub mod adaptive_retrans;
@@ -31,6 +32,7 @@ pub mod fig07_overhead;
 pub mod fig08_09_retrans;
 pub mod fig10_ets;
 pub mod fig11_noisy;
+pub mod fuzz_throughput;
 pub mod interop;
 pub mod sec34_dumper;
 pub mod sec5_switch;

@@ -6,17 +6,26 @@
 //! lumina-cli test.yaml --pcap out.pcap # also write the trace as pcap
 //! lumina-cli --validate test.yaml      # check the config, run nothing
 //! lumina-cli telemetry --config test.yaml   # event journal + metrics
+//! lumina-cli fuzz --config base.yaml --workers 4 --generations 16
 //! ```
 //!
 //! The `telemetry` subcommand prints the structured event journal (JSONL)
 //! followed by the per-node metric registry to stdout — both byte-identical
 //! across same-seed runs — and the wall-clock self-profile to stderr.
 //!
+//! The `fuzz` subcommand runs a parallel genetic campaign (§4, Algorithm 1)
+//! seeded from the given base configuration. Anomalies stream to stdout as
+//! JSON Lines the moment they are found; the campaign summary and the
+//! per-worker throughput profile go to stderr. For a fixed `--seed` and
+//! `--batch`, the anomaly stream is byte-identical for every `--workers`
+//! value.
+//!
 //! Exit codes: 0 success, 1 test ran but failed (integrity or incomplete
 //! traffic), 2 usage/configuration error.
 
 use lumina_core::analyzers::{cnp, counter, gbn_fsm, retrans_perf};
 use lumina_core::config::TestConfig;
+use lumina_core::fuzz::{self, mutate::EventMutator, score, FuzzParams};
 use lumina_core::orchestrator::run_test;
 use std::process::ExitCode;
 
@@ -128,10 +137,131 @@ fn telemetry_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Value of `--flag <value>`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
+}
+
+/// Parse `--flag <n>` with a default; `Err` carries the usage complaint.
+fn numeric_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("{flag} wants a number, got {raw:?}")),
+    }
+}
+
+/// `lumina-cli fuzz --config <base.yaml> [--workers N] [--generations G]
+/// [--batch B] [--seed S] [--pool P] [--threshold T] [--score default|noisy]
+/// [--events-only]`: genetic campaign with the parallel executor. Anomaly
+/// JSONL on stdout, summary + per-worker profile on stderr.
+fn fuzz_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = flag_value(args, "--config") else {
+        eprintln!("usage: lumina-cli fuzz --config <base.yaml> [--workers N] [--generations G] [--batch B] [--seed S] [--pool P] [--threshold T] [--score default|noisy] [--events-only]");
+        return ExitCode::from(2);
+    };
+    let cfg = match load_config(path) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let defaults = FuzzParams::default();
+    let parsed: Result<FuzzParams, String> = (|| {
+        let batch_size = numeric_flag(args, "--batch", defaults.batch_size)?;
+        let generations: usize = numeric_flag(args, "--generations", 8)?;
+        Ok(FuzzParams {
+            pool_size: numeric_flag(args, "--pool", defaults.pool_size)?,
+            iterations: generations.max(1) * batch_size.max(1),
+            anomaly_threshold: numeric_flag(args, "--threshold", defaults.anomaly_threshold)?,
+            seed: numeric_flag(args, "--seed", defaults.seed)?,
+            batch_size,
+            workers: numeric_flag(args, "--workers", fuzz::default_workers())?,
+            ..defaults
+        })
+    })();
+    let params = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let score_fn: fn(&TestConfig, &lumina_core::orchestrator::TestResults) -> (f64, String) =
+        match flag_value(args, "--score").map(String::as_str) {
+            None | Some("default") => score::default_score,
+            Some("noisy") => score::noisy_neighbor_score,
+            Some(other) => {
+                eprintln!("error: unknown --score {other:?} (want default|noisy)");
+                return ExitCode::from(2);
+            }
+        };
+    let mut mutator = EventMutator {
+        events_only: args.iter().any(|a| a == "--events-only"),
+        ..EventMutator::default()
+    };
+
+    eprintln!(
+        "fuzz: {} candidates ({} generations x batch {}), {} workers, seed {:#x}",
+        params.iterations,
+        params.iterations / params.batch_size.max(1),
+        params.batch_size,
+        params.workers,
+        params.seed
+    );
+    let out = fuzz::fuzz_observed(
+        &cfg,
+        &mut mutator,
+        score_fn,
+        &params,
+        &mut |candidate, scored, desc| {
+            // One JSON line per anomaly, streamed as the merge finds them.
+            let mut line = serde_json::Map::new();
+            line.insert("candidate", serde_json::Value::from(candidate));
+            line.insert("score", serde_json::Value::from(scored.score));
+            line.insert("desc", serde_json::Value::from(desc));
+            line.insert("config", serde_json::to_value(&scored.cfg).unwrap());
+            println!(
+                "{}",
+                serde_json::to_string(&serde_json::Value::Object(line)).unwrap()
+            );
+        },
+    );
+
+    eprintln!(
+        "fuzz: {} scored, {} rejected, {} anomalies >= {}",
+        out.history.len(),
+        out.rejected,
+        out.anomalies.len(),
+        params.anomaly_threshold
+    );
+    if let Some(best) = &out.best {
+        eprintln!("fuzz: best score {:.3}", best.score);
+    }
+    let profile = out.telemetry.with_profile(|p| p.to_json());
+    let mut throughput = serde_json::Map::new();
+    for key in ["workers", "campaign"] {
+        if let Some(v) = profile.get(key) {
+            throughput.insert(key, v.clone());
+        }
+    }
+    eprintln!(
+        "fuzz: profile {}",
+        serde_json::to_string(&serde_json::Value::Object(throughput)).unwrap()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("telemetry") {
         return telemetry_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return fuzz_cmd(&args[1..]);
     }
     let json = args.iter().any(|a| a == "--json");
     let validate_only = args.iter().any(|a| a == "--validate");
@@ -149,6 +279,8 @@ fn main() -> ExitCode {
         .map(|(_, a)| a.clone());
     let Some(path) = positional.next() else {
         eprintln!("usage: lumina-cli <test.yaml> [--json] [--pcap <out.pcap>] [--validate]");
+        eprintln!("       lumina-cli telemetry --config <test.yaml>");
+        eprintln!("       lumina-cli fuzz --config <base.yaml> [--workers N] [--generations G] [--batch B] [--seed S]");
         return ExitCode::from(2);
     };
 

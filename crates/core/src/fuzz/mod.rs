@@ -1,26 +1,45 @@
 //! Genetic test-case generation (§4, Algorithm 1).
 //!
-//! The fuzzer maintains a pool of configurations. Each iteration picks a
-//! random member, mutates it, runs Lumina, scores the outcome with a
-//! multi-objective anomaly function, and keeps "high-quality"
-//! configurations (score ≥ pool median; low scorers survive with
-//! probability `p`). This is the module that surfaced the CX4 Lx noisy
-//! neighbor (§6.2.2).
+//! The fuzzer maintains a pool of configurations. Each generation draws a
+//! batch of candidates from the pool, mutates them, runs Lumina on each,
+//! scores the outcomes with a multi-objective anomaly function, and keeps
+//! "high-quality" configurations (score ≥ pool median; low scorers survive
+//! with probability `p`). This is the module that surfaced the CX4 Lx
+//! noisy neighbor (§6.2.2).
+//!
+//! # Parallel campaign execution
+//!
+//! Campaigns big enough to find anomalies are wall-clock bound on the
+//! simulation runs, so the executor is *generation based*: every RNG
+//! decision for a generation — parent pick, mutation draws, the
+//! accept-probability draw — is made up front on the single campaign
+//! [`SimRng`], which turns the batch's `run_test` calls into pure
+//! functions of their configuration. They can then run on any number of
+//! worker threads ([`FuzzParams::workers`]) while scoring, selection and
+//! eviction are merged back on the calling thread in deterministic batch
+//! order. The result: `history`, `best`, `anomalies`, `rejected` and the
+//! final pool are **byte-identical for the same seed regardless of the
+//! worker count** (including the thread-free serial path, `workers <= 1`).
+//! `tests/fuzz_parallel_differential.rs` holds the executor to that
+//! guarantee.
 
 pub mod mutate;
 pub mod score;
 
 use crate::config::TestConfig;
 use crate::orchestrator::{run_test, TestResults};
-use lumina_sim::SimRng;
+use lumina_sim::{SimRng, Telemetry};
 use mutate::Mutator;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Fuzzing campaign parameters.
 #[derive(Debug, Clone)]
 pub struct FuzzParams {
     /// Initial pool size.
     pub pool_size: usize,
-    /// Iterations (each = one simulation run).
+    /// Candidate evaluations (each = one simulation run or one rejection).
     pub iterations: usize,
     /// Probability of keeping a below-median configuration.
     pub accept_prob: f64,
@@ -28,6 +47,16 @@ pub struct FuzzParams {
     pub anomaly_threshold: f64,
     /// Seed for the fuzzer's own randomness.
     pub seed: u64,
+    /// Candidates drawn (and evaluated) per generation. All of a
+    /// generation's RNG decisions happen before any of its runs execute,
+    /// so parent picks within one generation see the pool as of the
+    /// generation's start. Affects pool evolution; does NOT affect
+    /// determinism across worker counts.
+    pub batch_size: usize,
+    /// Worker threads evaluating each generation's batch; `0` or `1`
+    /// evaluates on the calling thread without spawning. The outcome is
+    /// identical for every value given the same seed and batch size.
+    pub workers: usize,
 }
 
 impl Default for FuzzParams {
@@ -38,8 +67,15 @@ impl Default for FuzzParams {
             accept_prob: 0.25,
             anomaly_threshold: 10.0,
             seed: 0xf022,
+            batch_size: 8,
+            workers: default_workers(),
         }
     }
+}
+
+/// The default worker count: one per available hardware thread.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// One scored pool member.
@@ -63,23 +99,61 @@ pub struct FuzzOutcome {
     pub history: Vec<f64>,
     /// Runs whose configuration failed validation or execution.
     pub rejected: usize,
+    /// The pool as it stood when the campaign ended.
+    pub final_pool: Vec<Scored>,
+    /// Campaign-level telemetry: the self-profile carries per-worker
+    /// runs/sec and the campaign wall clock.
+    pub telemetry: Telemetry,
 }
 
-/// Run Algorithm 1.
+/// A candidate with its pre-drawn selection randomness. Building these is
+/// the only part of a generation that touches the campaign RNG.
+struct Candidate {
+    cfg: TestConfig,
+    /// Uniform `[0,1)` draw consumed by the below-median accept decision.
+    accept_draw: f64,
+    /// Validation verdict, computed before dispatch so workers only ever
+    /// see runnable configurations.
+    valid: bool,
+}
+
+/// Run Algorithm 1 with the executor described in the module docs.
 ///
 /// `score` maps a finished run to an anomaly score (higher = more
 /// anomalous) and an optional description used when the threshold is
-/// crossed.
+/// crossed. Non-finite scores are clamped ([`sanitize_score`]) so a
+/// misbehaving scorer cannot poison pool selection.
 pub fn fuzz<S>(base: &TestConfig, mutator: &mut dyn Mutator, score: S, params: &FuzzParams) -> FuzzOutcome
 where
     S: Fn(&TestConfig, &TestResults) -> (f64, String),
 {
+    fuzz_observed(base, mutator, score, params, &mut |_, _, _| {})
+}
+
+/// [`fuzz`], additionally invoking `on_anomaly(candidate_index, scored,
+/// description)` the moment each anomaly is merged — the hook behind the
+/// CLI's JSONL anomaly stream. Called on the campaign thread in
+/// deterministic order.
+pub fn fuzz_observed<S>(
+    base: &TestConfig,
+    mutator: &mut dyn Mutator,
+    score: S,
+    params: &FuzzParams,
+    on_anomaly: &mut dyn FnMut(u64, &Scored, &str),
+) -> FuzzOutcome
+where
+    S: Fn(&TestConfig, &TestResults) -> (f64, String),
+{
+    let campaign_start = Instant::now();
+    let tel = Telemetry::enabled();
     let mut rng = SimRng::seed_from_u64(params.seed);
     let mut outcome = FuzzOutcome {
         best: None,
         anomalies: Vec::new(),
         history: Vec::new(),
         rejected: 0,
+        final_pool: Vec::new(),
+        telemetry: tel.clone(),
     };
 
     // 1. Initialization: a pool of valid configurations derived from the
@@ -98,56 +172,159 @@ where
         });
     }
 
-    for _ in 0..params.iterations {
-        // 2. Mutation.
-        let parent = &pool[rng.index(pool.len())].cfg.clone();
-        let cand = mutator.mutate(parent, &mut rng);
-        if !cand.validate().is_empty() {
-            outcome.rejected += 1;
-            continue;
-        }
-        // 3. Scoring.
-        let results = match run_test(&cand) {
-            Ok(r) => r,
-            Err(_) => {
-                outcome.rejected += 1;
-                continue;
+    let batch = params.batch_size.max(1);
+    let mut done = 0usize;
+    while done < params.iterations {
+        let g = batch.min(params.iterations - done);
+        // 2. Mutation — every RNG decision for the generation, up front.
+        let cands: Vec<Candidate> = (0..g)
+            .map(|_| {
+                let parent = pool[rng.index(pool.len())].cfg.clone();
+                let cfg = mutator.mutate(&parent, &mut rng);
+                let accept_draw = rng.unit_f64();
+                let valid = cfg.validate().is_empty();
+                Candidate {
+                    cfg,
+                    accept_draw,
+                    valid,
+                }
+            })
+            .collect();
+
+        // 3. Scoring — the independent simulation runs, on workers.
+        let evals = evaluate_batch(&cands, params.workers, &tel);
+
+        // 4. Selection — merged in batch order, so pool evolution is
+        // independent of which worker finished first.
+        for (slot, (cand, eval)) in cands.into_iter().zip(evals).enumerate() {
+            let results = match eval {
+                Some(Ok(r)) => r,
+                // Invalid configuration (never dispatched) or failed run.
+                None | Some(Err(_)) => {
+                    outcome.rejected += 1;
+                    continue;
+                }
+            };
+            let (raw, desc) = score(&cand.cfg, &results);
+            let s = sanitize_score(raw);
+            outcome.history.push(s);
+            let scored = Scored { cfg: cand.cfg, score: s };
+            if outcome.best.as_ref().is_none_or(|b| s > b.score) {
+                outcome.best = Some(scored.clone());
             }
-        };
-        let (s, desc) = score(&cand, &results);
-        outcome.history.push(s);
-        let scored = Scored {
-            cfg: cand,
-            score: s,
-        };
-        if outcome.best.as_ref().is_none_or(|b| s > b.score) {
-            outcome.best = Some(scored.clone());
-        }
-        if s >= params.anomaly_threshold {
-            outcome.anomalies.push((scored.clone(), desc));
-        }
-        // 4. Selection.
-        let median = median_score(&pool);
-        if s >= median || rng.unit_f64() < params.accept_prob {
-            pool.push(scored);
-            // Bound the pool: evict the worst member.
-            if pool.len() > params.pool_size * 4 {
-                let worst = pool
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.score.partial_cmp(&b.1.score).unwrap())
-                    .map(|(i, _)| i)
-                    .unwrap();
-                pool.swap_remove(worst);
+            if s >= params.anomaly_threshold {
+                on_anomaly((done + slot) as u64, &scored, &desc);
+                outcome.anomalies.push((scored.clone(), desc));
+            }
+            let median = median_score(&pool);
+            if s >= median || cand.accept_draw < params.accept_prob {
+                pool.push(scored);
+                // Bound the pool: evict the worst member.
+                if pool.len() > params.pool_size * 4 {
+                    let worst = pool
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.score.total_cmp(&b.1.score))
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    pool.swap_remove(worst);
+                }
             }
         }
+        done += g;
     }
+    tel.with_profile(|p| {
+        p.set_campaign_wall_ns(campaign_start.elapsed().as_nanos() as u64);
+    });
+    outcome.final_pool = pool;
     outcome
+}
+
+/// Run every valid candidate of a generation, returning results in slot
+/// order (`None` for candidates that failed validation and never ran).
+///
+/// `workers <= 1` is the serial path: the calling thread runs each job in
+/// slot order with zero thread machinery. Otherwise `workers` scoped
+/// threads pull jobs from a shared cursor — order of *execution* is
+/// nondeterministic, but results land in their slots, so the caller's
+/// merge order never changes.
+fn evaluate_batch(
+    cands: &[Candidate],
+    workers: usize,
+    tel: &Telemetry,
+) -> Vec<Option<Result<TestResults, String>>> {
+    let jobs: Vec<(usize, &TestConfig)> = cands
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.valid)
+        .map(|(i, c)| (i, &c.cfg))
+        .collect();
+    let mut out: Vec<Option<Result<TestResults, String>>> =
+        (0..cands.len()).map(|_| None).collect();
+
+    if workers <= 1 {
+        let start = Instant::now();
+        let runs = jobs.len() as u64;
+        for (slot, cfg) in jobs {
+            out[slot] = Some(run_test(cfg));
+        }
+        tel.with_profile(|p| p.record_worker(0, runs, start.elapsed().as_nanos() as u64));
+        return out;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, Result<TestResults, String>)>> =
+        Mutex::new(Vec::with_capacity(jobs.len()));
+    std::thread::scope(|scope| {
+        for w in 0..workers.min(jobs.len().max(1)) {
+            let cursor = &cursor;
+            let jobs = &jobs;
+            let collected = &collected;
+            scope.spawn(move || {
+                let start = Instant::now();
+                let mut local = Vec::new();
+                loop {
+                    let j = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(slot, cfg)) = jobs.get(j) else {
+                        break;
+                    };
+                    local.push((slot, run_test(cfg)));
+                }
+                let runs = local.len() as u64;
+                collected
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(local);
+                tel.with_profile(|p| {
+                    p.record_worker(w as u64, runs, start.elapsed().as_nanos() as u64)
+                });
+            });
+        }
+    });
+    for (slot, res) in collected.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        out[slot] = Some(res);
+    }
+    out
+}
+
+/// Clamp a scorer's output to a finite value: `NaN` → `0.0`, `+∞` →
+/// `f64::MAX`, `-∞` → `f64::MIN`. A single NaN previously panicked the
+/// whole campaign inside `partial_cmp().unwrap()` during eviction.
+pub fn sanitize_score(s: f64) -> f64 {
+    if s.is_finite() {
+        s
+    } else if s.is_nan() {
+        0.0
+    } else if s > 0.0 {
+        f64::MAX
+    } else {
+        f64::MIN
+    }
 }
 
 fn median_score(pool: &[Scored]) -> f64 {
     let mut scores: Vec<f64> = pool.iter().map(|s| s.score).collect();
-    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scores.sort_by(f64::total_cmp);
     if scores.is_empty() {
         0.0
     } else {
@@ -176,15 +353,22 @@ traffic:
         .unwrap()
     }
 
+    fn serial(params: &FuzzParams) -> FuzzParams {
+        FuzzParams {
+            workers: 0,
+            ..params.clone()
+        }
+    }
+
     #[test]
     fn campaign_runs_and_scores() {
         let base = tiny_base();
         let mut mutator = EventMutator::default();
-        let params = FuzzParams {
+        let params = serial(&FuzzParams {
             pool_size: 3,
             iterations: 6,
             ..Default::default()
-        };
+        });
         let out = fuzz(
             &base,
             &mut mutator,
@@ -194,18 +378,23 @@ traffic:
             },
             &params,
         );
-        assert!(out.history.len() + out.rejected >= 6);
+        assert_eq!(out.history.len() + out.rejected, 6);
         assert!(out.best.is_some());
+        assert!(!out.final_pool.is_empty());
+        // The serial path reports its runs under worker 0; it executed
+        // every valid candidate (history counts the successful subset).
+        let runs = out.telemetry.with_profile(|p| p.worker_runs(0)) as usize;
+        assert!(runs >= out.history.len() && runs <= 6, "{runs}");
     }
 
     #[test]
     fn deterministic_given_seed() {
         let base = tiny_base();
-        let params = FuzzParams {
+        let params = serial(&FuzzParams {
             pool_size: 3,
             iterations: 5,
             ..Default::default()
-        };
+        });
         let run = || {
             let mut m = EventMutator::default();
             fuzz(
@@ -223,13 +412,95 @@ traffic:
     fn anomaly_threshold_collects() {
         let base = tiny_base();
         let mut m = EventMutator::default();
-        let params = FuzzParams {
+        let params = serial(&FuzzParams {
             pool_size: 2,
             iterations: 4,
             anomaly_threshold: -1.0, // everything is an anomaly
             ..Default::default()
-        };
+        });
         let out = fuzz(&base, &mut m, |_c, _r| (0.0, "x".into()), &params);
         assert_eq!(out.anomalies.len(), out.history.len());
+    }
+
+    #[test]
+    fn nan_scoring_closure_does_not_panic() {
+        // Regression: a NaN anomaly score used to panic the campaign in
+        // `partial_cmp().unwrap()` once the pool hit its eviction bound.
+        let base = tiny_base();
+        let mut m = EventMutator::default();
+        let params = serial(&FuzzParams {
+            pool_size: 1, // eviction bound = 4, reached quickly
+            iterations: 8,
+            accept_prob: 1.0, // every candidate enters the pool
+            anomaly_threshold: f64::INFINITY,
+            ..Default::default()
+        });
+        let out = fuzz(&base, &mut m, |_c, _r| (f64::NAN, "nan".into()), &params);
+        // NaN clamps to 0.0: finite history, no spurious anomalies.
+        assert!(out.history.iter().all(|s| *s == 0.0));
+        assert!(out.anomalies.is_empty());
+        assert!(out.final_pool.iter().all(|s| s.score.is_finite()));
+    }
+
+    #[test]
+    fn infinite_scores_clamp_finite() {
+        assert_eq!(sanitize_score(f64::INFINITY), f64::MAX);
+        assert_eq!(sanitize_score(f64::NEG_INFINITY), f64::MIN);
+        assert_eq!(sanitize_score(f64::NAN), 0.0);
+        assert_eq!(sanitize_score(1.5), 1.5);
+    }
+
+    #[test]
+    fn observer_sees_anomalies_in_order() {
+        let base = tiny_base();
+        let mut m = EventMutator::default();
+        let params = serial(&FuzzParams {
+            pool_size: 2,
+            iterations: 4,
+            anomaly_threshold: -1.0,
+            ..Default::default()
+        });
+        let mut seen: Vec<u64> = Vec::new();
+        let out = fuzz_observed(
+            &base,
+            &mut m,
+            |_c, _r| (0.0, "x".into()),
+            &params,
+            &mut |i, _scored, desc| {
+                assert_eq!(desc, "x");
+                seen.push(i);
+            },
+        );
+        assert_eq!(seen.len(), out.anomalies.len());
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "{seen:?}");
+    }
+
+    #[test]
+    fn parallel_matches_serial_smoke() {
+        // The full sweep lives in tests/fuzz_parallel_differential.rs;
+        // this keeps the invariant enforced at the unit level too.
+        let base = tiny_base();
+        let params = FuzzParams {
+            pool_size: 3,
+            iterations: 6,
+            batch_size: 3,
+            workers: 0,
+            ..Default::default()
+        };
+        let run = |workers: usize| {
+            let mut m = EventMutator::default();
+            let out = fuzz(
+                &base,
+                &mut m,
+                score::default_score,
+                &FuzzParams { workers, ..params.clone() },
+            );
+            (
+                out.history.clone(),
+                out.rejected,
+                out.final_pool.iter().map(|s| s.score).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(0), run(2));
     }
 }

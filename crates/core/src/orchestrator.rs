@@ -65,6 +65,19 @@ pub struct TestResults {
     pub telemetry: Telemetry,
 }
 
+// The parallel fuzz executor evaluates `run_test` on worker threads and
+// ships whole `TestResults` back to the campaign thread. Everything a run
+// produces is owned per-run state (the `Rc`-based capture/metrics handles
+// stay inside the run's thread and are cloned out before return), and the
+// telemetry sink is `Arc`-backed — keep that Send guarantee checked at
+// compile time.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<TestResults>();
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<TestConfig>();
+};
+
 impl TestResults {
     /// True when all traffic completed and the run quiesced.
     pub fn traffic_completed(&self) -> bool {

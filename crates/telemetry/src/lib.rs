@@ -23,10 +23,14 @@
 //!   its own overhead (events/sec, per-span totals, queue high-water
 //!   marks) without contaminating the deterministic journal.
 //!
-//! The handle is a cheap-to-clone `Rc`; a disabled handle
+//! The handle is a cheap-to-clone `Arc` and is `Send + Sync`, so whole
+//! simulation runs (each owning a sink) can execute on worker threads —
+//! the parallel fuzz campaign executor depends on this. A disabled handle
 //! ([`Telemetry::disabled`]) makes every recording call a no-op, and the
 //! [`tev!`]/[`span!`] macros skip attribute evaluation entirely in that
 //! case, so instrumented hot paths cost one branch when telemetry is off.
+//! Within one simulation run all recording happens on one thread, so the
+//! internal mutexes are uncontended.
 //!
 //! This crate sits *below* `lumina-sim`: it identifies nodes by plain
 //! `u32` ids (the engine's `NodeId` converts losslessly) and depends
@@ -41,7 +45,8 @@ pub use metrics::{Histogram, MetricSet, NodeMetrics, Registry};
 pub use profile::SelfProfile;
 
 use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Configuration for a telemetry sink.
@@ -63,26 +68,41 @@ impl Default for TelemetryConfig {
 }
 
 struct Inner {
-    enabled: Cell<bool>,
-    journal: RefCell<Journal>,
-    registry: RefCell<Registry>,
-    profile: RefCell<SelfProfile>,
+    enabled: AtomicBool,
+    journal: Mutex<Journal>,
+    registry: Mutex<Registry>,
+    profile: Mutex<SelfProfile>,
+}
+
+/// Lock that shrugs off poisoning: a panicking worker thread must not
+/// wedge every other run's telemetry.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Shared handle to one simulation run's telemetry sink.
 ///
-/// Clones are cheap (`Rc`) and all clones observe the same sink, which
+/// Clones are cheap (`Arc`) and all clones observe the same sink, which
 /// is how the engine, the nodes and the orchestrator share one journal.
+/// The handle is `Send + Sync`, so a run (and the results carrying its
+/// sink) can live on a worker thread.
 #[derive(Clone)]
 pub struct Telemetry {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
 }
+
+// The whole point of the Arc/Mutex interior: runs carrying a sink must be
+// movable across threads. Keep that fact checked at compile time.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Telemetry>();
+};
 
 impl std::fmt::Debug for Telemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Telemetry")
             .field("enabled", &self.is_enabled())
-            .field("journal_len", &self.inner.journal.borrow().len())
+            .field("journal_len", &lock(&self.inner.journal).len())
             .finish()
     }
 }
@@ -97,11 +117,11 @@ impl Telemetry {
     /// An enabled sink with the given configuration.
     pub fn new(config: TelemetryConfig) -> Telemetry {
         Telemetry {
-            inner: Rc::new(Inner {
-                enabled: Cell::new(config.enabled),
-                journal: RefCell::new(Journal::new(config.journal_capacity)),
-                registry: RefCell::new(Registry::default()),
-                profile: RefCell::new(SelfProfile::default()),
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(config.enabled),
+                journal: Mutex::new(Journal::new(config.journal_capacity)),
+                registry: Mutex::new(Registry::default()),
+                profile: Mutex::new(SelfProfile::default()),
             }),
         }
     }
@@ -123,7 +143,7 @@ impl Telemetry {
     /// consult this before evaluating their attribute expressions.
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        self.inner.enabled.get()
+        self.inner.enabled.load(Ordering::Relaxed)
     }
 
     // ------------------------------------------------------------ journal
@@ -143,24 +163,24 @@ impl Telemetry {
         if !self.is_enabled() {
             return;
         }
-        self.inner.journal.borrow_mut().push(TelemetryEvent {
+        lock(&self.inner.journal).push(TelemetryEvent {
             t,
             node,
             component,
             kind,
             attrs,
         });
-        self.inner.profile.borrow_mut().events_recorded += 1;
+        lock(&self.inner.profile).events_recorded += 1;
     }
 
     /// Number of events currently held in the journal ring.
     pub fn journal_len(&self) -> usize {
-        self.inner.journal.borrow().len()
+        lock(&self.inner.journal).len()
     }
 
     /// Events evicted from the ring because it was full.
     pub fn journal_dropped(&self) -> u64 {
-        self.inner.journal.borrow().dropped()
+        lock(&self.inner.journal).dropped()
     }
 
     /// Render the journal as JSON Lines (one event object per line).
@@ -168,12 +188,12 @@ impl Telemetry {
     /// Byte-identical across same-seed runs: sim-time only, insertion
     /// order preserved.
     pub fn journal_jsonl(&self) -> String {
-        self.inner.journal.borrow().to_jsonl()
+        lock(&self.inner.journal).to_jsonl()
     }
 
     /// Run `f` over each journal event in order.
     pub fn for_each_event<F: FnMut(&TelemetryEvent)>(&self, mut f: F) {
-        for ev in self.inner.journal.borrow().iter() {
+        for ev in lock(&self.inner.journal).iter() {
             f(ev);
         }
     }
@@ -185,7 +205,7 @@ impl Telemetry {
         if !self.is_enabled() {
             return;
         }
-        self.inner.registry.borrow_mut().node_mut(node).inc(name, delta);
+        lock(&self.inner.registry).node_mut(node).inc(name, delta);
     }
 
     /// Set the named per-node gauge.
@@ -193,11 +213,7 @@ impl Telemetry {
         if !self.is_enabled() {
             return;
         }
-        self.inner
-            .registry
-            .borrow_mut()
-            .node_mut(node)
-            .set_gauge(name, value);
+        lock(&self.inner.registry).node_mut(node).set_gauge(name, value);
     }
 
     /// Raise the named gauge to `value` if it is a new high-water mark.
@@ -205,11 +221,7 @@ impl Telemetry {
         if !self.is_enabled() {
             return;
         }
-        self.inner
-            .registry
-            .borrow_mut()
-            .node_mut(node)
-            .gauge_max(name, value);
+        lock(&self.inner.registry).node_mut(node).gauge_max(name, value);
     }
 
     /// Record a sample into the named per-node log-linear histogram.
@@ -217,11 +229,7 @@ impl Telemetry {
         if !self.is_enabled() {
             return;
         }
-        self.inner
-            .registry
-            .borrow_mut()
-            .node_mut(node)
-            .record(name, value);
+        lock(&self.inner.registry).node_mut(node).record(name, value);
     }
 
     /// Store a component stat struct's snapshot under the node.
@@ -234,9 +242,7 @@ impl Telemetry {
         if !self.is_enabled() {
             return;
         }
-        self.inner
-            .registry
-            .borrow_mut()
+        lock(&self.inner.registry)
             .node_mut(node)
             .record_set(set.metric_kind(), set.snapshot());
     }
@@ -247,10 +253,7 @@ impl Telemetry {
         if !self.is_enabled() {
             return;
         }
-        self.inner
-            .registry
-            .borrow_mut()
-            .record_global(set.metric_kind(), set.snapshot());
+        lock(&self.inner.registry).record_global(set.metric_kind(), set.snapshot());
     }
 
     // -------------------------------------------------------------- spans
@@ -285,7 +288,7 @@ impl Telemetry {
 
     /// Mutate the wall-clock self-profile (engine bookkeeping).
     pub fn with_profile<R>(&self, f: impl FnOnce(&mut SelfProfile) -> R) -> R {
-        f(&mut self.inner.profile.borrow_mut())
+        f(&mut lock(&self.inner.profile))
     }
 
     // ----------------------------------------------------------- snapshot
@@ -305,21 +308,22 @@ impl Telemetry {
     /// `deterministic_snapshot` variant leaves it out.
     pub fn snapshot(&self) -> serde_json::Value {
         let mut root = self.deterministic_snapshot();
-        root["self_profile"] = self.inner.profile.borrow().to_json();
+        root["self_profile"] = lock(&self.inner.profile).to_json();
         root
     }
 
     /// [`Telemetry::snapshot`] without the wall-clock self-profile;
     /// byte-stable across same-seed runs.
     pub fn deterministic_snapshot(&self) -> serde_json::Value {
-        let journal = self.inner.journal.borrow();
+        let journal = lock(&self.inner.journal);
         let mut root = serde_json::Map::new();
         let mut j = serde_json::Map::new();
         j.insert("events", serde_json::Value::from(journal.len() as u64));
         j.insert("dropped", serde_json::Value::from(journal.dropped()));
         root.insert("journal", serde_json::Value::Object(j));
-        root.insert("global", self.inner.registry.borrow().globals_to_json());
-        root.insert("nodes", self.inner.registry.borrow().to_json());
+        let registry = lock(&self.inner.registry);
+        root.insert("global", registry.globals_to_json());
+        root.insert("nodes", registry.to_json());
         serde_json::Value::Object(root)
     }
 }

@@ -16,6 +16,14 @@ struct SpanStats {
     wall_ns: u64,
 }
 
+/// Wall-clock accounting for one campaign worker thread (the parallel
+/// fuzz executor reports one entry per worker per generation).
+#[derive(Debug, Default, Clone)]
+struct WorkerStats {
+    runs: u64,
+    wall_ns: u64,
+}
+
 /// Aggregated wall-clock accounting for one run.
 #[derive(Debug)]
 pub struct SelfProfile {
@@ -28,6 +36,8 @@ pub struct SelfProfile {
     started: Instant,
     wall_ns: Option<u64>,
     spans: BTreeMap<&'static str, SpanStats>,
+    workers: BTreeMap<u64, WorkerStats>,
+    campaign_wall_ns: Option<u64>,
 }
 
 impl Default for SelfProfile {
@@ -39,6 +49,8 @@ impl Default for SelfProfile {
             started: Instant::now(),
             wall_ns: None,
             spans: BTreeMap::new(),
+            workers: BTreeMap::new(),
+            campaign_wall_ns: None,
         }
     }
 }
@@ -54,6 +66,31 @@ impl SelfProfile {
     /// Number of completed spans under `name`.
     pub fn span_count(&self, name: &str) -> u64 {
         self.spans.get(name).map_or(0, |s| s.count)
+    }
+
+    /// Fold one worker-thread stint (`runs` simulations over `wall_ns` of
+    /// wall clock) into the per-worker totals.
+    pub fn record_worker(&mut self, worker: u64, runs: u64, wall_ns: u64) {
+        let w = self.workers.entry(worker).or_default();
+        w.runs += runs;
+        w.wall_ns += wall_ns;
+    }
+
+    /// Simulations executed by `worker` so far.
+    pub fn worker_runs(&self, worker: u64) -> u64 {
+        self.workers.get(&worker).map_or(0, |w| w.runs)
+    }
+
+    /// Total simulations executed across all workers.
+    pub fn total_worker_runs(&self) -> u64 {
+        self.workers.values().map(|w| w.runs).sum()
+    }
+
+    /// Freeze the campaign's end-to-end wall clock (idempotent).
+    pub fn set_campaign_wall_ns(&mut self, wall_ns: u64) {
+        if self.campaign_wall_ns.is_none() {
+            self.campaign_wall_ns = Some(wall_ns);
+        }
     }
 
     /// Freeze the total wall-clock duration (idempotent; first call wins).
@@ -96,6 +133,37 @@ impl SelfProfile {
             spans.insert(*name, serde_json::Value::Object(sj));
         }
         m.insert("spans", serde_json::Value::Object(spans));
+        if !self.workers.is_empty() {
+            let mut workers = serde_json::Map::new();
+            for (id, w) in &self.workers {
+                let wsecs = w.wall_ns as f64 / 1e9;
+                let mut wj = serde_json::Map::new();
+                wj.insert("runs", serde_json::Value::from(w.runs));
+                wj.insert("wall_ns", serde_json::Value::from(w.wall_ns));
+                wj.insert(
+                    "runs_per_sec",
+                    serde_json::Value::from(if wsecs > 0.0 {
+                        w.runs as f64 / wsecs
+                    } else {
+                        0.0
+                    }),
+                );
+                workers.insert(id.to_string(), serde_json::Value::Object(wj));
+            }
+            m.insert("workers", serde_json::Value::Object(workers));
+        }
+        if let Some(cw) = self.campaign_wall_ns {
+            let csecs = cw as f64 / 1e9;
+            let runs = self.total_worker_runs();
+            let mut cj = serde_json::Map::new();
+            cj.insert("wall_ns", serde_json::Value::from(cw));
+            cj.insert("runs", serde_json::Value::from(runs));
+            cj.insert(
+                "runs_per_sec",
+                serde_json::Value::from(if csecs > 0.0 { runs as f64 / csecs } else { 0.0 }),
+            );
+            m.insert("campaign", serde_json::Value::Object(cj));
+        }
         serde_json::Value::Object(m)
     }
 }
@@ -114,6 +182,24 @@ mod tests {
         let j = p.to_json();
         assert_eq!(j["spans"]["run"]["wall_ns"], 150u64);
         assert_eq!(j["spans"]["parse"]["count"], 1u64);
+    }
+
+    #[test]
+    fn worker_and_campaign_stats_export() {
+        let mut p = SelfProfile::default();
+        p.record_worker(0, 5, 1_000_000_000);
+        p.record_worker(0, 5, 1_000_000_000);
+        p.record_worker(1, 3, 500_000_000);
+        p.set_campaign_wall_ns(2_000_000_000);
+        p.set_campaign_wall_ns(9); // idempotent: first call wins
+        assert_eq!(p.worker_runs(0), 10);
+        assert_eq!(p.total_worker_runs(), 13);
+        let j = p.to_json();
+        assert_eq!(j["workers"]["0"]["runs"], 10u64);
+        assert_eq!(j["workers"]["0"]["runs_per_sec"].as_f64().unwrap(), 5.0);
+        assert_eq!(j["workers"]["1"]["wall_ns"], 500_000_000u64);
+        assert_eq!(j["campaign"]["wall_ns"], 2_000_000_000u64);
+        assert_eq!(j["campaign"]["runs"], 13u64);
     }
 
     #[test]

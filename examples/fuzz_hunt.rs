@@ -47,6 +47,9 @@ network:
         accept_prob: 0.25,
         anomaly_threshold: 8.0,
         seed: 0xbeef,
+        // batch_size / workers defaults: the outcome is identical for any
+        // worker count, so the hunt stays reproducible on every host.
+        ..FuzzParams::default()
     };
     let outcome = fuzz(&base, &mut mutator, noisy_neighbor_score, &params);
 

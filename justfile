@@ -6,6 +6,16 @@ check:
     cargo test -q
     cargo clippy -- -D warnings
 
+# The full CI gate: release build, workspace tests (with the parallel-fuzz
+# differential and golden-report suites named explicitly so a filter change
+# can't silently drop them), lint with warnings fatal.
+ci:
+    cargo build --release
+    cargo test -q
+    cargo test -q --test fuzz_parallel_differential
+    cargo test -q --test golden_reports
+    cargo clippy -- -D warnings
+
 # Fast feedback loop: debug build + tests.
 test:
     cargo test --workspace -q

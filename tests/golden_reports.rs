@@ -1,0 +1,114 @@
+//! Golden-report regression corpus: every preset in `configs/` runs
+//! through the orchestrator and its `report_json()` — including the
+//! deterministic `telemetry` snapshot — must match the checked-in golden
+//! byte for byte. The simulator is bit-deterministic, so any diff here is
+//! a real behavior change (or an intentional one: regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test golden_reports`).
+
+use lumina_core::config::TestConfig;
+use lumina_core::orchestrator::run_test;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn golden_dir() -> PathBuf {
+    repo_root().join("tests/golden")
+}
+
+fn corpus() -> Vec<(String, TestConfig)> {
+    let dir = repo_root().join("configs");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("configs/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("yaml") {
+            continue;
+        }
+        let yaml = std::fs::read_to_string(&path).unwrap();
+        let cfg = TestConfig::from_yaml(&yaml)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        out.push((stem, cfg));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(out.len() >= 8, "corpus shrank: {}", out.len());
+    out
+}
+
+fn render_report(cfg: &TestConfig, name: &str) -> String {
+    let res = run_test(cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut s = serde_json::to_string_pretty(&res.report_json()).unwrap();
+    s.push('\n');
+    s
+}
+
+fn updating() -> bool {
+    std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1")
+}
+
+#[test]
+fn reports_match_goldens() {
+    let dir = golden_dir();
+    if updating() {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut failures = Vec::new();
+    for (name, cfg) in corpus() {
+        let actual = render_report(&cfg, &name);
+        let golden_path = dir.join(format!("{name}.json"));
+        if updating() {
+            std::fs::write(&golden_path, &actual).unwrap();
+            eprintln!("golden updated: {}", golden_path.display());
+            continue;
+        }
+        match std::fs::read_to_string(&golden_path) {
+            Err(_) => failures.push(format!(
+                "{name}: golden missing at {} (regenerate with UPDATE_GOLDEN=1)",
+                golden_path.display()
+            )),
+            Ok(expected) if expected != actual => {
+                failures.push(format!(
+                    "{name}: report drifted from golden ({}); first divergence at byte {} — \
+                     if intentional, regenerate with UPDATE_GOLDEN=1 cargo test --test golden_reports",
+                    golden_path.display(),
+                    first_divergence(&expected, &actual),
+                ));
+            }
+            Ok(_) => {}
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+fn first_divergence(a: &str, b: &str) -> usize {
+    a.bytes()
+        .zip(b.bytes())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()))
+}
+
+#[test]
+fn goldens_cover_whole_corpus() {
+    // A deleted golden must fail loudly, not silently shrink coverage.
+    if updating() {
+        return;
+    }
+    let have: Vec<String> = std::fs::read_dir(golden_dir())
+        .expect("tests/golden exists — regenerate with UPDATE_GOLDEN=1")
+        .map(|e| e.unwrap().path().file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for (name, _) in corpus() {
+        assert!(
+            have.contains(&name),
+            "{name} has no golden; regenerate with UPDATE_GOLDEN=1"
+        );
+    }
+}
+
+#[test]
+fn report_is_deterministic_across_runs() {
+    // The property the goldens rest on: same config, same bytes.
+    let (name, cfg) = corpus().swap_remove(0);
+    assert_eq!(render_report(&cfg, &name), render_report(&cfg, &name));
+}
