@@ -1,14 +1,14 @@
 //! Criterion microbenchmarks of the substrates: packet codec, ICRC,
 //! event-injector pipeline, and end-to-end simulation throughput.
 
-use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use lumina_packet::builder::DataPacketBuilder;
 use lumina_packet::frame::{icrc_check, RoceFrame};
 use lumina_packet::opcode::Opcode;
+use lumina_packet::Frame;
 use std::hint::black_box;
 
-fn sample_frame_bytes(payload: usize) -> Bytes {
+fn sample_frame_bytes(payload: usize) -> Frame {
     DataPacketBuilder::new()
         .opcode(Opcode::RdmaWriteMiddle)
         .psn(1234)

@@ -8,9 +8,9 @@
 
 use lumina_bench::*;
 
-const IDS: [&str; 13] = [
+const IDS: [&str; 14] = [
     "fig03", "fig07", "fig08", "fig09", "fig10", "fig11", "table2", "interop", "cnp",
-    "adaptive", "sec34", "ablations", "fuzz",
+    "adaptive", "sec34", "ablations", "fuzz", "hotpath",
 ];
 
 fn main() {
@@ -141,6 +141,14 @@ fn main() {
             out.insert("fuzz", serde_json::to_value(&f).unwrap());
         } else {
             fuzz_throughput::print(&f);
+        }
+    }
+    if want("hotpath") {
+        let h = hotpath::run();
+        if json {
+            out.insert("hotpath", serde_json::to_value(&h).unwrap());
+        } else {
+            hotpath::print(&h);
         }
     }
     if want("sec5") {

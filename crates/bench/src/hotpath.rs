@@ -1,0 +1,185 @@
+//! Frame-plane hot path: zero-copy accounting, old model vs. new.
+//!
+//! The simulator's frame plane used to copy the full packet on every
+//! hand-off: each hop, each mirror, each capture-ring entry owned its own
+//! `Vec<u8>`. The shared-buffer plane replaced those copies with
+//! reference-counted handles, and the engine counts both sides of the
+//! ledger as it runs:
+//!
+//! * `bytes_copied`  — bytes actually memcpy'd (payload assembly at emit,
+//!   copy-on-write detaches for in-flight mutation, dumper ring trims);
+//! * `bytes_shared`  — bytes handed off by reference that the owned-`Vec`
+//!   design would have copied.
+//!
+//! Their sum is the old design's bill, so the reduction column is
+//! `bytes_shared / (bytes_copied + bytes_shared)`. The experiment runs
+//! the paper's `fig11_noisy_neighbor` preset plus a high-rate stress
+//! configuration, and — because a faster frame plane that changed a
+//! single report byte would be worthless — each row also re-runs the
+//! test and checks the `report_json` is bit-identical across runs.
+
+use crate::common::render_table;
+use lumina_core::config::TestConfig;
+use lumina_core::orchestrator::run_test;
+use serde::Serialize;
+
+/// One measured configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct HotpathRow {
+    /// Configuration name.
+    pub name: String,
+    /// Packets captured in the reconstructed trace.
+    pub packets: u64,
+    /// Bytes actually copied, total.
+    pub bytes_copied: u64,
+    /// Bytes passed by shared reference (old design would copy them).
+    pub bytes_shared: u64,
+    /// Bytes copied per packet under the zero-copy plane.
+    pub copied_per_pkt: f64,
+    /// Bytes per packet the owned-`Vec` design would have copied.
+    pub old_model_per_pkt: f64,
+    /// Percent of the old design's copy bill eliminated.
+    pub reduction_pct: f64,
+    /// High-water mark of concurrently live frame buffers.
+    pub peak_live_frames: u64,
+    /// Two runs of the same config produce byte-identical `report_json`.
+    pub identical_outcome: bool,
+}
+
+/// The whole experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Hotpath {
+    /// One row per configuration.
+    pub rows: Vec<HotpathRow>,
+}
+
+/// The paper preset the acceptance bar is measured on.
+fn fig11_cfg() -> TestConfig {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../configs/fig11_noisy_neighbor.yaml"
+    );
+    let yaml = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path}: {e}"));
+    TestConfig::from_yaml(&yaml).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// High-rate stress: many connections pushing many MTU-sized packets
+/// through the full switch + mirror + dumper pipeline, with an injected
+/// drop so the retransmission path is on the bill too.
+fn stress_cfg() -> TestConfig {
+    TestConfig::from_yaml(
+        r#"
+requester: { nic-type: cx5 }
+responder: { nic-type: cx5 }
+traffic:
+  num-connections: 8
+  rdma-verb: write
+  num-msgs-per-qp: 8
+  mtu: 1024
+  message-size: 16384
+  tx-depth: 4
+  data-pkt-events:
+    - {qpn: 1, psn: 9, type: drop, iter: 1}
+    - {qpn: 3, psn: 4, type: ecn, iter: 1}
+"#,
+    )
+    .expect("stress config parses")
+}
+
+fn measure(name: &str, cfg: &TestConfig) -> HotpathRow {
+    let first = run_test(cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let second = run_test(cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let identical = serde_json::to_string(&first.report_json()).unwrap()
+        == serde_json::to_string(&second.report_json()).unwrap();
+
+    let fs = &first.frame_stats;
+    let packets = first
+        .trace
+        .as_ref()
+        .map(|t| t.len() as u64)
+        .unwrap_or(0)
+        .max(1);
+    let old_bill = fs.bytes_copied + fs.bytes_shared;
+    HotpathRow {
+        name: name.to_string(),
+        packets,
+        bytes_copied: fs.bytes_copied,
+        bytes_shared: fs.bytes_shared,
+        copied_per_pkt: fs.bytes_copied as f64 / packets as f64,
+        old_model_per_pkt: old_bill as f64 / packets as f64,
+        reduction_pct: if old_bill > 0 {
+            fs.bytes_shared as f64 / old_bill as f64 * 100.0
+        } else {
+            0.0
+        },
+        peak_live_frames: fs.peak_live_frames,
+        identical_outcome: identical,
+    }
+}
+
+/// Run both configurations.
+pub fn run() -> Hotpath {
+    Hotpath {
+        rows: vec![
+            measure("fig11_noisy_neighbor", &fig11_cfg()),
+            measure("stress_high_rate", &stress_cfg()),
+        ],
+    }
+}
+
+/// Human rendering for the experiments binary.
+pub fn print(h: &Hotpath) {
+    println!("frame-plane hot path — copy bytes, zero-copy vs. owned-Vec model");
+    let rows: Vec<Vec<String>> = h
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{}", r.packets),
+                format!("{:.0}", r.copied_per_pkt),
+                format!("{:.0}", r.old_model_per_pkt),
+                format!("{:.1}%", r.reduction_pct),
+                format!("{}", r.peak_live_frames),
+                if r.identical_outcome { "yes" } else { "NO" }.into(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "config",
+                "pkts",
+                "copied/pkt",
+                "old model/pkt",
+                "reduction",
+                "peak live",
+                "identical"
+            ],
+            &rows
+        )
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotpath_meets_the_reduction_bar() {
+        let h = run();
+        for r in &h.rows {
+            assert!(r.identical_outcome, "{}: reports drifted between runs", r.name);
+            assert!(r.packets > 0, "{}: empty trace", r.name);
+        }
+        let fig11 = &h.rows[0];
+        assert_eq!(fig11.name, "fig11_noisy_neighbor");
+        assert!(
+            fig11.reduction_pct >= 30.0,
+            "copy reduction {:.1}% below the 30% bar: {fig11:?}",
+            fig11.reduction_pct
+        );
+    }
+}

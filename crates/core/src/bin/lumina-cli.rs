@@ -9,9 +9,14 @@
 //! lumina-cli fuzz --config base.yaml --workers 4 --generations 16
 //! ```
 //!
+//! All flag parsing lives in [`lumina_core::cli`]; `--config`, `--seed`
+//! and `--json` mean the same thing to every subcommand, and `--help`
+//! prints one usage text covering all of them.
+//!
 //! The `telemetry` subcommand prints the structured event journal (JSONL)
-//! followed by the per-node metric registry to stdout — both byte-identical
-//! across same-seed runs — and the wall-clock self-profile to stderr.
+//! followed by the per-node metric registry and the frame-plane
+//! allocation counters to stdout — all byte-identical across same-seed
+//! runs — and the wall-clock self-profile to stderr.
 //!
 //! The `fuzz` subcommand runs a parallel genetic campaign (§4, Algorithm 1)
 //! seeded from the given base configuration. Anomalies stream to stdout as
@@ -20,39 +25,25 @@
 //! `--batch`, the anomaly stream is byte-identical for every `--workers`
 //! value.
 //!
-//! Exit codes: 0 success, 1 test ran but failed (integrity or incomplete
-//! traffic), 2 usage/configuration error.
+//! Exit codes follow [`lumina_core::Error::exit_code`]: 0 success, 1 test
+//! ran but failed (integrity or incomplete traffic), 2 configuration,
+//! 3 I/O, 4 translation, 5 engine, 6 reconstruction.
 
 use lumina_core::analyzers::{cnp, counter, gbn_fsm, retrans_perf};
+use lumina_core::cli::{self, CommonOpts};
 use lumina_core::config::TestConfig;
 use lumina_core::fuzz::{self, mutate::EventMutator, score, FuzzParams};
 use lumina_core::orchestrator::run_test;
+use lumina_core::Error;
 use std::process::ExitCode;
 
-/// Load and validate a config file, reporting errors the CLI way.
-fn load_config(path: &str) -> Result<TestConfig, ExitCode> {
-    let yaml = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            return Err(ExitCode::from(2));
-        }
-    };
-    let cfg = match TestConfig::from_yaml(&yaml) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: {path} does not parse: {e}");
-            return Err(ExitCode::from(2));
-        }
-    };
-    let problems = cfg.validate();
-    if !problems.is_empty() {
-        for p in &problems {
-            eprintln!("config error: {p}");
-        }
-        return Err(ExitCode::from(2));
-    }
-    Ok(cfg)
+/// Print a typed error and convert it to the process exit code.
+fn fail(e: Error) -> ExitCode {
+    let msg = e.to_string();
+    // `Error::Config` with several problems ends its Display with a
+    // newline; single-line variants do not.
+    eprintln!("error: {}", msg.trim_end_matches('\n'));
+    ExitCode::from(e.exit_code())
 }
 
 /// Flatten one metrics subtree into `section.name : value` table lines.
@@ -72,64 +63,83 @@ fn print_metric_rows(prefix: &str, v: &serde_json::Value, indent: usize) {
     }
 }
 
+/// The frame-plane counters as a JSON object (also the table source).
+fn frame_stats_json(fs: &lumina_sim::FrameStats) -> serde_json::Value {
+    serde_json::json!({
+        "frames_allocated": (fs.frames_allocated),
+        "bytes_allocated": (fs.bytes_allocated),
+        "bytes_copied": (fs.bytes_copied),
+        "frames_shared": (fs.frames_shared),
+        "bytes_shared": (fs.bytes_shared),
+        "peak_live_frames": (fs.peak_live_frames),
+    })
+}
+
 /// `lumina-cli telemetry --config <test.yaml>`: run the test and dump the
 /// journal + registry (stdout, deterministic) and self-profile (stderr).
 fn telemetry_cmd(args: &[String]) -> ExitCode {
-    let Some(path) = args
-        .iter()
-        .position(|a| a == "--config")
-        .and_then(|i| args.get(i + 1))
-    else {
-        eprintln!("usage: lumina-cli telemetry --config <test.yaml>");
-        return ExitCode::from(2);
+    let opts = match CommonOpts::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
     };
-    let cfg = match load_config(path) {
-        Ok(c) => c,
-        Err(code) => return code,
-    };
-    let results = match run_test(&cfg) {
+    let results = match opts.load().and_then(|cfg| run_test(&cfg)) {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: run failed: {e}");
-            return ExitCode::from(2);
-        }
+        Err(e) => return fail(e),
     };
 
     let tel = &results.telemetry;
-    // 1. The structured event journal, one JSON object per line.
-    print!("{}", tel.journal_jsonl());
-
-    // 2. Per-node metric registry as an aligned table.
     let snap = tel.deterministic_snapshot();
-    println!("--- metrics ---");
-    if let Some(global) = snap.get("global").and_then(|g| g.as_object()) {
-        for (kind, set) in global {
-            println!("global [{kind}]");
-            print_metric_rows("", set, 2);
-        }
-    }
-    if let Some(nodes) = snap.get("nodes").and_then(|n| n.as_object()) {
-        for (node, sections) in nodes {
-            let Some(sections) = sections.as_object() else {
-                continue;
-            };
-            for (kind, set) in sections {
-                println!("node {node} [{kind}]");
+    if opts.json {
+        // One machine-readable document: journal, metrics, frame plane.
+        let journal: Vec<serde_json::Value> = tel
+            .journal_jsonl()
+            .lines()
+            .filter_map(|l| serde_json::from_str(l).ok())
+            .collect();
+        let doc = serde_json::json!({
+            "journal": journal,
+            "metrics": snap,
+            "frames": (frame_stats_json(&results.frame_stats)),
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+    } else {
+        // 1. The structured event journal, one JSON object per line.
+        print!("{}", tel.journal_jsonl());
+
+        // 2. Per-node metric registry as an aligned table.
+        println!("--- metrics ---");
+        if let Some(global) = snap.get("global").and_then(|g| g.as_object()) {
+            for (kind, set) in global {
+                println!("global [{kind}]");
                 print_metric_rows("", set, 2);
             }
         }
-    }
-    if let Some(dropped) = snap
-        .get("journal")
-        .and_then(|j| j.get("dropped"))
-        .and_then(|d| d.as_u64())
-    {
-        if dropped > 0 {
-            println!("journal dropped : {dropped} (ring full)");
+        if let Some(nodes) = snap.get("nodes").and_then(|n| n.as_object()) {
+            for (node, sections) in nodes {
+                let Some(sections) = sections.as_object() else {
+                    continue;
+                };
+                for (kind, set) in sections {
+                    println!("node {node} [{kind}]");
+                    print_metric_rows("", set, 2);
+                }
+            }
+        }
+        // 3. Frame-plane allocation/copy accounting (zero-copy plane).
+        println!("global [frames]");
+        print_metric_rows("", &frame_stats_json(&results.frame_stats), 2);
+        if let Some(dropped) = snap
+            .get("journal")
+            .and_then(|j| j.get("dropped"))
+            .and_then(|d| d.as_u64())
+        {
+            if dropped > 0 {
+                println!("journal dropped : {dropped} (ring full)");
+            }
         }
     }
 
-    // 3. Wall-clock self-profile — non-deterministic, so stderr only.
+    // 4. Wall-clock self-profile — non-deterministic, so stderr only.
     tel.with_profile(|p| p.finish());
     let profile = tel.with_profile(|p| p.to_json());
     eprintln!("self-profile: {}", serde_json::to_string(&profile).unwrap());
@@ -137,70 +147,46 @@ fn telemetry_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Value of `--flag <value>`, if present.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
-}
-
-/// Parse `--flag <n>` with a default; `Err` carries the usage complaint.
-fn numeric_flag<T: std::str::FromStr>(
-    args: &[String],
-    flag: &str,
-    default: T,
-) -> Result<T, String> {
-    match flag_value(args, flag) {
-        None => Ok(default),
-        Some(raw) => raw
-            .parse()
-            .map_err(|_| format!("{flag} wants a number, got {raw:?}")),
-    }
-}
-
 /// `lumina-cli fuzz --config <base.yaml> [--workers N] [--generations G]
 /// [--batch B] [--seed S] [--pool P] [--threshold T] [--score default|noisy]
 /// [--events-only]`: genetic campaign with the parallel executor. Anomaly
 /// JSONL on stdout, summary + per-worker profile on stderr.
 fn fuzz_cmd(args: &[String]) -> ExitCode {
-    let Some(path) = flag_value(args, "--config") else {
-        eprintln!("usage: lumina-cli fuzz --config <base.yaml> [--workers N] [--generations G] [--batch B] [--seed S] [--pool P] [--threshold T] [--score default|noisy] [--events-only]");
-        return ExitCode::from(2);
-    };
-    let cfg = match load_config(path) {
-        Ok(c) => c,
-        Err(code) => return code,
-    };
-    let defaults = FuzzParams::default();
-    let parsed: Result<FuzzParams, String> = (|| {
-        let batch_size = numeric_flag(args, "--batch", defaults.batch_size)?;
-        let generations: usize = numeric_flag(args, "--generations", 8)?;
-        Ok(FuzzParams {
-            pool_size: numeric_flag(args, "--pool", defaults.pool_size)?,
+    let parsed: Result<(TestConfig, FuzzParams), Error> = (|| {
+        let opts = CommonOpts::parse(args)?;
+        let cfg = opts.load()?;
+        let defaults = FuzzParams::default();
+        let batch_size = cli::numeric_flag(args, "--batch", defaults.batch_size)?;
+        let generations: usize = cli::numeric_flag(args, "--generations", 8)?;
+        let params = FuzzParams {
+            pool_size: cli::numeric_flag(args, "--pool", defaults.pool_size)?,
             iterations: generations.max(1) * batch_size.max(1),
-            anomaly_threshold: numeric_flag(args, "--threshold", defaults.anomaly_threshold)?,
-            seed: numeric_flag(args, "--seed", defaults.seed)?,
+            anomaly_threshold: cli::numeric_flag(args, "--threshold", defaults.anomaly_threshold)?,
+            // --seed drives the whole campaign: the config's network.seed
+            // (already overridden by opts.load) and the mutation PRNG.
+            seed: opts.seed.unwrap_or(defaults.seed),
             batch_size,
-            workers: numeric_flag(args, "--workers", fuzz::default_workers())?,
+            workers: cli::numeric_flag(args, "--workers", fuzz::default_workers())?,
             ..defaults
-        })
+        };
+        Ok((cfg, params))
     })();
-    let params = match parsed {
+    let (cfg, params) = match parsed {
         Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
+        Err(e) => return fail(e),
     };
     let score_fn: fn(&TestConfig, &lumina_core::orchestrator::TestResults) -> (f64, String) =
-        match flag_value(args, "--score").map(String::as_str) {
+        match cli::flag_value(args, "--score") {
             None | Some("default") => score::default_score,
             Some("noisy") => score::noisy_neighbor_score,
             Some(other) => {
-                eprintln!("error: unknown --score {other:?} (want default|noisy)");
-                return ExitCode::from(2);
+                return fail(Error::config(format!(
+                    "unknown --score {other:?} (want default|noisy)"
+                )))
             }
         };
     let mut mutator = EventMutator {
-        events_only: args.iter().any(|a| a == "--events-only"),
+        events_only: cli::has_flag(args, "--events-only"),
         ..EventMutator::default()
     };
 
@@ -255,50 +241,29 @@ fn fuzz_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("telemetry") {
-        return telemetry_cmd(&args[1..]);
-    }
-    if args.first().map(String::as_str) == Some("fuzz") {
-        return fuzz_cmd(&args[1..]);
-    }
-    let json = args.iter().any(|a| a == "--json");
-    let validate_only = args.iter().any(|a| a == "--validate");
-    let pcap_path = args
-        .iter()
-        .position(|a| a == "--pcap")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let mut positional = args
-        .iter()
-        .enumerate()
-        .filter(|(i, a)| {
-            !a.starts_with("--") && (*i == 0 || args[i - 1] != "--pcap")
-        })
-        .map(|(_, a)| a.clone());
-    let Some(path) = positional.next() else {
-        eprintln!("usage: lumina-cli <test.yaml> [--json] [--pcap <out.pcap>] [--validate]");
-        eprintln!("       lumina-cli telemetry --config <test.yaml>");
-        eprintln!("       lumina-cli fuzz --config <base.yaml> [--workers N] [--generations G] [--batch B] [--seed S]");
-        return ExitCode::from(2);
+/// The default subcommand: run one test and report.
+fn run_cmd(args: &[String]) -> ExitCode {
+    let opts = match CommonOpts::parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprint!("{}", cli::HELP);
+            return fail(e);
+        }
     };
+    let pcap_path = cli::flag_value(args, "--pcap").map(str::to_owned);
 
-    let cfg = match load_config(&path) {
+    let cfg = match opts.load() {
         Ok(c) => c,
-        Err(code) => return code,
+        Err(e) => return fail(e),
     };
-    if validate_only {
-        println!("{path}: configuration valid");
+    if cli::has_flag(args, "--validate") {
+        println!("{}: configuration valid", opts.config_path);
         return ExitCode::SUCCESS;
     }
 
     let results = match run_test(&cfg) {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: run failed: {e}");
-            return ExitCode::from(2);
-        }
+        Err(e) => return fail(e),
     };
 
     if let (Some(out), Some(trace)) = (&pcap_path, results.trace.as_ref()) {
@@ -311,7 +276,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if json {
+    if opts.json {
         let mut report = results.report_json();
         // Attach analyzer output to the machine-readable report.
         if let Some(trace) = results.trace.as_ref() {
@@ -328,7 +293,7 @@ fn main() -> ExitCode {
             serde_json::to_value(counter::analyze(&results)).unwrap();
         println!("{}", serde_json::to_string_pretty(&report).unwrap());
     } else {
-        println!("test            : {path}");
+        println!("test            : {}", opts.config_path);
         println!("finished at     : {}", results.end_time);
         println!("traffic complete: {}", results.traffic_completed());
         println!(
@@ -381,5 +346,22 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || cli::has_flag(&args, "--help") || cli::has_flag(&args, "-h") {
+        print!("{}", cli::HELP);
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    match args.first().map(String::as_str) {
+        Some("telemetry") => telemetry_cmd(&args[1..]),
+        Some("fuzz") => fuzz_cmd(&args[1..]),
+        _ => run_cmd(&args),
     }
 }

@@ -1,0 +1,237 @@
+//! Command-line argument handling shared by every `lumina-cli` subcommand.
+//!
+//! Before this module each subcommand grew its own ad-hoc flag scanning,
+//! and the same flag drifted: `--config` was required by `fuzz` but
+//! positional for `run`, `--seed` meant different things, and parse
+//! failures exited with whatever code the call site picked. Everything
+//! funnels through here now:
+//!
+//! * [`flag_value`] / [`has_flag`] / [`numeric_flag`] are the only flag
+//!   readers. A malformed value is an [`Error::Config`] naming the flag,
+//!   so every subcommand exits with the same code for the same mistake.
+//! * [`CommonOpts::parse`] resolves the flags every subcommand shares —
+//!   the config path (positional or `--config`, interchangeably),
+//!   `--seed` (overrides `network.seed`), and `--json`.
+//! * [`CommonOpts::load`] turns the path into a validated [`TestConfig`],
+//!   mapping read failures to [`Error::Io`] and parse/validation
+//!   failures to [`Error::Config`] — the typed errors the binary maps to
+//!   distinct exit codes via [`Error::exit_code`].
+//! * [`HELP`] is the single `--help` text and covers all subcommands.
+
+use crate::config::TestConfig;
+use crate::error::Error;
+
+/// The full usage text, printed for `--help`/`-h` on any subcommand.
+pub const HELP: &str = "\
+lumina-cli — run Lumina tests against the simulated testbed
+
+USAGE:
+    lumina-cli <test.yaml> [OPTIONS]            run one test
+    lumina-cli telemetry --config <test.yaml>   event journal + metrics
+    lumina-cli fuzz --config <base.yaml>        genetic anomaly campaign
+
+The config path may always be given either positionally or as
+`--config <path>`.
+
+COMMON OPTIONS (all subcommands):
+    --config <path>   test configuration YAML
+    --seed <n>        override the config's network.seed
+    --json            machine-readable output on stdout
+    --help, -h        this text
+
+RUN OPTIONS:
+    --validate        check the configuration, run nothing
+    --pcap <out>      also write the reconstructed trace as pcap
+
+TELEMETRY:
+    Prints the structured event journal (JSONL) then the per-node metric
+    registry — both byte-identical across same-seed runs — plus the
+    frame-plane allocation counters. With --json, one JSON document.
+
+FUZZ OPTIONS:
+    --workers <n>     parallel workers (default: available cores)
+    --generations <g> generations to run (default 8)
+    --batch <n>       candidates per generation
+    --pool <n>        survivor pool size
+    --threshold <t>   anomaly score threshold
+    --score <name>    scoring function: default | noisy
+    --events-only     mutate only the event list
+    (--seed seeds the campaign's mutation PRNG)
+
+EXIT CODES:
+    0  success          1  test ran but failed
+    2  bad config       3  I/O error
+    4  translation      5  engine          6  reconstruction
+";
+
+/// Value following `--flag`, if present.
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// True when `--flag` appears anywhere in `args`.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Parse `--flag <n>` with a default. A malformed value is a
+/// configuration error naming the flag.
+pub fn numeric_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, Error> {
+    opt_numeric_flag(args, flag).map(|v| v.unwrap_or(default))
+}
+
+/// Parse `--flag <n>` into `Some(n)`, or `None` when absent.
+pub fn opt_numeric_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+) -> Result<Option<T>, Error> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| Error::config(format!("{flag} wants a number, got {raw:?}"))),
+    }
+}
+
+/// Flags whose value must not be mistaken for the positional config path.
+const VALUED_FLAGS: [&str; 9] = [
+    "--config",
+    "--seed",
+    "--pcap",
+    "--workers",
+    "--generations",
+    "--batch",
+    "--pool",
+    "--threshold",
+    "--score",
+];
+
+/// The options every subcommand understands identically.
+#[derive(Debug, Clone)]
+pub struct CommonOpts {
+    /// Path to the test YAML (positional or `--config`).
+    pub config_path: String,
+    /// `--seed` override for `network.seed`, when given.
+    pub seed: Option<u64>,
+    /// `--json`: machine-readable output.
+    pub json: bool,
+}
+
+impl CommonOpts {
+    /// Resolve the shared flags. The config path may be positional or
+    /// `--config`; values consumed by known flags are never mistaken for
+    /// the positional path.
+    pub fn parse(args: &[String]) -> Result<CommonOpts, Error> {
+        let config_path = match flag_value(args, "--config") {
+            Some(p) => p.to_owned(),
+            None => Self::positional(args)
+                .ok_or_else(|| Error::config("missing test configuration (positional or --config)"))?,
+        };
+        Ok(CommonOpts {
+            config_path,
+            seed: opt_numeric_flag(args, "--seed")?,
+            json: has_flag(args, "--json"),
+        })
+    }
+
+    /// First argument that is neither a flag nor a flag's value.
+    fn positional(args: &[String]) -> Option<String> {
+        args.iter()
+            .enumerate()
+            .filter(|(i, a)| {
+                !a.starts_with("--")
+                    && (*i == 0 || !VALUED_FLAGS.contains(&args[i - 1].as_str()))
+            })
+            .map(|(_, a)| a.clone())
+            .next()
+    }
+
+    /// Read, parse and validate the configuration, applying the `--seed`
+    /// override before validation so the error story is uniform.
+    pub fn load(&self) -> Result<TestConfig, Error> {
+        let yaml = std::fs::read_to_string(&self.config_path).map_err(|source| Error::Io {
+            path: self.config_path.clone(),
+            source,
+        })?;
+        let mut cfg = TestConfig::from_yaml(&yaml)?;
+        if let Some(seed) = self.seed {
+            cfg.network.seed = seed;
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn positional_and_config_flag_are_interchangeable() {
+        let a = CommonOpts::parse(&argv(&["test.yaml", "--json"])).unwrap();
+        let b = CommonOpts::parse(&argv(&["--json", "--config", "test.yaml"])).unwrap();
+        assert_eq!(a.config_path, b.config_path);
+        assert!(a.json && b.json);
+    }
+
+    #[test]
+    fn flag_values_are_not_positionals() {
+        // "out.pcap" follows --pcap, so the positional is test.yaml.
+        let o = CommonOpts::parse(&argv(&["--pcap", "out.pcap", "test.yaml"])).unwrap();
+        assert_eq!(o.config_path, "test.yaml");
+    }
+
+    #[test]
+    fn seed_parses_and_rejects_garbage() {
+        let o = CommonOpts::parse(&argv(&["t.yaml", "--seed", "42"])).unwrap();
+        assert_eq!(o.seed, Some(42));
+        let err = CommonOpts::parse(&argv(&["t.yaml", "--seed", "many"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--seed"), "{err}");
+    }
+
+    #[test]
+    fn missing_path_is_a_config_error() {
+        let err = CommonOpts::parse(&argv(&["--json"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn load_maps_read_failure_to_io() {
+        let o = CommonOpts::parse(&argv(&["/no/such/file.yaml"])).unwrap();
+        let err = o.load().unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        assert!(err.to_string().contains("/no/such/file.yaml"));
+    }
+
+    #[test]
+    fn seed_override_lands_in_network_config() {
+        // Round-trip through a real config file to exercise the full path.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../configs/fig11_noisy_neighbor.yaml"
+        );
+        let o = CommonOpts::parse(&argv(&[path, "--seed", "7777"])).unwrap();
+        let cfg = o.load().unwrap();
+        assert_eq!(cfg.network.seed, 7777);
+    }
+
+    #[test]
+    fn help_names_every_subcommand_and_exit_code() {
+        for needle in ["telemetry", "fuzz", "--validate", "--pcap", "--seed", "--json", "6  reconstruction"] {
+            assert!(HELP.contains(needle), "help is missing {needle}");
+        }
+    }
+}

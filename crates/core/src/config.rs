@@ -2,6 +2,7 @@
 //! plus a `network` section describing the simulated substrate (which the
 //! real Lumina gets from physical hardware).
 
+use crate::error::Error;
 use lumina_rnic::Verb;
 use lumina_sim::SimTime;
 use serde::{Deserialize, Serialize};
@@ -163,30 +164,32 @@ fn default_retry() -> u32 {
 impl TrafficConfig {
     /// Primary verb: the first of the (possibly combined) verb list. Event
     /// intents target this verb's data direction.
-    pub fn verb(&self) -> Result<Verb, String> {
+    pub fn verb(&self) -> Result<Verb, Error> {
         Ok(self.verbs()?[0])
     }
 
     /// All verbs of the (possibly `+`-combined) `rdma-verb` field.
-    pub fn verbs(&self) -> Result<Vec<Verb>, String> {
-        let out: Result<Vec<Verb>, String> = self
+    pub fn verbs(&self) -> Result<Vec<Verb>, Error> {
+        let out: Result<Vec<Verb>, Error> = self
             .rdma_verb
             .split('+')
             .map(|part| {
                 Verb::from_config_str(part.trim())
-                    .ok_or_else(|| format!("unknown rdma-verb {:?}", part))
+                    .ok_or_else(|| Error::config(format!("unknown rdma-verb {part:?}")))
             })
             .collect();
         let out = out?;
         if out.is_empty() {
-            return Err("empty rdma-verb".into());
+            return Err(Error::config("empty rdma-verb"));
         }
         Ok(out)
     }
 
-    /// Data packets per message at this MTU.
+    /// Data packets per message at this MTU. A zero MTU (caught by
+    /// validation, but callable before it) counts as one packet per
+    /// message rather than dividing by zero.
     pub fn pkts_per_msg(&self) -> u32 {
-        if self.message_size == 0 {
+        if self.message_size == 0 || self.mtu == 0 {
             1
         } else {
             self.message_size.div_ceil(self.mtu)
@@ -296,7 +299,17 @@ fn default_horizon() -> u64 {
 
 impl Default for NetworkConfig {
     fn default() -> Self {
-        serde_yaml::from_str("{}").unwrap()
+        NetworkConfig {
+            seed: default_seed(),
+            propagation_delay_ns: default_prop(),
+            num_dumpers: default_dumpers(),
+            dumper_cores: default_cores(),
+            dumper_core_rate_pps: default_core_rate(),
+            switch_mode: SwitchMode::default(),
+            no_dport_randomization: false,
+            per_port_mirroring: false,
+            horizon_ms: default_horizon(),
+        }
     }
 }
 
@@ -321,9 +334,10 @@ pub struct TestConfig {
 }
 
 impl TestConfig {
-    /// Parse from YAML.
-    pub fn from_yaml(s: &str) -> Result<TestConfig, String> {
-        serde_yaml::from_str(s).map_err(|e| e.to_string())
+    /// Parse from YAML. Schema errors (wrong type, unknown field, missing
+    /// section) surface as [`Error::Config`] naming the offending field.
+    pub fn from_yaml(s: &str) -> Result<TestConfig, Error> {
+        serde_yaml::from_str(s).map_err(|e| Error::config(e.to_string()))
     }
 
     /// Serialize to YAML.
@@ -341,8 +355,19 @@ impl TestConfig {
         SimTime::from_micros(host.min_time_between_cnps_us)
     }
 
-    /// Basic sanity validation; returns a list of problems.
-    pub fn validate(&self) -> Vec<String> {
+    /// Validate the configuration: the orchestrator's entry point. Every
+    /// problem found is reported at once, each naming its field.
+    pub fn validate(&self) -> Result<(), Error> {
+        let problems = self.problems();
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::Config { problems })
+        }
+    }
+
+    /// Basic sanity checks; returns a list of problems (empty = valid).
+    pub fn problems(&self) -> Vec<String> {
         let mut problems = Vec::new();
         if self.traffic.num_connections == 0 {
             problems.push("num-connections must be ≥ 1".into());
@@ -443,7 +468,7 @@ traffic:
         let ev = &cfg.traffic.data_pkt_events[2];
         assert_eq!((ev.qpn, ev.psn, ev.iter), (2, 5, 2));
         assert_eq!(ev.r#type, "drop");
-        assert!(cfg.validate().is_empty(), "{:?}", cfg.validate());
+        assert!(cfg.validate().is_ok(), "{:?}", cfg.problems());
     }
 
     #[test]
@@ -461,8 +486,10 @@ traffic:
         cfg.traffic.rdma_verb = "bogus".into();
         cfg.requester.nic_type = "cx9".into();
         cfg.traffic.data_pkt_events[0].qpn = 99;
-        let problems = cfg.validate();
+        let problems = cfg.problems();
         assert!(problems.len() >= 4, "{problems:?}");
+        let err = cfg.validate().unwrap_err().to_string();
+        assert!(err.contains("rdma-verb") && err.contains("num-connections"), "{err}");
     }
 
     #[test]
@@ -483,7 +510,63 @@ traffic:
         assert_eq!(cfg.network.switch_mode, SwitchMode::Lumina);
         assert_eq!(cfg.ets.queues.len(), 1);
         assert_eq!(cfg.traffic.pkts_per_msg(), 4);
-        assert!(cfg.validate().is_empty());
+        assert!(cfg.validate().is_ok());
+    }
+
+    /// Malformed-YAML inputs must produce errors that name the offending
+    /// field, so a fuzz campaign (or a human) can fix the config from the
+    /// message alone.
+    #[test]
+    fn errors_name_the_offending_field() {
+        // Structurally valid YAML, semantically bad PSN (0 is 1-based).
+        let bad_psn = r#"
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 1
+  mtu: 1024
+  message-size: 1024
+  data-pkt-events:
+    - {qpn: 1, psn: 0, type: drop}
+"#;
+        let err = TestConfig::from_yaml(bad_psn)
+            .unwrap()
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("psn"), "{err}");
+
+        let zero_mtu = r#"
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 1
+  mtu: 0
+  message-size: 1024
+"#;
+        let err = TestConfig::from_yaml(zero_mtu)
+            .unwrap()
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("mtu"), "{err}");
+
+        let bad_type = r#"
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 1
+  mtu: 1024
+  message-size: 1024
+  data-pkt-events:
+    - {qpn: 1, psn: 1, type: explode}
+"#;
+        let err = TestConfig::from_yaml(bad_type)
+            .unwrap()
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("type") && err.contains("explode"), "{err}");
     }
 
     #[test]

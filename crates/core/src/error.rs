@@ -1,0 +1,133 @@
+//! The orchestrator's typed error API.
+//!
+//! Every failure `run_test` and its helpers can produce is one of a small
+//! set of variants, each carrying enough context to say *which field* or
+//! *which stage* went wrong. The CLI maps each variant to a distinct exit
+//! code (see [`Error::exit_code`]) so scripted campaigns can tell a bad
+//! configuration from an I/O problem without parsing stderr.
+
+use std::fmt;
+
+/// Anything that can go wrong while configuring, translating or running a
+/// Lumina test.
+#[derive(Debug)]
+pub enum Error {
+    /// The configuration failed to parse or validate. Each problem names
+    /// the offending field.
+    Config {
+        /// One message per offending field.
+        problems: Vec<String>,
+    },
+    /// Intent translation (§3.3) could not map an event onto the runtime
+    /// traffic metadata.
+    Translate(String),
+    /// The simulation engine failed (e.g. the run hit a hard limit).
+    Engine(String),
+    /// Trace reconstruction or the integrity check failed structurally.
+    Reconstruction(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+}
+
+impl Error {
+    /// Build a configuration error from a single problem message.
+    pub fn config(problem: impl Into<String>) -> Error {
+        Error::Config {
+            problems: vec![problem.into()],
+        }
+    }
+
+    /// The process exit code the CLI uses for this variant. Success is 0
+    /// and a completed-but-failed test is 1, so errors start at 2.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Error::Config { .. } => 2,
+            Error::Io { .. } => 3,
+            Error::Translate(_) => 4,
+            Error::Engine(_) => 5,
+            Error::Reconstruction(_) => 6,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config { problems } => match problems.as_slice() {
+                [one] => write!(f, "invalid configuration: {one}"),
+                many => {
+                    writeln!(f, "invalid configuration ({} problems):", many.len())?;
+                    for p in many {
+                        writeln!(f, "  - {p}")?;
+                    }
+                    Ok(())
+                }
+            },
+            Error::Translate(msg) => write!(f, "event translation failed: {msg}"),
+            Error::Engine(msg) => write!(f, "simulation engine error: {msg}"),
+            Error::Reconstruction(msg) => write!(f, "trace reconstruction failed: {msg}"),
+            Error::Io { path, source } => write!(f, "{path}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let errs = [
+            Error::config("x"),
+            Error::Io {
+                path: "p".into(),
+                source: std::io::Error::other("nope"),
+            },
+            Error::Translate("t".into()),
+            Error::Engine("e".into()),
+            Error::Reconstruction("r".into()),
+        ];
+        let codes: Vec<u8> = errs.iter().map(|e| e.exit_code()).collect();
+        let mut uniq = codes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), codes.len(), "{codes:?}");
+        assert!(codes.iter().all(|&c| c >= 2));
+    }
+
+    #[test]
+    fn display_names_every_problem() {
+        let e = Error::Config {
+            problems: vec!["mtu 0 out of range".into(), "unknown rdma-verb".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("mtu"));
+        assert!(s.contains("rdma-verb"));
+        assert!(s.contains("2 problems"));
+    }
+
+    #[test]
+    fn io_error_exposes_source() {
+        use std::error::Error as _;
+        let e = Error::Io {
+            path: "/nope".into(),
+            source: std::io::Error::other("denied"),
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("/nope"));
+    }
+}

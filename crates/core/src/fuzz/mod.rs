@@ -161,7 +161,7 @@ where
     let mut pool: Vec<Scored> = Vec::new();
     for _ in 0..params.pool_size {
         let cfg = mutator.initial(base, &mut rng);
-        if cfg.validate().is_empty() {
+        if cfg.validate().is_ok() {
             pool.push(Scored { cfg, score: 0.0 });
         }
     }
@@ -182,7 +182,7 @@ where
                 let parent = pool[rng.index(pool.len())].cfg.clone();
                 let cfg = mutator.mutate(&parent, &mut rng);
                 let accept_draw = rng.unit_f64();
-                let valid = cfg.validate().is_empty();
+                let valid = cfg.validate().is_ok();
                 Candidate {
                     cfg,
                     accept_draw,
@@ -252,14 +252,14 @@ fn evaluate_batch(
     cands: &[Candidate],
     workers: usize,
     tel: &Telemetry,
-) -> Vec<Option<Result<TestResults, String>>> {
+) -> Vec<Option<Result<TestResults, crate::error::Error>>> {
     let jobs: Vec<(usize, &TestConfig)> = cands
         .iter()
         .enumerate()
         .filter(|(_, c)| c.valid)
         .map(|(i, c)| (i, &c.cfg))
         .collect();
-    let mut out: Vec<Option<Result<TestResults, String>>> =
+    let mut out: Vec<Option<Result<TestResults, crate::error::Error>>> =
         (0..cands.len()).map(|_| None).collect();
 
     if workers <= 1 {
@@ -273,7 +273,7 @@ fn evaluate_batch(
     }
 
     let cursor = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, Result<TestResults, String>)>> =
+    let collected: Mutex<Vec<(usize, Result<TestResults, crate::error::Error>)>> =
         Mutex::new(Vec::with_capacity(jobs.len()));
     std::thread::scope(|scope| {
         for w in 0..workers.min(jobs.len().max(1)) {

@@ -156,7 +156,7 @@ traffic:
         let mut cfg = m.initial(&base(), &mut rng);
         for i in 0..200 {
             cfg = m.mutate(&cfg, &mut rng);
-            let problems = cfg.validate();
+            let problems = cfg.problems();
             assert!(problems.is_empty(), "iteration {i}: {problems:?}");
         }
     }

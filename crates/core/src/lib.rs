@@ -38,13 +38,16 @@
 //! ```
 
 pub mod analyzers;
+pub mod cli;
 pub mod config;
+pub mod error;
 pub mod fuzz;
 pub mod integrity;
 pub mod orchestrator;
 pub mod translate;
 
 pub use config::TestConfig;
+pub use error::Error;
 pub use integrity::IntegrityReport;
 pub use orchestrator::{run_test, TestResults};
 pub use translate::ConnMeta;

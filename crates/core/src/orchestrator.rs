@@ -3,6 +3,7 @@
 //! the trace and run the integrity check.
 
 use crate::config::{SwitchMode, TestConfig};
+use crate::error::Error;
 use crate::integrity::{self, IntegrityReport};
 use crate::translate::{translate, ConnMeta};
 use lumina_dumper::node::{capture_handle, CaptureHandle, DumperConfig, DumperNode};
@@ -14,7 +15,7 @@ use lumina_rnic::counters::Counters;
 use lumina_rnic::ets::{EtsConfig, TcConfig};
 use lumina_rnic::qp::{QpConfig, QpEndpoint};
 use lumina_rnic::Rnic;
-use lumina_sim::{Engine, EngineStats, PortId, RunOutcome, SimTime, Telemetry};
+use lumina_sim::{Engine, EngineStats, FrameStats, PortId, RunOutcome, SimTime, Telemetry};
 use lumina_switch::device::{MirrorMode, SwitchConfig, SwitchCounters, SwitchNode};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
@@ -60,6 +61,12 @@ pub struct TestResults {
     pub outcome: RunOutcome,
     /// Engine statistics.
     pub engine_stats: EngineStats,
+    /// Frame-plane allocation/copy accounting for this run. Deliberately
+    /// NOT part of [`report_json`](Self::report_json): the golden reports
+    /// predate the zero-copy plane and must stay byte-identical. The
+    /// counters surface through the `telemetry` CLI subcommand and the
+    /// `hotpath` bench instead.
+    pub frame_stats: FrameStats,
     /// Telemetry sink the run recorded into: structured event journal,
     /// per-node metric registry and the wall-clock self-profile.
     pub telemetry: Telemetry,
@@ -124,15 +131,19 @@ impl TestResults {
 }
 
 /// Run one test end to end.
-pub fn run_test(cfg: &TestConfig) -> Result<TestResults, String> {
-    let problems = cfg.validate();
-    if !problems.is_empty() {
-        return Err(format!("invalid configuration: {problems:?}"));
-    }
+pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
+    cfg.validate()?;
     let verb = cfg.traffic.verb()?;
     let verbs = cfg.traffic.verbs()?;
-    let req_profile = cfg.requester.resolved_profile().unwrap();
-    let rsp_profile = cfg.responder.resolved_profile().unwrap();
+    // validate() checked both NIC names resolve.
+    let req_profile = cfg
+        .requester
+        .resolved_profile()
+        .ok_or_else(|| Error::config("unknown requester nic"))?;
+    let rsp_profile = cfg
+        .responder
+        .resolved_profile()
+        .ok_or_else(|| Error::config("unknown responder nic"))?;
 
     let mut eng = Engine::new(cfg.network.seed);
     let tel = Telemetry::enabled();
@@ -326,6 +337,8 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, String> {
     let outcome = eng.run(Some(SimTime::from_millis(cfg.network.horizon_ms)));
     let end_time = outcome.end_time();
     let engine_stats = *eng.stats();
+    // Snapshot the frame-plane counters before teardown frees the buffers.
+    let frame_stats = eng.frame_stats();
 
     // ---- Collect (Table 1) ----
     let req_any: Box<dyn std::any::Any> = eng.remove_node(req_id);
@@ -380,6 +393,7 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, String> {
         end_time,
         outcome,
         engine_stats,
+        frame_stats,
         telemetry: tel,
     })
 }

@@ -37,14 +37,14 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let base = base_cfg(mtu, msg_size, conns, msgs, verb);
-        prop_assert!(base.validate().is_empty(), "{:?}", base.validate());
+        prop_assert!(base.problems().is_empty(), "{:?}", base.problems());
         let mut m = EventMutator::default();
         let mut rng = SimRng::seed_from_u64(seed);
         let mut cfg = m.initial(&base, &mut rng);
         let _ = cfg.validate(); // must not panic regardless of verdict
         for _ in 0..40 {
             cfg = m.mutate(&cfg, &mut rng);
-            let problems = cfg.validate();
+            let problems = cfg.problems();
             // The EventMutator is designed to stay within the valid
             // space; if that ever regresses, the campaign still has to
             // classify the output, so validate() must give a verdict.
@@ -97,6 +97,6 @@ fn events_only_edge_config_never_panics() {
     let mut cfg = m.initial(&base, &mut rng);
     for _ in 0..200 {
         cfg = m.mutate(&cfg, &mut rng);
-        assert!(cfg.validate().is_empty(), "{:?}", cfg.validate());
+        assert!(cfg.problems().is_empty(), "{:?}", cfg.problems());
     }
 }

@@ -1,8 +1,8 @@
 //! The dumper simulation node: RSS, per-core rings, trimming, buffering.
 
 use crate::trace::CapturedPacket;
-use bytes::Bytes;
-use lumina_sim::{Node, NodeCtx, PortId, SimTime};
+use lumina_packet::buf;
+use lumina_sim::{Frame, Node, NodeCtx, PortId, SimTime};
 use lumina_telemetry::{tev, MetricSet};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -82,7 +82,10 @@ pub fn capture_handle() -> CaptureHandle {
 }
 
 struct Core {
-    ring: VecDeque<(SimTime, Bytes)>,
+    /// Buffered frames await service as shared handles — the ring holds
+    /// references into the same wire buffers the rest of the sim uses;
+    /// bytes are only copied at capture time, after trimming.
+    ring: VecDeque<(SimTime, Frame)>,
     service_armed: bool,
 }
 
@@ -131,9 +134,10 @@ impl DumperNode {
         (h % self.cores.len() as u64) as usize
     }
 
-    fn capture(&mut self, rx_time: SimTime, raw: &Bytes, core: usize) {
+    fn capture(&mut self, rx_time: SimTime, raw: &Frame, core: usize) {
         let trimmed_len = raw.len().min(self.cfg.trim_bytes);
         let mut bytes = raw[..trimmed_len].to_vec();
+        buf::note_copied(trimmed_len);
         // Restoration of the RoCEv2 destination port happens at TERM in
         // the real dumper; doing it at capture time is equivalent for the
         // stored trace and keeps the buffered copy analysis-ready.
@@ -149,7 +153,7 @@ impl DumperNode {
 }
 
 impl Node for DumperNode {
-    fn on_frame(&mut self, _port: PortId, frame: Bytes, ctx: &mut NodeCtx<'_>) {
+    fn on_frame(&mut self, _port: PortId, frame: Frame, ctx: &mut NodeCtx<'_>) {
         let core_idx = self.rss_core(&frame);
         let interval = self.service_interval;
         let core = &mut self.cores[core_idx];
@@ -211,7 +215,7 @@ mod tests {
     use lumina_sim::{Bandwidth, Engine};
     use lumina_switch::events::EventType;
 
-    fn mirror_frame(seq: u64, dport: Option<u16>, payload: usize) -> Bytes {
+    fn mirror_frame(seq: u64, dport: Option<u16>, payload: usize) -> Frame {
         let mut buf = DataPacketBuilder::new()
             .opcode(Opcode::RdmaWriteMiddle)
             .psn(seq as u32)
@@ -226,10 +230,10 @@ mod tests {
             EventType::None,
             dport,
         );
-        Bytes::from(buf)
+        Frame::from_vec(buf)
     }
 
-    fn run_dumper(cfg: DumperConfig, frames: Vec<Bytes>, gap: SimTime) -> CaptureHandle {
+    fn run_dumper(cfg: DumperConfig, frames: Vec<Frame>, gap: SimTime) -> CaptureHandle {
         let mut eng = Engine::new(3);
         let plan = frames
             .into_iter()
@@ -260,7 +264,7 @@ mod tests {
 
     #[test]
     fn captures_and_trims() {
-        let frames: Vec<Bytes> = (0..20).map(|i| mirror_frame(i, Some(1000 + i as u16), 1024)).collect();
+        let frames: Vec<Frame> = (0..20).map(|i| mirror_frame(i, Some(1000 + i as u16), 1024)).collect();
         let h = run_dumper(DumperConfig::default(), frames, SimTime::from_micros(1));
         let st = h.borrow();
         assert_eq!(st.packets.len(), 20);
@@ -276,7 +280,7 @@ mod tests {
 
     #[test]
     fn randomized_dport_spreads_cores() {
-        let frames: Vec<Bytes> = (0..400)
+        let frames: Vec<Frame> = (0..400)
             .map(|i| mirror_frame(i, Some((i * 7919 % 65536) as u16), 256))
             .collect();
         let h = run_dumper(DumperConfig::default(), frames, SimTime::from_nanos(200));
@@ -287,7 +291,7 @@ mod tests {
 
     #[test]
     fn fixed_dport_pins_one_core() {
-        let frames: Vec<Bytes> = (0..400).map(|i| mirror_frame(i, None, 256)).collect();
+        let frames: Vec<Frame> = (0..400).map(|i| mirror_frame(i, None, 256)).collect();
         let h = run_dumper(DumperConfig::default(), frames, SimTime::from_nanos(200));
         let st = h.borrow();
         let used = st.per_core_processed.iter().filter(|&&c| c > 0).count();
@@ -303,7 +307,7 @@ mod tests {
             ring_capacity: 32,
             trim_bytes: 128,
         };
-        let frames: Vec<Bytes> = (0..2000).map(|i| mirror_frame(i, None, 256)).collect();
+        let frames: Vec<Frame> = (0..2000).map(|i| mirror_frame(i, None, 256)).collect();
         let h = run_dumper(cfg, frames, SimTime::from_nanos(200));
         let st = h.borrow();
         assert!(st.rx_discards > 0, "expected ring overflow");
@@ -318,7 +322,7 @@ mod tests {
             ring_capacity: 32,
             trim_bytes: 128,
         };
-        let frames: Vec<Bytes> = (0..2000)
+        let frames: Vec<Frame> = (0..2000)
             .map(|i| mirror_frame(i, Some((i * 31 % 65536) as u16), 256))
             .collect();
         let h = run_dumper(cfg, frames, SimTime::from_nanos(200));
@@ -337,7 +341,7 @@ mod tests {
             ring_capacity: 1_000,
             trim_bytes: 128,
         };
-        let frames: Vec<Bytes> = (0..10).map(|i| mirror_frame(i, None, 64)).collect();
+        let frames: Vec<Frame> = (0..10).map(|i| mirror_frame(i, None, 64)).collect();
         let mut eng = Engine::new(3);
         let plan = frames
             .into_iter()

@@ -3,10 +3,9 @@
 
 use crate::metrics::MetricsHandle;
 use crate::spec::FlowPlan;
-use bytes::Bytes;
 use lumina_rnic::verbs::{Completion, CompletionStatus, WorkRequest};
 use lumina_rnic::{Action, Rnic};
-use lumina_sim::{Node, NodeCtx, PortId, SimTime};
+use lumina_sim::{Frame, Node, NodeCtx, PortId, SimTime};
 use lumina_telemetry::tev;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -256,7 +255,7 @@ impl HostNode {
 }
 
 impl Node for HostNode {
-    fn on_frame(&mut self, _port: PortId, frame: Bytes, ctx: &mut NodeCtx<'_>) {
+    fn on_frame(&mut self, _port: PortId, frame: Frame, ctx: &mut NodeCtx<'_>) {
         self.wire_telemetry(ctx);
         let now = ctx.now();
         let actions = self.rnic.on_frame(frame, now);

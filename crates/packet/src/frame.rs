@@ -7,6 +7,7 @@
 
 use crate::aeth::{Aeth, AETH_LEN};
 use crate::bth::{Bth, BTH_LEN};
+use crate::buf::{self, Frame};
 use crate::ethernet::{
     EtherType, EthernetHeader, ETHERNET_FCS_LEN, ETHERNET_HEADER_LEN, ETHERNET_LINE_OVERHEAD,
 };
@@ -61,8 +62,10 @@ pub struct RoceFrame {
 
 impl RoceFrame {
     /// Serialize the frame, computing all length fields, the pad count, the
-    /// IPv4 checksum and the ICRC.
-    pub fn emit(&self) -> Bytes {
+    /// IPv4 checksum and the ICRC. This is the **only** place a wire buffer
+    /// is born: the returned [`Frame`] then travels the whole pipeline by
+    /// shared reference (engine queue, switch, mirror, dumper rings).
+    pub fn emit(&self) -> Frame {
         let pad = (4 - self.payload.len() % 4) % 4;
         let ib_len = BTH_LEN + self.ext.wire_len() + self.payload.len() + pad + ICRC_LEN;
         let udp_len = UDP_HEADER_LEN + ib_len;
@@ -101,6 +104,7 @@ impl RoceFrame {
             off += IMMDT_LEN;
         }
         buf[off..off + self.payload.len()].copy_from_slice(&self.payload);
+        buf::note_copied(self.payload.len());
         off += self.payload.len() + pad; // pad bytes stay zero
 
         let icrc = icrc_over_masked(
@@ -108,7 +112,7 @@ impl RoceFrame {
             IPV4_HEADER_LEN + UDP_HEADER_LEN,
         );
         buf[off..off + ICRC_LEN].copy_from_slice(&icrc.to_le_bytes());
-        Bytes::from(buf)
+        Frame::from_vec(buf)
     }
 
     /// Parse a frame, requiring the UDP destination port to be 4791.
@@ -120,10 +124,53 @@ impl RoceFrame {
         Ok(frame)
     }
 
+    /// Parse a shared in-flight [`Frame`], requiring the UDP destination
+    /// port to be 4791. Zero-copy: the returned `payload` is a view into
+    /// the frame's buffer, not a copy — the path the switch and RNICs take
+    /// on every received packet.
+    pub fn parse_frame(frame: &Frame) -> Result<RoceFrame> {
+        let (parts, payload_off, payload_len) = Self::parse_body(frame)?;
+        if !parts.3.is_rocev2() {
+            return Err(ParseError::NotRoce("udp destination port is not 4791"));
+        }
+        let (eth, ipv4, bth, udp, ext) = parts;
+        buf::note_shared(payload_len);
+        Ok(RoceFrame {
+            eth,
+            ipv4,
+            udp,
+            bth,
+            ext,
+            payload: frame.as_bytes().slice(payload_off..payload_off + payload_len),
+        })
+    }
+
     /// Parse a frame without checking the UDP destination port. Used by the
     /// traffic dumpers, which receive mirrored packets whose destination
-    /// port was deliberately randomized for RSS spreading (§3.4).
+    /// port was deliberately randomized for RSS spreading (§3.4). Copies
+    /// the payload out of the borrowed buffer.
     pub fn parse_loose(buf: &[u8]) -> Result<RoceFrame> {
+        let ((eth, ipv4, bth, udp, ext), payload_off, payload_len) = Self::parse_body(buf)?;
+        let payload = Bytes::copy_from_slice(&buf[payload_off..payload_off + payload_len]);
+        buf::note_copied(payload_len);
+        Ok(RoceFrame {
+            eth,
+            ipv4,
+            udp,
+            bth,
+            ext,
+            payload,
+        })
+    }
+
+    /// Shared structural parse: headers plus the located (offset, length)
+    /// of the unpadded payload. Callers decide whether the payload is
+    /// copied ([`parse_loose`](Self::parse_loose)) or shared
+    /// ([`parse_frame`](Self::parse_frame)).
+    #[allow(clippy::type_complexity)]
+    fn parse_body(
+        buf: &[u8],
+    ) -> Result<((EthernetHeader, Ipv4Header, Bth, UdpHeader, ExtHeaders), usize, usize)> {
         let eth = EthernetHeader::parse(buf)?;
         if eth.ethertype != EtherType::Ipv4 {
             return Err(ParseError::NotRoce("ethertype is not IPv4"));
@@ -152,7 +199,7 @@ impl RoceFrame {
         }
 
         // Locate the payload using the UDP length (the IP total_len must
-        // agree; trimmed mirror captures use `parse_trimmed` instead).
+        // agree; trimmed mirror captures use `parse_headers` instead).
         let udp_end = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + udp.length as usize;
         if udp_end > buf.len() {
             return Err(ParseError::Truncated {
@@ -177,15 +224,7 @@ impl RoceFrame {
                 value: pad as u64,
             });
         }
-        let payload = Bytes::copy_from_slice(&buf[off..off + padded_payload_len - pad]);
-        Ok(RoceFrame {
-            eth,
-            ipv4,
-            udp,
-            bth,
-            ext,
-            payload,
-        })
+        Ok(((eth, ipv4, bth, udp, ext), off, padded_payload_len - pad))
     }
 
     /// Parse only the headers of a (possibly trimmed) capture. Returns the
@@ -305,6 +344,22 @@ mod tests {
         assert_eq!(parsed.ext.reth.unwrap().dma_len, 10240);
         assert_eq!(parsed.payload.len(), 1024);
         assert_eq!(parsed.wire_len(), wire.len());
+    }
+
+    #[test]
+    fn parse_frame_shares_payload_with_wire_buffer() {
+        let f = sample_frame();
+        let wire = f.emit();
+        let before = crate::buf::counters();
+        let parsed = RoceFrame::parse_frame(&wire).unwrap();
+        let after = crate::buf::counters();
+        assert_eq!(
+            after.bytes_copied, before.bytes_copied,
+            "shared parse must not copy the payload"
+        );
+        assert!(after.bytes_shared > before.bytes_shared);
+        // Structurally identical to the copying parse.
+        assert_eq!(parsed, RoceFrame::parse(&wire).unwrap());
     }
 
     #[test]

@@ -62,23 +62,25 @@ impl Crc32 {
 /// that region (i.e. IP header length + UDP header length).
 pub fn icrc_over_masked(l3_and_up: &[u8], bth_offset: usize) -> u32 {
     debug_assert!(bth_offset + 12 <= l3_and_up.len());
+    // The region is scanned in place where this routine used to
+    // materialize a masked scratch copy — credit the avoided copy.
+    crate::buf::note_shared(l3_and_up.len());
     let mut crc = Crc32::new();
     // Pseudo-LRH: 8 bytes of ones.
     crc.update(&[0xff; 8]);
-    // Copy and mask the mutable fields. Frames are small (<= MTU), the copy
-    // is cheap and keeps the masking logic obvious.
-    let mut masked = l3_and_up.to_vec();
-    // IPv4: TOS (byte 1), TTL (byte 8), checksum (bytes 10-11).
-    masked[1] = 0xff;
-    masked[8] = 0xff;
-    masked[10] = 0xff;
-    masked[11] = 0xff;
-    // UDP checksum: bytes 6-7 of the UDP header, which starts at byte 20.
-    masked[20 + 6] = 0xff;
-    masked[20 + 7] = 0xff;
-    // BTH resv8a.
-    masked[bth_offset + 4] = 0xff;
-    crc.update(&masked);
+    // Stream the region, substituting 0xff at the mutable-field offsets —
+    // no scratch copy; this runs on every emit and every receive check.
+    // IPv4: TOS (byte 1), TTL (byte 8), checksum (bytes 10-11); UDP
+    // checksum (bytes 6-7 of the UDP header at byte 20); BTH resv8a.
+    let mut masked_offsets = [1, 8, 10, 11, 20 + 6, 20 + 7, bth_offset + 4];
+    masked_offsets.sort_unstable();
+    let mut pos = 0;
+    for off in masked_offsets {
+        crc.update(&l3_and_up[pos..off]);
+        crc.update(&[0xff]);
+        pos = off + 1;
+    }
+    crc.update(&l3_and_up[pos..]);
     crc.finish()
 }
 

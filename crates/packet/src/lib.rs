@@ -33,6 +33,7 @@
 
 pub mod aeth;
 pub mod bth;
+pub mod buf;
 pub mod builder;
 pub mod cnp;
 pub mod ethernet;
@@ -47,6 +48,7 @@ pub mod udp;
 
 pub use aeth::{Aeth, AethSyndrome, NakCode};
 pub use bth::Bth;
+pub use buf::Frame;
 pub use ethernet::{EtherType, EthernetHeader};
 pub use frame::{ExtHeaders, RoceFrame};
 pub use ipv4::{Ecn, Ipv4Header};

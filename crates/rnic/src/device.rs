@@ -15,7 +15,7 @@ use crate::profile::DeviceProfile;
 use crate::qp::{Qp, QpConfig, QpState, ReadRespJob, RecvProgress};
 use crate::timeout::TimeoutPolicy;
 use crate::verbs::{Completion, CompletionStatus, Verb, WorkRequest};
-use bytes::Bytes;
+use lumina_packet::Frame;
 use lumina_packet::aeth::AethSyndrome;
 use lumina_packet::builder::{ack_frame, cnp_frame, nack_frame, DataPacketBuilder};
 use lumina_packet::frame::{icrc_check, RoceFrame};
@@ -30,7 +30,7 @@ use std::collections::{BTreeMap, VecDeque};
 #[derive(Debug, Clone)]
 pub enum Action {
     /// Put a frame on the wire now.
-    Emit(Bytes),
+    Emit(Frame),
     /// Arm a timer; the token comes back through [`Rnic::on_timer`].
     ArmTimer {
         /// Absolute firing time.
@@ -99,7 +99,7 @@ pub struct Rnic {
     /// stalled until every pending recovery drains (the wedge behind the
     /// §6.2.2 collapse).
     stall_wedged: bool,
-    apm_queue: VecDeque<Bytes>,
+    apm_queue: VecDeque<Frame>,
     apm_busy: bool,
     next_qpn: u32,
     /// Telemetry sink (disabled until the host adapter wires one in).
@@ -275,7 +275,7 @@ impl Rnic {
     // ------------------------------------------------------------------
 
     /// A frame arrived from the wire.
-    pub fn on_frame(&mut self, raw: Bytes, now: SimTime) -> Vec<Action> {
+    pub fn on_frame(&mut self, raw: Frame, now: SimTime) -> Vec<Action> {
         let mut actions = Vec::new();
         self.counters.rx_packets += 1;
 
@@ -284,7 +284,7 @@ impl Rnic {
             return actions;
         }
 
-        let Ok(frame) = RoceFrame::parse(&raw) else {
+        let Ok(frame) = RoceFrame::parse_frame(&raw) else {
             // Not RoCE or malformed; a real NIC would hand it to the host
             // stack. We drop it.
             return actions;
@@ -873,7 +873,7 @@ impl Rnic {
             token::APM_SERVICE => {
                 if let Some(raw) = self.apm_queue.pop_front() {
                     // Mark resolution progress on the owning QP.
-                    if let Ok(frame) = RoceFrame::parse(&raw) {
+                    if let Ok(frame) = RoceFrame::parse_frame(&raw) {
                         let resolve_after = self
                             .profile
                             .apm_slowpath_on_migreq0
@@ -1177,7 +1177,7 @@ impl Rnic {
         self.tx_kick(now, actions);
     }
 
-    fn gen_req_frame(&mut self, qpn: u32, now: SimTime) -> Bytes {
+    fn gen_req_frame(&mut self, qpn: u32, now: SimTime) -> Frame {
         let qp = self.qps.get_mut(&qpn).unwrap();
         let lin = qp.send_ptr_lin;
         let m = *qp.msg_at(lin).expect("tx pointer outside any message");
@@ -1252,7 +1252,7 @@ impl Rnic {
         frame.emit()
     }
 
-    fn gen_read_resp_frame(&mut self, qpn: u32) -> Bytes {
+    fn gen_read_resp_frame(&mut self, qpn: u32) -> Frame {
         let qp = self.qps.get_mut(&qpn).unwrap();
         let job = qp.read_jobs.front_mut().expect("no read job");
         let lin = job.next_lin;

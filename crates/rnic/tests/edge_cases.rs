@@ -2,7 +2,7 @@
 //! receive WQEs, PSN-space wrap-around, mixed verbs on one QP, ACK
 //! coalescing, and read-response corruption.
 
-use bytes::Bytes;
+use lumina_packet::Frame;
 use lumina_packet::frame::RoceFrame;
 use lumina_packet::MacAddr;
 use lumina_rnic::ets::EtsConfig;
@@ -34,7 +34,7 @@ struct Pump {
 }
 
 enum Ev {
-    Frame { to_b: bool, frame: Bytes },
+    Frame { to_b: bool, frame: Frame },
     Timer { on_b: bool, token: u64 },
 }
 
@@ -77,7 +77,7 @@ impl Pump {
                             let mut v = frame.to_vec();
                             let n = v.len();
                             v[n - 8] ^= 0xff;
-                            frame = Bytes::from(v);
+                            frame = Frame::from_vec(v);
                         }
                     }
                     self.trace.push((self.now, parsed, from_a));

@@ -3,7 +3,7 @@
 //! version of the Lumina testbed used to validate the transport machinery
 //! before the full simulator stack gets involved.
 
-use bytes::Bytes;
+use lumina_packet::Frame;
 use lumina_packet::frame::RoceFrame;
 use lumina_packet::MacAddr;
 use lumina_rnic::ets::EtsConfig;
@@ -21,7 +21,7 @@ use std::net::Ipv4Addr;
 enum Verdict {
     Pass,
     Drop,
-    Replace(Bytes),
+    Replace(Frame),
 }
 
 type Injector = Box<dyn FnMut(&RoceFrame, bool) -> Verdict>;
@@ -42,7 +42,7 @@ struct Pump {
 }
 
 enum Ev {
-    Frame { to_b: bool, frame: Bytes },
+    Frame { to_b: bool, frame: Frame },
     Timer { on_b: bool, token: u64 },
 }
 
@@ -620,7 +620,7 @@ fn corrupted_packet_detected_by_icrc_and_recovered() {
                 let mut wire = f.emit().to_vec();
                 let n = wire.len();
                 wire[n - 10] ^= 0xff; // payload byte (ICRC is last 4)
-                return Verdict::Replace(Bytes::from(wire));
+                return Verdict::Replace(Frame::from_vec(wire));
             }
         }
         Verdict::Pass

@@ -3,12 +3,13 @@
 use crate::link::{Link, LinkState};
 use crate::rng::SimRng;
 use crate::time::{Bandwidth, SimTime};
+use crate::wheel::{Entry, TimerWheel};
 use crate::Node;
-use bytes::Bytes;
+use lumina_packet::buf::{self, CounterSnapshot};
+use lumina_packet::Frame;
 use lumina_telemetry::{MetricSet, Telemetry};
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 /// Identifies a node within an [`Engine`].
 #[derive(
@@ -24,36 +25,15 @@ pub struct PortId(pub usize);
 
 #[derive(Debug)]
 enum EventKind {
-    FrameArrive { port: PortId, frame: Bytes },
+    FrameArrive { port: PortId, frame: Frame },
     Timer { token: u64 },
 }
 
-struct Event {
-    time: SimTime,
-    seq: u64,
+/// The payload filed in the timer wheel; ordering — `(time, seq)` with
+/// `seq` the monotonic push counter — lives in the wheel's [`Entry`].
+struct EventBody {
     node: NodeId,
     kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 /// Counters the engine accumulates during a run.
@@ -76,6 +56,56 @@ impl MetricSet for EngineStats {
 
     fn snapshot(&self) -> serde_json::Value {
         serde_json::to_value(self).expect("EngineStats serializes")
+    }
+}
+
+/// Packet-plane allocation/copy accounting for one run: the per-run delta
+/// of `lumina_packet::buf`'s thread-local counters, baselined when the
+/// engine is constructed.
+///
+/// Kept **out** of the golden `report_json` telemetry snapshot on purpose
+/// (the orchestrator does not record it during `run_test`); it is surfaced
+/// through [`TestResults`]-style carriers, the `telemetry` CLI subcommand,
+/// and the `hotpath` bench, where `bytes_copied + bytes_shared` is the
+/// copy bill of the old owned-`Vec<u8>`-per-hop design.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameStats {
+    /// Distinct frame buffers created.
+    pub frames_allocated: u64,
+    /// Bytes backing those buffers.
+    pub bytes_allocated: u64,
+    /// Bytes physically memcpy'd (serialization payloads, copy-on-write
+    /// mutations, trimmed captures).
+    pub bytes_copied: u64,
+    /// Frame hand-offs that shared the buffer instead of copying.
+    pub frames_shared: u64,
+    /// Bytes passed or scanned in place where the old design copied.
+    pub bytes_shared: u64,
+    /// High-water mark of distinct buffers alive at once.
+    pub peak_live_frames: u64,
+}
+
+impl FrameStats {
+    fn delta(base: &CounterSnapshot) -> FrameStats {
+        let now = buf::counters();
+        FrameStats {
+            frames_allocated: now.frames_allocated - base.frames_allocated,
+            bytes_allocated: now.bytes_allocated - base.bytes_allocated,
+            bytes_copied: now.bytes_copied - base.bytes_copied,
+            frames_shared: now.frames_shared - base.frames_shared,
+            bytes_shared: now.bytes_shared - base.bytes_shared,
+            peak_live_frames: now.peak_live_frames.saturating_sub(base.live_frames),
+        }
+    }
+}
+
+impl MetricSet for FrameStats {
+    fn metric_kind(&self) -> &'static str {
+        "frames"
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("FrameStats serializes")
     }
 }
 
@@ -119,11 +149,17 @@ impl RunOutcome {
 pub struct Engine {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Event>,
+    queue: TimerWheel<EventBody>,
+    /// Next event, pre-popped so the run loop can peek at its time for
+    /// the horizon check without disturbing the wheel.
+    next: Option<Entry<EventBody>>,
     nodes: Vec<Option<Box<dyn Node>>>,
     links: HashMap<(NodeId, PortId), LinkState>,
     rng: SimRng,
     stats: EngineStats,
+    /// Packet-plane counter baseline taken at construction; per-run
+    /// [`FrameStats`] are deltas against it.
+    frame_baseline: CounterSnapshot,
     telemetry: Telemetry,
     queue_hwm: usize,
     /// Safety valve against livelocked simulations.
@@ -133,14 +169,17 @@ pub struct Engine {
 impl Engine {
     /// Create an engine with the given RNG seed.
     pub fn new(seed: u64) -> Engine {
+        buf::reset_peak();
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
+            next: None,
             nodes: Vec::new(),
             links: HashMap::new(),
             rng: SimRng::seed_from_u64(seed),
             stats: EngineStats::default(),
+            frame_baseline: buf::counters(),
             telemetry: Telemetry::disabled(),
             queue_hwm: 0,
             event_limit: 500_000_000,
@@ -168,6 +207,12 @@ impl Engine {
     /// Accumulated statistics.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Packet-plane allocation/copy counters accumulated on this thread
+    /// since the engine was constructed.
+    pub fn frame_stats(&self) -> FrameStats {
+        FrameStats::delta(&self.frame_baseline)
     }
 
     /// Borrow the engine's root RNG (e.g. to fork node-local streams
@@ -219,15 +264,28 @@ impl Engine {
     }
 
     fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind) {
+        // A stashed peek (e.g. left by a horizon break) must compete with
+        // the new event — return it to the wheel first.
+        if let Some(stashed) = self.next.take() {
+            self.queue.push(stashed);
+        }
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event {
-            time,
+        self.queue.push(Entry {
+            time: time.as_nanos(),
             seq,
-            node,
-            kind,
+            value: EventBody { node, kind },
         });
         self.queue_hwm = self.queue_hwm.max(self.queue.len());
+    }
+
+    /// The next event by `(time, seq)`, pre-popped from the wheel so its
+    /// time can be inspected for the horizon check.
+    fn peek_next(&mut self) -> Option<&Entry<EventBody>> {
+        if self.next.is_none() {
+            self.next = self.queue.pop();
+        }
+        self.next.as_ref()
     }
 
     /// Schedule an initial timer for `node` at absolute time `at` — used
@@ -238,7 +296,7 @@ impl Engine {
 
     /// Inject a frame arriving at `node:port` at absolute time `at` — used
     /// by tests to drive single nodes without a peer.
-    pub fn inject_frame(&mut self, node: NodeId, port: PortId, at: SimTime, frame: Bytes) {
+    pub fn inject_frame(&mut self, node: NodeId, port: PortId, at: SimTime, frame: Frame) {
         self.push(at, node, EventKind::FrameArrive { port, frame });
     }
 
@@ -249,20 +307,21 @@ impl Engine {
             if self.stats.events >= self.event_limit {
                 break RunOutcome::EventLimit { end: self.now };
             }
-            let Some(ev) = self.queue.peek() else {
+            let Some(ev) = self.peek_next() else {
                 break RunOutcome::Quiescent { end: self.now };
             };
+            let ev_time = SimTime::from_nanos(ev.time);
             if let Some(h) = horizon {
-                if ev.time > h {
+                if ev_time > h {
                     self.now = h;
                     break RunOutcome::HorizonReached { end: h };
                 }
             }
-            let ev = self.queue.pop().unwrap();
-            debug_assert!(ev.time >= self.now, "time went backwards");
-            self.now = ev.time;
+            let ev = self.next.take().expect("peeked event is stashed");
+            debug_assert!(ev_time >= self.now, "time went backwards");
+            self.now = ev_time;
             self.stats.events += 1;
-            self.dispatch(ev);
+            self.dispatch(ev.value);
         };
         // Final flush pass.
         for i in 0..self.nodes.len() {
@@ -292,7 +351,7 @@ impl Engine {
         outcome
     }
 
-    fn dispatch(&mut self, ev: Event) {
+    fn dispatch(&mut self, ev: EventBody) {
         let idx = ev.node.0;
         let mut node = self.nodes[idx]
             .take()
@@ -356,7 +415,7 @@ impl Engine {
 
 #[derive(Default)]
 struct Effects {
-    sends: Vec<(PortId, Bytes, SimTime)>,
+    sends: Vec<(PortId, Frame, SimTime)>,
     timers: Vec<(SimTime, u64)>,
 }
 
@@ -393,14 +452,16 @@ impl NodeCtx<'_> {
         self.now
     }
 
-    /// Hand a frame to the egress side of `port` now.
-    pub fn send(&mut self, port: PortId, frame: Bytes) {
+    /// Hand a frame to the egress side of `port` now. The frame is moved,
+    /// not copied — senders keeping a reference clone the handle (an
+    /// `Arc` bump), never the bytes.
+    pub fn send(&mut self, port: PortId, frame: Frame) {
         self.effects.sends.push((port, frame, SimTime::ZERO));
     }
 
     /// Hand a frame to the egress side of `port` after an internal
     /// processing delay (e.g. the switch pipeline's ~0.4 µs).
-    pub fn send_after(&mut self, port: PortId, frame: Bytes, delay: SimTime) {
+    pub fn send_after(&mut self, port: PortId, frame: Frame, delay: SimTime) {
         self.effects.sends.push((port, frame, delay));
     }
 
@@ -435,7 +496,7 @@ mod tests {
     }
 
     impl Node for Echo {
-        fn on_frame(&mut self, port: PortId, frame: Bytes, ctx: &mut NodeCtx<'_>) {
+        fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut NodeCtx<'_>) {
             self.received.push((ctx.now(), frame.len()));
             ctx.send_after(port, frame, self.delay);
         }
@@ -448,12 +509,12 @@ mod tests {
     /// Sends `count` frames at t=0 and records arrival times of echoes.
     struct Blaster {
         count: usize,
-        frame: Bytes,
+        frame: Frame,
         echoes: Vec<SimTime>,
     }
 
     impl Node for Blaster {
-        fn on_frame(&mut self, _port: PortId, _frame: Bytes, ctx: &mut NodeCtx<'_>) {
+        fn on_frame(&mut self, _port: PortId, _frame: Frame, ctx: &mut NodeCtx<'_>) {
             self.echoes.push(ctx.now());
         }
         fn on_timer(&mut self, _token: u64, ctx: &mut NodeCtx<'_>) {
@@ -466,7 +527,7 @@ mod tests {
         }
     }
 
-    fn test_frame() -> Bytes {
+    fn test_frame() -> Frame {
         DataPacketBuilder::new()
             .opcode(Opcode::SendOnly)
             .payload_len(1000)
@@ -550,7 +611,7 @@ mod tests {
         let mut eng = Engine::new(1);
         struct Ticker;
         impl Node for Ticker {
-            fn on_frame(&mut self, _: PortId, _: Bytes, _: &mut NodeCtx<'_>) {}
+            fn on_frame(&mut self, _: PortId, _: Frame, _: &mut NodeCtx<'_>) {}
             fn on_timer(&mut self, t: u64, ctx: &mut NodeCtx<'_>) {
                 ctx.set_timer(SimTime::from_micros(1), t + 1);
             }
@@ -569,7 +630,7 @@ mod tests {
         let mut eng = Engine::new(1);
         struct Spinner;
         impl Node for Spinner {
-            fn on_frame(&mut self, _: PortId, _: Bytes, _: &mut NodeCtx<'_>) {}
+            fn on_frame(&mut self, _: PortId, _: Frame, _: &mut NodeCtx<'_>) {}
             fn on_timer(&mut self, t: u64, ctx: &mut NodeCtx<'_>) {
                 // Zero-delay self-timer: a livelock.
                 ctx.set_timer(SimTime::ZERO, t);
@@ -609,6 +670,74 @@ mod tests {
             (*eng.stats(), o.end_time())
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn same_timestamp_events_dispatch_in_schedule_order() {
+        // FIFO among ties is what keeps pop order — and every golden
+        // report — byte-identical across queue implementations.
+        struct Recorder {
+            tokens: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+        }
+        impl Node for Recorder {
+            fn on_frame(&mut self, _: PortId, _: Frame, _: &mut NodeCtx<'_>) {}
+            fn on_timer(&mut self, t: u64, _: &mut NodeCtx<'_>) {
+                self.tokens.borrow_mut().push(t);
+            }
+        }
+        let mut eng = Engine::new(7);
+        let tokens = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let n = eng.add_node(Box::new(Recorder {
+            tokens: tokens.clone(),
+        }));
+        let t = SimTime::from_micros(3);
+        for token in 0..64u64 {
+            eng.schedule_timer(n, t, token);
+        }
+        // A later-scheduled earlier event must still come first.
+        eng.schedule_timer(n, SimTime::from_nanos(1), 999);
+        eng.run(None);
+        let got = tokens.borrow().clone();
+        let mut want = vec![999u64];
+        want.extend(0..64);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn frame_stats_track_shares_and_copies() {
+        // Serialize before the engine takes its counter baseline, so the
+        // delta shows pure frame-plane traffic.
+        let frame = test_frame();
+        let mut eng = Engine::new(9);
+        let blaster = eng.add_node(Box::new(Blaster {
+            count: 20,
+            frame,
+            echoes: vec![],
+        }));
+        let echo = eng.add_node(Box::new(Echo {
+            delay: SimTime::ZERO,
+            received: vec![],
+        }));
+        eng.connect(
+            blaster,
+            PortId(0),
+            echo,
+            PortId(0),
+            Bandwidth::gbps(100),
+            SimTime::from_nanos(100),
+        );
+        eng.schedule_timer(blaster, SimTime::ZERO, 0);
+        eng.run(None);
+        let fs = eng.frame_stats();
+        // The blaster clones one frame 20 times; the echo bounces the
+        // handles back without any new allocation or copy.
+        assert!(fs.frames_shared >= 20, "{fs:?}");
+        assert!(fs.bytes_shared >= 20 * 1000, "{fs:?}");
+        assert_eq!(fs.bytes_copied, 0, "no mutation, no copies: {fs:?}");
+        // The one buffer predates the baseline and no new buffer is ever
+        // allocated — the peak *delta* is therefore zero.
+        assert_eq!(fs.frames_allocated, 0, "{fs:?}");
+        assert_eq!(fs.peak_live_frames, 0, "{fs:?}");
     }
 
     #[test]

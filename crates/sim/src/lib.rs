@@ -13,9 +13,16 @@
 //!   traces — exactly the reproducibility Lumina demands of its tests.
 //! * **Synchronous.** No async runtime: simulation is CPU-bound
 //!   deterministic work, the case the Tokio guide itself excludes.
-//! * **Bytes on the wire.** Nodes exchange serialized frames
-//!   ([`bytes::Bytes`]), so every component parses and re-emits real packet
-//!   bytes, the same way the hardware pipeline sees them.
+//! * **Bytes on the wire, shared not copied.** Nodes exchange serialized
+//!   frames ([`lumina_packet::Frame`]): every component sees real packet
+//!   bytes the way the hardware pipeline does, but the buffer is
+//!   immutable and reference-counted — hops, mirrors and capture rings
+//!   pass the same allocation, and in-flight mutation (ECN marking,
+//!   corruption) is explicit copy-on-write via `Frame::make_mut`.
+//! * **Calendar-queue scheduling.** The event queue is a hierarchical
+//!   timer wheel ([`wheel::TimerWheel`]) keyed on [`SimTime`] with a
+//!   monotonic sequence tie-break, so pop order is identical to the
+//!   comparison-heap it replaced — byte for byte, golden for golden.
 
 pub mod engine;
 pub mod link;
@@ -23,18 +30,21 @@ pub mod pcap;
 pub mod rng;
 pub mod testutil;
 pub mod time;
+pub mod wheel;
 
-pub use engine::{Engine, EngineStats, NodeCtx, NodeId, PortId, RunOutcome};
+pub use engine::{Engine, EngineStats, FrameStats, NodeCtx, NodeId, PortId, RunOutcome};
 pub use link::Link;
 pub use rng::SimRng;
 pub use time::{Bandwidth, SimTime};
+
+// Re-export the frame handle nodes exchange, so node implementations can
+// name it without depending on lumina-packet directly.
+pub use lumina_packet::Frame;
 
 // Re-export the telemetry layer so embedders (orchestrator, node models)
 // reach the sink types through the same crate that hands them a `NodeCtx`.
 pub use lumina_telemetry as telemetry;
 pub use lumina_telemetry::{MetricSet, Telemetry};
-
-use bytes::Bytes;
 
 /// A simulated device attached to the network.
 ///
@@ -46,8 +56,10 @@ use bytes::Bytes;
 /// captures back out of the finished simulation.
 pub trait Node: std::any::Any {
 
-    /// A frame has fully arrived on `port` (last bit received).
-    fn on_frame(&mut self, port: PortId, frame: Bytes, ctx: &mut NodeCtx<'_>);
+    /// A frame has fully arrived on `port` (last bit received). The node
+    /// receives the shared handle by value; keeping it (e.g. in a capture
+    /// ring) is a clone of the handle, never of the bytes.
+    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut NodeCtx<'_>);
 
     /// A timer armed via [`NodeCtx::set_timer`] has fired.
     fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx<'_>);

@@ -8,7 +8,7 @@
 use crate::engine::{NodeCtx, PortId};
 use crate::time::SimTime;
 use crate::Node;
-use bytes::Bytes;
+use lumina_packet::Frame;
 use lumina_telemetry::Telemetry;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -43,7 +43,7 @@ pub fn journal_diff(a: &Telemetry, b: &Telemetry) -> Option<(usize, String, Stri
 }
 
 /// Shared recording of received frames.
-pub type Recording = Rc<RefCell<Vec<(SimTime, PortId, Bytes)>>>;
+pub type Recording = Rc<RefCell<Vec<(SimTime, PortId, Frame)>>>;
 
 /// Create an empty recording.
 pub fn recording() -> Recording {
@@ -64,7 +64,7 @@ impl Collector {
 }
 
 impl Node for Collector {
-    fn on_frame(&mut self, port: PortId, frame: Bytes, ctx: &mut NodeCtx<'_>) {
+    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut NodeCtx<'_>) {
         self.frames.borrow_mut().push((ctx.now(), port, frame));
     }
     fn on_timer(&mut self, _token: u64, _ctx: &mut NodeCtx<'_>) {}
@@ -77,7 +77,7 @@ impl Node for Collector {
 /// adding to the engine.
 pub struct Script {
     /// `(emit time, port, frame)` entries; emitted in order of the list.
-    pub plan: Vec<(SimTime, PortId, Bytes)>,
+    pub plan: Vec<(SimTime, PortId, Frame)>,
 }
 
 impl Script {
@@ -85,13 +85,13 @@ impl Script {
     pub const KICKOFF: u64 = u64::MAX;
 
     /// Create a script node.
-    pub fn new(plan: Vec<(SimTime, PortId, Bytes)>) -> Script {
+    pub fn new(plan: Vec<(SimTime, PortId, Frame)>) -> Script {
         Script { plan }
     }
 }
 
 impl Node for Script {
-    fn on_frame(&mut self, _port: PortId, _frame: Bytes, _ctx: &mut NodeCtx<'_>) {}
+    fn on_frame(&mut self, _port: PortId, _frame: Frame, _ctx: &mut NodeCtx<'_>) {}
     fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx<'_>) {
         if token == Self::KICKOFF {
             for (i, (at, _, _)) in self.plan.iter().enumerate() {
@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn script_delivers_to_collector_in_order() {
         let mut eng = Engine::new(1);
-        let frames: Vec<Bytes> = (0..3u8).map(|i| Bytes::from(vec![i; 64])).collect();
+        let frames: Vec<Frame> = (0..3u8).map(|i| Frame::from_vec(vec![i; 64])).collect();
         let plan = frames
             .iter()
             .enumerate()
@@ -148,7 +148,7 @@ mod tests {
     struct Chatty;
 
     impl Node for Chatty {
-        fn on_frame(&mut self, port: PortId, frame: Bytes, ctx: &mut NodeCtx<'_>) {
+        fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut NodeCtx<'_>) {
             let jitter = ctx.rng().below(1000);
             tev!(
                 ctx.telemetry(),
@@ -176,7 +176,7 @@ mod tests {
                 (
                     SimTime::from_nanos(i * 137),
                     PortId(0),
-                    Bytes::from(vec![0u8; 64 + (i as usize % 7) * 32]),
+                    Frame::from_vec(vec![0u8; 64 + (i as usize % 7) * 32]),
                 )
             })
             .collect();

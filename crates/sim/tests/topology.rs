@@ -1,11 +1,10 @@
 //! Engine integration tests: multi-hop forwarding, bottleneck queuing,
 //! and deterministic replay on a small topology.
 
-use bytes::Bytes;
 use lumina_packet::builder::DataPacketBuilder;
 use lumina_packet::opcode::Opcode;
 use lumina_sim::testutil::{recording, Collector, Recording, Script};
-use lumina_sim::{Bandwidth, Engine, Node, NodeCtx, PortId, SimTime};
+use lumina_sim::{Bandwidth, Engine, Frame, Node, NodeCtx, PortId, SimTime};
 
 /// Forwards every frame from port 0 to port 1 and vice versa after a fixed
 /// processing delay.
@@ -14,7 +13,7 @@ struct Forwarder {
 }
 
 impl Node for Forwarder {
-    fn on_frame(&mut self, port: PortId, frame: Bytes, ctx: &mut NodeCtx<'_>) {
+    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut NodeCtx<'_>) {
         let out = PortId(1 - port.0);
         ctx.send_after(out, frame, self.delay);
     }
@@ -24,7 +23,7 @@ impl Node for Forwarder {
     }
 }
 
-fn frame(n: usize) -> Bytes {
+fn frame(n: usize) -> Frame {
     DataPacketBuilder::new()
         .opcode(Opcode::SendOnly)
         .psn(n as u32)
@@ -36,7 +35,7 @@ fn frame(n: usize) -> Bytes {
 /// source → fwd1 → fwd2 → sink, with a bottleneck middle link.
 fn chain(bottleneck: Bandwidth, n_frames: usize) -> (Engine, Recording) {
     let mut eng = Engine::new(3);
-    let plan: Vec<(SimTime, PortId, Bytes)> = (0..n_frames)
+    let plan: Vec<(SimTime, PortId, Frame)> = (0..n_frames)
         .map(|i| (SimTime::ZERO, PortId(0), frame(i)))
         .collect();
     let src = eng.add_node(Box::new(Script::new(plan)));

@@ -6,10 +6,9 @@ use crate::iter::{ConnKey, IterTracker};
 use crate::mirror;
 use crate::table::{InjectionKey, InjectionTable};
 use crate::wrr::WeightedRoundRobin;
-use bytes::Bytes;
-use lumina_packet::frame::RoceFrame;
-use lumina_packet::ipv4::Ecn;
-use lumina_sim::{Node, NodeCtx, PortId, SimTime};
+use lumina_packet::frame::{RoceFrame, ICRC_LEN};
+use lumina_packet::icrc::icrc_over_masked;
+use lumina_sim::{Frame, Node, NodeCtx, PortId, SimTime};
 use lumina_telemetry::{tev, MetricSet};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -133,7 +132,7 @@ struct HeldPacket {
     /// Reorder: packets of the connection still to pass before release.
     /// Delay holds release only via the timer.
     remaining: Option<u32>,
-    bytes: Bytes,
+    frame: Frame,
     out: PortId,
 }
 
@@ -154,14 +153,14 @@ pub struct SwitchNode {
 
 /// What the injection action decided about the packet's onward journey.
 enum ForwardDecision {
-    /// Forward these bytes normally.
-    Forward(Bytes),
+    /// Forward this frame handle (shared or patched copy-on-write).
+    Forward(Frame),
     /// The packet was consumed (drop event).
     Dropped,
     /// Forward after an extra injected delay.
-    Delayed(Bytes, SimTime),
+    Delayed(Frame, SimTime),
     /// Hold for reordering behind `n` later packets of the connection.
-    Held(Bytes, u32),
+    Held(Frame, u32),
 }
 
 impl SwitchNode {
@@ -204,7 +203,7 @@ impl SwitchNode {
         self.cfg.forward.get(&dst).copied()
     }
 
-    fn mirror(&mut self, ingress: PortId, raw: &[u8], event: EventType, ctx: &mut NodeCtx<'_>) {
+    fn mirror(&mut self, ingress: PortId, raw: &Frame, event: EventType, ctx: &mut NodeCtx<'_>) {
         let Some(wrr) = self.wrr.as_mut() else {
             return;
         };
@@ -213,7 +212,10 @@ impl SwitchNode {
             MirrorMode::PerIngressPort => ingress.0 % self.cfg.dumper_ports.len(),
         };
         let (port, _) = self.cfg.dumper_ports[idx];
-        let mut copy = raw.to_vec();
+        // The mirror copy is mutated (metadata scavenging), so this is the
+        // one place a genuine copy-on-write detach is always required: the
+        // original handle keeps forwarding unchanged.
+        let mut copy = raw.clone();
         let dport = if self.cfg.randomize_dport {
             Some(ctx.rng().port())
         } else {
@@ -221,7 +223,7 @@ impl SwitchNode {
         };
         let seq = self.mirror_seq;
         self.mirror_seq += 1;
-        mirror::embed(&mut copy, seq, ctx.now(), event, dport);
+        mirror::embed(copy.make_mut(), seq, ctx.now(), event, dport);
         tev!(
             ctx.telemetry(),
             ctx.now().as_nanos(),
@@ -235,15 +237,17 @@ impl SwitchNode {
         self.port_counters(port).mirrored += 1;
         self.port_counters(port).tx += 1;
         let latency = self.cfg.pipeline_latency;
-        ctx.send_after(port, Bytes::from(copy), latency);
+        ctx.send_after(port, copy, latency);
     }
 
-    fn apply_action(
-        &mut self,
-        raw: Bytes,
-        frame: &RoceFrame,
-        action: EventAction,
-    ) -> ForwardDecision {
+    fn apply_action(&mut self, mut raw: Frame, action: EventAction) -> ForwardDecision {
+        // Mutating actions patch the wire bytes in place via copy-on-write —
+        // no parse-edit-reemit round trip. Each patch reproduces exactly
+        // what re-emitting the edited structured frame used to produce.
+        const ETH_LEN: usize = 14;
+        const TOS_OFF: usize = ETH_LEN + 1;
+        const BTH_FLAGS_OFF: usize = ETH_LEN + 20 + 8 + 1;
+        const BTH_REGION_OFF: usize = 20 + 8; // within the post-Ethernet region
         match action {
             EventAction::Drop => {
                 self.counters.injected_drops += 1;
@@ -251,29 +255,38 @@ impl SwitchNode {
             }
             EventAction::EcnMark => {
                 self.counters.injected_ecn += 1;
-                let mut f = frame.clone();
-                f.ipv4.ecn = Ecn::Ce;
-                ForwardDecision::Forward(f.emit())
+                let buf = raw.make_mut();
+                // Set the ECN codepoint to CE; the TOS byte is ICRC-masked,
+                // but the IPv4 header checksum covers it and must follow.
+                buf[TOS_OFF] |= 0b11;
+                mirror::fix_ip_checksum(buf);
+                ForwardDecision::Forward(raw)
             }
             EventAction::Corrupt => {
                 self.counters.injected_corrupt += 1;
-                let mut buf = raw.to_vec();
+                let buf = raw.make_mut();
                 // Flip a byte in the IB payload region, leaving the stale
                 // ICRC in place so the receiver sees the corruption. On
                 // payload-less packets this hits padding or the last header
                 // byte — still ICRC-covered.
-                let n = buf.len();
-                let target = n.saturating_sub(5); // last byte before ICRC
+                let target = buf.len().saturating_sub(5); // last byte before ICRC
                 buf[target] ^= 0x01;
-                ForwardDecision::Forward(Bytes::from(buf))
+                ForwardDecision::Forward(raw)
             }
             EventAction::SetMigReq(v) => {
                 self.counters.injected_mig_rewrites += 1;
-                let mut f = frame.clone();
-                f.bth.mig_req = v;
-                // emit() recomputes the ICRC, which the real switch action
-                // must also do (MigReq is an ICRC-covered bit).
-                ForwardDecision::Forward(f.emit())
+                let buf = raw.make_mut();
+                if v {
+                    buf[BTH_FLAGS_OFF] |= 0x40;
+                } else {
+                    buf[BTH_FLAGS_OFF] &= !0x40;
+                }
+                // MigReq is ICRC-covered: recompute the trailing ICRC, as
+                // the real switch action must also do.
+                let body_end = buf.len() - ICRC_LEN;
+                let icrc = icrc_over_masked(&buf[ETH_LEN..body_end], BTH_REGION_OFF);
+                buf[body_end..].copy_from_slice(&icrc.to_le_bytes());
+                ForwardDecision::Forward(raw)
             }
             EventAction::Delay(extra) => {
                 self.counters.injected_delays += 1;
@@ -286,7 +299,7 @@ impl SwitchNode {
         }
     }
 
-    fn hold(&mut self, conn: ConnKey, remaining: Option<u32>, bytes: Bytes, out: PortId) -> usize {
+    fn hold(&mut self, conn: ConnKey, remaining: Option<u32>, frame: Frame, out: PortId) -> usize {
         let idx = self
             .held
             .iter()
@@ -298,7 +311,7 @@ impl SwitchNode {
         self.held[idx] = Some(HeldPacket {
             conn,
             remaining,
-            bytes,
+            frame,
             out,
         });
         idx
@@ -315,7 +328,7 @@ impl SwitchNode {
                         *rem = rem.saturating_sub(1);
                         if *rem == 0 {
                             let h = slot.take().unwrap();
-                            ctx.send_after(h.out, h.bytes, latency);
+                            ctx.send_after(h.out, h.frame, latency);
                         }
                     }
                 }
@@ -325,10 +338,10 @@ impl SwitchNode {
 }
 
 impl Node for SwitchNode {
-    fn on_frame(&mut self, port: PortId, raw: Bytes, ctx: &mut NodeCtx<'_>) {
+    fn on_frame(&mut self, port: PortId, raw: Frame, ctx: &mut NodeCtx<'_>) {
         self.port_counters(port).rx += 1;
 
-        let Ok(frame) = RoceFrame::parse(&raw) else {
+        let Ok(frame) = RoceFrame::parse_frame(&raw) else {
             // Non-RoCE traffic: plain L2/L3 forwarding, no injection or
             // mirroring.
             if let Ok(hdrs) = RoceFrame::parse_headers(&raw) {
@@ -405,11 +418,23 @@ impl Node for SwitchNode {
             self.mirror(port, &raw, EventType::of_action(action), ctx);
         }
 
+        // The parsed view's payload slice shares `raw`'s buffer; drop it
+        // before any mutating action so an unshared frame can be patched in
+        // place instead of forcing a copy-on-write detach.
+        let out_dst = frame.ipv4.dst;
+        let is_data = frame.bth.opcode.is_data();
+        let psn = frame.bth.psn;
+        let conn = ConnKey {
+            src_ip: frame.ipv4.src,
+            dst_ip: frame.ipv4.dst,
+            dst_qpn: frame.bth.dest_qp,
+        };
+        drop(frame);
         let decision = match action {
             None => ForwardDecision::Forward(raw),
-            Some(a) => self.apply_action(raw, &frame, a),
+            Some(a) => self.apply_action(raw, a),
         };
-        let Some(out) = self.forward_port(frame.ipv4.dst) else {
+        let Some(out) = self.forward_port(out_dst) else {
             if !matches!(decision, ForwardDecision::Dropped) {
                 self.counters.no_route += 1;
                 tev!(
@@ -419,37 +444,32 @@ impl Node for SwitchNode {
                     "switch",
                     "drop",
                     reason = "no_route",
-                    psn = frame.bth.psn,
+                    psn = psn,
                 );
             }
             return;
         };
         let latency = self.cfg.pipeline_latency;
-        let conn = ConnKey {
-            src_ip: frame.ipv4.src,
-            dst_ip: frame.ipv4.dst,
-            dst_qpn: frame.bth.dest_qp,
-        };
         match decision {
             ForwardDecision::Dropped => {}
-            ForwardDecision::Forward(bytes) => {
+            ForwardDecision::Forward(fwd) => {
                 self.port_counters(out).tx += 1;
-                ctx.send_after(out, bytes, latency);
-                if frame.bth.opcode.is_data() {
+                ctx.send_after(out, fwd, latency);
+                if is_data {
                     self.advance_holds(conn, ctx);
                 }
             }
-            ForwardDecision::Delayed(bytes, extra) => {
+            ForwardDecision::Delayed(fwd, extra) => {
                 // The packet is buffered inside the switch and re-enters
                 // the egress at release time — a held packet must not
                 // occupy the line meanwhile.
                 self.port_counters(out).tx += 1;
-                let idx = self.hold(conn, None, bytes, out);
+                let idx = self.hold(conn, None, fwd, out);
                 ctx.set_timer(latency + extra, idx as u64);
             }
-            ForwardDecision::Held(bytes, n) => {
+            ForwardDecision::Held(fwd, n) => {
                 self.port_counters(out).tx += 1;
-                let idx = self.hold(conn, Some(n), bytes, out);
+                let idx = self.hold(conn, Some(n), fwd, out);
                 // Safety flush: if the connection goes quiet, release the
                 // held packet after 1 ms rather than leaking it.
                 ctx.set_timer(SimTime::from_millis(1), idx as u64);
@@ -462,7 +482,7 @@ impl Node for SwitchNode {
         if let Some(Some(_)) = self.held.get(idx) {
             let h = self.held[idx].take().unwrap();
             let latency = self.cfg.pipeline_latency;
-            ctx.send_after(h.out, h.bytes, latency);
+            ctx.send_after(h.out, h.frame, latency);
         }
     }
 
@@ -482,7 +502,7 @@ mod tests {
     const H1: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
     const H2: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
-    fn data_frame(psn: u32, payload: usize) -> Bytes {
+    fn data_frame(psn: u32, payload: usize) -> Frame {
         DataPacketBuilder::new()
             .src_ip(H1)
             .dst_ip(H2)
@@ -502,7 +522,7 @@ mod tests {
         dump_rx: lumina_sim::testutil::Recording,
     }
 
-    fn rig(cfg_mod: impl FnOnce(&mut SwitchConfig), plan: Vec<(SimTime, Bytes)>) -> Rig {
+    fn rig(cfg_mod: impl FnOnce(&mut SwitchConfig), plan: Vec<(SimTime, Frame)>) -> Rig {
         let mut eng = Engine::new(7);
         let mut forward = HashMap::new();
         forward.insert(H2, PortId(1));
@@ -585,7 +605,7 @@ mod tests {
             },
             EventAction::Drop,
         );
-        let plan: Vec<(SimTime, PortId, Bytes)> = (0..5u32)
+        let plan: Vec<(SimTime, PortId, Frame)> = (0..5u32)
             .map(|i| {
                 (
                     SimTime::from_micros(i as u64),

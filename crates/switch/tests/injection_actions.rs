@@ -1,12 +1,11 @@
 //! Switch-level tests of every injection action, including the §7
 //! extension events (delay, reorder) and WRR mirror distribution.
 
-use bytes::Bytes;
 use lumina_packet::builder::DataPacketBuilder;
 use lumina_packet::frame::RoceFrame;
 use lumina_packet::opcode::Opcode;
 use lumina_sim::testutil::{recording, Collector, Recording, Script};
-use lumina_sim::{Bandwidth, Engine, PortId, SimTime};
+use lumina_sim::{Bandwidth, Engine, Frame, PortId, SimTime};
 use lumina_switch::device::{SwitchConfig, SwitchNode};
 use lumina_switch::events::{EventAction, EventType};
 use lumina_switch::iter::ConnKey;
@@ -19,7 +18,7 @@ const H1: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 const H2: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 const QPN: u32 = 0xea;
 
-fn data_frame(psn: u32) -> Bytes {
+fn data_frame(psn: u32) -> Frame {
     DataPacketBuilder::new()
         .src_ip(H1)
         .dst_ip(H2)
@@ -58,7 +57,7 @@ fn rig(
     for (k, a) in entries {
         sw.table.insert(k, a);
     }
-    let plan: Vec<(SimTime, PortId, Bytes)> = psns
+    let plan: Vec<(SimTime, PortId, Frame)> = psns
         .iter()
         .enumerate()
         .map(|(i, &p)| (SimTime::from_nanos(i as u64 * 200), PortId(0), data_frame(p)))

@@ -8,12 +8,15 @@ check:
 
 # The full CI gate: release build, workspace tests (with the parallel-fuzz
 # differential and golden-report suites named explicitly so a filter change
-# can't silently drop them), lint with warnings fatal.
+# can't silently drop them), the frame-plane hotpath smoke (asserts the
+# identical-outcome column and the copy-reduction bar), lint with warnings
+# fatal.
 ci:
     cargo build --release
     cargo test -q
     cargo test -q --test fuzz_parallel_differential
     cargo test -q --test golden_reports
+    cargo test -q -p lumina-bench hotpath
     cargo clippy -- -D warnings
 
 # Fast feedback loop: debug build + tests.

@@ -78,6 +78,24 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// True when this handle is the only reference to the allocation
+    /// (mirrors `bytes::Bytes::is_unique` from the real crate, ≥ 1.8).
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
+    /// Mutable access to the viewed bytes, only when this handle uniquely
+    /// owns the allocation. Returns `None` when the buffer is shared —
+    /// callers wanting copy-on-write semantics copy on `None`.
+    ///
+    /// Shim extension: the real crate routes mutation through `BytesMut`;
+    /// this workspace's copy-on-write `Frame` only needs in-place access
+    /// on the unique-owner fast path.
+    pub fn get_mut(&mut self) -> Option<&mut [u8]> {
+        let (start, end) = (self.start, self.end);
+        Arc::get_mut(&mut self.data).map(|v| &mut v[start..end])
+    }
 }
 
 impl Deref for Bytes {
@@ -218,6 +236,27 @@ mod tests {
         assert_eq!(s.len(), 3);
         let s2 = s.slice(..2);
         assert_eq!(&s2[..], &[2, 3]);
+    }
+
+    #[test]
+    fn unique_ownership_grants_mutation() {
+        let mut b = Bytes::from(vec![1u8, 2, 3]);
+        assert!(b.is_unique());
+        b.get_mut().unwrap()[0] = 9;
+        assert_eq!(&b[..], &[9, 2, 3]);
+
+        let c = b.clone();
+        assert!(!b.is_unique());
+        assert!(b.get_mut().is_none());
+        drop(c);
+        assert!(b.is_unique());
+
+        // A unique sliced view mutates only its window.
+        let mut s = Bytes::from(vec![0u8; 4]).slice(1..3);
+        let m = s.get_mut().unwrap();
+        assert_eq!(m.len(), 2);
+        m[1] = 7;
+        assert_eq!(&s[..], &[0, 7]);
     }
 
     #[test]

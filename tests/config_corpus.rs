@@ -24,7 +24,7 @@ fn corpus() -> Vec<(String, TestConfig)> {
 #[test]
 fn all_presets_parse_and_validate() {
     for (name, cfg) in corpus() {
-        let problems = cfg.validate();
+        let problems = cfg.problems();
         assert!(problems.is_empty(), "{name}: {problems:?}");
     }
 }

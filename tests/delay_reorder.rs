@@ -112,10 +112,11 @@ traffic:
     - {qpn: 1, psn: 1, type: delay, iter: 1}
 "#;
     let cfg = TestConfig::from_yaml(bad_delay).unwrap();
-    assert!(cfg
-        .validate()
-        .iter()
-        .any(|p| p.contains("delay-us")), "{:?}", cfg.validate());
+    assert!(
+        cfg.problems().iter().any(|p| p.contains("delay-us")),
+        "{:?}",
+        cfg.problems()
+    );
 
     let bad_reorder = r#"
 traffic:
@@ -128,5 +129,5 @@ traffic:
     - {qpn: 1, psn: 1, type: reorder, iter: 1, reorder-by: 0}
 "#;
     let cfg = TestConfig::from_yaml(bad_reorder).unwrap();
-    assert!(cfg.validate().iter().any(|p| p.contains("reorder-by")));
+    assert!(cfg.problems().iter().any(|p| p.contains("reorder-by")));
 }

@@ -143,7 +143,7 @@ fn invalid_config_rejected_with_reasons() {
         Err(e) => e,
         Ok(_) => panic!("invalid config must be rejected"),
     };
-    assert!(err.contains("rdma-verb"), "{err}");
+    assert!(err.to_string().contains("rdma-verb"), "{err}");
 }
 
 #[test]

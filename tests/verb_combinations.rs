@@ -83,5 +83,5 @@ traffic:
 "#,
     )
     .unwrap();
-    assert!(cfg.validate().iter().any(|p| p.contains("rdma-verb")));
+    assert!(cfg.problems().iter().any(|p| p.contains("rdma-verb")));
 }
