@@ -90,8 +90,8 @@ traffic:
 fn measure(name: &str, cfg: &TestConfig) -> HotpathRow {
     let first = run_test(cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
     let second = run_test(cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
-    let identical = serde_json::to_string(&first.report_json()).unwrap()
-        == serde_json::to_string(&second.report_json()).unwrap();
+    let identical = serde_json::to_string(&first.report_json().unwrap()).unwrap()
+        == serde_json::to_string(&second.report_json().unwrap()).unwrap();
 
     let fs = &first.frame_stats;
     let packets = first

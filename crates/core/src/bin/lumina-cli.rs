@@ -27,13 +27,14 @@
 //!
 //! Exit codes follow [`lumina_core::Error::exit_code`]: 0 success, 1 test
 //! ran but failed (integrity or incomplete traffic), 2 configuration,
-//! 3 I/O, 4 translation, 5 engine, 6 reconstruction.
+//! 3 I/O, 4 translation, 5 engine, 6 reconstruction, 7 watchdog,
+//! 8 internal.
 
 use lumina_core::analyzers::{cnp, counter, gbn_fsm, retrans_perf};
 use lumina_core::cli::{self, CommonOpts};
 use lumina_core::config::TestConfig;
 use lumina_core::fuzz::{self, mutate::EventMutator, score, FuzzParams};
-use lumina_core::orchestrator::run_test;
+use lumina_core::orchestrator::{run_supervised, run_test, RetryPolicy};
 use lumina_core::Error;
 use std::process::ExitCode;
 
@@ -217,6 +218,19 @@ fn fuzz_cmd(args: &[String]) -> ExitCode {
         },
     );
 
+    // One JSON line per rejected candidate, after the anomaly stream so
+    // the anomaly JSONL stays byte-identical with earlier versions.
+    for r in &out.rejections {
+        let mut line = serde_json::Map::new();
+        line.insert("rejection", serde_json::Value::from(r.candidate));
+        line.insert("reason", serde_json::Value::from(r.reason.label()));
+        line.insert("detail", serde_json::Value::from(r.detail.as_str()));
+        println!(
+            "{}",
+            serde_json::to_string(&serde_json::Value::Object(line)).unwrap()
+        );
+    }
+
     eprintln!(
         "fuzz: {} scored, {} rejected, {} anomalies >= {}",
         out.history.len(),
@@ -224,6 +238,17 @@ fn fuzz_cmd(args: &[String]) -> ExitCode {
         out.anomalies.len(),
         params.anomaly_threshold
     );
+    if !out.rejections.is_empty() {
+        let mut by_reason: std::collections::BTreeMap<&str, u64> = Default::default();
+        for r in &out.rejections {
+            *by_reason.entry(r.reason.label()).or_default() += 1;
+        }
+        let breakdown: Vec<String> = by_reason
+            .iter()
+            .map(|(reason, n)| format!("{n} {reason}"))
+            .collect();
+        eprintln!("fuzz: rejections: {}", breakdown.join(", "));
+    }
     if let Some(best) = &out.best {
         eprintln!("fuzz: best score {:.3}", best.score);
     }
@@ -251,6 +276,10 @@ fn run_cmd(args: &[String]) -> ExitCode {
         }
     };
     let pcap_path = cli::flag_value(args, "--pcap").map(str::to_owned);
+    let retries: u32 = match cli::numeric_flag(args, "--retries", 0) {
+        Ok(n) => n,
+        Err(e) => return fail(e),
+    };
 
     let cfg = match opts.load() {
         Ok(c) => c,
@@ -261,7 +290,11 @@ fn run_cmd(args: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let results = match run_test(&cfg) {
+    let policy = RetryPolicy {
+        max_attempts: retries.saturating_add(1),
+        ..RetryPolicy::default()
+    };
+    let results = match run_supervised(&cfg, &policy) {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
@@ -277,7 +310,20 @@ fn run_cmd(args: &[String]) -> ExitCode {
     }
 
     if opts.json {
-        let mut report = results.report_json();
+        let mut report = match results.report_json() {
+            Ok(r) => r,
+            Err(e) => return fail(e),
+        };
+        // Trace-based analyzers run on a partial trace when the capture
+        // was damaged; flag their confidence so consumers can tell.
+        if results.integrity.is_degraded() {
+            report["analyzer_confidence"] = serde_json::json!({
+                "gbn_fsm": "degraded",
+                "retransmissions": "degraded",
+                "cnp": "degraded",
+                "counter": "full",
+            });
+        }
         // Attach analyzer output to the machine-readable report.
         if let Some(trace) = results.trace.as_ref() {
             let gbn = gbn_fsm::analyze(trace, &results.conns);
@@ -296,10 +342,26 @@ fn run_cmd(args: &[String]) -> ExitCode {
         println!("test            : {}", opts.config_path);
         println!("finished at     : {}", results.end_time);
         println!("traffic complete: {}", results.traffic_completed());
-        println!(
-            "integrity       : {}",
-            if results.integrity.passed() { "pass" } else { "FAIL" }
-        );
+        let integrity_line = if results.integrity.passed() {
+            "pass".to_string()
+        } else if let Some(deg) = &results.integrity.degraded {
+            format!(
+                "DEGRADED ({:.1}% analyzable, {} missing across {} gap{})",
+                deg.analyzable_fraction * 100.0,
+                deg.missing,
+                deg.gaps.len(),
+                if deg.gaps.len() == 1 { "" } else { "s" },
+            )
+        } else {
+            "FAIL".to_string()
+        };
+        println!("integrity       : {integrity_line}");
+        for d in &results.integrity.details {
+            println!("  !! {d}");
+        }
+        if results.integrity.is_degraded() {
+            println!("  !! trace-based analyzers below ran on a partial trace (low confidence)");
+        }
         println!(
             "events          : {} fired, {} unfired",
             results.events_fired, results.events_unfired

@@ -18,8 +18,9 @@
 //!   distinct exit codes via [`Error::exit_code`].
 //! * [`HELP`] is the single `--help` text and covers all subcommands.
 
-use crate::config::TestConfig;
+use crate::config::{FaultsSection, TestConfig};
 use crate::error::Error;
+use serde::Deserialize;
 
 /// The full usage text, printed for `--help`/`-h` on any subcommand.
 pub const HELP: &str = "\
@@ -42,6 +43,10 @@ COMMON OPTIONS (all subcommands):
 RUN OPTIONS:
     --validate        check the configuration, run nothing
     --pcap <out>      also write the reconstructed trace as pcap
+    --faults <path>   merge a fault-injection YAML (a bare `faults:`
+                      section) into the test configuration
+    --retries <n>     retry watchdog/I-O-classified failures up to n extra
+                      times with backoff (default 0: fail fast)
 
 TELEMETRY:
     Prints the structured event journal (JSONL) then the per-node metric
@@ -62,6 +67,7 @@ EXIT CODES:
     0  success          1  test ran but failed
     2  bad config       3  I/O error
     4  translation      5  engine          6  reconstruction
+    7  watchdog         8  internal
 ";
 
 /// Value following `--flag`, if present.
@@ -102,7 +108,7 @@ pub fn opt_numeric_flag<T: std::str::FromStr>(
 }
 
 /// Flags whose value must not be mistaken for the positional config path.
-const VALUED_FLAGS: [&str; 9] = [
+const VALUED_FLAGS: [&str; 11] = [
     "--config",
     "--seed",
     "--pcap",
@@ -112,7 +118,17 @@ const VALUED_FLAGS: [&str; 9] = [
     "--pool",
     "--threshold",
     "--score",
+    "--faults",
+    "--retries",
 ];
+
+/// A standalone fault-injection file (`--faults`): one top-level
+/// `faults:` section, same schema as inline in a test config.
+#[derive(Debug, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+struct FaultsOverlay {
+    faults: FaultsSection,
+}
 
 /// The options every subcommand understands identically.
 #[derive(Debug, Clone)]
@@ -123,6 +139,9 @@ pub struct CommonOpts {
     pub seed: Option<u64>,
     /// `--json`: machine-readable output.
     pub json: bool,
+    /// `--faults`: path to a fault-injection YAML merged over the test
+    /// config's own `faults:` section.
+    pub faults_path: Option<String>,
 }
 
 impl CommonOpts {
@@ -139,6 +158,7 @@ impl CommonOpts {
             config_path,
             seed: opt_numeric_flag(args, "--seed")?,
             json: has_flag(args, "--json"),
+            faults_path: flag_value(args, "--faults").map(str::to_owned),
         })
     }
 
@@ -164,6 +184,15 @@ impl CommonOpts {
         let mut cfg = TestConfig::from_yaml(&yaml)?;
         if let Some(seed) = self.seed {
             cfg.network.seed = seed;
+        }
+        if let Some(path) = &self.faults_path {
+            let yaml = std::fs::read_to_string(path).map_err(|source| Error::Io {
+                path: path.clone(),
+                source,
+            })?;
+            let overlay: FaultsOverlay = serde_yaml::from_str(&yaml)
+                .map_err(|e| Error::config(format!("--faults {path}: {e}")))?;
+            cfg.faults = Some(overlay.faults);
         }
         cfg.validate()?;
         Ok(cfg)
@@ -230,8 +259,52 @@ mod tests {
 
     #[test]
     fn help_names_every_subcommand_and_exit_code() {
-        for needle in ["telemetry", "fuzz", "--validate", "--pcap", "--seed", "--json", "6  reconstruction"] {
+        for needle in [
+            "telemetry",
+            "fuzz",
+            "--validate",
+            "--pcap",
+            "--seed",
+            "--json",
+            "--faults",
+            "--retries",
+            "6  reconstruction",
+            "7  watchdog",
+            "8  internal",
+        ] {
             assert!(HELP.contains(needle), "help is missing {needle}");
         }
+    }
+
+    #[test]
+    fn faults_overlay_merges_into_config() {
+        let dir = std::env::temp_dir().join("lumina-cli-faults-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let faults_path = dir.join("faults.yaml");
+        std::fs::write(
+            &faults_path,
+            "faults:\n  mirror-loss-prob: 0.25\n  freezes:\n    - {node: responder, at-us: 10, duration-us: 5}\n",
+        )
+        .unwrap();
+        let cfg_path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../configs/fig11_noisy_neighbor.yaml"
+        );
+        let o = CommonOpts::parse(&argv(&[
+            cfg_path,
+            "--faults",
+            faults_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let cfg = o.load().unwrap();
+        let f = cfg.faults.expect("overlay applied");
+        assert_eq!(f.mirror_loss_prob, 0.25);
+        assert_eq!(f.freezes.len(), 1);
+
+        // Garbage overlay → config error naming the flag.
+        std::fs::write(&faults_path, "faults:\n  not-a-knob: 1\n").unwrap();
+        let err = o.load().unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--faults"), "{err}");
     }
 }

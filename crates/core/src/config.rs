@@ -276,6 +276,17 @@ pub struct NetworkConfig {
     /// Simulation horizon in milliseconds (safety stop).
     #[serde(default = "default_horizon")]
     pub horizon_ms: u64,
+    /// Per-core dumper RX ring capacity, packets.
+    #[serde(default = "default_ring_capacity")]
+    pub dumper_ring_capacity: usize,
+    /// Watchdog: abort the run (exit code 7) after this many simulation
+    /// events. Absent = the engine's own 500 M safety limit.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_events: Option<u64>,
+    /// Watchdog: abort the run (exit code 7) after this much host wall
+    /// time, milliseconds. Absent = no wall-clock limit.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_wall_ms: Option<u64>,
 }
 
 fn default_seed() -> u64 {
@@ -296,6 +307,9 @@ fn default_core_rate() -> u64 {
 fn default_horizon() -> u64 {
     30_000
 }
+fn default_ring_capacity() -> usize {
+    1024
+}
 
 impl Default for NetworkConfig {
     fn default() -> Self {
@@ -309,7 +323,88 @@ impl Default for NetworkConfig {
             no_dport_randomization: false,
             per_port_mirroring: false,
             horizon_ms: default_horizon(),
+            dumper_ring_capacity: default_ring_capacity(),
+            max_events: None,
+            max_wall_ms: None,
         }
+    }
+}
+
+/// A dumper core stall in the `faults:` section: for `duration-us` starting
+/// at `at-us`, the affected dumper's service loop runs `slowdown`× slower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct StallSpec {
+    /// Which dumper host (0-based); absent = every dumper.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub index: Option<usize>,
+    /// Stall start, microseconds of simulation time.
+    pub at_us: u64,
+    /// Stall length, microseconds (≥ 1).
+    pub duration_us: u64,
+    /// Service-interval multiplier (≥ 1).
+    #[serde(default = "default_slowdown")]
+    pub slowdown: u32,
+}
+
+fn default_slowdown() -> u32 {
+    10
+}
+
+/// A mid-run node outage in the `faults:` section: the node loses arriving
+/// frames and defers its timers until the window ends (freeze + restart).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct FreezeSpec {
+    /// Which node: `requester`, `responder`, `switch` or `dumper`.
+    pub node: String,
+    /// For `node: dumper` — which dumper host (0-based).
+    #[serde(default)]
+    pub index: usize,
+    /// Freeze start, microseconds of simulation time.
+    pub at_us: u64,
+    /// Outage length, microseconds (≥ 1).
+    pub duration_us: u64,
+}
+
+/// Deterministic infrastructure fault injection (`faults:`). Absent — the
+/// default — means a pristine testbed and byte-identical behavior to every
+/// pre-fault-plane release.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct FaultsSection {
+    /// Fault-schedule seed; absent = derived from `network.seed`. Separate
+    /// so campaigns can sweep fault schedules while holding the workload
+    /// fixed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub seed: Option<u64>,
+    /// Probability each switch→dumper mirror copy is dropped in flight.
+    #[serde(default)]
+    pub mirror_loss_prob: f64,
+    /// Probability each switch→dumper mirror copy is delivered twice.
+    #[serde(default)]
+    pub mirror_dup_prob: f64,
+    /// Probability each stored capture has one bit flipped.
+    #[serde(default)]
+    pub capture_bit_rot_prob: f64,
+    /// Dumper core stall windows.
+    #[serde(default)]
+    pub dumper_stalls: Vec<StallSpec>,
+    /// Node freeze/restart windows.
+    #[serde(default)]
+    pub freezes: Vec<FreezeSpec>,
+}
+
+impl FaultsSection {
+    /// True when the section injects nothing — the orchestrator then skips
+    /// building a fault plane entirely, keeping the run on the pristine
+    /// code path.
+    pub fn is_noop(&self) -> bool {
+        self.mirror_loss_prob == 0.0
+            && self.mirror_dup_prob == 0.0
+            && self.capture_bit_rot_prob == 0.0
+            && self.dumper_stalls.is_empty()
+            && self.freezes.is_empty()
     }
 }
 
@@ -331,6 +426,9 @@ pub struct TestConfig {
     /// Simulated substrate.
     #[serde(default)]
     pub network: NetworkConfig,
+    /// Infrastructure fault injection; absent = pristine testbed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultsSection>,
 }
 
 impl TestConfig {
@@ -414,6 +512,61 @@ impl TestConfig {
         for (i, &tc) in self.traffic.qp_traffic_class.iter().enumerate() {
             if tc >= self.ets.queues.len() {
                 problems.push(format!("qp {i}: traffic class {tc} out of range"));
+            }
+        }
+        if self.network.dumper_ring_capacity == 0 {
+            problems.push("dumper-ring-capacity must be ≥ 1".into());
+        }
+        if self.network.max_events == Some(0) {
+            problems.push("max-events must be ≥ 1".into());
+        }
+        if let Some(faults) = &self.faults {
+            let prob = |name: &str, p: f64, problems: &mut Vec<String>| {
+                if !(0.0..=1.0).contains(&p) {
+                    problems.push(format!("faults: {name} {p} not a probability"));
+                }
+            };
+            prob("mirror-loss-prob", faults.mirror_loss_prob, &mut problems);
+            prob("mirror-dup-prob", faults.mirror_dup_prob, &mut problems);
+            prob(
+                "capture-bit-rot-prob",
+                faults.capture_bit_rot_prob,
+                &mut problems,
+            );
+            for (i, s) in faults.dumper_stalls.iter().enumerate() {
+                if s.duration_us == 0 {
+                    problems.push(format!("faults: stall {i}: duration-us must be ≥ 1"));
+                }
+                if s.slowdown == 0 {
+                    problems.push(format!("faults: stall {i}: slowdown must be ≥ 1"));
+                }
+                if let Some(idx) = s.index {
+                    if idx >= self.network.num_dumpers {
+                        problems.push(format!(
+                            "faults: stall {i}: dumper index {idx} out of range (num-dumpers {})",
+                            self.network.num_dumpers
+                        ));
+                    }
+                }
+            }
+            for (i, fz) in faults.freezes.iter().enumerate() {
+                if fz.duration_us == 0 {
+                    problems.push(format!("faults: freeze {i}: duration-us must be ≥ 1"));
+                }
+                match fz.node.as_str() {
+                    "requester" | "responder" | "switch" => {}
+                    "dumper" => {
+                        if fz.index >= self.network.num_dumpers {
+                            problems.push(format!(
+                                "faults: freeze {i}: dumper index {} out of range (num-dumpers {})",
+                                fz.index, self.network.num_dumpers
+                            ));
+                        }
+                    }
+                    other => {
+                        problems.push(format!("faults: freeze {i}: unknown node {other:?}"));
+                    }
+                }
             }
         }
         problems
@@ -567,6 +720,104 @@ traffic:
             .unwrap_err()
             .to_string();
         assert!(err.contains("type") && err.contains("explode"), "{err}");
+    }
+
+    #[test]
+    fn faults_section_parses_and_round_trips() {
+        let yaml = r#"
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 5
+  mtu: 1024
+  message-size: 4096
+faults:
+  mirror-loss-prob: 0.05
+  mirror-dup-prob: 0.01
+  capture-bit-rot-prob: 0.002
+  dumper-stalls:
+    - {at-us: 100, duration-us: 500, slowdown: 8, index: 1}
+    - {at-us: 700, duration-us: 100}
+  freezes:
+    - {node: dumper, index: 0, at-us: 200, duration-us: 50}
+    - {node: responder, at-us: 400, duration-us: 25}
+"#;
+        let cfg = TestConfig::from_yaml(yaml).unwrap();
+        let faults = cfg.faults.as_ref().unwrap();
+        assert!(!faults.is_noop());
+        assert_eq!(faults.mirror_loss_prob, 0.05);
+        assert_eq!(faults.dumper_stalls[0].index, Some(1));
+        assert_eq!(faults.dumper_stalls[1].index, None, "absent = all dumpers");
+        assert_eq!(faults.dumper_stalls[1].slowdown, 10, "default slowdown");
+        assert_eq!(faults.freezes[1].node, "responder");
+        assert!(cfg.validate().is_ok(), "{:?}", cfg.problems());
+        let cfg2 = TestConfig::from_yaml(&cfg.to_yaml()).unwrap();
+        assert_eq!(cfg2.faults.unwrap().dumper_stalls.len(), 2);
+    }
+
+    #[test]
+    fn absent_faults_section_stays_absent() {
+        let cfg = TestConfig::from_yaml(LISTING2).unwrap();
+        assert!(cfg.faults.is_none());
+        assert!(
+            !cfg.to_yaml().contains("faults"),
+            "skip-serializing must keep pristine configs pristine"
+        );
+        assert!(FaultsSection::default().is_noop());
+    }
+
+    #[test]
+    fn fault_validation_catches_bad_values() {
+        let yaml = r#"
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 1
+  mtu: 1024
+  message-size: 1024
+faults:
+  mirror-loss-prob: 1.5
+  dumper-stalls:
+    - {at-us: 0, duration-us: 0, slowdown: 0, index: 99}
+  freezes:
+    - {node: marsrover, at-us: 0, duration-us: 1}
+    - {node: dumper, index: 44, at-us: 0, duration-us: 0}
+"#;
+        let problems = TestConfig::from_yaml(yaml).unwrap().problems();
+        let all = problems.join("\n");
+        assert!(all.contains("mirror-loss-prob"), "{all}");
+        assert!(all.contains("stall 0: duration-us"), "{all}");
+        assert!(all.contains("stall 0: slowdown"), "{all}");
+        assert!(all.contains("index 99 out of range"), "{all}");
+        assert!(all.contains("unknown node \"marsrover\""), "{all}");
+        assert!(all.contains("index 44 out of range"), "{all}");
+    }
+
+    #[test]
+    fn watchdog_limits_parse_and_validate() {
+        let yaml = r#"
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 1
+  mtu: 1024
+  message-size: 1024
+network:
+  max-events: 1000000
+  max-wall-ms: 5000
+  dumper-ring-capacity: 64
+"#;
+        let cfg = TestConfig::from_yaml(yaml).unwrap();
+        assert_eq!(cfg.network.max_events, Some(1_000_000));
+        assert_eq!(cfg.network.max_wall_ms, Some(5_000));
+        assert_eq!(cfg.network.dumper_ring_capacity, 64);
+        assert!(cfg.validate().is_ok());
+        let mut bad = cfg.clone();
+        bad.network.dumper_ring_capacity = 0;
+        bad.network.max_events = Some(0);
+        let all = bad.problems().join("\n");
+        assert!(all.contains("dumper-ring-capacity"), "{all}");
+        assert!(all.contains("max-events"), "{all}");
     }
 
     #[test]

@@ -32,6 +32,14 @@ pub enum Error {
         /// The underlying OS error.
         source: std::io::Error,
     },
+    /// The run supervisor killed the simulation: event budget or
+    /// wall-clock limit exceeded. Classified as an infrastructure fault —
+    /// [`run_supervised`](crate::orchestrator::run_supervised) retries it.
+    Watchdog(String),
+    /// An invariant the orchestrator relies on was violated (a node
+    /// downcast to the wrong type, a report that would not serialize).
+    /// Never retried: this is a bug, not weather.
+    Internal(String),
 }
 
 impl Error {
@@ -40,6 +48,11 @@ impl Error {
         Error::Config {
             problems: vec![problem.into()],
         }
+    }
+
+    /// Build an internal-invariant error.
+    pub fn internal(msg: impl Into<String>) -> Error {
+        Error::Internal(msg.into())
     }
 
     /// The process exit code the CLI uses for this variant. Success is 0
@@ -51,7 +64,16 @@ impl Error {
             Error::Translate(_) => 4,
             Error::Engine(_) => 5,
             Error::Reconstruction(_) => 6,
+            Error::Watchdog(_) => 7,
+            Error::Internal(_) => 8,
         }
+    }
+
+    /// True for failures caused by the (simulated or real) infrastructure
+    /// rather than the configuration or the code: a supervised run may
+    /// retry these with a reseeded fault schedule and succeed.
+    pub fn is_infra_fault(&self) -> bool {
+        matches!(self, Error::Watchdog(_) | Error::Io { .. })
     }
 }
 
@@ -72,6 +94,8 @@ impl fmt::Display for Error {
             Error::Engine(msg) => write!(f, "simulation engine error: {msg}"),
             Error::Reconstruction(msg) => write!(f, "trace reconstruction failed: {msg}"),
             Error::Io { path, source } => write!(f, "{path}: {source}"),
+            Error::Watchdog(msg) => write!(f, "watchdog killed the run: {msg}"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -100,6 +124,8 @@ mod tests {
             Error::Translate("t".into()),
             Error::Engine("e".into()),
             Error::Reconstruction("r".into()),
+            Error::Watchdog("w".into()),
+            Error::internal("i"),
         ];
         let codes: Vec<u8> = errs.iter().map(|e| e.exit_code()).collect();
         let mut uniq = codes.clone();
@@ -118,6 +144,19 @@ mod tests {
         assert!(s.contains("mtu"));
         assert!(s.contains("rdma-verb"));
         assert!(s.contains("2 problems"));
+    }
+
+    #[test]
+    fn infra_fault_classification() {
+        assert!(Error::Watchdog("stuck".into()).is_infra_fault());
+        assert!(Error::Io {
+            path: "p".into(),
+            source: std::io::Error::other("flaky disk"),
+        }
+        .is_infra_fault());
+        assert!(!Error::config("bad mtu").is_infra_fault());
+        assert!(!Error::internal("wrong downcast").is_infra_fault());
+        assert!(!Error::Engine("e".into()).is_infra_fault());
     }
 
     #[test]

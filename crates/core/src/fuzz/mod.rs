@@ -27,9 +27,11 @@ pub mod mutate;
 pub mod score;
 
 use crate::config::TestConfig;
-use crate::orchestrator::{run_test, TestResults};
+use crate::error::Error;
+use crate::orchestrator::{panic_message, run_test, TestResults};
 use lumina_sim::{SimRng, Telemetry};
 use mutate::Mutator;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -87,6 +89,49 @@ pub struct Scored {
     pub score: f64,
 }
 
+/// Why a candidate produced no score. Surfaced per rejection in
+/// [`FuzzOutcome::rejections`] and as a `reason` field in the CLI's JSONL
+/// stream, so a campaign log distinguishes a config the mutator broke
+/// from a run the watchdog killed from a panic in the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The mutated configuration failed validation; never dispatched.
+    InvalidConfig,
+    /// The run (or the scorer) panicked; caught and isolated.
+    Panic,
+    /// The watchdog killed the run (event budget or wall clock).
+    Watchdog,
+    /// Trace reconstruction / integrity failed structurally.
+    IntegrityFail,
+    /// Any other `run_test` error.
+    RunError,
+}
+
+impl RejectReason {
+    /// Stable kebab-case label for machine-readable output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::InvalidConfig => "invalid-config",
+            RejectReason::Panic => "panic",
+            RejectReason::Watchdog => "watchdog",
+            RejectReason::IntegrityFail => "integrity-fail",
+            RejectReason::RunError => "run-error",
+        }
+    }
+}
+
+/// One rejected candidate: which evaluation slot, why, and the message.
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    /// Candidate index in evaluation order (same space as the anomaly
+    /// observer's index).
+    pub candidate: u64,
+    /// Classification.
+    pub reason: RejectReason,
+    /// The validation problem, error display, or panic message.
+    pub detail: String,
+}
+
 /// Campaign outcome.
 #[derive(Debug)]
 pub struct FuzzOutcome {
@@ -97,8 +142,11 @@ pub struct FuzzOutcome {
     pub anomalies: Vec<(Scored, String)>,
     /// Score of every evaluated configuration, in order.
     pub history: Vec<f64>,
-    /// Runs whose configuration failed validation or execution.
+    /// Runs whose configuration failed validation or execution
+    /// (`rejections.len()`, kept as a count for quick summaries).
     pub rejected: usize,
+    /// Why each rejected candidate was rejected, in evaluation order.
+    pub rejections: Vec<Rejection>,
     /// The pool as it stood when the campaign ended.
     pub final_pool: Vec<Scored>,
     /// Campaign-level telemetry: the self-profile carries per-worker
@@ -112,9 +160,40 @@ struct Candidate {
     cfg: TestConfig,
     /// Uniform `[0,1)` draw consumed by the below-median accept decision.
     accept_draw: f64,
-    /// Validation verdict, computed before dispatch so workers only ever
-    /// see runnable configurations.
-    valid: bool,
+    /// Why validation failed (`None` = runnable), computed before
+    /// dispatch so workers only ever see runnable configurations.
+    invalid: Option<String>,
+}
+
+/// How a dispatched run failed: a typed error from `run_test`, or a panic
+/// the worker caught and carried home as a message.
+enum EvalFailure {
+    Error(Error),
+    Panic(String),
+}
+
+/// `run_test` with panic isolation: a panicking configuration is a result
+/// to classify, not the end of the campaign (or of a worker thread, which
+/// would silently starve the batch).
+fn run_caught(cfg: &TestConfig) -> Result<TestResults, EvalFailure> {
+    match catch_unwind(AssertUnwindSafe(|| run_test(cfg))) {
+        Ok(Ok(r)) => Ok(r),
+        Ok(Err(e)) => Err(EvalFailure::Error(e)),
+        Err(payload) => Err(EvalFailure::Panic(panic_message(payload.as_ref()))),
+    }
+}
+
+impl EvalFailure {
+    fn classify(self) -> (RejectReason, String) {
+        match self {
+            EvalFailure::Panic(msg) => (RejectReason::Panic, msg),
+            EvalFailure::Error(e @ Error::Watchdog(_)) => (RejectReason::Watchdog, e.to_string()),
+            EvalFailure::Error(e @ Error::Reconstruction(_)) => {
+                (RejectReason::IntegrityFail, e.to_string())
+            }
+            EvalFailure::Error(e) => (RejectReason::RunError, e.to_string()),
+        }
+    }
 }
 
 /// Run Algorithm 1 with the executor described in the module docs.
@@ -152,6 +231,7 @@ where
         anomalies: Vec::new(),
         history: Vec::new(),
         rejected: 0,
+        rejections: Vec::new(),
         final_pool: Vec::new(),
         telemetry: tel.clone(),
     };
@@ -182,11 +262,11 @@ where
                 let parent = pool[rng.index(pool.len())].cfg.clone();
                 let cfg = mutator.mutate(&parent, &mut rng);
                 let accept_draw = rng.unit_f64();
-                let valid = cfg.validate().is_ok();
+                let invalid = cfg.validate().err().map(|e| e.to_string());
                 Candidate {
                     cfg,
                     accept_draw,
-                    valid,
+                    invalid,
                 }
             })
             .collect();
@@ -197,15 +277,50 @@ where
         // 4. Selection — merged in batch order, so pool evolution is
         // independent of which worker finished first.
         for (slot, (cand, eval)) in cands.into_iter().zip(evals).enumerate() {
+            let candidate = (done + slot) as u64;
+            let reject = |outcome: &mut FuzzOutcome, reason, detail| {
+                outcome.rejected += 1;
+                outcome.rejections.push(Rejection {
+                    candidate,
+                    reason,
+                    detail,
+                });
+            };
             let results = match eval {
                 Some(Ok(r)) => r,
-                // Invalid configuration (never dispatched) or failed run.
-                None | Some(Err(_)) => {
-                    outcome.rejected += 1;
+                // Invalid configuration: never dispatched.
+                None => {
+                    let detail = cand
+                        .invalid
+                        .unwrap_or_else(|| "config failed validation".into());
+                    reject(&mut outcome, RejectReason::InvalidConfig, detail);
+                    continue;
+                }
+                // Dispatched but failed: classify the failure.
+                Some(Err(failure)) => {
+                    let (reason, detail) = failure.classify();
+                    reject(&mut outcome, reason, detail);
                     continue;
                 }
             };
-            let (raw, desc) = score(&cand.cfg, &results);
+            // The scorer is campaign-supplied code: isolate its panics
+            // too, recording one as a first-class anomaly (the config
+            // that breaks the scorer is often the most interesting one).
+            let (raw, desc) = match catch_unwind(AssertUnwindSafe(|| score(&cand.cfg, &results))) {
+                Ok(v) => v,
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    let desc = format!("scorer panic: {msg}");
+                    let scored = Scored {
+                        cfg: cand.cfg,
+                        score: 0.0,
+                    };
+                    on_anomaly(candidate, &scored, &desc);
+                    outcome.anomalies.push((scored, desc));
+                    reject(&mut outcome, RejectReason::Panic, msg);
+                    continue;
+                }
+            };
             let s = sanitize_score(raw);
             outcome.history.push(s);
             let scored = Scored { cfg: cand.cfg, score: s };
@@ -213,7 +328,7 @@ where
                 outcome.best = Some(scored.clone());
             }
             if s >= params.anomaly_threshold {
-                on_anomaly((done + slot) as u64, &scored, &desc);
+                on_anomaly(candidate, &scored, &desc);
                 outcome.anomalies.push((scored.clone(), desc));
             }
             let median = median_score(&pool);
@@ -252,28 +367,28 @@ fn evaluate_batch(
     cands: &[Candidate],
     workers: usize,
     tel: &Telemetry,
-) -> Vec<Option<Result<TestResults, crate::error::Error>>> {
+) -> Vec<Option<Result<TestResults, EvalFailure>>> {
     let jobs: Vec<(usize, &TestConfig)> = cands
         .iter()
         .enumerate()
-        .filter(|(_, c)| c.valid)
+        .filter(|(_, c)| c.invalid.is_none())
         .map(|(i, c)| (i, &c.cfg))
         .collect();
-    let mut out: Vec<Option<Result<TestResults, crate::error::Error>>> =
+    let mut out: Vec<Option<Result<TestResults, EvalFailure>>> =
         (0..cands.len()).map(|_| None).collect();
 
     if workers <= 1 {
         let start = Instant::now();
         let runs = jobs.len() as u64;
         for (slot, cfg) in jobs {
-            out[slot] = Some(run_test(cfg));
+            out[slot] = Some(run_caught(cfg));
         }
         tel.with_profile(|p| p.record_worker(0, runs, start.elapsed().as_nanos() as u64));
         return out;
     }
 
     let cursor = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, Result<TestResults, crate::error::Error>)>> =
+    let collected: Mutex<Vec<(usize, Result<TestResults, EvalFailure>)>> =
         Mutex::new(Vec::with_capacity(jobs.len()));
     std::thread::scope(|scope| {
         for w in 0..workers.min(jobs.len().max(1)) {
@@ -288,7 +403,7 @@ fn evaluate_batch(
                     let Some(&(slot, cfg)) = jobs.get(j) else {
                         break;
                     };
-                    local.push((slot, run_test(cfg)));
+                    local.push((slot, run_caught(cfg)));
                 }
                 let runs = local.len() as u64;
                 collected
@@ -473,6 +588,129 @@ traffic:
         );
         assert_eq!(seen.len(), out.anomalies.len());
         assert!(seen.windows(2).all(|w| w[0] < w[1]), "{seen:?}");
+    }
+
+    #[test]
+    fn panicking_scorer_is_recorded_not_fatal() {
+        let base = tiny_base();
+        let mut m = EventMutator::default();
+        let params = serial(&FuzzParams {
+            pool_size: 2,
+            iterations: 3,
+            ..Default::default()
+        });
+        let out = fuzz(
+            &base,
+            &mut m,
+            |_c, _r| -> (f64, String) { panic!("scorer exploded on purpose") },
+            &params,
+        );
+        // Every evaluation panicked in the scorer: all rejected, each an
+        // anomaly, campaign alive to the end.
+        assert_eq!(out.rejected, 3);
+        assert_eq!(out.rejections.len(), 3);
+        assert!(out
+            .rejections
+            .iter()
+            .all(|r| r.reason == RejectReason::Panic
+                && r.detail.contains("scorer exploded on purpose")));
+        assert_eq!(out.anomalies.len(), 3);
+        assert!(out.anomalies[0].1.starts_with("scorer panic:"));
+        assert!(out.history.is_empty());
+    }
+
+    #[test]
+    fn rejection_reasons_label_invalid_configs() {
+        // A mutator that always produces an invalid config.
+        struct Breaker;
+        impl Mutator for Breaker {
+            fn initial(&mut self, base: &TestConfig, _rng: &mut SimRng) -> TestConfig {
+                base.clone()
+            }
+            fn mutate(&mut self, parent: &TestConfig, _rng: &mut SimRng) -> TestConfig {
+                let mut c = parent.clone();
+                c.traffic.mtu = 0;
+                c
+            }
+        }
+        let base = tiny_base();
+        let params = serial(&FuzzParams {
+            pool_size: 1,
+            iterations: 2,
+            ..Default::default()
+        });
+        let out = fuzz(&base, &mut Breaker, |_c, _r| (0.0, String::new()), &params);
+        assert_eq!(out.rejected, 2);
+        for r in &out.rejections {
+            assert_eq!(r.reason, RejectReason::InvalidConfig);
+            assert_eq!(r.reason.label(), "invalid-config");
+            assert!(r.detail.contains("mtu"), "{}", r.detail);
+        }
+    }
+
+    #[test]
+    fn watchdog_kills_are_classified() {
+        // A mutator that gives every run an impossible event budget.
+        struct Strangler;
+        impl Mutator for Strangler {
+            fn initial(&mut self, base: &TestConfig, _rng: &mut SimRng) -> TestConfig {
+                base.clone()
+            }
+            fn mutate(&mut self, parent: &TestConfig, _rng: &mut SimRng) -> TestConfig {
+                let mut c = parent.clone();
+                c.network.max_events = Some(10);
+                c
+            }
+        }
+        let base = tiny_base();
+        let params = serial(&FuzzParams {
+            pool_size: 1,
+            iterations: 2,
+            ..Default::default()
+        });
+        let out = fuzz(&base, &mut Strangler, |_c, _r| (0.0, String::new()), &params);
+        assert_eq!(out.rejected, 2);
+        for r in &out.rejections {
+            assert_eq!(r.reason, RejectReason::Watchdog, "{}", r.detail);
+            assert!(r.detail.contains("event budget"), "{}", r.detail);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_panicking_runs() {
+        // Worker panic isolation must preserve the cross-worker-count
+        // determinism guarantee: a panicking scorer run rejects the same
+        // slots either way.
+        let base = tiny_base();
+        let params = FuzzParams {
+            pool_size: 2,
+            iterations: 4,
+            batch_size: 4,
+            workers: 0,
+            ..Default::default()
+        };
+        let run = |workers: usize| {
+            let mut m = EventMutator::default();
+            let out = fuzz(
+                &base,
+                &mut m,
+                |cfg, _r| {
+                    if cfg.traffic.data_pkt_events.len() % 2 == 1 {
+                        panic!("odd event count")
+                    }
+                    (1.0, String::new())
+                },
+                &FuzzParams { workers, ..params.clone() },
+            );
+            (
+                out.history.clone(),
+                out.rejections
+                    .iter()
+                    .map(|r| (r.candidate, r.reason, r.detail.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(0), run(3));
     }
 
     #[test]

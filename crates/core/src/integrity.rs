@@ -4,15 +4,47 @@
 //! 2. the number of packets the injector mirrored equals the trace length,
 //! 3. the number of RoCE packets the injector received equals the trace
 //!    length.
+//!
+//! A damaged capture no longer discards the run: reconstruction is
+//! gap-tolerant ([`lumina_dumper::reconstruct_lossy`]), the partial trace
+//! is returned for analysis, and the report carries a [`DegradedMode`]
+//! block stating exactly how much survived. The check still *fails* — a
+//! degraded trace is never integrity-clean — but it fails with data
+//! instead of with nothing.
 
-use lumina_dumper::{reconstruct, CapturedPacket, ReconstructError, Trace};
+use lumina_dumper::{reconstruct_lossy, CapturedPacket, GapSpan, Trace};
 use lumina_switch::device::SwitchCounters;
 use serde::{Deserialize, Serialize};
+
+/// How many gap spans the report lists verbatim before truncating.
+const MAX_REPORTED_GAPS: usize = 16;
+
+/// Degraded-capture detail: present only when reconstruction found gaps,
+/// duplicates or unparseable captures. Absent from fault-free reports
+/// (and from every golden) via `skip_serializing_if`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DegradedMode {
+    /// Fraction of the expected mirror-sequence range that survived.
+    pub analyzable_fraction: f64,
+    /// Packets present in the partial trace.
+    pub present: u64,
+    /// Packets missing from interior sequence gaps.
+    pub missing: u64,
+    /// Extra copies discarded by seq dedup.
+    pub duplicates: u64,
+    /// Captures dropped because their headers did not parse.
+    pub bad_captures: u64,
+    /// The gap spans themselves (first [`MAX_REPORTED_GAPS`]).
+    pub gaps: Vec<GapSpan>,
+    /// True when more gaps existed than `gaps` lists.
+    pub gaps_truncated: bool,
+}
 
 /// Outcome of the integrity check.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct IntegrityReport {
-    /// Condition 1: mirror sequence numbers are consecutive.
+    /// Condition 1: mirror sequence numbers are consecutive (no gaps,
+    /// duplicates or unparseable captures).
     pub seq_consecutive: bool,
     /// Condition 2: mirrored count matches trace length.
     pub mirrored_matches: bool,
@@ -20,6 +52,9 @@ pub struct IntegrityReport {
     pub roce_rx_matches: bool,
     /// Human-readable details for failures.
     pub details: Vec<String>,
+    /// Degraded-capture accounting; `None` when reconstruction was clean.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub degraded: Option<DegradedMode>,
 }
 
 impl IntegrityReport {
@@ -27,31 +62,45 @@ impl IntegrityReport {
     pub fn passed(&self) -> bool {
         self.seq_consecutive && self.mirrored_matches && self.roce_rx_matches
     }
+
+    /// True when the trace exists but is incomplete: analyzers may run,
+    /// with caveats.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
 }
 
 /// Reconstruct the trace from all dumpers' captures and run the check.
-/// Returns the trace even on count mismatches (it may still be useful for
-/// debugging) but `None` when reconstruction itself failed.
+/// Always returns the best trace the captures support — possibly partial,
+/// never `None` — alongside the report; a damaged capture shows up as a
+/// failed check with [`IntegrityReport::degraded`] populated.
 pub fn check(
     captures: &[Vec<CapturedPacket>],
     switch: &SwitchCounters,
 ) -> (Option<Trace>, IntegrityReport) {
     let mut report = IntegrityReport::default();
-    let trace = match reconstruct(captures) {
-        Ok(t) => t,
-        Err(e @ ReconstructError::Gaps { .. }) | Err(e @ ReconstructError::DuplicateSeq(_)) => {
-            report.details.push(e.to_string());
-            report.mirrored_matches = false;
-            report.roce_rx_matches = false;
-            return (None, report);
-        }
-        Err(e) => {
-            report.details.push(e.to_string());
-            return (None, report);
-        }
-    };
-    report.seq_consecutive = true;
-    let n = trace.len() as u64;
+    let lossy = reconstruct_lossy(captures);
+    report.seq_consecutive = lossy.is_complete();
+    if !lossy.gaps.is_empty() {
+        report.details.push(format!(
+            "{} mirror copies missing across {} gaps (first gap: seq {}, len {})",
+            lossy.missing(),
+            lossy.gaps.len(),
+            lossy.gaps[0].start,
+            lossy.gaps[0].len,
+        ));
+    }
+    if lossy.duplicates > 0 {
+        report
+            .details
+            .push(format!("{} duplicated mirror copies discarded", lossy.duplicates));
+    }
+    if lossy.bad_captures > 0 {
+        report
+            .details
+            .push(format!("{} captures failed to parse", lossy.bad_captures));
+    }
+    let n = lossy.trace.len() as u64;
     report.mirrored_matches = switch.mirrored_total == n;
     if !report.mirrored_matches {
         report.details.push(format!(
@@ -66,7 +115,19 @@ pub fn check(
             switch.roce_rx_total
         ));
     }
-    (Some(trace), report)
+    if !lossy.is_complete() {
+        let gaps_truncated = lossy.gaps.len() > MAX_REPORTED_GAPS;
+        report.degraded = Some(DegradedMode {
+            analyzable_fraction: lossy.analyzable_fraction(),
+            present: n,
+            missing: lossy.missing(),
+            duplicates: lossy.duplicates,
+            bad_captures: lossy.bad_captures,
+            gaps: lossy.gaps.iter().take(MAX_REPORTED_GAPS).copied().collect(),
+            gaps_truncated,
+        });
+    }
+    (Some(lossy.trace), report)
 }
 
 #[cfg(test)]
@@ -107,17 +168,25 @@ mod tests {
         let caps = vec![vec![capture(0), capture(2)], vec![capture(1)]];
         let (trace, rep) = check(&caps, &counters(3, 3));
         assert!(rep.passed(), "{rep:?}");
+        assert!(!rep.is_degraded());
         assert_eq!(trace.unwrap().len(), 3);
     }
 
     #[test]
-    fn gap_fails_condition_one() {
+    fn gap_fails_condition_one_but_keeps_the_partial_trace() {
         let caps = vec![vec![capture(0), capture(2)]];
         let (trace, rep) = check(&caps, &counters(3, 3));
-        assert!(trace.is_none());
+        let trace = trace.expect("degraded, not absent");
+        assert_eq!(trace.len(), 2, "both surviving packets analyzable");
         assert!(!rep.passed());
         assert!(!rep.seq_consecutive);
         assert!(!rep.details.is_empty());
+        let deg = rep.degraded.expect("degraded block present");
+        assert_eq!(deg.present, 2);
+        assert_eq!(deg.missing, 1);
+        assert_eq!(deg.gaps, vec![GapSpan { start: 1, len: 1 }]);
+        assert!(!deg.gaps_truncated);
+        assert!((deg.analyzable_fraction - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -130,5 +199,36 @@ mod tests {
         assert!(!rep.roce_rx_matches);
         assert!(!rep.passed());
         assert_eq!(rep.details.len(), 2);
+        assert!(
+            !rep.is_degraded(),
+            "count mismatch alone (tail loss) is not capture damage"
+        );
+    }
+
+    #[test]
+    fn clean_report_serializes_without_degraded_key() {
+        let caps = vec![vec![capture(0), capture(1)]];
+        let (_, rep) = check(&caps, &counters(2, 2));
+        let v = serde_json::to_value(&rep).unwrap();
+        assert!(
+            v.get("degraded").is_none(),
+            "golden byte-identity depends on this: {v}"
+        );
+        let (_, bad) = check(&[vec![capture(0), capture(2)]], &counters(3, 3));
+        let v = serde_json::to_value(&bad).unwrap();
+        assert!(v.get("degraded").is_some());
+    }
+
+    #[test]
+    fn duplicates_degrade_instead_of_discarding() {
+        let caps = vec![vec![capture(0), capture(1), capture(1)]];
+        let (trace, rep) = check(&caps, &counters(2, 2));
+        assert_eq!(trace.unwrap().len(), 2);
+        assert!(!rep.seq_consecutive);
+        assert!(rep.mirrored_matches, "dedup recovers the true count");
+        let deg = rep.degraded.unwrap();
+        assert_eq!(deg.duplicates, 1);
+        assert_eq!(deg.missing, 0);
+        assert_eq!(deg.analyzable_fraction, 1.0);
     }
 }

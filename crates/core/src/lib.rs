@@ -46,8 +46,8 @@ pub mod integrity;
 pub mod orchestrator;
 pub mod translate;
 
-pub use config::TestConfig;
+pub use config::{FaultsSection, TestConfig};
 pub use error::Error;
-pub use integrity::IntegrityReport;
-pub use orchestrator::{run_test, TestResults};
+pub use integrity::{DegradedMode, IntegrityReport};
+pub use orchestrator::{run_supervised, run_test, RetryPolicy, TestResults};
 pub use translate::ConnMeta;

@@ -7,7 +7,7 @@ use crate::error::Error;
 use crate::integrity::{self, IntegrityReport};
 use crate::translate::{translate, ConnMeta};
 use lumina_dumper::node::{capture_handle, CaptureHandle, DumperConfig, DumperNode};
-use lumina_dumper::Trace;
+use lumina_dumper::{DumperFaults, StallWindow, Trace};
 use lumina_gen::host::{HostNode, Role};
 use lumina_gen::metrics::{metrics_handle, GenMetrics};
 use lumina_gen::FlowPlan;
@@ -15,11 +15,15 @@ use lumina_rnic::counters::Counters;
 use lumina_rnic::ets::{EtsConfig, TcConfig};
 use lumina_rnic::qp::{QpConfig, QpEndpoint};
 use lumina_rnic::Rnic;
-use lumina_sim::{Engine, EngineStats, FrameStats, PortId, RunOutcome, SimTime, Telemetry};
+use lumina_sim::{
+    Engine, EngineStats, FaultPlane, FaultStats, FrameStats, FreezeWindow, MirrorFaults, PortId,
+    RunOutcome, SimTime, Telemetry,
+};
 use lumina_switch::device::{MirrorMode, SwitchConfig, SwitchCounters, SwitchNode};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
+use std::time::Duration;
 
 pub use lumina_packet::MacAddr;
 
@@ -70,6 +74,14 @@ pub struct TestResults {
     /// Telemetry sink the run recorded into: structured event journal,
     /// per-node metric registry and the wall-clock self-profile.
     pub telemetry: Telemetry,
+    /// Fault-plane counters; `Some` only when the run had an active
+    /// `faults:` section, so fault-free reports are byte-identical to
+    /// every pre-fault-plane release.
+    pub fault_stats: Option<FaultStats>,
+    /// Captures hit by injected bit-rot, summed over the dumper pool.
+    pub captures_corrupted: u64,
+    /// Stall-inflated dumper service ticks, summed over the pool.
+    pub service_ticks_stalled: u64,
 }
 
 // The parallel fuzz executor evaluates `run_test` on worker threads and
@@ -92,7 +104,9 @@ impl TestResults {
     }
 
     /// Machine-readable summary (the orchestrator's "test results" file).
-    pub fn report_json(&self) -> serde_json::Value {
+    /// A summary that will not serialize is an invariant violation
+    /// ([`Error::Internal`], exit code 8), not a panic.
+    pub fn report_json(&self) -> Result<serde_json::Value, Error> {
         #[derive(Serialize)]
         struct Summary<'a> {
             integrity_passed: bool,
@@ -122,11 +136,20 @@ impl TestResults {
             end_time_ns: self.end_time.as_nanos(),
             traffic_completed: self.traffic_completed(),
         })
-        .expect("summary serializes");
+        .map_err(|e| Error::internal(format!("summary failed to serialize: {e}")))?;
         // The deterministic view only: the self-profile holds wall-clock
         // numbers, which would make same-seed reports differ byte-for-byte.
         report["telemetry"] = self.telemetry.deterministic_snapshot();
-        report
+        // Fault accounting appears only on fault-injected runs, keeping
+        // pristine reports (and all eight goldens) byte-identical.
+        if let Some(fs) = &self.fault_stats {
+            let mut faults = serde_json::to_value(fs)
+                .map_err(|e| Error::internal(format!("fault stats failed to serialize: {e}")))?;
+            faults["captures_corrupted"] = serde_json::Value::from(self.captures_corrupted);
+            faults["service_ticks_stalled"] = serde_json::Value::from(self.service_ticks_stalled);
+            report["faults"] = faults;
+        }
+        Ok(report)
     }
 }
 
@@ -308,17 +331,43 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
     let prop = SimTime::from_nanos(cfg.network.propagation_delay_ns);
     eng.connect(req_id, PortId(0), sw_id, PortId(0), req_profile.port_bandwidth, prop);
     eng.connect(rsp_id, PortId(0), sw_id, PortId(1), rsp_profile.port_bandwidth, prop);
+    // An active `faults:` section turns the pristine testbed into a
+    // deliberately unreliable one. The schedule draws from its own RNG
+    // stream (seeded separately below), so the simulated workload is
+    // byte-identical with and without this block.
+    let active_faults = cfg.faults.as_ref().filter(|f| !f.is_noop());
+    let fault_seed = cfg
+        .faults
+        .as_ref()
+        .and_then(|f| f.seed)
+        .unwrap_or(cfg.network.seed);
     let mut dumper_handles: Vec<CaptureHandle> = Vec::new();
+    let mut dumper_ids = Vec::new();
     for i in 0..num_dumpers {
         let handle = capture_handle();
-        let d = DumperNode::new(
+        let dumper_faults = active_faults.map(|f| DumperFaults {
+            bit_rot_prob: f.capture_bit_rot_prob,
+            stalls: f
+                .dumper_stalls
+                .iter()
+                .filter(|s| s.index.is_none() || s.index == Some(i))
+                .map(|s| StallWindow {
+                    from: SimTime::from_micros(s.at_us),
+                    until: SimTime::from_micros(s.at_us + s.duration_us),
+                    slowdown: s.slowdown,
+                })
+                .collect(),
+            rng: FaultPlane::node_rng(fault_seed, 0xd0_0000 + i as u64),
+        });
+        let d = DumperNode::with_faults(
             DumperConfig {
                 cores: cfg.network.dumper_cores,
                 per_core_rate_pps: cfg.network.dumper_core_rate_pps,
-                ring_capacity: 1024,
+                ring_capacity: cfg.network.dumper_ring_capacity,
                 trim_bytes: 128,
             },
             handle.clone(),
+            dumper_faults,
         );
         let d_id = eng.add_node(Box::new(d));
         eng.connect(
@@ -330,23 +379,87 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
             prop,
         );
         dumper_handles.push(handle);
+        dumper_ids.push(d_id);
+    }
+    if let Some(f) = active_faults {
+        let mut plane = FaultPlane::new(
+            fault_seed,
+            MirrorFaults {
+                loss_prob: f.mirror_loss_prob,
+                dup_prob: f.mirror_dup_prob,
+            },
+        );
+        if f.mirror_loss_prob > 0.0 || f.mirror_dup_prob > 0.0 {
+            // Only the mirror paths are unreliable; the data path between
+            // hosts and switch stays pristine (the paper's testbed trusts
+            // its DUT links, not its capture infrastructure).
+            for i in 0..num_dumpers {
+                plane.mark_mirror_link(sw_id, PortId(2 + i));
+            }
+        }
+        for fz in &f.freezes {
+            let node = match fz.node.as_str() {
+                "requester" => req_id,
+                "responder" => rsp_id,
+                "switch" => sw_id,
+                "dumper" => dumper_ids[fz.index],
+                // validate() rejects anything else before we get here
+                other => return Err(Error::config(format!("unknown freeze node {other:?}"))),
+            };
+            plane.add_freeze(FreezeWindow {
+                node,
+                from: SimTime::from_micros(fz.at_us),
+                until: SimTime::from_micros(fz.at_us + fz.duration_us),
+            });
+        }
+        eng.set_fault_plane(plane);
     }
 
-    // ---- Run ----
+    // ---- Run (supervised by the watchdog limits, if configured) ----
+    if let Some(max_events) = cfg.network.max_events {
+        eng.event_limit = max_events;
+    }
+    if let Some(max_wall_ms) = cfg.network.max_wall_ms {
+        eng.wall_clock_limit = Some(Duration::from_millis(max_wall_ms));
+    }
     eng.schedule_timer(req_id, SimTime::from_micros(1), HostNode::start_token());
     let outcome = eng.run(Some(SimTime::from_millis(cfg.network.horizon_ms)));
+    match outcome {
+        RunOutcome::EventLimit { end } => {
+            return Err(Error::Watchdog(format!(
+                "event budget of {} exhausted at t={} ns",
+                eng.event_limit,
+                end.as_nanos()
+            )));
+        }
+        RunOutcome::WallClockExceeded { end } => {
+            return Err(Error::Watchdog(format!(
+                "wall-clock limit of {} ms exceeded at t={} ns",
+                cfg.network.max_wall_ms.unwrap_or(0),
+                end.as_nanos()
+            )));
+        }
+        RunOutcome::Quiescent { .. } | RunOutcome::HorizonReached { .. } => {}
+    }
     let end_time = outcome.end_time();
     let engine_stats = *eng.stats();
     // Snapshot the frame-plane counters before teardown frees the buffers.
     let frame_stats = eng.frame_stats();
+    let fault_stats = eng.fault_stats();
 
     // ---- Collect (Table 1) ----
     let req_any: Box<dyn std::any::Any> = eng.remove_node(req_id);
-    let req_host = req_any.downcast::<HostNode>().expect("requester type");
+    let req_host = req_any
+        .downcast::<HostNode>()
+        .map_err(|_| Error::internal("requester node recovered with unexpected type"))?;
     let rsp_any: Box<dyn std::any::Any> = eng.remove_node(rsp_id);
-    let rsp_host = rsp_any.downcast::<HostNode>().expect("responder type");
+    let rsp_host = rsp_any
+        .downcast::<HostNode>()
+        .map_err(|_| Error::internal("responder node recovered with unexpected type"))?;
     let sw_any: Box<dyn std::any::Any> = eng.remove_node(sw_id);
-    let sw = sw_any.downcast::<SwitchNode>().expect("switch type");
+    let sw = sw_any
+        .downcast::<SwitchNode>()
+        .map_err(|_| Error::internal("switch node recovered with unexpected type"))?;
 
     let captures: Vec<Vec<lumina_dumper::CapturedPacket>> = dumper_handles
         .iter()
@@ -375,6 +488,17 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
     for (i, h) in dumper_handles.iter().enumerate() {
         tel.record_metric_set(3 + i as u32, &*h.borrow());
     }
+    if let Some(fs) = &fault_stats {
+        tel.record_metric_set(sw_id.0 as u32, fs);
+    }
+    let captures_corrupted: u64 = dumper_handles
+        .iter()
+        .map(|h| h.borrow().captures_corrupted)
+        .sum();
+    let service_ticks_stalled: u64 = dumper_handles
+        .iter()
+        .map(|h| h.borrow().service_ticks_stalled)
+        .sum();
     Ok(TestResults {
         cfg: cfg.clone(),
         conns,
@@ -395,5 +519,82 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
         engine_stats,
         frame_stats,
         telemetry: tel,
+        fault_stats,
+        captures_corrupted,
+        service_ticks_stalled,
     })
+}
+
+/// Extract a human-readable message from a `catch_unwind` payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// How [`run_supervised`] reacts to infrastructure-classified failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry
+    /// (capped at 16× the base).
+    pub backoff: Duration,
+    /// Bump the fault-schedule seed on each retry so a run killed by an
+    /// unlucky fault draw gets fresh weather instead of a replay of the
+    /// same storm. The workload seed is never touched.
+    pub reseed_faults: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(50),
+            reseed_faults: true,
+        }
+    }
+}
+
+/// Run one test under supervision: panics inside the run are caught and
+/// surfaced as [`Error::Internal`], and failures classified as
+/// infrastructure faults ([`Error::is_infra_fault`] — watchdog kills, I/O)
+/// are retried with exponential backoff up to the policy's attempt budget.
+/// Config, translation and engine errors fail fast: retrying a bug is
+/// just the same bug, slower.
+pub fn run_supervised(cfg: &TestConfig, policy: &RetryPolicy) -> Result<TestResults, Error> {
+    let mut cfg = cfg.clone();
+    let base_fault_seed = cfg
+        .faults
+        .as_ref()
+        .and_then(|f| f.seed)
+        .unwrap_or(cfg.network.seed);
+    let attempts = policy.max_attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(policy.backoff * (1u32 << (attempt - 1).min(4)));
+            if policy.reseed_faults {
+                if let Some(f) = cfg.faults.as_mut() {
+                    f.seed = Some(base_fault_seed.wrapping_add(attempt as u64));
+                }
+            }
+        }
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_test(&cfg))) {
+            Ok(Ok(results)) => return Ok(results),
+            Ok(Err(e)) if e.is_infra_fault() && attempt + 1 < attempts => last_err = Some(e),
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                return Err(Error::internal(format!(
+                    "run panicked: {}",
+                    panic_message(payload.as_ref())
+                )))
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| Error::internal("supervised run loop made no attempts")))
 }

@@ -17,5 +17,8 @@
 pub mod node;
 pub mod trace;
 
-pub use node::{CaptureHandle, DumperConfig, DumperNode};
-pub use trace::{reconstruct, CapturedPacket, ReconstructError, Trace, TraceEntry};
+pub use node::{CaptureHandle, DumperConfig, DumperFaults, DumperNode, StallWindow};
+pub use trace::{
+    reconstruct, reconstruct_lossy, CapturedPacket, GapSpan, LossyTrace, ReconstructError, Trace,
+    TraceEntry,
+};

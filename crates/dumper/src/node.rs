@@ -2,12 +2,41 @@
 
 use crate::trace::CapturedPacket;
 use lumina_packet::buf;
-use lumina_sim::{Frame, Node, NodeCtx, PortId, SimTime};
+use lumina_sim::{Frame, Node, NodeCtx, PortId, SimRng, SimTime};
 use lumina_telemetry::{tev, MetricSet};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
+
+/// A temporary dumper-host slowdown: within `[from, until)` every core's
+/// service interval is multiplied by `slowdown` (the poll loop sharing its
+/// cores with a noisy co-tenant, a page-cache writeback storm, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallWindow {
+    /// First stalled instant (inclusive).
+    pub from: SimTime,
+    /// End of the stall (exclusive).
+    pub until: SimTime,
+    /// Service-interval multiplier; `1` is a no-op.
+    pub slowdown: u32,
+}
+
+/// Host-local fault injection for one dumper: capture bit-rot and core
+/// stalls. Built by the orchestrator from the `faults:` config section
+/// with an RNG forked off the campaign fault seed
+/// ([`lumina_sim::FaultPlane::node_rng`]) so each dumper draws its own
+/// replayable stream.
+#[derive(Debug, Clone)]
+pub struct DumperFaults {
+    /// Probability each captured packet has one bit flipped on the way to
+    /// the capture buffer.
+    pub bit_rot_prob: f64,
+    /// Stall windows (may overlap; the largest slowdown wins).
+    pub stalls: Vec<StallWindow>,
+    /// Dumper-local fault RNG.
+    pub rng: SimRng,
+}
 
 /// Configuration of one dumper host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,6 +78,13 @@ pub struct CaptureState {
     pub rx_discards: u64,
     /// Packets fully processed per core (service accounting).
     pub per_core_processed: Vec<u64>,
+    /// Captures that had a bit flipped by injected bit-rot. Zero on
+    /// fault-free runs, and then absent from [`snapshot`](MetricSet) —
+    /// golden reports never see the key.
+    pub captures_corrupted: u64,
+    /// Service timer fires that ran at a stall-inflated interval. Same
+    /// only-when-nonzero snapshot rule.
+    pub service_ticks_stalled: u64,
 }
 
 impl MetricSet for CaptureState {
@@ -72,6 +108,21 @@ impl MetricSet for CaptureState {
                     .collect(),
             ),
         );
+        // Fault counters appear only when faults actually fired, so
+        // fault-free snapshots — and the golden reports built from them —
+        // are byte-identical to the pre-fault-plane format.
+        if self.captures_corrupted > 0 {
+            m.insert(
+                "captures_corrupted",
+                serde_json::Value::from(self.captures_corrupted),
+            );
+        }
+        if self.service_ticks_stalled > 0 {
+            m.insert(
+                "service_ticks_stalled",
+                serde_json::Value::from(self.service_ticks_stalled),
+            );
+        }
         serde_json::Value::Object(m)
     }
 }
@@ -95,11 +146,21 @@ pub struct DumperNode {
     cores: Vec<Core>,
     out: CaptureHandle,
     service_interval: SimTime,
+    faults: Option<DumperFaults>,
 }
 
 impl DumperNode {
     /// Build a dumper writing into `out`.
     pub fn new(cfg: DumperConfig, out: CaptureHandle) -> DumperNode {
+        DumperNode::with_faults(cfg, out, None)
+    }
+
+    /// Build a dumper with host-local fault injection attached.
+    pub fn with_faults(
+        cfg: DumperConfig,
+        out: CaptureHandle,
+        faults: Option<DumperFaults>,
+    ) -> DumperNode {
         assert!(cfg.cores > 0);
         out.borrow_mut().per_core_processed = vec![0; cfg.cores];
         let service_interval =
@@ -114,7 +175,27 @@ impl DumperNode {
             cfg,
             out,
             service_interval,
+            faults,
         }
+    }
+
+    /// The service interval in effect at `now`: the configured interval,
+    /// inflated by the largest overlapping stall window's slowdown.
+    fn interval_at(&mut self, now: SimTime) -> SimTime {
+        let base = self.service_interval;
+        let Some(f) = &self.faults else { return base };
+        let slowdown = f
+            .stalls
+            .iter()
+            .filter(|w| now >= w.from && now < w.until)
+            .map(|w| w.slowdown.max(1))
+            .max()
+            .unwrap_or(1);
+        if slowdown == 1 {
+            return base;
+        }
+        self.out.borrow_mut().service_ticks_stalled += 1;
+        SimTime::from_nanos(base.as_nanos().saturating_mul(slowdown as u64))
     }
 
     /// RSS: hash the 5-tuple onto a core. Uses the same fields real NICs
@@ -142,7 +223,19 @@ impl DumperNode {
         // the real dumper; doing it at capture time is equivalent for the
         // stored trace and keeps the buffered copy analysis-ready.
         lumina_switch::mirror::restore_dport(&mut bytes);
+        let mut corrupted = false;
+        if let Some(f) = &mut self.faults {
+            if f.bit_rot_prob > 0.0 && f.rng.chance(f.bit_rot_prob) && !bytes.is_empty() {
+                // One flipped bit on the way to the capture buffer. The
+                // wire copy already left; only the stored trace suffers.
+                let byte = f.rng.index(bytes.len());
+                let bit = f.rng.index(8) as u32;
+                bytes[byte] ^= 1u8 << bit;
+                corrupted = true;
+            }
+        }
         let mut out = self.out.borrow_mut();
+        out.captures_corrupted += corrupted as u64;
         out.per_core_processed[core] += 1;
         out.packets.push(CapturedPacket {
             rx_time,
@@ -155,9 +248,7 @@ impl DumperNode {
 impl Node for DumperNode {
     fn on_frame(&mut self, _port: PortId, frame: Frame, ctx: &mut NodeCtx<'_>) {
         let core_idx = self.rss_core(&frame);
-        let interval = self.service_interval;
-        let core = &mut self.cores[core_idx];
-        if core.ring.len() >= self.cfg.ring_capacity {
+        if self.cores[core_idx].ring.len() >= self.cfg.ring_capacity {
             self.out.borrow_mut().rx_discards += 1;
             tev!(
                 ctx.telemetry(),
@@ -169,24 +260,25 @@ impl Node for DumperNode {
             );
             return;
         }
-        core.ring.push_back((ctx.now(), frame));
-        if !core.service_armed {
-            core.service_armed = true;
+        let now = ctx.now();
+        self.cores[core_idx].ring.push_back((now, frame));
+        if !self.cores[core_idx].service_armed {
+            self.cores[core_idx].service_armed = true;
+            let interval = self.interval_at(now);
             ctx.set_timer(interval, core_idx as u64);
         }
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx<'_>) {
         let core_idx = token as usize;
-        let interval = self.service_interval;
         let popped = self.cores[core_idx].ring.pop_front();
         if let Some((rx_time, frame)) = popped {
             self.capture(rx_time, &frame, core_idx);
         }
-        let core = &mut self.cores[core_idx];
-        if core.ring.is_empty() {
-            core.service_armed = false;
+        if self.cores[core_idx].ring.is_empty() {
+            self.cores[core_idx].service_armed = false;
         } else {
+            let interval = self.interval_at(ctx.now());
             ctx.set_timer(interval, core_idx as u64);
         }
     }
@@ -329,6 +421,119 @@ mod tests {
         let st = h.borrow();
         assert_eq!(st.rx_discards, 0, "8 cores × 2.5 Mpps handle 5 Mpps");
         assert_eq!(st.packets.len(), 2000);
+    }
+
+    fn run_dumper_with_faults(
+        cfg: DumperConfig,
+        faults: DumperFaults,
+        frames: Vec<Frame>,
+        gap: SimTime,
+    ) -> CaptureHandle {
+        let mut eng = Engine::new(3);
+        let plan = frames
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| (SimTime::from_nanos(i as u64 * gap.as_nanos()), PortId(0), f))
+            .collect();
+        let script = eng.add_node(Box::new(Script::new(plan)));
+        let handle = capture_handle();
+        let dumper = eng.add_node(Box::new(DumperNode::with_faults(
+            cfg,
+            handle.clone(),
+            Some(faults),
+        )));
+        eng.connect(
+            script,
+            PortId(0),
+            dumper,
+            PortId(0),
+            Bandwidth::gbps(100),
+            SimTime::from_nanos(100),
+        );
+        eng.schedule_timer(script, SimTime::ZERO, Script::KICKOFF);
+        eng.run(None);
+        handle
+    }
+
+    #[test]
+    fn bit_rot_corrupts_some_captures_deterministically() {
+        let run = || {
+            let faults = DumperFaults {
+                bit_rot_prob: 0.2,
+                stalls: vec![],
+                rng: SimRng::seed_from_u64(42),
+            };
+            let frames: Vec<Frame> =
+                (0..200).map(|i| mirror_frame(i, Some(1000 + i as u16), 256)).collect();
+            let h = run_dumper_with_faults(
+                DumperConfig::default(),
+                faults,
+                frames,
+                SimTime::from_micros(1),
+            );
+            let st = h.borrow();
+            (
+                st.captures_corrupted,
+                st.packets.iter().map(|p| p.bytes.clone()).collect::<Vec<_>>(),
+            )
+        };
+        let (corrupted, bytes) = run();
+        assert!(corrupted > 0, "0.2 over 200 captures must hit");
+        assert!(corrupted < 200);
+        assert_eq!(run(), (corrupted, bytes), "bit-rot must replay");
+    }
+
+    #[test]
+    fn zero_bit_rot_leaves_captures_untouched_and_uncounted() {
+        let faults = DumperFaults {
+            bit_rot_prob: 0.0,
+            stalls: vec![],
+            rng: SimRng::seed_from_u64(42),
+        };
+        let frames: Vec<Frame> = (0..50).map(|i| mirror_frame(i, None, 256)).collect();
+        let h = run_dumper_with_faults(
+            DumperConfig::default(),
+            faults,
+            frames,
+            SimTime::from_micros(1),
+        );
+        let st = h.borrow();
+        assert_eq!(st.captures_corrupted, 0);
+        let snap = st.snapshot();
+        assert!(
+            snap.get("captures_corrupted").is_none(),
+            "zero counters stay out of the snapshot: {snap}"
+        );
+        assert!(snap.get("service_ticks_stalled").is_none());
+    }
+
+    #[test]
+    fn stall_window_overflows_a_ring_that_otherwise_keeps_up() {
+        // 1 Mpps offered to a 2.5 Mpps core: fine normally, but a 10×
+        // stall across the middle of the run backs the ring up past its
+        // capacity.
+        let cfg = DumperConfig {
+            cores: 8,
+            per_core_rate_pps: 2_500_000,
+            ring_capacity: 32,
+            trim_bytes: 128,
+        };
+        let frames: Vec<Frame> = (0..1000).map(|i| mirror_frame(i, None, 256)).collect();
+        let baseline = run_dumper(cfg, frames.clone(), SimTime::from_micros(1));
+        assert_eq!(baseline.borrow().rx_discards, 0);
+        let faults = DumperFaults {
+            bit_rot_prob: 0.0,
+            stalls: vec![StallWindow {
+                from: SimTime::from_micros(100),
+                until: SimTime::from_micros(900),
+                slowdown: 10,
+            }],
+            rng: SimRng::seed_from_u64(42),
+        };
+        let h = run_dumper_with_faults(cfg, faults, frames, SimTime::from_micros(1));
+        let st = h.borrow();
+        assert!(st.service_ticks_stalled > 0);
+        assert!(st.rx_discards > 0, "the stalled core must shed load");
     }
 
     #[test]

@@ -159,6 +159,121 @@ pub fn reconstruct(captures: &[Vec<CapturedPacket>]) -> Result<Trace, Reconstruc
     Ok(Trace { entries })
 }
 
+/// A run of consecutive missing mirror sequence numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GapSpan {
+    /// First missing sequence number of the run.
+    pub start: u64,
+    /// Number of consecutive missing sequence numbers.
+    pub len: u64,
+}
+
+/// The best-effort trace [`reconstruct_lossy`] always produces: whatever
+/// parsed and deduplicated, plus an explicit account of what did not.
+///
+/// On gap-free, duplicate-free, parseable captures this is exactly the
+/// strict [`reconstruct`] result with empty damage fields — the property
+/// `crates/dumper/tests/proptest_reconstruct.rs` pins down.
+#[derive(Debug, Clone, Default)]
+pub struct LossyTrace {
+    /// Surviving entries in mirror-sequence order (first copy of any
+    /// duplicated seq).
+    pub trace: Trace,
+    /// Runs of missing sequence numbers, ascending, non-adjacent. Tail
+    /// loss past the highest captured seq is invisible here — only the
+    /// packet-count integrity conditions can catch it.
+    pub gaps: Vec<GapSpan>,
+    /// Copies discarded because their seq was already present.
+    pub duplicates: u64,
+    /// Captures discarded because the mirror header or RoCE headers did
+    /// not parse (bit-rot casualties).
+    pub bad_captures: u64,
+}
+
+impl LossyTrace {
+    /// Total missing packets across all gap spans.
+    pub fn missing(&self) -> u64 {
+        self.gaps.iter().map(|g| g.len).sum()
+    }
+
+    /// Sequence numbers the trace should span: surviving entries plus the
+    /// interior holes (tail loss excluded, as above).
+    pub fn expected(&self) -> u64 {
+        self.trace.len() as u64 + self.missing()
+    }
+
+    /// Fraction of the expected sequence range that survived, in `[0, 1]`.
+    /// An empty trace is 0.0 analyzable, not vacuously complete.
+    pub fn analyzable_fraction(&self) -> f64 {
+        let expected = self.expected();
+        if expected == 0 {
+            return 0.0;
+        }
+        self.trace.len() as f64 / expected as f64
+    }
+
+    /// True when the capture was pristine: no gaps, duplicates or parse
+    /// failures — i.e. strict [`reconstruct`] would have succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.gaps.is_empty() && self.duplicates == 0 && self.bad_captures == 0
+    }
+}
+
+/// Merge the captures of all dumper hosts into the best trace the data
+/// supports, never failing: unparseable captures are counted and skipped,
+/// duplicated seqs keep their first copy, and interior sequence holes
+/// become explicit [`GapSpan`]s so analyzers know exactly what they are
+/// not seeing.
+pub fn reconstruct_lossy(captures: &[Vec<CapturedPacket>]) -> LossyTrace {
+    let mut entries: Vec<TraceEntry> = Vec::new();
+    let mut bad_captures = 0u64;
+    for cap in captures {
+        for p in cap {
+            let Some(meta) = mirror::extract(&p.bytes) else {
+                bad_captures += 1;
+                continue;
+            };
+            let Ok(frame) = RoceFrame::parse_headers(&p.bytes) else {
+                bad_captures += 1;
+                continue;
+            };
+            entries.push(TraceEntry {
+                seq: meta.seq,
+                timestamp: meta.timestamp,
+                event: meta.event,
+                frame,
+                orig_len: p.orig_len,
+            });
+        }
+    }
+    // Stable sort: among same-seq duplicates the earlier capture (in
+    // dumper order) survives the dedup below, deterministically.
+    entries.sort_by_key(|e| e.seq);
+    let mut duplicates = 0u64;
+    entries.dedup_by(|b, a| {
+        let dup = a.seq == b.seq;
+        duplicates += dup as u64;
+        dup
+    });
+    let mut gaps: Vec<GapSpan> = Vec::new();
+    let mut expect = 0u64;
+    for e in &entries {
+        if e.seq > expect {
+            gaps.push(GapSpan {
+                start: expect,
+                len: e.seq - expect,
+            });
+        }
+        expect = e.seq + 1;
+    }
+    LossyTrace {
+        trace: Trace { entries },
+        gaps,
+        duplicates,
+        bad_captures,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +345,75 @@ mod tests {
     fn empty_trace_ok() {
         let t = reconstruct(&[vec![], vec![]]).unwrap();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn lossy_matches_strict_on_pristine_captures() {
+        let d1 = vec![capture(3, 300), capture(0, 0), capture(5, 500)];
+        let d2 = vec![capture(4, 400), capture(1, 100), capture(2, 200)];
+        let strict = reconstruct(&[d1.clone(), d2.clone()]).unwrap();
+        let lossy = reconstruct_lossy(&[d1, d2]);
+        assert!(lossy.is_complete());
+        assert_eq!(lossy.analyzable_fraction(), 1.0);
+        let seqs = |t: &Trace| t.iter().map(|e| e.seq).collect::<Vec<_>>();
+        assert_eq!(seqs(&lossy.trace), seqs(&strict));
+    }
+
+    #[test]
+    fn lossy_reports_gap_spans() {
+        // 0 1 _ 3 _ _ 6 — two interior gaps of different lengths.
+        let d1 = vec![capture(0, 0), capture(1, 100), capture(3, 300), capture(6, 600)];
+        let lossy = reconstruct_lossy(&[d1]);
+        assert_eq!(
+            lossy.gaps,
+            vec![GapSpan { start: 2, len: 1 }, GapSpan { start: 4, len: 2 }]
+        );
+        assert_eq!(lossy.missing(), 3);
+        assert_eq!(lossy.expected(), 7);
+        assert!((lossy.analyzable_fraction() - 4.0 / 7.0).abs() < 1e-12);
+        assert!(!lossy.is_complete());
+    }
+
+    #[test]
+    fn lossy_leading_gap_counted() {
+        let d1 = vec![capture(2, 200), capture(3, 300)];
+        let lossy = reconstruct_lossy(&[d1]);
+        assert_eq!(lossy.gaps, vec![GapSpan { start: 0, len: 2 }]);
+    }
+
+    #[test]
+    fn lossy_dedups_keeping_first_capture() {
+        // Same seq captured by two dumpers at different rx times: the
+        // stable sort keeps the first in dumper order.
+        let mut late = capture(1, 100);
+        late.orig_len += 1; // distinguishable marker
+        let d1 = vec![capture(0, 0), capture(1, 100)];
+        let d2 = vec![late];
+        let lossy = reconstruct_lossy(&[d1.clone(), d2]);
+        assert_eq!(lossy.duplicates, 1);
+        assert_eq!(lossy.trace.len(), 2);
+        assert_eq!(lossy.trace.entries[1].orig_len, d1[1].orig_len);
+        assert!(lossy.gaps.is_empty());
+    }
+
+    #[test]
+    fn lossy_skips_unparseable_captures() {
+        let mut rotten = capture(1, 100);
+        rotten.bytes.truncate(8); // destroy the headers entirely
+        let d1 = vec![capture(0, 0), rotten, capture(2, 200)];
+        let lossy = reconstruct_lossy(&[d1]);
+        assert_eq!(lossy.bad_captures, 1);
+        // The rotten capture's seq is now a gap.
+        assert_eq!(lossy.gaps, vec![GapSpan { start: 1, len: 1 }]);
+        assert_eq!(lossy.trace.len(), 2);
+    }
+
+    #[test]
+    fn lossy_empty_is_zero_analyzable() {
+        let lossy = reconstruct_lossy(&[vec![], vec![]]);
+        assert!(lossy.trace.is_empty());
+        assert_eq!(lossy.analyzable_fraction(), 0.0);
+        assert!(lossy.is_complete(), "no damage observed, just no data");
     }
 
     #[test]

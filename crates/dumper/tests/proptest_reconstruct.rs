@@ -2,7 +2,7 @@
 //! copies across dumpers reconstructs in sequence order; any missing or
 //! duplicated copy is detected.
 
-use lumina_dumper::{reconstruct, CapturedPacket, ReconstructError};
+use lumina_dumper::{reconstruct, reconstruct_lossy, CapturedPacket, ReconstructError};
 use lumina_packet::builder::DataPacketBuilder;
 use lumina_packet::opcode::Opcode;
 use lumina_sim::SimTime;
@@ -109,5 +109,71 @@ proptest! {
             Err(ReconstructError::DuplicateSeq(s)) => prop_assert_eq!(s, dup as u64),
             other => prop_assert!(false, "expected DuplicateSeq, got {other:?}"),
         }
+    }
+
+    /// On gap-free captures the lossy path is *exactly* the strict path:
+    /// same trace, no gaps, no accounting — regardless of how the copies
+    /// are scattered across dumpers.
+    #[test]
+    fn lossy_equals_strict_on_clean_captures(
+        n in 1usize..200,
+        assignment_seed in 0u64..1000,
+    ) {
+        let mut dumpers: Vec<Vec<CapturedPacket>> = vec![Vec::new(); 4];
+        let mut x = assignment_seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for seq in 0..n as u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let d = (x >> 33) as usize % 4;
+            dumpers[d].push(capture(seq));
+        }
+        let strict = reconstruct(&dumpers).unwrap();
+        let lossy = reconstruct_lossy(&dumpers);
+        prop_assert!(lossy.is_complete());
+        prop_assert!(lossy.gaps.is_empty());
+        prop_assert_eq!(lossy.duplicates, 0);
+        prop_assert_eq!(lossy.bad_captures, 0);
+        prop_assert_eq!(lossy.analyzable_fraction(), 1.0);
+        prop_assert_eq!(lossy.trace.len(), strict.len());
+        for (a, b) in lossy.trace.iter().zip(strict.iter()) {
+            prop_assert_eq!(a.seq, b.seq);
+            prop_assert_eq!(a.timestamp, b.timestamp);
+            prop_assert_eq!(a.orig_len, b.orig_len);
+            prop_assert_eq!(a.frame.bth.psn, b.frame.bth.psn);
+        }
+    }
+
+    /// Dropping an arbitrary subset leaves a lossy trace whose gap spans
+    /// cover exactly the dropped interior seqs, and whose accounting adds
+    /// back up to the expected range.
+    #[test]
+    fn lossy_gap_spans_cover_exactly_the_dropped_seqs(
+        n in 2usize..150,
+        drop_mask in 0u64..u64::MAX,
+    ) {
+        let dropped: Vec<u64> = (0..n as u64).filter(|s| drop_mask >> (s % 64) & 1 == 1).collect();
+        let caps: Vec<CapturedPacket> = (0..n as u64)
+            .filter(|s| !dropped.contains(s))
+            .map(capture)
+            .collect();
+        if caps.is_empty() {
+            // Every seq dropped — nothing to reconstruct, nothing to check.
+            return Ok(());
+        }
+        let lossy = reconstruct_lossy(&[caps]);
+        // Tail losses are invisible to seq analysis: only gaps below the
+        // highest *surviving* seq can be reported.
+        let horizon = lossy.trace.iter().map(|e| e.seq).max().unwrap();
+        let expected_missing: Vec<u64> =
+            dropped.iter().copied().filter(|&s| s < horizon).collect();
+        let mut from_spans = Vec::new();
+        for g in &lossy.gaps {
+            for s in g.start..g.start + g.len {
+                from_spans.push(s);
+            }
+        }
+        prop_assert_eq!(from_spans, expected_missing);
+        prop_assert_eq!(lossy.missing() as usize + lossy.trace.len(), horizon as usize + 1);
+        prop_assert_eq!(lossy.duplicates, 0);
+        prop_assert_eq!(lossy.bad_captures, 0);
     }
 }

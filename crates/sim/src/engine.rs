@@ -1,5 +1,6 @@
 //! The event loop: nodes, ports, timers, and deterministic dispatch.
 
+use crate::faults::{FaultPlane, FaultStats, TransmitFate};
 use crate::link::{Link, LinkState};
 use crate::rng::SimRng;
 use crate::time::{Bandwidth, SimTime};
@@ -7,9 +8,10 @@ use crate::wheel::{Entry, TimerWheel};
 use crate::Node;
 use lumina_packet::buf::{self, CounterSnapshot};
 use lumina_packet::Frame;
-use lumina_telemetry::{MetricSet, Telemetry};
+use lumina_telemetry::{tev, MetricSet, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Identifies a node within an [`Engine`].
 #[derive(
@@ -127,6 +129,12 @@ pub enum RunOutcome {
         /// Time at which the limit tripped.
         end: SimTime,
     },
+    /// The wall-clock watchdog ([`Engine::wall_clock_limit`]) tripped: the
+    /// run burned more real time than the supervisor allowed.
+    WallClockExceeded {
+        /// Simulation time at which the watchdog fired.
+        end: SimTime,
+    },
 }
 
 impl RunOutcome {
@@ -135,7 +143,8 @@ impl RunOutcome {
         match self {
             RunOutcome::Quiescent { end }
             | RunOutcome::HorizonReached { end }
-            | RunOutcome::EventLimit { end } => end,
+            | RunOutcome::EventLimit { end }
+            | RunOutcome::WallClockExceeded { end } => end,
         }
     }
 
@@ -164,6 +173,13 @@ pub struct Engine {
     queue_hwm: usize,
     /// Safety valve against livelocked simulations.
     pub event_limit: u64,
+    /// Wall-clock watchdog: checked every few thousand events; tripping
+    /// it ends the run with [`RunOutcome::WallClockExceeded`]. `None`
+    /// (the default) disables the check entirely, keeping fault-free runs
+    /// on the exact code path the goldens were recorded on.
+    pub wall_clock_limit: Option<Duration>,
+    /// Attached infrastructure fault plane, if any.
+    faults: Option<FaultPlane>,
 }
 
 impl Engine {
@@ -183,7 +199,21 @@ impl Engine {
             telemetry: Telemetry::disabled(),
             queue_hwm: 0,
             event_limit: 500_000_000,
+            wall_clock_limit: None,
+            faults: None,
         }
+    }
+
+    /// Attach an infrastructure fault plane. The plane's RNG is its own
+    /// seeded stream, so attaching one never perturbs the engine RNG; an
+    /// engine without a plane takes no fault branches at all.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.faults = Some(plane);
+    }
+
+    /// The attached fault plane's counters, if a plane is attached.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|p| p.stats)
     }
 
     /// Attach a telemetry sink. Nodes reach it through
@@ -303,9 +333,17 @@ impl Engine {
     /// Run until the queue drains, `horizon` passes, or the event limit
     /// trips. Afterwards every node's [`Node::on_finish`] hook runs once.
     pub fn run(&mut self, horizon: Option<SimTime>) -> RunOutcome {
+        let wall_start = self.wall_clock_limit.map(|_| Instant::now());
         let outcome = loop {
             if self.stats.events >= self.event_limit {
                 break RunOutcome::EventLimit { end: self.now };
+            }
+            if let (Some(limit), Some(start)) = (self.wall_clock_limit, wall_start) {
+                // Checked once per few thousand events: cheap enough to
+                // leave on, coarse enough not to perturb throughput.
+                if self.stats.events & 0xfff == 0 && start.elapsed() >= limit {
+                    break RunOutcome::WallClockExceeded { end: self.now };
+                }
             }
             let Some(ev) = self.peek_next() else {
                 break RunOutcome::Quiescent { end: self.now };
@@ -321,6 +359,41 @@ impl Engine {
             debug_assert!(ev_time >= self.now, "time went backwards");
             self.now = ev_time;
             self.stats.events += 1;
+            // Frozen node? Frames are lost outright (the NIC is down);
+            // timers survive the outage and fire at the thaw instant —
+            // the restart half of freeze/restart.
+            if let Some(plane) = self.faults.as_ref() {
+                if let Some(until) = plane.frozen_until(ev.value.node, ev_time) {
+                    let node = ev.value.node;
+                    let plane = self.faults.as_mut().expect("plane checked above");
+                    match ev.value.kind {
+                        EventKind::FrameArrive { .. } => {
+                            plane.stats.frames_dropped_frozen += 1;
+                            tev!(
+                                &self.telemetry,
+                                ev_time.as_nanos(),
+                                node.0 as u32,
+                                "fault",
+                                "freeze.drop",
+                            );
+                            continue;
+                        }
+                        EventKind::Timer { token } => {
+                            plane.stats.timers_deferred += 1;
+                            tev!(
+                                &self.telemetry,
+                                ev_time.as_nanos(),
+                                node.0 as u32,
+                                "fault",
+                                "freeze.defer",
+                                until = until.as_nanos(),
+                            );
+                            self.push(until, node, EventKind::Timer { token });
+                            continue;
+                        }
+                    }
+                }
+            }
             self.dispatch(ev.value);
         };
         // Final flush pass.
@@ -384,17 +457,60 @@ impl Engine {
     fn apply(&mut self, from: NodeId, effects: Effects) {
         for (port, frame, depart_delay) in effects.sends {
             let key = (from, port);
-            let Some(link) = self.links.get_mut(&key) else {
-                panic!("node {from:?} sent on unconnected port {port:?}");
-            };
-            let line_bytes = lumina_packet::frame::line_occupancy_of(frame.len());
-            let handoff = self.now + depart_delay;
-            let arrive = link.transmit(handoff, line_bytes);
-            let (to_node, to_port) = (link.link.to_node, link.link.to_port);
-            self.push(arrive, to_node, EventKind::FrameArrive {
-                port: to_port,
-                frame,
-            });
+            // Marked links (mirror paths) consult the fault plane; every
+            // other link bypasses it without touching the plane RNG.
+            let mut copies = 1usize;
+            if let Some(plane) = self.faults.as_mut() {
+                if plane.covers_link(from, port) {
+                    match plane.fate(from, port) {
+                        TransmitFate::Deliver => {}
+                        TransmitFate::Drop => {
+                            tev!(
+                                &self.telemetry,
+                                self.now.as_nanos(),
+                                from.0 as u32,
+                                "fault",
+                                "mirror.drop",
+                            );
+                            continue;
+                        }
+                        TransmitFate::Duplicate => {
+                            tev!(
+                                &self.telemetry,
+                                self.now.as_nanos(),
+                                from.0 as u32,
+                                "fault",
+                                "mirror.dup",
+                            );
+                            copies = 2;
+                        }
+                    }
+                }
+            }
+            // In the single-copy case the frame is moved, never cloned —
+            // the frame-plane counters of fault-free runs are untouched.
+            let mut remaining = Some(frame);
+            for copy in 0..copies {
+                let is_last = copy + 1 == copies;
+                let f = if is_last {
+                    remaining.take().expect("frame still held")
+                } else {
+                    remaining.as_ref().expect("frame still held").clone()
+                };
+                let Some(link) = self.links.get_mut(&key) else {
+                    panic!("node {from:?} sent on unconnected port {port:?}");
+                };
+                let line_bytes = lumina_packet::frame::line_occupancy_of(f.len());
+                let handoff = self.now + depart_delay;
+                // A duplicate serializes behind the original, like a
+                // link-layer replay.
+                let arrive = link.transmit(handoff, line_bytes);
+                let (to_node, to_port) = (link.link.to_node, link.link.to_port);
+                self.push(arrive, to_node, EventKind::FrameArrive {
+                    port: to_port,
+                    frame: f,
+                });
+            }
         }
         for (at, token) in effects.timers {
             self.push(at, from, EventKind::Timer { token });
@@ -738,6 +854,114 @@ mod tests {
         // allocated — the peak *delta* is therefore zero.
         assert_eq!(fs.frames_allocated, 0, "{fs:?}");
         assert_eq!(fs.peak_live_frames, 0, "{fs:?}");
+    }
+
+    #[test]
+    fn marked_link_drops_and_duplicates_deterministically() {
+        use crate::faults::{FaultPlane, MirrorFaults};
+        let run = || {
+            let mut eng = Engine::new(5);
+            let blaster = eng.add_node(Box::new(Blaster {
+                count: 200,
+                frame: test_frame(),
+                echoes: vec![],
+            }));
+            let sink = eng.add_node(Box::new(Echo {
+                delay: SimTime::ZERO,
+                received: vec![],
+            }));
+            eng.connect(
+                blaster,
+                PortId(0),
+                sink,
+                PortId(0),
+                Bandwidth::gbps(100),
+                SimTime::from_nanos(100),
+            );
+            let mut plane = FaultPlane::new(
+                9,
+                MirrorFaults {
+                    loss_prob: 0.25,
+                    dup_prob: 0.1,
+                },
+            );
+            plane.mark_mirror_link(blaster, PortId(0));
+            // Return path is unmarked: echoes flow back untouched.
+            eng.set_fault_plane(plane);
+            eng.schedule_timer(blaster, SimTime::ZERO, 0);
+            eng.run(None);
+            let stats = eng.fault_stats().expect("plane attached");
+            (*eng.stats(), stats)
+        };
+        let (eng_stats, faults) = run();
+        assert!(faults.mirror_copies_dropped > 0, "{faults:?}");
+        assert!(faults.mirror_copies_duplicated > 0, "{faults:?}");
+        // Dropped copies never arrive; duplicates arrive twice; every
+        // survivor is echoed back across the unmarked reverse link.
+        let delivered_forward =
+            200 - faults.mirror_copies_dropped + faults.mirror_copies_duplicated;
+        assert_eq!(eng_stats.frames_delivered, delivered_forward * 2);
+        assert_eq!(run(), (eng_stats, faults), "fault schedule must replay");
+    }
+
+    #[test]
+    fn frozen_node_loses_frames_and_defers_timers() {
+        use crate::faults::{FaultPlane, FreezeWindow, MirrorFaults};
+        // A ticker timer armed inside the freeze window must fire at the
+        // thaw instant, not during the outage.
+        struct Once {
+            fired_at: std::rc::Rc<std::cell::RefCell<Vec<SimTime>>>,
+        }
+        impl Node for Once {
+            fn on_frame(&mut self, _: PortId, _: Frame, _: &mut NodeCtx<'_>) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut NodeCtx<'_>) {
+                self.fired_at.borrow_mut().push(ctx.now());
+            }
+        }
+        let mut eng = Engine::new(1);
+        let fired = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let n = eng.add_node(Box::new(Once {
+            fired_at: fired.clone(),
+        }));
+        let mut plane = FaultPlane::new(1, MirrorFaults::default());
+        plane.add_freeze(FreezeWindow {
+            node: n,
+            from: SimTime::from_micros(10),
+            until: SimTime::from_micros(50),
+        });
+        eng.set_fault_plane(plane);
+        eng.schedule_timer(n, SimTime::from_micros(5), 0); // before: fires
+        eng.schedule_timer(n, SimTime::from_micros(20), 1); // inside: deferred
+        eng.inject_frame(n, PortId(0), SimTime::from_micros(30), test_frame()); // lost
+        eng.run(None);
+        assert_eq!(
+            *fired.borrow(),
+            vec![SimTime::from_micros(5), SimTime::from_micros(50)]
+        );
+        let stats = eng.fault_stats().unwrap();
+        assert_eq!(stats.timers_deferred, 1);
+        assert_eq!(stats.frames_dropped_frozen, 1);
+        assert_eq!(eng.stats().frames_delivered, 0);
+    }
+
+    #[test]
+    fn wall_clock_watchdog_trips_on_a_livelock() {
+        let mut eng = Engine::new(1);
+        struct Spinner;
+        impl Node for Spinner {
+            fn on_frame(&mut self, _: PortId, _: Frame, _: &mut NodeCtx<'_>) {}
+            fn on_timer(&mut self, t: u64, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(SimTime::ZERO, t);
+            }
+        }
+        let n = eng.add_node(Box::new(Spinner));
+        eng.schedule_timer(n, SimTime::ZERO, 0);
+        eng.wall_clock_limit = Some(Duration::from_millis(20));
+        let outcome = eng.run(None);
+        assert!(
+            matches!(outcome, RunOutcome::WallClockExceeded { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Deterministic infrastructure fault injection.
+//!
+//! Lumina's §3.5 integrity check exists because the *testbed itself* can
+//! fail — mirror copies are dropped when dumpers overload, capture hosts
+//! stall, bits rot on the way to disk. This module injects those failures
+//! on purpose, so the degraded-trace pipeline can be exercised instead of
+//! merely survived: the [`FaultPlane`] sits inside the [`Engine`]
+//! (`Engine::set_fault_plane`) and intercepts two spots of the event loop:
+//!
+//! * **Marked links** (the switch→dumper mirror paths) may drop or
+//!   duplicate a frame per transmit, per [`MirrorFaults`] probabilities.
+//! * **Frozen nodes** (mid-run freeze/restart windows) lose arriving
+//!   frames and have their timers deferred to the thaw instant.
+//!
+//! All randomness comes from the plane's own [`SimRng`], seeded
+//! independently of the engine's — a run with a fault plane attached
+//! consumes *zero* draws from the engine stream on unmarked links, so the
+//! simulated workload itself is byte-identical with and without faults;
+//! only the infrastructure behavior changes. Same seed, same fault
+//! schedule, bit for bit.
+//!
+//! Dumper-local faults (core stalls, capture bit-rot) live with the dumper
+//! model in `lumina-dumper`; this module only owns what the engine must
+//! arbitrate.
+//!
+//! [`Engine`]: crate::Engine
+
+use crate::engine::{NodeId, PortId};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use lumina_telemetry::MetricSet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Salt folded into the fault seed so a plane seeded with the campaign
+/// seed still draws a stream unrelated to the engine's.
+const FAULT_SEED_SALT: u64 = 0xfa17_ab1e_0bad_cafe;
+
+/// Loss/duplication probabilities applied per transmit on marked links.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MirrorFaults {
+    /// Probability a mirror copy is silently dropped in flight.
+    pub loss_prob: f64,
+    /// Probability a mirror copy is delivered twice (serialized back to
+    /// back on the link, like a flapping port replaying its FIFO).
+    pub dup_prob: f64,
+}
+
+/// A mid-run node outage: events in `[from, until)` are intercepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreezeWindow {
+    /// The frozen node.
+    pub node: NodeId,
+    /// First frozen instant (inclusive).
+    pub from: SimTime,
+    /// Thaw instant (exclusive) — deferred timers fire here.
+    pub until: SimTime,
+}
+
+/// What the plane decided for one transmit on a marked link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmitFate {
+    /// Deliver normally.
+    Deliver,
+    /// Drop the frame silently.
+    Drop,
+    /// Deliver the frame twice.
+    Duplicate,
+}
+
+/// Counters the plane accumulates during a run. Recorded into telemetry
+/// (kind `faults`) only when a plane is attached, so fault-free runs keep
+/// their snapshots — and golden reports — unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Mirror copies dropped on marked links.
+    pub mirror_copies_dropped: u64,
+    /// Mirror copies delivered twice on marked links.
+    pub mirror_copies_duplicated: u64,
+    /// Frames lost because their destination node was frozen.
+    pub frames_dropped_frozen: u64,
+    /// Timers deferred to a freeze window's thaw instant.
+    pub timers_deferred: u64,
+}
+
+impl MetricSet for FaultStats {
+    fn metric_kind(&self) -> &'static str {
+        "faults"
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("FaultStats serializes")
+    }
+}
+
+/// The seeded fault injector the engine consults. Build one, mark the
+/// mirror links and freeze windows, then hand it to
+/// [`Engine::set_fault_plane`](crate::Engine::set_fault_plane).
+#[derive(Debug, Clone)]
+pub struct FaultPlane {
+    rng: SimRng,
+    mirror: MirrorFaults,
+    /// Egress `(node, port)` keys subject to [`MirrorFaults`].
+    marked_links: HashSet<(NodeId, PortId)>,
+    freezes: Vec<FreezeWindow>,
+    /// Run counters (engine-owned faults only; dumper-local fault counts
+    /// live in the dumper's capture state).
+    pub stats: FaultStats,
+}
+
+impl FaultPlane {
+    /// Create a plane with its own RNG stream derived from `seed`.
+    pub fn new(seed: u64, mirror: MirrorFaults) -> FaultPlane {
+        FaultPlane {
+            rng: SimRng::seed_from_u64(seed ^ FAULT_SEED_SALT),
+            mirror,
+            marked_links: HashSet::new(),
+            freezes: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Fork a child RNG for a node-local fault injector (e.g. one per
+    /// dumper) without perturbing the plane's own stream ordering across
+    /// node counts: the child is derived from the plane seed, not drawn
+    /// from the plane stream.
+    pub fn node_rng(seed: u64, salt: u64) -> SimRng {
+        SimRng::seed_from_u64(seed ^ FAULT_SEED_SALT).fork(salt)
+    }
+
+    /// Subject `from:port` egress to the mirror loss/dup probabilities.
+    pub fn mark_mirror_link(&mut self, from: NodeId, port: PortId) {
+        self.marked_links.insert((from, port));
+    }
+
+    /// Add a freeze window. Zero-length windows are ignored.
+    pub fn add_freeze(&mut self, w: FreezeWindow) {
+        if w.until > w.from {
+            self.freezes.push(w);
+        }
+    }
+
+    /// True when a transmit on this link must consult the plane. Split
+    /// from [`fate`](Self::fate) so unmarked links never touch the RNG.
+    pub fn covers_link(&self, from: NodeId, port: PortId) -> bool {
+        self.marked_links.contains(&(from, port))
+    }
+
+    /// Decide one transmit on a marked link. Draws loss first and, only
+    /// when the frame survives, duplication — at most two draws per
+    /// transmit, in a fixed order, so the schedule replays exactly.
+    pub fn fate(&mut self, from: NodeId, port: PortId) -> TransmitFate {
+        debug_assert!(self.covers_link(from, port));
+        if self.mirror.loss_prob > 0.0 && self.rng.chance(self.mirror.loss_prob) {
+            self.stats.mirror_copies_dropped += 1;
+            return TransmitFate::Drop;
+        }
+        if self.mirror.dup_prob > 0.0 && self.rng.chance(self.mirror.dup_prob) {
+            self.stats.mirror_copies_duplicated += 1;
+            return TransmitFate::Duplicate;
+        }
+        TransmitFate::Deliver
+    }
+
+    /// If `node` is frozen at `at`, the thaw instant of the covering
+    /// window (the latest, when windows overlap).
+    pub fn frozen_until(&self, node: NodeId, at: SimTime) -> Option<SimTime> {
+        self.freezes
+            .iter()
+            .filter(|w| w.node == node && at >= w.from && at < w.until)
+            .map(|w| w.until)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(loss: f64, dup: f64) -> FaultPlane {
+        let mut p = FaultPlane::new(
+            7,
+            MirrorFaults {
+                loss_prob: loss,
+                dup_prob: dup,
+            },
+        );
+        p.mark_mirror_link(NodeId(2), PortId(3));
+        p
+    }
+
+    #[test]
+    fn fates_replay_bit_for_bit() {
+        let run = || {
+            let mut p = plane(0.3, 0.2);
+            (0..256)
+                .map(|_| p.fate(NodeId(2), PortId(3)))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.contains(&TransmitFate::Drop));
+        assert!(a.contains(&TransmitFate::Duplicate));
+        assert!(a.contains(&TransmitFate::Deliver));
+    }
+
+    #[test]
+    fn zero_probabilities_never_draw() {
+        // With both probabilities zero the RNG is untouched, so two planes
+        // diverge only once a positive probability forces a draw.
+        let mut p = plane(0.0, 0.0);
+        for _ in 0..64 {
+            assert_eq!(p.fate(NodeId(2), PortId(3)), TransmitFate::Deliver);
+        }
+        assert_eq!(p.stats, FaultStats::default());
+    }
+
+    #[test]
+    fn unmarked_links_are_not_covered() {
+        let p = plane(1.0, 0.0);
+        assert!(p.covers_link(NodeId(2), PortId(3)));
+        assert!(!p.covers_link(NodeId(2), PortId(4)));
+        assert!(!p.covers_link(NodeId(1), PortId(3)));
+    }
+
+    #[test]
+    fn freeze_window_edges() {
+        let mut p = plane(0.0, 0.0);
+        p.add_freeze(FreezeWindow {
+            node: NodeId(5),
+            from: SimTime::from_micros(10),
+            until: SimTime::from_micros(20),
+        });
+        // Zero-length windows vanish.
+        p.add_freeze(FreezeWindow {
+            node: NodeId(5),
+            from: SimTime::from_micros(30),
+            until: SimTime::from_micros(30),
+        });
+        let t = |us| SimTime::from_micros(us);
+        assert_eq!(p.frozen_until(NodeId(5), t(9)), None);
+        assert_eq!(p.frozen_until(NodeId(5), t(10)), Some(t(20)));
+        assert_eq!(p.frozen_until(NodeId(5), t(19)), Some(t(20)));
+        assert_eq!(p.frozen_until(NodeId(5), t(20)), None, "thaw is exclusive");
+        assert_eq!(p.frozen_until(NodeId(5), t(30)), None);
+        assert_eq!(p.frozen_until(NodeId(4), t(15)), None, "other nodes run");
+    }
+
+    #[test]
+    fn overlapping_freezes_thaw_at_the_latest() {
+        let mut p = plane(0.0, 0.0);
+        let t = |us| SimTime::from_micros(us);
+        p.add_freeze(FreezeWindow { node: NodeId(1), from: t(0), until: t(10) });
+        p.add_freeze(FreezeWindow { node: NodeId(1), from: t(5), until: t(30) });
+        assert_eq!(p.frozen_until(NodeId(1), t(7)), Some(t(30)));
+    }
+
+    #[test]
+    fn fault_stats_snapshot_round_trips() {
+        let s = FaultStats {
+            mirror_copies_dropped: 3,
+            mirror_copies_duplicated: 1,
+            frames_dropped_frozen: 2,
+            timers_deferred: 4,
+        };
+        let v = s.snapshot();
+        assert_eq!(v["mirror_copies_dropped"], serde_json::Value::from(3u64));
+        assert_eq!(s.metric_kind(), "faults");
+    }
+}

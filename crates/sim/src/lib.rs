@@ -25,6 +25,7 @@
 //!   comparison-heap it replaced — byte for byte, golden for golden.
 
 pub mod engine;
+pub mod faults;
 pub mod link;
 pub mod pcap;
 pub mod rng;
@@ -33,6 +34,7 @@ pub mod time;
 pub mod wheel;
 
 pub use engine::{Engine, EngineStats, FrameStats, NodeCtx, NodeId, PortId, RunOutcome};
+pub use faults::{FaultPlane, FaultStats, FreezeWindow, MirrorFaults};
 pub use link::Link;
 pub use rng::SimRng;
 pub use time::{Bandwidth, SimTime};

@@ -7,8 +7,10 @@ check:
     cargo clippy -- -D warnings
 
 # The full CI gate: release build, workspace tests (with the parallel-fuzz
-# differential and golden-report suites named explicitly so a filter change
-# can't silently drop them), the frame-plane hotpath smoke (asserts the
+# differential, golden-report and fault-matrix suites named explicitly so a
+# filter change can't silently drop them — the fault matrix smokes every
+# fault kind on fig11 and asserts same-seed degraded reports replay
+# byte-identically), the frame-plane hotpath smoke (asserts the
 # identical-outcome column and the copy-reduction bar), lint with warnings
 # fatal.
 ci:
@@ -16,6 +18,7 @@ ci:
     cargo test -q
     cargo test -q --test fuzz_parallel_differential
     cargo test -q --test golden_reports
+    cargo test -q --test fault_matrix
     cargo test -q -p lumina-bench hotpath
     cargo clippy -- -D warnings
 

@@ -6,9 +6,10 @@
 //! shapes: structs with named fields, tuple/newtype structs, unit
 //! structs, and enums with unit/tuple/struct variants (externally tagged,
 //! like real serde). Supported `#[serde(...)]` attributes:
-//! `default`, `default = "path"`, `rename_all = "kebab-case"`, and
-//! `deny_unknown_fields`. Generic parameters are supported for lifetimes
-//! only — enough for every derive target in this workspace.
+//! `default`, `default = "path"`, `rename_all = "kebab-case"`,
+//! `deny_unknown_fields`, and `skip_serializing_if = "path"`. Generic
+//! parameters are supported for lifetimes only — enough for every derive
+//! target in this workspace.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -19,6 +20,8 @@ struct Field {
     ident: String,
     name: String,
     default: Option<DefaultKind>,
+    /// `skip_serializing_if = "path"`: omit the key when `path(&field)`.
+    skip_if: Option<String>,
 }
 
 #[derive(Debug, Clone)]
@@ -63,6 +66,7 @@ struct SerdeAttrs {
     rename_all: Option<String>,
     deny_unknown: bool,
     default: Option<DefaultKind>,
+    skip_if: Option<String>,
 }
 
 // -------------------------------------------------------------- parsing
@@ -157,9 +161,17 @@ impl Cursor {
                         out.rename_all = Some(a.expect_str_literal());
                     }
                     "deny_unknown_fields" => out.deny_unknown = true,
+                    "skip_serializing_if" => {
+                        assert!(
+                            a.eat_punct('='),
+                            "serde shim derive: skip_serializing_if needs a value"
+                        );
+                        out.skip_if = Some(a.expect_str_literal());
+                    }
                     other => panic!(
                         "serde shim derive: unsupported #[serde({other})] — the offline shim \
-                         only knows default, rename_all, deny_unknown_fields"
+                         only knows default, rename_all, deny_unknown_fields, \
+                         skip_serializing_if"
                     ),
                 }
                 a.eat_punct(',');
@@ -282,6 +294,7 @@ fn parse_named_fields(group: TokenStream, rename_all: Option<&str>) -> Vec<Field
             name: rename(&ident, rename_all, false),
             ident,
             default: attrs.default,
+            skip_if: attrs.skip_if,
         });
     }
     out
@@ -404,10 +417,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Kind::NamedStruct(fields) => {
             let mut s = String::from("let mut __m = ::serde::Map::new();\n");
             for f in fields {
-                s.push_str(&format!(
+                let insert = format!(
                     "__m.insert(\"{}\", ::serde::Serialize::serialize(&self.{}));\n",
                     f.name, f.ident
-                ));
+                );
+                match &f.skip_if {
+                    Some(path) => s.push_str(&format!(
+                        "if !{path}(&self.{ident}) {{ {insert} }}\n",
+                        ident = f.ident
+                    )),
+                    None => s.push_str(&insert),
+                }
             }
             s.push_str("::serde::Value::Object(__m)");
             s

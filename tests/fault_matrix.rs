@@ -1,0 +1,164 @@
+//! Fault-injection matrix: every fault kind the `faults:` section knows,
+//! exercised on the Figure-11 noisy-neighbor preset. Each kind must
+//! (a) actually fire, (b) leave the run analyzable (degrade, not die),
+//! and (c) be bit-for-bit replayable — two same-seed runs produce
+//! byte-identical JSON reports, fault schedule included.
+
+use lumina_core::config::{FaultsSection, FreezeSpec, StallSpec, TestConfig};
+use lumina_core::orchestrator::run_test;
+use lumina_core::TestResults;
+
+fn fig11_with(faults: FaultsSection) -> TestConfig {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/configs/fig11_noisy_neighbor.yaml"
+    );
+    let yaml = std::fs::read_to_string(path).expect("preset exists");
+    let mut cfg = TestConfig::from_yaml(&yaml).unwrap();
+    cfg.faults = Some(faults);
+    cfg.validate().expect("fault section validates");
+    cfg
+}
+
+/// Run twice with the same seed; the reports must match byte for byte.
+fn run_replayed(cfg: &TestConfig) -> (TestResults, serde_json::Value) {
+    let a = run_test(cfg).unwrap();
+    let b = run_test(cfg).unwrap();
+    let ja = a.report_json().unwrap();
+    let jb = b.report_json().unwrap();
+    assert_eq!(
+        serde_json::to_string(&ja).unwrap(),
+        serde_json::to_string(&jb).unwrap(),
+        "same-seed fault runs must replay bit-for-bit"
+    );
+    (a, ja)
+}
+
+#[test]
+fn mirror_loss_degrades_the_trace_deterministically() {
+    let cfg = fig11_with(FaultsSection {
+        mirror_loss_prob: 0.02,
+        ..FaultsSection::default()
+    });
+    let (res, report) = run_replayed(&cfg);
+    let dropped = report["faults"]["mirror_copies_dropped"].as_u64().unwrap();
+    assert!(dropped > 0, "2% loss on a fig11-sized trace must fire");
+    // The trace survives with explicit gaps instead of vanishing.
+    let trace = res.trace.as_ref().expect("partial trace kept");
+    assert!(!trace.is_empty());
+    assert!(!res.integrity.passed());
+    let deg = res.integrity.degraded.as_ref().expect("degraded block");
+    assert!(deg.analyzable_fraction > 0.5 && deg.analyzable_fraction < 1.0);
+    assert!(deg.missing > 0 && !deg.gaps.is_empty());
+    assert!(res.traffic_completed(), "faults hit the mirror path only");
+}
+
+#[test]
+fn mirror_duplication_is_deduped_and_reported() {
+    let cfg = fig11_with(FaultsSection {
+        mirror_dup_prob: 0.02,
+        ..FaultsSection::default()
+    });
+    let (res, report) = run_replayed(&cfg);
+    let duplicated = report["faults"]["mirror_copies_duplicated"]
+        .as_u64()
+        .unwrap();
+    assert!(duplicated > 0);
+    let deg = res.integrity.degraded.as_ref().expect("degraded block");
+    assert_eq!(deg.duplicates, duplicated, "every extra copy deduped");
+    assert_eq!(deg.missing, 0, "duplication alone loses nothing");
+    assert_eq!(deg.analyzable_fraction, 1.0);
+    assert!(res.traffic_completed());
+}
+
+#[test]
+fn capture_bit_rot_is_counted_per_run() {
+    let cfg = fig11_with(FaultsSection {
+        capture_bit_rot_prob: 0.2,
+        ..FaultsSection::default()
+    });
+    let (res, report) = run_replayed(&cfg);
+    let corrupted = report["faults"]["captures_corrupted"].as_u64().unwrap();
+    assert!(corrupted > 0, "20% bit-rot must corrupt some captures");
+    assert_eq!(corrupted, res.captures_corrupted);
+    assert!(res.traffic_completed());
+    assert!(res.trace.is_some(), "flips never discard the whole trace");
+}
+
+#[test]
+fn dumper_stall_inflates_service_and_can_overflow() {
+    let cfg = fig11_with(FaultsSection {
+        dumper_stalls: vec![StallSpec {
+            index: None, // every dumper
+            at_us: 0,
+            duration_us: 200_000,
+            slowdown: 50,
+        }],
+        ..FaultsSection::default()
+    });
+    let (res, report) = run_replayed(&cfg);
+    let stalled = report["faults"]["service_ticks_stalled"].as_u64().unwrap();
+    assert!(stalled > 0, "a 200 ms x50 stall must slow some service ticks");
+    assert_eq!(stalled, res.service_ticks_stalled);
+    assert!(res.traffic_completed(), "stalls never touch the data path");
+}
+
+#[test]
+fn responder_freeze_recovers_through_retransmission() {
+    let cfg = fig11_with(FaultsSection {
+        freezes: vec![FreezeSpec {
+            node: "responder".into(),
+            index: 0,
+            at_us: 50,
+            duration_us: 200,
+        }],
+        ..FaultsSection::default()
+    });
+    let (res, report) = run_replayed(&cfg);
+    let frozen = report["faults"]["frames_dropped_frozen"].as_u64().unwrap();
+    assert!(frozen > 0, "a mid-run freeze must eat in-flight frames");
+    assert!(
+        res.traffic_completed(),
+        "go-back-N must recover the frozen window"
+    );
+}
+
+#[test]
+fn fault_seed_varies_schedule_without_touching_workload() {
+    let mk = |fault_seed| {
+        fig11_with(FaultsSection {
+            seed: Some(fault_seed),
+            mirror_loss_prob: 0.02,
+            ..FaultsSection::default()
+        })
+    };
+    let a = run_test(&mk(1)).unwrap();
+    let b = run_test(&mk(2)).unwrap();
+    // Same workload either way: the engine RNG never sees the fault seed.
+    assert_eq!(a.conns[0].requester.qpn, b.conns[0].requester.qpn);
+    assert!(a.traffic_completed() && b.traffic_completed());
+    // But the fault schedule differs.
+    let (fa, fb) = (a.fault_stats.unwrap(), b.fault_stats.unwrap());
+    assert_ne!(
+        fa.mirror_copies_dropped, fb.mirror_copies_dropped,
+        "different fault seeds should drop different copies"
+    );
+}
+
+#[test]
+fn noop_fault_section_matches_a_pristine_run_byte_for_byte() {
+    let pristine = {
+        let mut cfg = fig11_with(FaultsSection::default());
+        cfg.faults = None;
+        cfg
+    };
+    let noop = fig11_with(FaultsSection::default());
+    let a = run_test(&pristine).unwrap();
+    let b = run_test(&noop).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a.report_json().unwrap()).unwrap(),
+        serde_json::to_string(&b.report_json().unwrap()).unwrap(),
+        "an all-zero faults: section must not perturb the run"
+    );
+    assert!(b.fault_stats.is_none(), "no plane attached for a noop section");
+}

@@ -38,7 +38,7 @@ fn corpus() -> Vec<(String, TestConfig)> {
 
 fn render_report(cfg: &TestConfig, name: &str) -> String {
     let res = run_test(cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
-    let mut s = serde_json::to_string_pretty(&res.report_json()).unwrap();
+    let mut s = serde_json::to_string_pretty(&res.report_json().unwrap()).unwrap();
     s.push('\n');
     s
 }
@@ -122,7 +122,7 @@ fn frame_plane_counters_stay_out_of_the_report() {
     // invalidate every golden.
     let (name, cfg) = corpus().swap_remove(0);
     let res = run_test(&cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
-    let s = serde_json::to_string(&res.report_json()).unwrap();
+    let s = serde_json::to_string(&res.report_json().unwrap()).unwrap();
     assert!(!s.contains("\"frames\":"), "{name}: report gained a frames section");
     // ...while the counters themselves are live: a real run shares
     // buffers across hops instead of copying them.

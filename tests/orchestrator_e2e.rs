@@ -74,7 +74,7 @@ fn table1_results_all_collected() {
         .sum();
     assert_eq!(mirrored_ports, res.switch_counters.mirrored_total);
     // JSON report round-trips.
-    let report = res.report_json();
+    let report = res.report_json().unwrap();
     assert_eq!(report["integrity_passed"], true);
     assert_eq!(report["events_fired"], 1);
 }
@@ -216,8 +216,8 @@ fn telemetry_journal_identical_across_same_seed_runs() {
         serde_json::to_string(&b.telemetry.deterministic_snapshot()).unwrap()
     );
     assert_eq!(
-        serde_json::to_string(&a.report_json()).unwrap(),
-        serde_json::to_string(&b.report_json()).unwrap()
+        serde_json::to_string(&a.report_json().unwrap()).unwrap(),
+        serde_json::to_string(&b.report_json().unwrap()).unwrap()
     );
 }
 
