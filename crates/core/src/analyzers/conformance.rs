@@ -1,0 +1,797 @@
+//! Spec-conformance oracle: an RC-transport reference FSM replayed over
+//! the reconstructed trace.
+//!
+//! Where the other analyzers measure a *well-behaved* device (timing,
+//! counters, Go-back-N shape), this one assumes nothing: it replays the
+//! IB-specification rules packet by packet and emits a typed
+//! [`Violation`] for every departure, classified into a Table-2-style
+//! taxonomy (the paper's bug families: packet acknowledgment, congestion
+//! notification, retransmission logic, data integrity).
+//!
+//! The oracle is built for hostile input:
+//!
+//! * **panic-free** — no unwrap/expect/indexing on trace-derived data;
+//!   anything unparseable or ambiguous is skipped and counted;
+//! * **memory-bounded** — per-connection state is capped
+//!   ([`MAX_PENDING_ACKS`], [`MAX_LOSS_RECORDS`]) and the violation list
+//!   truncates at [`MAX_VIOLATIONS`];
+//! * **partial on degraded evidence** — when the trace itself is
+//!   untrustworthy (mirror loss, displaced packets, receiver-side ICRC
+//!   drops invisible to the mirror), the affected checks are skipped and
+//!   the report says so instead of guessing.
+
+use crate::orchestrator::TestResults;
+use crate::translate::ConnMeta;
+use lumina_dumper::Trace;
+use lumina_packet::bth::{psn_add, psn_distance};
+use lumina_packet::opcode::Opcode;
+use lumina_switch::events::EventType;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, VecDeque};
+use std::net::Ipv4Addr;
+
+/// Hard cap on reported violations; the rest are counted via
+/// [`ConformanceReport::truncated`].
+pub const MAX_VIOLATIONS: usize = 64;
+/// Per-connection cap on outstanding ACK-due bookkeeping.
+pub const MAX_PENDING_ACKS: usize = 64;
+/// Per-connection cap on recorded injected-loss PSNs.
+pub const MAX_LOSS_RECORDS: usize = 256;
+
+/// The taxonomy of spec departures the oracle can prove from a trace,
+/// mirroring the bug families of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum ViolationClass {
+    /// An ACK acknowledged a PSN the sender never transmitted.
+    AckPsnInvalid,
+    /// Delivered data was retransmitted with no visible acknowledgment —
+    /// the device swallowed an ACK it owed.
+    UnackedDelivery,
+    /// One ACK covered multiple ACK-due boundaries: mandatory per-message
+    /// acknowledgments were withheld and folded together.
+    AckCoalescing,
+    /// CE-marked traffic arrived at an enabled notification point and no
+    /// CNP ever left it.
+    MissingCnp,
+    /// CNPs on the wire with zero CE marks behind them.
+    SpuriousCnp,
+    /// A retransmission round with no loss, NACK or re-request to
+    /// justify it.
+    SpuriousRetransmit,
+    /// An AETH MSN regressed: the responder un-completed a message.
+    MsnRegression,
+    /// A sequence-error NACK named a PSN other than the receiver's
+    /// expected one (e.g. the Go-back-N off-by-one).
+    NackPsnMismatch,
+    /// The receiver counted more ICRC drops than the wire can explain:
+    /// the sender computes ICRC wrong.
+    IcrcMiscompute,
+}
+
+impl ViolationClass {
+    /// Stable kebab-case label (matches the serde encoding).
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationClass::AckPsnInvalid => "ack-psn-invalid",
+            ViolationClass::UnackedDelivery => "unacked-delivery",
+            ViolationClass::AckCoalescing => "ack-coalescing",
+            ViolationClass::MissingCnp => "missing-cnp",
+            ViolationClass::SpuriousCnp => "spurious-cnp",
+            ViolationClass::SpuriousRetransmit => "spurious-retransmit",
+            ViolationClass::MsnRegression => "msn-regression",
+            ViolationClass::NackPsnMismatch => "nack-psn-mismatch",
+            ViolationClass::IcrcMiscompute => "icrc-miscompute",
+        }
+    }
+
+    /// The paper's Table-2 bug family this violation belongs to.
+    pub fn table2_class(self) -> &'static str {
+        match self {
+            ViolationClass::AckPsnInvalid
+            | ViolationClass::UnackedDelivery
+            | ViolationClass::AckCoalescing
+            | ViolationClass::MsnRegression => "packet acknowledgment",
+            ViolationClass::MissingCnp | ViolationClass::SpuriousCnp => {
+                "congestion notification"
+            }
+            ViolationClass::SpuriousRetransmit | ViolationClass::NackPsnMismatch => {
+                "retransmission logic"
+            }
+            ViolationClass::IcrcMiscompute => "data integrity",
+        }
+    }
+}
+
+/// One proven spec departure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Taxonomy class.
+    pub class: ViolationClass,
+    /// 1-based connection index, when attributable to one connection.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub conn: Option<u32>,
+    /// Wire PSN at the violation, when one is meaningful.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub psn: Option<u32>,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// The oracle's verdict over one trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConformanceReport {
+    /// True when no violation was proven (says nothing about skipped
+    /// checks — see `partial`).
+    pub compliant: bool,
+    /// Proven violations, capped at [`MAX_VIOLATIONS`].
+    pub violations: Vec<Violation>,
+    /// More violations existed than the cap allows.
+    pub truncated: bool,
+    /// Connections fully replayed.
+    pub checked_conns: u32,
+    /// Connections skipped because delay/reorder injection makes the
+    /// mirror order diverge from arrival order.
+    pub skipped_displaced: u32,
+    /// Trace entries examined.
+    pub packets_checked: u64,
+    /// Some checks were skipped (degraded trace, state caps hit,
+    /// receiver-side ICRC drops): absence of violations is not proof of
+    /// conformance.
+    pub partial: bool,
+}
+
+impl ConformanceReport {
+    fn push(&mut self, v: Violation) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(v);
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    /// Violation count per class label, for summaries.
+    pub fn class_counts(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for v in &self.violations {
+            let label = v.class.label();
+            match counts.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((label, 1)),
+            }
+        }
+        counts
+    }
+}
+
+/// Everything the oracle needs to know beyond the trace itself.
+#[derive(Debug, Clone, Default)]
+pub struct ConformanceOpts {
+    /// DCQCN notification point enabled on the requester NIC.
+    pub np_enabled_requester: bool,
+    /// DCQCN notification point enabled on the responder NIC.
+    pub np_enabled_responder: bool,
+    /// Path MTU, for sizing read-request PSN ranges.
+    pub mtu: u32,
+    /// Receiver-side ICRC drops (both hosts). These losses are invisible
+    /// to the mirror, so retransmission-justification checks are
+    /// disabled when nonzero.
+    pub rx_icrc_errors: u64,
+    /// The trace failed its integrity check: report what is provable but
+    /// mark the result partial and skip loss-sensitive checks.
+    pub degraded: bool,
+}
+
+impl ConformanceOpts {
+    /// Derive the oracle inputs from a finished run.
+    pub fn from_results(res: &TestResults) -> ConformanceOpts {
+        ConformanceOpts {
+            np_enabled_requester: res.cfg.requester.dcqcn_np_enable,
+            np_enabled_responder: res.cfg.responder.dcqcn_np_enable,
+            mtu: res.cfg.traffic.mtu,
+            rx_icrc_errors: res.requester_counters.rx_icrc_errors
+                + res.responder_counters.rx_icrc_errors,
+            degraded: !res.integrity.passed(),
+        }
+    }
+}
+
+/// Per-connection replay state for the reference FSM.
+#[derive(Default)]
+struct ConnState {
+    /// Receiver's expected PSN.
+    expected: u32,
+    /// Highest data PSN seen on the wire (sender frontier).
+    max_sent: Option<u32>,
+    /// PSN of the immediately preceding data packet on the wire; a
+    /// non-increasing step marks a new transmission round.
+    prev_data: Option<u32>,
+    /// Last data PSN the receiver accepted.
+    last_delivered: Option<u32>,
+    /// Highest positive-ACK PSN seen.
+    last_ack: Option<u32>,
+    /// Highest AETH MSN seen.
+    last_msn: Option<u32>,
+    /// PSN of the last sequence-error NACK, consumed at round start.
+    last_nack: Option<u32>,
+    /// PSN of the last re-issued read request, consumed at round start.
+    pending_reread: Option<u32>,
+    /// PSNs at which an ACK became due (message boundaries delivered).
+    pending_acks: VecDeque<u32>,
+    /// The pending-ACK queue overflowed; coalescing checks are void.
+    pending_overflow: bool,
+    /// Injected-loss PSNs recorded from mirror events.
+    loss_psns: Vec<u32>,
+    /// The loss record overflowed; justification checks are void.
+    loss_overflow: bool,
+    /// One past the highest response PSN any read request asked for.
+    read_frontier: Option<u32>,
+}
+
+/// Replay the RC reference FSM over a trace and report every departure.
+///
+/// Never panics and never allocates beyond the documented caps,
+/// whatever the trace contains.
+pub fn analyze(trace: &Trace, conns: &[ConnMeta], opts: &ConformanceOpts) -> ConformanceReport {
+    let mut report = ConformanceReport {
+        compliant: true,
+        partial: opts.degraded,
+        ..Default::default()
+    };
+    report.packets_checked = trace.len() as u64;
+
+    for meta in conns {
+        analyze_conn(trace, meta, opts, &mut report);
+    }
+    analyze_global(trace, conns, opts, &mut report);
+
+    report.compliant = report.violations.is_empty();
+    report
+}
+
+fn analyze_conn(
+    trace: &Trace,
+    meta: &ConnMeta,
+    opts: &ConformanceOpts,
+    report: &mut ConformanceReport,
+) {
+    let data_key = meta.data_conn_key();
+    let is_read = meta.verb.data_from_responder();
+    let reverse_qpn = if is_read {
+        meta.responder.qpn
+    } else {
+        meta.requester.qpn
+    };
+
+    // Displacement in either direction makes mirror order diverge from
+    // arrival order: the FSM cannot be replayed for this connection.
+    let displaced = trace.iter().any(|e| {
+        matches!(e.event, EventType::Delay | EventType::Reorder)
+            && ((e.frame.ipv4.src == data_key.src_ip
+                && e.frame.ipv4.dst == data_key.dst_ip
+                && e.frame.bth.dest_qp == data_key.dst_qpn)
+                || (e.frame.ipv4.src == data_key.dst_ip
+                    && e.frame.ipv4.dst == data_key.src_ip
+                    && e.frame.bth.dest_qp == reverse_qpn))
+    });
+    if displaced {
+        report.skipped_displaced += 1;
+        report.partial = true;
+        return;
+    }
+    report.checked_conns += 1;
+
+    let mut st = ConnState {
+        expected: meta.data_psn(1),
+        ..Default::default()
+    };
+
+    for e in trace.iter() {
+        let f = &e.frame;
+        let is_data_of_conn = f.ipv4.src == data_key.src_ip
+            && f.ipv4.dst == data_key.dst_ip
+            && f.bth.dest_qp == data_key.dst_qpn
+            && f.bth.opcode.is_data()
+            && (is_read == f.bth.opcode.is_read_response());
+        let is_reverse_of_conn = f.ipv4.src == data_key.dst_ip
+            && f.ipv4.dst == data_key.src_ip
+            && f.bth.dest_qp == reverse_qpn;
+
+        if is_data_of_conn {
+            data_packet(e.event, f, meta, opts, &mut st, report);
+        } else if is_reverse_of_conn {
+            reverse_packet(f, meta, opts, &mut st, report);
+        }
+    }
+    if st.pending_overflow || st.loss_overflow {
+        report.partial = true;
+    }
+}
+
+/// A data packet of the connection (write/send data, or read responses).
+fn data_packet(
+    event: EventType,
+    f: &lumina_packet::RoceFrame,
+    meta: &ConnMeta,
+    opts: &ConformanceOpts,
+    st: &mut ConnState,
+    report: &mut ConformanceReport,
+) {
+    let psn = f.bth.psn;
+    let is_read = meta.verb.data_from_responder();
+    let lost = matches!(event, EventType::Drop | EventType::Corrupt);
+    if lost {
+        if st.loss_psns.len() < MAX_LOSS_RECORDS {
+            st.loss_psns.push(psn);
+        } else {
+            st.loss_overflow = true;
+        }
+    }
+
+    // ---- Sender view: retransmission-round justification ----
+    // Round detection keys on the *previous* wire PSN, not the frontier:
+    // packets 6..10 of a round that resumed at 5 are continuations, not
+    // five more rounds.
+    if let Some(prev) = st.prev_data {
+        if psn_distance(prev, psn) <= 0 && st.max_sent.is_some() {
+            // A new round started at `psn`. Something must justify it:
+            // a NACK, a re-issued read request, or a recorded loss at or
+            // after the resume point (timeout rounds restart at the
+            // oldest unacknowledged PSN, which is ≤ the lost one).
+            let nack = st.last_nack.take();
+            let reread = st.pending_reread.take();
+            let justified_by_loss = st
+                .loss_psns
+                .iter()
+                .any(|&l| psn_distance(psn, l) >= 0);
+            // A NACK's resume-point correctness is the Go-back-N
+            // analyzer's job; here any NACK/re-request justifies a round.
+            let justified = nack.is_some() || reread.is_some() || justified_by_loss;
+            // Receiver-side ICRC drops and degraded mirrors hide real
+            // losses: skip rather than guess.
+            let evidence_ok =
+                opts.rx_icrc_errors == 0 && !st.loss_overflow && !opts.degraded;
+            if evidence_ok && !justified {
+                let already_acked = st
+                    .last_ack
+                    .is_some_and(|a| psn_distance(psn, a) >= 0);
+                if is_read || already_acked {
+                    report.push(Violation {
+                        class: ViolationClass::SpuriousRetransmit,
+                        conn: Some(meta.index),
+                        psn: Some(psn),
+                        detail: format!(
+                            "conn {}: retransmission round at PSN {psn} with no loss, NACK or re-request behind it",
+                            meta.index
+                        ),
+                    });
+                } else {
+                    report.push(Violation {
+                        class: ViolationClass::UnackedDelivery,
+                        conn: Some(meta.index),
+                        psn: Some(psn),
+                        detail: format!(
+                            "conn {}: delivered data retransmitted from PSN {psn} without a visible ACK — the responder swallowed an acknowledgment",
+                            meta.index
+                        ),
+                    });
+                }
+            } else if opts.rx_icrc_errors > 0 {
+                report.partial = true;
+            }
+        }
+    }
+    st.prev_data = Some(psn);
+    if st.max_sent.is_none_or(|m| psn_distance(m, psn) > 0) {
+        st.max_sent = Some(psn);
+    }
+
+    // ---- Read responses carry AETH on last/only: track MSN there ----
+    if let Some(aeth) = f.ext.aeth {
+        track_msn(aeth.msn, psn, meta, st, report, opts);
+    }
+
+    // ---- Receiver view ----
+    if !lost {
+        st.last_delivered = Some(psn);
+        let d = psn_distance(st.expected, psn);
+        if d == 0 {
+            st.expected = psn_add(psn, 1);
+            // A write/send message boundary that arrives in order owes
+            // the sender an ACK.
+            if !is_read && (f.bth.ack_req || f.bth.opcode.is_last()) {
+                if st.pending_acks.len() < MAX_PENDING_ACKS {
+                    st.pending_acks.push_back(psn);
+                } else {
+                    st.pending_overflow = true;
+                }
+            }
+        }
+        // d > 0: out-of-sequence gap; d < 0: stale duplicate. Neither
+        // moves the expected pointer.
+    }
+}
+
+/// A packet flowing against the data direction: ACK/NACK for write/send,
+/// (re-)issued read requests for read.
+fn reverse_packet(
+    f: &lumina_packet::RoceFrame,
+    meta: &ConnMeta,
+    opts: &ConformanceOpts,
+    st: &mut ConnState,
+    report: &mut ConformanceReport,
+) {
+    let psn = f.bth.psn;
+    let is_read = meta.verb.data_from_responder();
+
+    if !is_read && f.bth.opcode == Opcode::Acknowledge {
+        let Some(aeth) = f.ext.aeth else {
+            // An ACK without an AETH is unparseable evidence; skip it.
+            report.partial = true;
+            return;
+        };
+        if aeth.syndrome.is_seq_err_nak() {
+            if psn_distance(st.expected, psn) != 0 && !opts.degraded {
+                report.push(Violation {
+                    class: ViolationClass::NackPsnMismatch,
+                    conn: Some(meta.index),
+                    psn: Some(psn),
+                    detail: format!(
+                        "conn {}: sequence-error NACK names PSN {psn} but the receiver expects {}",
+                        meta.index, st.expected
+                    ),
+                });
+            }
+            st.last_nack = Some(psn);
+            track_msn(aeth.msn, psn, meta, st, report, opts);
+        } else if aeth.syndrome.is_nak() {
+            // Other NAK codes are out of the oracle's scope.
+        } else {
+            // Positive ACK.
+            let beyond_sent = match st.max_sent {
+                Some(m) => psn_distance(m, psn) > 0,
+                None => true,
+            };
+            if beyond_sent && !opts.degraded {
+                report.push(Violation {
+                    class: ViolationClass::AckPsnInvalid,
+                    conn: Some(meta.index),
+                    psn: Some(psn),
+                    detail: format!(
+                        "conn {}: ACK acknowledges PSN {psn} but the sender frontier is {}",
+                        meta.index,
+                        st.max_sent
+                            .map_or("unset".to_string(), |m| m.to_string()),
+                    ),
+                });
+            }
+            track_msn(aeth.msn, psn, meta, st, report, opts);
+            // Every ACK-due boundary at or below this ACK's PSN is
+            // covered by it; a compliant responder acknowledges each
+            // boundary individually.
+            let mut covered = 0usize;
+            while let Some(&front) = st.pending_acks.front() {
+                if psn_distance(front, psn) >= 0 {
+                    st.pending_acks.pop_front();
+                    covered += 1;
+                } else {
+                    break;
+                }
+            }
+            if covered > 1 && !st.pending_overflow && !opts.degraded {
+                report.push(Violation {
+                    class: ViolationClass::AckCoalescing,
+                    conn: Some(meta.index),
+                    psn: Some(psn),
+                    detail: format!(
+                        "conn {}: one ACK (PSN {psn}) covered {covered} ACK-due message boundaries",
+                        meta.index
+                    ),
+                });
+            }
+            if st.last_ack.is_none_or(|a| psn_distance(a, psn) > 0) {
+                st.last_ack = Some(psn);
+            }
+        }
+    } else if is_read && f.bth.opcode == Opcode::RdmaReadRequest {
+        // Response PSN range this request claims.
+        let npkts = f
+            .ext
+            .reth
+            .map_or(1, |r| r.dma_len.div_ceil(opts.mtu.max(1)).max(1));
+        if let Some(fr) = st.read_frontier {
+            if psn_distance(fr, psn) < 0 {
+                // Asks for PSNs already requested: a re-issued request,
+                // the read-side NACK.
+                st.pending_reread = Some(psn);
+            }
+        }
+        let end = psn_add(psn, npkts);
+        if st
+            .read_frontier
+            .is_none_or(|fr| psn_distance(fr, end) > 0)
+        {
+            st.read_frontier = Some(end);
+        }
+    }
+}
+
+/// Track the AETH MSN of a connection and flag regressions.
+fn track_msn(
+    msn: u32,
+    psn: u32,
+    meta: &ConnMeta,
+    st: &mut ConnState,
+    report: &mut ConformanceReport,
+    opts: &ConformanceOpts,
+) {
+    if let Some(prev) = st.last_msn {
+        if psn_distance(prev, msn) < 0 && !opts.degraded {
+            report.push(Violation {
+                class: ViolationClass::MsnRegression,
+                conn: Some(meta.index),
+                psn: Some(psn),
+                detail: format!(
+                    "conn {}: AETH MSN regressed from {prev} to {msn} (PSN {psn}) — the responder un-completed a message",
+                    meta.index
+                ),
+            });
+        }
+    }
+    if st.last_msn.is_none_or(|p| psn_distance(p, msn) > 0) {
+        st.last_msn = Some(msn);
+    }
+}
+
+/// Whole-trace checks that cannot be attributed to one connection:
+/// congestion-notification accounting and ICRC bookkeeping. CNPs are
+/// rate-limited per NIC (per-IP/per-QP/per-port by vendor), so the sound
+/// per-direction claims are "CE arrived, NP enabled, zero CNPs ever" and
+/// "CNPs without any CE" — the first CNP always passes every limiter.
+fn analyze_global(
+    trace: &Trace,
+    conns: &[ConnMeta],
+    opts: &ConformanceOpts,
+    report: &mut ConformanceReport,
+) {
+    let req_ips: BTreeSet<Ipv4Addr> = conns.iter().map(|c| c.requester.ip).collect();
+    let rsp_ips: BTreeSet<Ipv4Addr> = conns.iter().map(|c| c.responder.ip).collect();
+
+    let mut ce_toward_req = 0u64;
+    let mut ce_toward_rsp = 0u64;
+    let mut cnps_from_req = 0u64;
+    let mut cnps_from_rsp = 0u64;
+    let mut corrupt_events = 0u64;
+
+    for e in trace.iter() {
+        let f = &e.frame;
+        if e.event == EventType::Ecn {
+            if rsp_ips.contains(&f.ipv4.dst) {
+                ce_toward_rsp += 1;
+            } else if req_ips.contains(&f.ipv4.dst) {
+                ce_toward_req += 1;
+            }
+        }
+        if e.event == EventType::Corrupt {
+            corrupt_events += 1;
+        }
+        if f.bth.opcode == Opcode::Cnp {
+            if rsp_ips.contains(&f.ipv4.src) {
+                cnps_from_rsp += 1;
+            } else if req_ips.contains(&f.ipv4.src) {
+                cnps_from_req += 1;
+            }
+        }
+    }
+
+    if !opts.degraded {
+        for (side, ce, cnps, np) in [
+            (
+                "responder",
+                ce_toward_rsp,
+                cnps_from_rsp,
+                opts.np_enabled_responder,
+            ),
+            (
+                "requester",
+                ce_toward_req,
+                cnps_from_req,
+                opts.np_enabled_requester,
+            ),
+        ] {
+            if ce > 0 && np && cnps == 0 {
+                report.push(Violation {
+                    class: ViolationClass::MissingCnp,
+                    conn: None,
+                    psn: None,
+                    detail: format!(
+                        "{ce} CE-marked packets reached the {side} (NP enabled) and it never sent a CNP"
+                    ),
+                });
+            }
+            if cnps > 0 && ce == 0 {
+                report.push(Violation {
+                    class: ViolationClass::SpuriousCnp,
+                    conn: None,
+                    psn: None,
+                    detail: format!(
+                        "the {side} sent {cnps} CNPs with zero CE marks behind them"
+                    ),
+                });
+            }
+        }
+        if opts.rx_icrc_errors > corrupt_events {
+            report.push(Violation {
+                class: ViolationClass::IcrcMiscompute,
+                conn: None,
+                psn: None,
+                detail: format!(
+                    "receivers dropped {} frames on ICRC but the wire only explains {corrupt_events} — the sender computes ICRC wrong",
+                    opts.rx_icrc_errors
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TestConfig;
+    use crate::orchestrator::run_test;
+    use lumina_dumper::Trace;
+
+    fn run_yaml(yaml: &str) -> (ConformanceReport, crate::orchestrator::TestResults) {
+        let cfg = TestConfig::from_yaml(yaml).unwrap();
+        let res = run_test(&cfg).unwrap();
+        let opts = ConformanceOpts::from_results(&res);
+        let rep = analyze(res.trace.as_ref().unwrap(), &res.conns, &opts);
+        (rep, res)
+    }
+
+    #[test]
+    fn empty_trace_is_compliant_and_partial_free() {
+        let rep = analyze(&Trace::default(), &[], &ConformanceOpts::default());
+        assert!(rep.compliant);
+        assert!(!rep.partial);
+        assert_eq!(rep.packets_checked, 0);
+    }
+
+    #[test]
+    fn clean_write_run_is_compliant() {
+        let (rep, _) = run_yaml(
+            r#"
+requester: { nic-type: cx5 }
+responder: { nic-type: cx5 }
+traffic:
+  num-connections: 2
+  rdma-verb: write
+  num-msgs-per-qp: 3
+  mtu: 1024
+  message-size: 10240
+"#,
+        );
+        assert!(rep.compliant, "{:?}", rep.violations);
+        assert_eq!(rep.checked_conns, 2);
+        assert!(rep.packets_checked > 0);
+    }
+
+    #[test]
+    fn injected_drop_recovery_is_compliant() {
+        let (rep, _) = run_yaml(
+            r#"
+requester: { nic-type: cx5 }
+responder: { nic-type: cx5 }
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 3
+  mtu: 1024
+  message-size: 10240
+  data-pkt-events:
+    - {qpn: 1, psn: 5, type: drop, iter: 1}
+"#,
+        );
+        assert!(rep.compliant, "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn read_recovery_is_compliant() {
+        let (rep, _) = run_yaml(
+            r#"
+requester: { nic-type: cx6 }
+responder: { nic-type: cx6 }
+traffic:
+  num-connections: 1
+  rdma-verb: read
+  num-msgs-per-qp: 2
+  mtu: 1024
+  message-size: 10240
+  data-pkt-events:
+    - {qpn: 1, psn: 4, type: drop, iter: 1}
+"#,
+        );
+        assert!(rep.compliant, "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn displaced_conns_are_skipped_not_judged() {
+        let (rep, _) = run_yaml(
+            r#"
+requester: { nic-type: cx5 }
+responder: { nic-type: cx5 }
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 3
+  mtu: 1024
+  message-size: 10240
+  data-pkt-events:
+    - {qpn: 1, psn: 5, type: delay, delay-us: 100, iter: 1}
+"#,
+        );
+        assert!(rep.compliant, "{:?}", rep.violations);
+        assert_eq!(rep.skipped_displaced, 1);
+        assert_eq!(rep.checked_conns, 0);
+        assert!(rep.partial, "skipping a conn must mark the report partial");
+    }
+
+    #[test]
+    fn ecn_marked_run_with_np_is_compliant() {
+        let (rep, _) = run_yaml(
+            r#"
+requester:
+  nic-type: cx5
+  dcqcn-rp-enable: true
+responder:
+  nic-type: cx5
+  dcqcn-np-enable: true
+  min-time-between-cnps-us: 4
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 5
+  mtu: 1024
+  message-size: 10240
+  tx-depth: 2
+  data-pkt-events:
+    - {qpn: 1, psn: 1, type: ecn, iter: 1, every: 1}
+"#,
+        );
+        assert!(rep.compliant, "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn class_taxonomy_is_stable() {
+        for (class, family) in [
+            (ViolationClass::AckPsnInvalid, "packet acknowledgment"),
+            (ViolationClass::UnackedDelivery, "packet acknowledgment"),
+            (ViolationClass::AckCoalescing, "packet acknowledgment"),
+            (ViolationClass::MsnRegression, "packet acknowledgment"),
+            (ViolationClass::MissingCnp, "congestion notification"),
+            (ViolationClass::SpuriousCnp, "congestion notification"),
+            (ViolationClass::SpuriousRetransmit, "retransmission logic"),
+            (ViolationClass::NackPsnMismatch, "retransmission logic"),
+            (ViolationClass::IcrcMiscompute, "data integrity"),
+        ] {
+            assert_eq!(class.table2_class(), family);
+            let json = serde_json::to_string(&class).unwrap();
+            assert_eq!(json.trim_matches('"'), class.label());
+        }
+    }
+
+    #[test]
+    fn violation_list_is_capped() {
+        let mut rep = ConformanceReport::default();
+        for i in 0..(MAX_VIOLATIONS + 10) {
+            rep.push(Violation {
+                class: ViolationClass::AckPsnInvalid,
+                conn: Some(1),
+                psn: Some(i as u32),
+                detail: String::new(),
+            });
+        }
+        assert_eq!(rep.violations.len(), MAX_VIOLATIONS);
+        assert!(rep.truncated);
+    }
+}

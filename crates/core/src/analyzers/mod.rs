@@ -1,11 +1,13 @@
 //! The test suite (§4): built-in analyzers over reconstructed traces.
 
 pub mod cnp;
+pub mod conformance;
 pub mod counter;
 pub mod gbn_fsm;
 pub mod retrans_perf;
 
 pub use cnp::CnpReport;
+pub use conformance::{ConformanceOpts, ConformanceReport, Violation, ViolationClass};
 pub use counter::CounterFinding;
 pub use gbn_fsm::GbnReport;
 pub use retrans_perf::{RetransBreakdown, RetransKind};

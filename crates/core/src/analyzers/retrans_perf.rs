@@ -97,11 +97,17 @@ fn analyze_conn(trace: &Trace, meta: &ConnMeta, out: &mut Vec<RetransBreakdown>)
         .collect();
 
     for di in drops {
-        let dropped = &trace.entries[di];
+        // `drops` indexes into the same trace, but stay total anyway: a
+        // hostile or truncated trace must degrade to fewer breakdowns,
+        // never to a panic.
+        let Some(dropped) = trace.entries.get(di) else {
+            continue;
+        };
+        let after = trace.entries.get(di + 1..).unwrap_or_default();
         let psn = dropped.frame.bth.psn;
         // The out-of-order trigger: the next delivered data packet with a
         // higher PSN.
-        let t_ooo = trace.entries[di + 1..]
+        let t_ooo = after
             .iter()
             .find(|e| {
                 is_data(&e.frame)
@@ -116,7 +122,7 @@ fn analyze_conn(trace: &Trace, meta: &ConnMeta, out: &mut Vec<RetransBreakdown>)
         } else {
             meta.requester.qpn
         };
-        let t_nack = trace.entries[di + 1..].iter().find_map(|e| {
+        let t_nack = after.iter().find_map(|e| {
             let f = &e.frame;
             let reverse = f.ipv4.src == key.dst_ip
                 && f.ipv4.dst == key.src_ip
@@ -137,7 +143,7 @@ fn analyze_conn(trace: &Trace, meta: &ConnMeta, out: &mut Vec<RetransBreakdown>)
             hit.then_some(e.timestamp)
         });
         // The retransmission: the same PSN reappearing on the data path.
-        let Some(retx) = trace.entries[di + 1..]
+        let Some(retx) = after
             .iter()
             .find(|e| is_data(&e.frame) && e.frame.bth.psn == psn)
         else {

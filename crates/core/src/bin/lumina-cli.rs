@@ -28,9 +28,9 @@
 //! Exit codes follow [`lumina_core::Error::exit_code`]: 0 success, 1 test
 //! ran but failed (integrity or incomplete traffic), 2 configuration,
 //! 3 I/O, 4 translation, 5 engine, 6 reconstruction, 7 watchdog,
-//! 8 internal.
+//! 8 internal, 9 spec-conformance violations proven by the oracle.
 
-use lumina_core::analyzers::{cnp, counter, gbn_fsm, retrans_perf};
+use lumina_core::analyzers::{cnp, conformance, counter, gbn_fsm, retrans_perf};
 use lumina_core::cli::{self, CommonOpts};
 use lumina_core::config::TestConfig;
 use lumina_core::fuzz::{self, mutate::EventMutator, score, FuzzParams};
@@ -180,9 +180,10 @@ fn fuzz_cmd(args: &[String]) -> ExitCode {
         match cli::flag_value(args, "--score") {
             None | Some("default") => score::default_score,
             Some("noisy") => score::noisy_neighbor_score,
+            Some("violations") => score::violation_score,
             Some(other) => {
                 return fail(Error::config(format!(
-                    "unknown --score {other:?} (want default|noisy)"
+                    "unknown --score {other:?} (want default|noisy|violations)"
                 )))
             }
         };
@@ -299,6 +300,15 @@ fn run_cmd(args: &[String]) -> ExitCode {
         Err(e) => return fail(e),
     };
 
+    // Grade every run that produced a trace against the RC reference FSM.
+    // Quirk-injected runs already carry the verdict from the orchestrator.
+    let conformance_rep = results.conformance.clone().or_else(|| {
+        results.trace.as_ref().map(|trace| {
+            let c_opts = conformance::ConformanceOpts::from_results(&results);
+            conformance::analyze(trace, &results.conns, &c_opts)
+        })
+    });
+
     if let (Some(out), Some(trace)) = (&pcap_path, results.trace.as_ref()) {
         match std::fs::File::create(out) {
             Ok(f) => match trace.write_pcap(f) {
@@ -337,6 +347,14 @@ fn run_cmd(args: &[String]) -> ExitCode {
         }
         report["counter_findings"] =
             serde_json::to_value(counter::analyze(&results)).unwrap();
+        if report.get("conformance").is_none() {
+            if let Some(conf) = &conformance_rep {
+                report["conformance"] = serde_json::to_value(conf).unwrap();
+            }
+        }
+        if let Some(qs) = &results.quirk_stats {
+            report["quirks"] = serde_json::to_value(qs).unwrap();
+        }
         println!("{}", serde_json::to_string_pretty(&report).unwrap());
     } else {
         println!("test            : {}", opts.config_path);
@@ -389,6 +407,30 @@ fn run_cmd(args: &[String]) -> ExitCode {
         for f in counter::analyze(&results) {
             println!("counter finding : {} {} — {}", f.host, f.counter, f.detail);
         }
+        if let Some(conf) = &conformance_rep {
+            let verdict = if conf.compliant && !conf.partial {
+                "compliant".to_string()
+            } else if conf.compliant {
+                "compliant (partial evidence)".to_string()
+            } else {
+                let classes: Vec<String> = conf
+                    .class_counts()
+                    .iter()
+                    .map(|(label, n)| format!("{n} {label}"))
+                    .collect();
+                format!("VIOLATIONS ({})", classes.join(", "))
+            };
+            println!("conformance     : {verdict}");
+            for v in &conf.violations {
+                println!("  !! [{}] {}", v.class.table2_class(), v.detail);
+            }
+            if conf.truncated {
+                println!("  !! violation list truncated at {}", conf.violations.len());
+            }
+        }
+        if let Some(qs) = &results.quirk_stats {
+            println!("quirks injected : {} misbehaviors fired", qs.total());
+        }
         for c in &results.conns {
             let fm = &results.requester_metrics.flows[&c.requester.qpn];
             println!(
@@ -404,7 +446,19 @@ fn run_cmd(args: &[String]) -> ExitCode {
 
     let ok = results.traffic_completed()
         && (results.trace.is_none() || results.integrity.passed());
+    // A healthy run with proven spec violations is its own failure class:
+    // deterministic (same seed, same verdict), distinct from flaky infra.
     if ok {
+        if let Some(conf) = &conformance_rep {
+            if !conf.compliant {
+                let classes: Vec<String> = conf
+                    .class_counts()
+                    .iter()
+                    .map(|(label, n)| format!("{n} {label}"))
+                    .collect();
+                return fail(Error::Violations(classes.join(", ")));
+            }
+        }
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

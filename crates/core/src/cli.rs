@@ -18,7 +18,7 @@
 //!   distinct exit codes via [`Error::exit_code`].
 //! * [`HELP`] is the single `--help` text and covers all subcommands.
 
-use crate::config::{FaultsSection, TestConfig};
+use crate::config::{FaultsSection, QuirksSection, TestConfig};
 use crate::error::Error;
 use serde::Deserialize;
 
@@ -45,8 +45,13 @@ RUN OPTIONS:
     --pcap <out>      also write the reconstructed trace as pcap
     --faults <path>   merge a fault-injection YAML (a bare `faults:`
                       section) into the test configuration
+    --quirks <path>   merge a DUT-misbehavior YAML (a bare `quirks:`
+                      section); the conformance oracle grades the result
     --retries <n>     retry watchdog/I-O-classified failures up to n extra
                       times with backoff (default 0: fail fast)
+
+    Every run with a trace is graded by the spec-conformance oracle;
+    proven violations exit 9 (reproducible — same seed, same verdict).
 
 TELEMETRY:
     Prints the structured event journal (JSONL) then the per-node metric
@@ -59,7 +64,7 @@ FUZZ OPTIONS:
     --batch <n>       candidates per generation
     --pool <n>        survivor pool size
     --threshold <t>   anomaly score threshold
-    --score <name>    scoring function: default | noisy
+    --score <name>    scoring function: default | noisy | violations
     --events-only     mutate only the event list
     (--seed seeds the campaign's mutation PRNG)
 
@@ -67,7 +72,7 @@ EXIT CODES:
     0  success          1  test ran but failed
     2  bad config       3  I/O error
     4  translation      5  engine          6  reconstruction
-    7  watchdog         8  internal
+    7  watchdog         8  internal        9  violations
 ";
 
 /// Value following `--flag`, if present.
@@ -108,7 +113,7 @@ pub fn opt_numeric_flag<T: std::str::FromStr>(
 }
 
 /// Flags whose value must not be mistaken for the positional config path.
-const VALUED_FLAGS: [&str; 11] = [
+const VALUED_FLAGS: [&str; 12] = [
     "--config",
     "--seed",
     "--pcap",
@@ -119,6 +124,7 @@ const VALUED_FLAGS: [&str; 11] = [
     "--threshold",
     "--score",
     "--faults",
+    "--quirks",
     "--retries",
 ];
 
@@ -128,6 +134,14 @@ const VALUED_FLAGS: [&str; 11] = [
 #[serde(rename_all = "kebab-case", deny_unknown_fields)]
 struct FaultsOverlay {
     faults: FaultsSection,
+}
+
+/// A standalone misbehavior file (`--quirks`): one top-level `quirks:`
+/// section, same schema as inline in a test config.
+#[derive(Debug, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+struct QuirksOverlay {
+    quirks: QuirksSection,
 }
 
 /// The options every subcommand understands identically.
@@ -142,6 +156,9 @@ pub struct CommonOpts {
     /// `--faults`: path to a fault-injection YAML merged over the test
     /// config's own `faults:` section.
     pub faults_path: Option<String>,
+    /// `--quirks`: path to a DUT-misbehavior YAML merged over the test
+    /// config's own `quirks:` section.
+    pub quirks_path: Option<String>,
 }
 
 impl CommonOpts {
@@ -159,6 +176,7 @@ impl CommonOpts {
             seed: opt_numeric_flag(args, "--seed")?,
             json: has_flag(args, "--json"),
             faults_path: flag_value(args, "--faults").map(str::to_owned),
+            quirks_path: flag_value(args, "--quirks").map(str::to_owned),
         })
     }
 
@@ -193,6 +211,15 @@ impl CommonOpts {
             let overlay: FaultsOverlay = serde_yaml::from_str(&yaml)
                 .map_err(|e| Error::config(format!("--faults {path}: {e}")))?;
             cfg.faults = Some(overlay.faults);
+        }
+        if let Some(path) = &self.quirks_path {
+            let yaml = std::fs::read_to_string(path).map_err(|source| Error::Io {
+                path: path.clone(),
+                source,
+            })?;
+            let overlay: QuirksOverlay = serde_yaml::from_str(&yaml)
+                .map_err(|e| Error::config(format!("--quirks {path}: {e}")))?;
+            cfg.quirks = Some(overlay.quirks);
         }
         cfg.validate()?;
         Ok(cfg)
@@ -267,10 +294,13 @@ mod tests {
             "--seed",
             "--json",
             "--faults",
+            "--quirks",
             "--retries",
+            "conformance oracle",
             "6  reconstruction",
             "7  watchdog",
             "8  internal",
+            "9  violations",
         ] {
             assert!(HELP.contains(needle), "help is missing {needle}");
         }
@@ -306,5 +336,44 @@ mod tests {
         let err = o.load().unwrap_err();
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("--faults"), "{err}");
+    }
+
+    #[test]
+    fn quirks_overlay_merges_into_config() {
+        let dir = std::env::temp_dir().join("lumina-cli-quirks-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let quirks_path = dir.join("quirks.yaml");
+        std::fs::write(
+            &quirks_path,
+            "quirks:\n  seed: 5\n  ghost-retransmit-prob: 0.05\n  stale-msn-prob: 0.2\n",
+        )
+        .unwrap();
+        let cfg_path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../configs/fig11_noisy_neighbor.yaml"
+        );
+        let o = CommonOpts::parse(&argv(&[
+            cfg_path,
+            "--quirks",
+            quirks_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let cfg = o.load().unwrap();
+        let q = cfg.quirks.expect("overlay applied");
+        assert_eq!(q.seed, Some(5));
+        assert_eq!(q.ghost_retransmit_prob, 0.05);
+        assert!(!q.is_noop());
+
+        // Garbage overlay → config error naming the flag.
+        std::fs::write(&quirks_path, "quirks:\n  not-a-knob: 1\n").unwrap();
+        let err = o.load().unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--quirks"), "{err}");
+
+        // Out-of-range probability caught by validation.
+        std::fs::write(&quirks_path, "quirks:\n  ack-drop-prob: 2.0\n").unwrap();
+        let err = o.load().unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("ack-drop-prob"), "{err}");
     }
 }

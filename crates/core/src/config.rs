@@ -408,6 +408,72 @@ impl FaultsSection {
     }
 }
 
+/// DUT misbehavior injection (`quirks:`): makes the RNIC models emit
+/// spec-violating traffic on demand so the conformance oracle can be
+/// exercised closed-loop. Absent — the default — means spec-faithful
+/// devices and byte-identical behavior to every pre-quirk release.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct QuirksSection {
+    /// Quirk-schedule seed; absent = derived from `network.seed`.
+    /// Separate so campaigns can sweep misbehavior while holding the
+    /// workload fixed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub seed: Option<u64>,
+    /// Probability an ACK carries a PSN the requester never sent.
+    #[serde(default)]
+    pub wrong_ack_psn_prob: f64,
+    /// Probability a due ACK is silently swallowed.
+    #[serde(default)]
+    pub ack_drop_prob: f64,
+    /// Probability a due ACK is withheld and folded into the next one.
+    #[serde(default)]
+    pub ack_coalesce_prob: f64,
+    /// Probability a spec-mandated CNP is suppressed at the NP.
+    #[serde(default)]
+    pub cnp_suppress_prob: f64,
+    /// Probability a data packet triggers a CNP with no CE mark behind it.
+    #[serde(default)]
+    pub cnp_spurious_prob: f64,
+    /// Probability a data packet is followed by an unprovoked duplicate
+    /// of the QP's previous data packet.
+    #[serde(default)]
+    pub ghost_retransmit_prob: f64,
+    /// Probability an AETH carries a regressed (stale) MSN.
+    #[serde(default)]
+    pub stale_msn_prob: f64,
+    /// Probability a Go-back-N NACK names ePSN+1 instead of ePSN.
+    #[serde(default)]
+    pub gbn_off_by_one_prob: f64,
+    /// Probability an emitted data frame carries a miscomputed ICRC.
+    #[serde(default)]
+    pub icrc_corrupt_prob: f64,
+}
+
+impl QuirksSection {
+    /// True when the section injects nothing — the orchestrator then skips
+    /// installing quirk planes entirely, keeping the run on the pristine
+    /// code path (zero extra RNG draws, byte-identical reports).
+    pub fn is_noop(&self) -> bool {
+        !self.knobs().any()
+    }
+
+    /// The per-device knob block handed to the RNIC misbehavior plane.
+    pub fn knobs(&self) -> lumina_rnic::QuirkKnobs {
+        lumina_rnic::QuirkKnobs {
+            wrong_ack_psn: self.wrong_ack_psn_prob,
+            ack_drop: self.ack_drop_prob,
+            ack_coalesce: self.ack_coalesce_prob,
+            cnp_suppress: self.cnp_suppress_prob,
+            cnp_spurious: self.cnp_spurious_prob,
+            ghost_retransmit: self.ghost_retransmit_prob,
+            stale_msn: self.stale_msn_prob,
+            gbn_off_by_one: self.gbn_off_by_one_prob,
+            icrc_corrupt: self.icrc_corrupt_prob,
+        }
+    }
+}
+
 /// A complete test configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(rename_all = "kebab-case", deny_unknown_fields)]
@@ -429,6 +495,9 @@ pub struct TestConfig {
     /// Infrastructure fault injection; absent = pristine testbed.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub faults: Option<FaultsSection>,
+    /// DUT misbehavior injection; absent = spec-faithful devices.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub quirks: Option<QuirksSection>,
 }
 
 impl TestConfig {
@@ -568,6 +637,30 @@ impl TestConfig {
                     }
                 }
             }
+        }
+        if let Some(quirks) = &self.quirks {
+            let prob = |name: &str, p: f64, problems: &mut Vec<String>| {
+                if !(0.0..=1.0).contains(&p) {
+                    problems.push(format!("quirks: {name} {p} not a probability"));
+                }
+            };
+            prob("wrong-ack-psn-prob", quirks.wrong_ack_psn_prob, &mut problems);
+            prob("ack-drop-prob", quirks.ack_drop_prob, &mut problems);
+            prob("ack-coalesce-prob", quirks.ack_coalesce_prob, &mut problems);
+            prob("cnp-suppress-prob", quirks.cnp_suppress_prob, &mut problems);
+            prob("cnp-spurious-prob", quirks.cnp_spurious_prob, &mut problems);
+            prob(
+                "ghost-retransmit-prob",
+                quirks.ghost_retransmit_prob,
+                &mut problems,
+            );
+            prob("stale-msn-prob", quirks.stale_msn_prob, &mut problems);
+            prob(
+                "gbn-off-by-one-prob",
+                quirks.gbn_off_by_one_prob,
+                &mut problems,
+            );
+            prob("icrc-corrupt-prob", quirks.icrc_corrupt_prob, &mut problems);
         }
         problems
     }
@@ -791,6 +884,65 @@ faults:
         assert!(all.contains("index 99 out of range"), "{all}");
         assert!(all.contains("unknown node \"marsrover\""), "{all}");
         assert!(all.contains("index 44 out of range"), "{all}");
+    }
+
+    #[test]
+    fn quirks_section_parses_and_round_trips() {
+        let yaml = r#"
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 5
+  mtu: 1024
+  message-size: 4096
+quirks:
+  seed: 99
+  wrong-ack-psn-prob: 0.1
+  ack-coalesce-prob: 0.25
+  icrc-corrupt-prob: 0.01
+"#;
+        let cfg = TestConfig::from_yaml(yaml).unwrap();
+        let quirks = cfg.quirks.as_ref().unwrap();
+        assert!(!quirks.is_noop());
+        assert_eq!(quirks.seed, Some(99));
+        assert_eq!(quirks.wrong_ack_psn_prob, 0.1);
+        assert_eq!(quirks.ack_drop_prob, 0.0, "unset knobs default to 0");
+        let knobs = quirks.knobs();
+        assert!(knobs.any());
+        assert_eq!(knobs.ack_coalesce, 0.25);
+        assert!(cfg.validate().is_ok(), "{:?}", cfg.problems());
+        let cfg2 = TestConfig::from_yaml(&cfg.to_yaml()).unwrap();
+        assert_eq!(cfg2.quirks.unwrap().icrc_corrupt_prob, 0.01);
+    }
+
+    #[test]
+    fn absent_quirks_section_stays_absent() {
+        let cfg = TestConfig::from_yaml(LISTING2).unwrap();
+        assert!(cfg.quirks.is_none());
+        assert!(
+            !cfg.to_yaml().contains("quirks"),
+            "skip-serializing must keep pristine configs pristine"
+        );
+        assert!(QuirksSection::default().is_noop());
+    }
+
+    #[test]
+    fn quirk_validation_catches_bad_probabilities() {
+        let yaml = r#"
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 1
+  mtu: 1024
+  message-size: 1024
+quirks:
+  ack-drop-prob: 1.5
+  gbn-off-by-one-prob: -0.25
+"#;
+        let problems = TestConfig::from_yaml(yaml).unwrap().problems();
+        let all = problems.join("\n");
+        assert!(all.contains("quirks: ack-drop-prob 1.5"), "{all}");
+        assert!(all.contains("quirks: gbn-off-by-one-prob -0.25"), "{all}");
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub enum Error {
     /// downcast to the wrong type, a report that would not serialize).
     /// Never retried: this is a bug, not weather.
     Internal(String),
+    /// The run itself succeeded but the conformance oracle proved the
+    /// device under test violated the RC specification. Not an
+    /// infrastructure fault: rerunning the same seed reproduces it.
+    Violations(String),
 }
 
 impl Error {
@@ -66,6 +70,7 @@ impl Error {
             Error::Reconstruction(_) => 6,
             Error::Watchdog(_) => 7,
             Error::Internal(_) => 8,
+            Error::Violations(_) => 9,
         }
     }
 
@@ -96,6 +101,7 @@ impl fmt::Display for Error {
             Error::Io { path, source } => write!(f, "{path}: {source}"),
             Error::Watchdog(msg) => write!(f, "watchdog killed the run: {msg}"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
+            Error::Violations(msg) => write!(f, "spec-conformance violations: {msg}"),
         }
     }
 }
@@ -126,6 +132,7 @@ mod tests {
             Error::Reconstruction("r".into()),
             Error::Watchdog("w".into()),
             Error::internal("i"),
+            Error::Violations("v".into()),
         ];
         let codes: Vec<u8> = errs.iter().map(|e| e.exit_code()).collect();
         let mut uniq = codes.clone();
@@ -157,6 +164,10 @@ mod tests {
         assert!(!Error::config("bad mtu").is_infra_fault());
         assert!(!Error::internal("wrong downcast").is_infra_fault());
         assert!(!Error::Engine("e".into()).is_infra_fault());
+        assert!(
+            !Error::Violations("dut bug".into()).is_infra_fault(),
+            "violations reproduce on retry — retrying is pointless"
+        );
     }
 
     #[test]

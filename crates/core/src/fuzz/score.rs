@@ -104,6 +104,40 @@ pub fn noisy_neighbor_score(cfg: &TestConfig, res: &TestResults) -> (f64, String
     )
 }
 
+/// The spec-conformance score: drive the campaign toward configurations
+/// that make the oracle find violations. Reuses the run's own verdict
+/// when the orchestrator already computed one (quirk-injected runs) and
+/// replays the oracle otherwise — pure function of the results, so the
+/// parallel executor's serial==parallel bit-identity is untouched.
+pub fn violation_score(cfg: &TestConfig, res: &TestResults) -> (f64, String) {
+    let report = match &res.conformance {
+        Some(r) => r.clone(),
+        None => match &res.trace {
+            Some(trace) => {
+                let opts = crate::analyzers::ConformanceOpts::from_results(res);
+                crate::analyzers::conformance::analyze(trace, &res.conns, &opts)
+            }
+            None => Default::default(),
+        },
+    };
+    let n = report.violations.len() as f64;
+    // A small default-score tail breaks ties among violation-free
+    // candidates so the pool still evolves toward *interesting* traffic.
+    let (base, _) = default_score(cfg, res);
+    let score = n * 50.0 + base * 0.1;
+    let classes: Vec<String> = report
+        .class_counts()
+        .iter()
+        .map(|(label, c)| format!("{c} {label}"))
+        .collect();
+    let desc = if classes.is_empty() {
+        "no violations".to_string()
+    } else {
+        classes.join(", ")
+    };
+    (score, desc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +186,37 @@ traffic:
         let (s, desc) = default_score(&cfg, &res);
         assert!(s >= 2.0, "{s} ({desc})");
         assert!(desc.contains("timeout"));
+    }
+
+    #[test]
+    fn violation_score_is_zero_for_compliant_runs_and_counts_quirks() {
+        let clean = TestConfig::from_yaml(
+            r#"
+requester: { nic-type: cx5 }
+responder: { nic-type: cx5 }
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 2
+  mtu: 1024
+  message-size: 4096
+"#,
+        )
+        .unwrap();
+        let res = run_test(&clean).unwrap();
+        let (s, desc) = violation_score(&clean, &res);
+        assert_eq!(s, 0.0, "{desc}");
+        assert_eq!(desc, "no violations");
+
+        let mut quirked = clean.clone();
+        quirked.quirks = Some(crate::config::QuirksSection {
+            ghost_retransmit_prob: 1.0,
+            ..Default::default()
+        });
+        quirked.traffic.rdma_verb = "read".into();
+        let res = run_test(&quirked).unwrap();
+        let (s, desc) = violation_score(&quirked, &res);
+        assert!(s >= 50.0, "{s} ({desc})");
+        assert!(desc.contains("spurious-retransmit"), "{desc}");
     }
 }

@@ -46,7 +46,8 @@ pub mod integrity;
 pub mod orchestrator;
 pub mod translate;
 
-pub use config::{FaultsSection, TestConfig};
+pub use config::{FaultsSection, QuirksSection, TestConfig};
+pub use analyzers::{ConformanceOpts, ConformanceReport, Violation, ViolationClass};
 pub use error::Error;
 pub use integrity::{DegradedMode, IntegrityReport};
 pub use orchestrator::{run_supervised, run_test, RetryPolicy, TestResults};

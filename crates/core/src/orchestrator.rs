@@ -14,7 +14,7 @@ use lumina_gen::FlowPlan;
 use lumina_rnic::counters::Counters;
 use lumina_rnic::ets::{EtsConfig, TcConfig};
 use lumina_rnic::qp::{QpConfig, QpEndpoint};
-use lumina_rnic::Rnic;
+use lumina_rnic::{QuirkPlane, QuirkStats, Rnic};
 use lumina_sim::{
     Engine, EngineStats, FaultPlane, FaultStats, FrameStats, FreezeWindow, MirrorFaults, PortId,
     RunOutcome, SimTime, Telemetry,
@@ -82,6 +82,13 @@ pub struct TestResults {
     pub captures_corrupted: u64,
     /// Stall-inflated dumper service ticks, summed over the pool.
     pub service_ticks_stalled: u64,
+    /// Misbehavior-plane counters (both devices merged); `Some` only when
+    /// the run had an active `quirks:` section, so quirk-free reports are
+    /// byte-identical to every pre-quirk release.
+    pub quirk_stats: Option<QuirkStats>,
+    /// Spec-conformance oracle verdict. Computed here for quirk-injected
+    /// runs with a trace; the CLI runs the oracle on demand otherwise.
+    pub conformance: Option<crate::analyzers::ConformanceReport>,
 }
 
 // The parallel fuzz executor evaluates `run_test` on worker threads and
@@ -149,6 +156,17 @@ impl TestResults {
             faults["service_ticks_stalled"] = serde_json::Value::from(self.service_ticks_stalled);
             report["faults"] = faults;
         }
+        // Likewise, misbehavior accounting and the conformance verdict
+        // appear only on quirk-injected runs.
+        if let Some(qs) = &self.quirk_stats {
+            report["quirks"] = serde_json::to_value(qs)
+                .map_err(|e| Error::internal(format!("quirk stats failed to serialize: {e}")))?;
+        }
+        if let Some(conf) = &self.conformance {
+            report["conformance"] = serde_json::to_value(conf).map_err(|e| {
+                Error::internal(format!("conformance report failed to serialize: {e}"))
+            })?;
+        }
         Ok(report)
     }
 }
@@ -190,6 +208,23 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
     let switch_mac = MacAddr::local(100);
     let mut req_rnic = Rnic::new(req_profile.clone(), ets_cfg.clone(), req_mac);
     let mut rsp_rnic = Rnic::new(rsp_profile.clone(), ets_cfg, rsp_mac);
+
+    // DUT misbehavior plane: installed only when a `quirks:` section asks
+    // for at least one quirk. The plane draws from its own RNG stream
+    // (seeded off `quirks.seed` or the run seed, salted per node), so the
+    // engine/workload schedule never shifts and quirk-free runs stay
+    // byte-identical to every pre-quirk release.
+    if let Some(q) = cfg.quirks.as_ref().filter(|q| !q.is_noop()) {
+        let quirk_seed = q.seed.unwrap_or(cfg.network.seed);
+        req_rnic.set_quirks(QuirkPlane::new(
+            q.knobs(),
+            QuirkPlane::node_rng(quirk_seed, 1),
+        ));
+        rsp_rnic.set_quirks(QuirkPlane::new(
+            q.knobs(),
+            QuirkPlane::node_rng(quirk_seed, 2),
+        ));
+    }
 
     let n = cfg.traffic.num_connections;
     let mut conns = Vec::with_capacity(n as usize);
@@ -473,6 +508,27 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
         (None, IntegrityReport::default())
     };
 
+    // Harvest misbehavior-plane accounting from both devices; `Some` only
+    // on quirk-injected runs, keeping pristine reports byte-identical.
+    let quirk_stats: Option<QuirkStats> = match (
+        req_host.rnic.quirk_stats(),
+        rsp_host.rnic.quirk_stats(),
+    ) {
+        (None, None) => None,
+        (req_qs, rsp_qs) => {
+            let mut merged = QuirkStats::default();
+            if let Some(qs) = req_qs {
+                tel.record_metric_set(req_id.0 as u32, qs);
+                merged.merge(qs);
+            }
+            if let Some(qs) = rsp_qs {
+                tel.record_metric_set(rsp_id.0 as u32, qs);
+                merged.merge(qs);
+            }
+            Some(merged)
+        }
+    };
+
     let req_counters = req_host.rnic.counters.clone();
     let rsp_counters = rsp_host.rnic.counters.clone();
     let requester_metrics = req_metrics.borrow().clone();
@@ -499,7 +555,7 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
         .iter()
         .map(|h| h.borrow().service_ticks_stalled)
         .sum();
-    Ok(TestResults {
+    let mut results = TestResults {
         cfg: cfg.clone(),
         conns,
         trace,
@@ -522,7 +578,19 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
         fault_stats,
         captures_corrupted,
         service_ticks_stalled,
-    })
+        quirk_stats,
+        conformance: None,
+    };
+    // Quirk-injected runs get the conformance verdict inline: the whole
+    // point of injecting misbehavior is to see the oracle call it.
+    if results.quirk_stats.is_some() {
+        if let Some(trace) = &results.trace {
+            let opts = crate::analyzers::ConformanceOpts::from_results(&results);
+            results.conformance =
+                Some(crate::analyzers::conformance::analyze(trace, &results.conns, &opts));
+        }
+    }
+    Ok(results)
 }
 
 /// Extract a human-readable message from a `catch_unwind` payload.

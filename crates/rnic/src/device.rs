@@ -13,6 +13,7 @@ use crate::dcqcn::{DcqcnParams, NotificationPoint, ReactionPoint};
 use crate::ets::{EtsConfig, EtsScheduler, TxCandidate};
 use crate::profile::DeviceProfile;
 use crate::qp::{Qp, QpConfig, QpState, ReadRespJob, RecvProgress};
+use crate::quirks;
 use crate::timeout::TimeoutPolicy;
 use crate::verbs::{Completion, CompletionStatus, Verb, WorkRequest};
 use lumina_packet::Frame;
@@ -106,6 +107,9 @@ pub struct Rnic {
     tel: Telemetry,
     /// Simulation node id this device reports under.
     tel_node: u32,
+    /// Misbehavior plane (absent by default: a well-behaved device
+    /// consults no RNG on any emission path). See [`crate::quirks`].
+    pub(crate) quirks: Option<crate::quirks::QuirkPlane>,
 }
 
 impl Rnic {
@@ -142,6 +146,7 @@ impl Rnic {
             next_qpn: 0,
             tel: Telemetry::disabled(),
             tel_node: 0,
+            quirks: None,
         }
     }
 
@@ -342,6 +347,18 @@ impl Rnic {
             self.maybe_send_cnp(qpn, &frame, now, actions);
         }
 
+        // Spurious-CNP quirk: congestion-notify on data that carries no
+        // CE mark at all.
+        if frame.bth.opcode.is_data() && self.quirks.is_some() {
+            let fire = self
+                .quirks
+                .as_mut()
+                .is_some_and(quirks::QuirkPlane::spurious_cnp);
+            if fire {
+                self.emit_unsolicited_cnp(qpn, now, actions);
+            }
+        }
+
         match frame.bth.opcode {
             Opcode::Cnp => self.rx_cnp(qpn, now, actions),
             op if op.is_request() => self.responder_rx(qpn, &frame, now, actions),
@@ -366,6 +383,13 @@ impl Rnic {
             NotificationPoint::effective_interval(&self.profile, qp.cfg.min_time_between_cnps);
         let key = NotificationPoint::limiter_key(self.profile.cnp_mode, frame.ipv4.src, qpn);
         if self.np.on_ce_packet(key, now, interval) {
+            // Suppressed-CNP quirk: the limiter approved this CNP, the
+            // device eats it anyway. Neither wire nor counter sees it.
+            if let Some(q) = self.quirks.as_mut() {
+                if q.suppress_cnp() {
+                    return;
+                }
+            }
             self.counters.record_cnp_sent(&self.profile.counter_bugs);
             tev!(self.tel, now.as_nanos(), self.tel_node, "rnic", "cnp.tx", qpn = qpn);
             let qp = &self.qps[&qpn];
@@ -375,6 +399,20 @@ impl Rnic {
             cnp.udp.src_port = qp.cfg.udp_src_port;
             self.emit_ctrl(cnp, actions);
         }
+    }
+
+    /// Quirk path: a CNP no CE mark asked for. Counted like a real one
+    /// so the device's counters stay consistent with its wire behavior
+    /// — the *protocol* is what misbehaves here, not the bookkeeping.
+    fn emit_unsolicited_cnp(&mut self, qpn: u32, now: SimTime, actions: &mut Vec<Action>) {
+        self.counters.record_cnp_sent(&self.profile.counter_bugs);
+        tev!(self.tel, now.as_nanos(), self.tel_node, "rnic", "cnp.tx", qpn = qpn);
+        let qp = &self.qps[&qpn];
+        let mut cnp = cnp_frame(qp.cfg.local.ip, qp.cfg.remote.ip, qp.cfg.remote.qpn);
+        cnp.eth.src = self.local_mac;
+        cnp.eth.dst = qp.cfg.remote_mac;
+        cnp.udp.src_port = qp.cfg.udp_src_port;
+        self.emit_ctrl(cnp, actions);
     }
 
     fn rx_cnp(&mut self, qpn: u32, now: SimTime, actions: &mut Vec<Action>) {
@@ -547,6 +585,19 @@ impl Rnic {
     }
 
     fn emit_ack_for(&mut self, qpn: u32, lin: u64, actions: &mut Vec<Action>) {
+        let mut lin = lin;
+        let mut msn = self.qps[&qpn].msn;
+        if let Some(q) = self.quirks.as_mut() {
+            match q.ack_fate(qpn) {
+                quirks::AckFate::Deliver => {}
+                // A swallowed or coalesced ACK is simply never emitted;
+                // the requester recovers via a later cumulative ACK or
+                // its retransmission timeout.
+                quirks::AckFate::Drop | quirks::AckFate::Coalesce => return,
+            }
+            lin = lin.wrapping_add(q.ack_psn_skew());
+            msn = q.msn_override(msn);
+        }
         let qp = &self.qps[&qpn];
         let mut ack = ack_frame(
             qp.cfg.local.ip,
@@ -554,7 +605,7 @@ impl Rnic {
             qp.cfg.remote.qpn,
             qp.remote_wire_psn(lin),
             AethSyndrome::Ack { credit: 31 },
-            qp.msn,
+            msn,
         );
         ack.eth.src = self.local_mac;
         ack.eth.dst = qp.cfg.remote_mac;
@@ -772,11 +823,17 @@ impl Rnic {
                 let qp = self.qps.get_mut(&qpn).unwrap();
                 if qp.nack_scheduled {
                     qp.nack_scheduled = false;
+                    // Go-back-N off-by-one quirk: NACK one PSN beyond
+                    // the expected one (the classic resume-point bug).
+                    let nack_skew = self
+                        .quirks
+                        .as_mut()
+                        .map_or(0, quirks::QuirkPlane::nack_skew);
                     let mut nack = nack_frame(
                         qp.cfg.local.ip,
                         qp.cfg.remote.ip,
                         qp.cfg.remote.qpn,
-                        qp.remote_wire_psn(qp.epsn_lin),
+                        qp.remote_wire_psn(qp.epsn_lin.wrapping_add(nack_skew)),
                         qp.msn,
                     );
                     nack.eth.src = self.local_mac;
@@ -1149,11 +1206,19 @@ impl Rnic {
                 if let Some(i) = self.ets.pick(now, &cands) {
                     let (qpn, is_read_resp, cand) = with_meta[i];
                     self.rr_cursor = self.rr_cursor.wrapping_add(1);
-                    let frame = if is_read_resp {
+                    let mut frame = if is_read_resp {
                         self.gen_read_resp_frame(qpn)
                     } else {
                         self.gen_req_frame(qpn, now)
                     };
+                    // Misbehavior plane: ICRC miscompute flips the
+                    // emitted trailer; ghost retransmits duplicate the
+                    // previous data frame of this QP unprovoked.
+                    let mut ghost = None;
+                    if let Some(q) = self.quirks.as_mut() {
+                        q.maybe_corrupt_icrc(&mut frame);
+                        ghost = q.ghost_frame(qpn, &frame);
+                    }
                     let line = lumina_packet::frame::line_occupancy_of(frame.len());
                     self.port_free = now + self.profile.port_bandwidth.serialization_time(line);
                     self.counters.tx_packets += 1;
@@ -1170,6 +1235,10 @@ impl Rnic {
                         }
                     }
                     actions.push(Action::Emit(frame));
+                    if let Some(g) = ghost {
+                        self.counters.tx_packets += 1;
+                        actions.push(Action::Emit(g));
+                    }
                     self.arm_timeout_if_needed(qpn, now, actions);
                 }
             }
@@ -1278,9 +1347,13 @@ impl Rnic {
             .psn(qp.remote_wire_psn(lin))
             .payload_len(chunk as usize);
         if opcode.has_aeth() {
+            let mut msn = qp.msn;
+            if let Some(q) = self.quirks.as_mut() {
+                msn = q.msn_override(msn);
+            }
             b = b.aeth(Aeth {
                 syndrome: AethSyndrome::Ack { credit: 31 },
-                msn: qp.msn,
+                msn,
             });
         }
         b.build().emit()

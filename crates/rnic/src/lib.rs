@@ -37,11 +37,13 @@ pub mod device;
 pub mod ets;
 pub mod profile;
 pub mod qp;
+pub mod quirks;
 pub mod timeout;
 pub mod verbs;
 
 pub use counters::Counters;
 pub use device::{Action, Rnic};
 pub use profile::{CnpLimitMode, DeviceProfile, Vendor};
+pub use quirks::{QuirkKnobs, QuirkPlane, QuirkStats};
 pub use qp::{QpConfig, QpEndpoint};
 pub use verbs::{Completion, CompletionStatus, Verb, WorkRequest};

@@ -7,18 +7,22 @@ check:
     cargo clippy -- -D warnings
 
 # The full CI gate: release build, workspace tests (with the parallel-fuzz
-# differential, golden-report and fault-matrix suites named explicitly so a
-# filter change can't silently drop them — the fault matrix smokes every
-# fault kind on fig11 and asserts same-seed degraded reports replay
-# byte-identically), the frame-plane hotpath smoke (asserts the
-# identical-outcome column and the copy-reduction bar), lint with warnings
-# fatal.
+# differential, golden-report, fault-matrix and quirk-matrix suites named
+# explicitly so a filter change can't silently drop them — the fault matrix
+# smokes every fault kind on fig11 and asserts same-seed degraded reports
+# replay byte-identically; the quirk matrix injects every DUT misbehavior
+# kind and asserts the conformance oracle flags each with its expected
+# violation class), the panic guard (no unwrap/expect on capture-derived
+# paths), the frame-plane hotpath smoke (asserts the identical-outcome
+# column and the copy-reduction bar), lint with warnings fatal.
 ci:
     cargo build --release
     cargo test -q
     cargo test -q --test fuzz_parallel_differential
     cargo test -q --test golden_reports
     cargo test -q --test fault_matrix
+    cargo test -q --test quirk_matrix
+    cargo test -q --test panic_guard
     cargo test -q -p lumina-bench hotpath
     cargo clippy -- -D warnings
 

@@ -131,6 +131,44 @@ fn frame_plane_counters_stay_out_of_the_report() {
 }
 
 #[test]
+fn quirk_free_reports_never_gain_quirk_keys() {
+    // The misbehavior plane is absent-by-default: a config without a
+    // `quirks:` section must produce a report with no "quirks" or
+    // "conformance" key at all — not even an empty one — or every
+    // pre-quirk golden silently invalidates. The goldens are the pinned
+    // bytes of real runs, so asserting on them asserts on the runs.
+    if updating() {
+        return;
+    }
+    let mut quirk_free = 0;
+    let mut quirked = 0;
+    for (name, cfg) in corpus() {
+        let golden = std::fs::read_to_string(golden_dir().join(format!("{name}.json")))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        if cfg.quirks.as_ref().is_some_and(|q| !q.is_noop()) {
+            quirked += 1;
+            assert!(
+                golden.contains("\"quirks\"") && golden.contains("\"conformance\""),
+                "{name}: quirked preset lost its quirks/conformance report"
+            );
+        } else {
+            quirk_free += 1;
+            assert!(
+                !golden.contains("\"quirks\""),
+                "{name}: quirk-free report gained a quirks section"
+            );
+            assert!(
+                !golden.contains("\"conformance\""),
+                "{name}: quirk-free report gained a conformance section"
+            );
+        }
+    }
+    // Both sides of the protection must actually be exercised.
+    assert!(quirk_free >= 8, "seed corpus shrank: {quirk_free}");
+    assert!(quirked >= 1, "no quirked preset left in configs/");
+}
+
+#[test]
 fn same_timestamp_timers_fire_in_schedule_order() {
     // The calendar-queue scheduler's FIFO contract, observed through the
     // public engine API: events sharing one timestamp pop in the order
