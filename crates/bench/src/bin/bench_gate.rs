@@ -1,0 +1,192 @@
+//! `bench-gate` — the committed performance trajectory.
+//!
+//! Measures the repo's four headline performance numbers:
+//!
+//! * `events_per_sec` — simulation events dispatched per wall-clock
+//!   second on the `fig11_noisy_neighbor` preset (best of three runs);
+//! * `ns_per_event`   — the same measurement, inverted;
+//! * `copied_per_pkt` — bytes memcpy'd per captured packet, from the
+//!   frame-plane ledger (deterministic);
+//! * `fuzz_runs_per_sec` — genetic-campaign throughput, best worker
+//!   count of the `fuzz_throughput` sweep.
+//!
+//! Modes:
+//!
+//! ```text
+//! bench-gate --write BENCH_2026-08-07.json   measure, write a baseline
+//! bench-gate                                 measure, compare against the
+//!                                            newest committed BENCH_*.json
+//! ```
+//!
+//! The check fails (exit 1) when any metric regresses more than 20%
+//! against the baseline: throughput metrics must not drop below 0.8×,
+//! cost metrics must not rise above 1.2×. Exit 2 is a usage or I/O
+//! problem, including a check run with no committed baseline.
+
+use lumina_bench::fuzz_throughput;
+use lumina_core::config::TestConfig;
+use lumina_core::orchestrator::run_test;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Metric names, their direction, and how to read them from a report.
+/// `true` = higher is better (throughput), `false` = lower is better.
+const METRICS: [(&str, bool); 4] = [
+    ("events_per_sec", true),
+    ("ns_per_event", false),
+    ("copied_per_pkt", false),
+    ("fuzz_runs_per_sec", true),
+];
+
+/// Allowed regression: 20% against the committed baseline.
+const TOLERANCE: f64 = 0.20;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fig11_cfg() -> Result<TestConfig, String> {
+    let path = repo_root().join("configs/fig11_noisy_neighbor.yaml");
+    let yaml = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    TestConfig::from_yaml(&yaml).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Run the measurements and return the flat metric map.
+fn measure() -> Result<serde_json::Value, String> {
+    let cfg = fig11_cfg()?;
+    // Warm-up run, then best-of-three timed runs: the gate compares
+    // wall-clock rates, so shave scheduler noise where it is cheap to.
+    let warm = run_test(&cfg).map_err(|e| format!("fig11 run: {e}"))?;
+    let packets = warm.trace.as_ref().map(|t| t.len() as u64).unwrap_or(0).max(1);
+    let copied_per_pkt = warm.frame_stats.bytes_copied as f64 / packets as f64;
+    let mut best_events_per_sec = 0.0f64;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let res = run_test(&cfg).map_err(|e| format!("fig11 run: {e}"))?;
+        let wall = t0.elapsed().as_secs_f64();
+        if wall > 0.0 {
+            best_events_per_sec = best_events_per_sec.max(res.engine_stats.events as f64 / wall);
+        }
+    }
+    if best_events_per_sec <= 0.0 {
+        return Err("fig11 run finished in zero wall time".into());
+    }
+
+    let sweep = fuzz_throughput::run_with(16);
+    let fuzz_runs_per_sec = sweep
+        .rows
+        .iter()
+        .map(|r| r.runs_per_sec)
+        .fold(0.0f64, f64::max);
+    if sweep.rows.iter().any(|r| !r.identical_outcome) {
+        return Err("fuzz sweep outcomes diverged across worker counts".into());
+    }
+
+    Ok(serde_json::json!({
+        "schema": 1,
+        "preset": "fig11_noisy_neighbor",
+        "events_per_sec": (best_events_per_sec),
+        "ns_per_event": (1e9 / best_events_per_sec),
+        "copied_per_pkt": (copied_per_pkt),
+        "fuzz_runs_per_sec": (fuzz_runs_per_sec),
+    }))
+}
+
+/// Newest committed baseline: lexicographically last `BENCH_*.json` in
+/// the repo root (the names embed ISO dates, so lexicographic = newest).
+fn newest_baseline() -> Result<PathBuf, String> {
+    let root = repo_root();
+    let mut candidates: Vec<PathBuf> = std::fs::read_dir(&root)
+        .map_err(|e| format!("{}: {e}", root.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    candidates.sort();
+    candidates
+        .pop()
+        .ok_or_else(|| "no committed BENCH_*.json baseline; create one with --write".into())
+}
+
+fn metric(v: &serde_json::Value, name: &str) -> Result<f64, String> {
+    v.get(name)
+        .and_then(|m| m.as_f64())
+        .ok_or_else(|| format!("baseline is missing metric {name:?}"))
+}
+
+fn check(current: &serde_json::Value) -> Result<ExitCode, String> {
+    let path = newest_baseline()?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("bench-gate: baseline {}", path.display());
+
+    let mut failed = false;
+    for (name, higher_better) in METRICS {
+        let base = metric(&baseline, name)?;
+        let now = metric(current, name)?;
+        let (bound, ok) = if higher_better {
+            let bound = base * (1.0 - TOLERANCE);
+            (bound, now >= bound)
+        } else {
+            let bound = base * (1.0 + TOLERANCE);
+            (bound, now <= bound)
+        };
+        println!(
+            "  {:<18} baseline {:>14.2}  now {:>14.2}  bound {:>14.2}  {}",
+            name,
+            base,
+            now,
+            bound,
+            if ok { "ok" } else { "REGRESSION" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!(
+            "bench-gate: performance regressed >{:.0}% against {}",
+            TOLERANCE * 100.0,
+            path.display()
+        );
+        Ok(ExitCode::from(1))
+    } else {
+        println!("bench-gate: within {:.0}% of the committed trajectory", TOLERANCE * 100.0);
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current = measure()?;
+    match args.first().map(String::as_str) {
+        Some("--write") => {
+            let name = args
+                .get(1)
+                .ok_or_else(|| "usage: bench-gate [--write BENCH_<date>.json]".to_string())?;
+            let path = repo_root().join(name);
+            let mut text = serde_json::to_string_pretty(&current)
+                .map_err(|e| format!("serialize: {e}"))?;
+            text.push('\n');
+            std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("bench-gate: wrote {}", path.display());
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown argument {other:?}; usage: bench-gate [--write BENCH_<date>.json]")),
+        None => check(&current),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

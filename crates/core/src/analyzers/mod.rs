@@ -4,10 +4,12 @@ pub mod cnp;
 pub mod conformance;
 pub mod counter;
 pub mod gbn_fsm;
+pub mod latency;
 pub mod retrans_perf;
 
 pub use cnp::CnpReport;
 pub use conformance::{ConformanceOpts, ConformanceReport, Violation, ViolationClass};
 pub use counter::CounterFinding;
 pub use gbn_fsm::GbnReport;
+pub use latency::{HopVerdict, LatencyReport};
 pub use retrans_perf::{RetransBreakdown, RetransKind};

@@ -6,6 +6,7 @@
 //! lumina-cli test.yaml --pcap out.pcap # also write the trace as pcap
 //! lumina-cli --validate test.yaml      # check the config, run nothing
 //! lumina-cli telemetry --config test.yaml   # event journal + metrics
+//! lumina-cli trace --config test.yaml --perfetto out.json
 //! lumina-cli fuzz --config base.yaml --workers 4 --generations 16
 //! ```
 //!
@@ -30,7 +31,7 @@
 //! 3 I/O, 4 translation, 5 engine, 6 reconstruction, 7 watchdog,
 //! 8 internal, 9 spec-conformance violations proven by the oracle.
 
-use lumina_core::analyzers::{cnp, conformance, counter, gbn_fsm, retrans_perf};
+use lumina_core::analyzers::{cnp, conformance, counter, gbn_fsm, latency, retrans_perf};
 use lumina_core::cli::{self, CommonOpts};
 use lumina_core::config::TestConfig;
 use lumina_core::fuzz::{self, mutate::EventMutator, score, FuzzParams};
@@ -144,8 +145,122 @@ fn telemetry_cmd(args: &[String]) -> ExitCode {
     tel.with_profile(|p| p.finish());
     let profile = tel.with_profile(|p| p.to_json());
     eprintln!("self-profile: {}", serde_json::to_string(&profile).unwrap());
+    // Headline numbers, so nobody has to eyeball the JSON blob: sustained
+    // event rate plus the run's pressure gauges (journal queue high-water
+    // mark and peak frames simultaneously alive in the packet plane).
+    let stat = |k: &str| profile.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    eprintln!(
+        "self-profile: {:.0} events/sec, queue-depth hwm {}, peak live frames {}",
+        stat("events_per_sec"),
+        stat("queue_depth_hwm") as u64,
+        stat("peak_live_frames") as u64,
+    );
 
     ExitCode::SUCCESS
+}
+
+/// `lumina-cli trace --config <test.yaml> [--perfetto out.json]`: run the
+/// test with lifecycle tracing forced on, print the per-hop latency
+/// dissection, grade it against `trace.hop-budget-us`, and optionally
+/// export the flight recorder as Chrome trace-event JSON for Perfetto.
+fn trace_cmd(args: &[String]) -> ExitCode {
+    let opts = match CommonOpts::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let mut cfg = match opts.load() {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    // Tracing is the whole point of this subcommand: force it on while
+    // keeping the config's own capacity and budgets when a `trace:`
+    // section is present.
+    let mut tsec = cfg.trace.clone().unwrap_or_default();
+    tsec.enabled = true;
+    cfg.trace = Some(tsec.clone());
+
+    let results = match run_test(&cfg) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let summary = results.trace_summary();
+    let verdict = latency::analyze(&summary, &tsec.hop_budget_us);
+
+    if opts.json {
+        let mut report = match results.report_json() {
+            Ok(r) => r,
+            Err(e) => return fail(e),
+        };
+        if !tsec.hop_budget_us.is_empty() {
+            report["latency"] = serde_json::to_value(&verdict).unwrap();
+        }
+        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    } else {
+        println!("test            : {}", opts.config_path);
+        println!("trace packets   : {}", summary.packets());
+        let (records, dropped) = results
+            .telemetry
+            .with_recorder(|r| (r.len(), r.dropped()));
+        println!("trace records   : {records} retained, {dropped} evicted");
+        println!("{:<24} {:>8} {:>12} {:>12}", "hop", "count", "mean ns", "p99 ns");
+        let hops: Vec<&str> = summary.hop_names().collect();
+        for hop in hops {
+            if let Some(h) = summary.hop_histogram(hop) {
+                let mean = if h.count() > 0 { h.sum() / h.count() } else { 0 };
+                let p99 = h.quantile_lower_bound(0.99).unwrap_or(0);
+                println!("{hop:<24} {:>8} {mean:>12} {p99:>12}", h.count());
+            }
+        }
+        let e2e = summary.end_to_end();
+        if e2e.count() > 0 {
+            let mean = e2e.sum() / e2e.count();
+            let p99 = e2e.quantile_lower_bound(0.99).unwrap_or(0);
+            println!("{:<24} {:>8} {mean:>12} {p99:>12}", "end_to_end", e2e.count());
+        }
+        if !tsec.hop_budget_us.is_empty() {
+            if verdict.passed() {
+                println!("latency budgets : all within budget");
+            }
+            for v in verdict.violations() {
+                println!(
+                    "latency budgets : {} p99 {} ns OVER budget {} ns",
+                    v.hop, v.p99_ns, v.budget_ns
+                );
+            }
+            for hop in &verdict.unmatched {
+                println!("latency budgets : {hop} has no samples (typo?)");
+            }
+        }
+    }
+
+    if let Some(out) = cli::flag_value(args, "--perfetto") {
+        // One track per simulation node, named by orchestrator layout:
+        // requester=0, responder=1, switch=2, dumpers from 3.
+        let mut names = std::collections::BTreeMap::new();
+        names.insert(0u32, "requester".to_string());
+        names.insert(1u32, "responder".to_string());
+        names.insert(2u32, "switch".to_string());
+        for i in 0..cfg.network.num_dumpers.max(1) {
+            names.insert(3 + i as u32, format!("dumper-{i}"));
+        }
+        let doc = results
+            .telemetry
+            .with_recorder(|r| lumina_sim::telemetry::trace::perfetto_json(r, &names));
+        let text = serde_json::to_string(&doc).unwrap();
+        if let Err(source) = std::fs::write(out, &text) {
+            return fail(Error::Io {
+                path: out.to_string(),
+                source,
+            });
+        }
+        eprintln!("wrote {} trace events to {out}", doc["traceEvents"].as_array().map_or(0, |a| a.len()));
+    }
+
+    if verdict.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }
 
 /// `lumina-cli fuzz --config <base.yaml> [--workers N] [--generations G]
@@ -477,6 +592,7 @@ fn main() -> ExitCode {
     }
     match args.first().map(String::as_str) {
         Some("telemetry") => telemetry_cmd(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
         Some("fuzz") => fuzz_cmd(&args[1..]),
         _ => run_cmd(&args),
     }

@@ -29,6 +29,7 @@ lumina-cli — run Lumina tests against the simulated testbed
 USAGE:
     lumina-cli <test.yaml> [OPTIONS]            run one test
     lumina-cli telemetry --config <test.yaml>   event journal + metrics
+    lumina-cli trace --config <test.yaml>       per-packet latency dissection
     lumina-cli fuzz --config <base.yaml>        genetic anomaly campaign
 
 The config path may always be given either positionally or as
@@ -57,6 +58,14 @@ TELEMETRY:
     Prints the structured event journal (JSONL) then the per-node metric
     registry — both byte-identical across same-seed runs — plus the
     frame-plane allocation counters. With --json, one JSON document.
+
+TRACE OPTIONS:
+    --perfetto <out>  also write the packet-lifecycle flight recorder as
+                      Chrome trace-event JSON, loadable at ui.perfetto.dev
+
+    Runs the test with lifecycle tracing forced on and prints the
+    per-hop / end-to-end latency dissection. Hops whose p99 exceeds a
+    `trace.hop-budget-us` entry are flagged and exit 1.
 
 FUZZ OPTIONS:
     --workers <n>     parallel workers (default: available cores)
@@ -113,10 +122,11 @@ pub fn opt_numeric_flag<T: std::str::FromStr>(
 }
 
 /// Flags whose value must not be mistaken for the positional config path.
-const VALUED_FLAGS: [&str; 12] = [
+const VALUED_FLAGS: [&str; 13] = [
     "--config",
     "--seed",
     "--pcap",
+    "--perfetto",
     "--workers",
     "--generations",
     "--batch",
@@ -288,9 +298,12 @@ mod tests {
     fn help_names_every_subcommand_and_exit_code() {
         for needle in [
             "telemetry",
+            "trace",
             "fuzz",
             "--validate",
             "--pcap",
+            "--perfetto",
+            "hop-budget-us",
             "--seed",
             "--json",
             "--faults",

@@ -474,6 +474,52 @@ impl QuirksSection {
     }
 }
 
+/// Packet-lifecycle tracing (`trace:`): turns on the flight recorder so
+/// every instrumented hop appends a `(trace_id, hop, sim_time)` record,
+/// the report gains a `"trace"` latency dissection, and the `trace`
+/// subcommand can export a Perfetto timeline. Absent — the default —
+/// means no recorder, no extra report keys, and byte-identical goldens.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct TraceSection {
+    /// Master switch; present-but-disabled keeps the run pristine.
+    #[serde(default = "default_true")]
+    pub enabled: bool,
+    /// Flight-recorder ring capacity, records (oldest evicted when full).
+    #[serde(default = "default_trace_capacity")]
+    pub capacity: usize,
+    /// Per-hop p99 latency budgets for the `latency` analyzer,
+    /// microseconds — e.g. `link.ingress: 10`. Empty = no budget checks.
+    #[serde(default, skip_serializing_if = "std::collections::BTreeMap::is_empty")]
+    pub hop_budget_us: std::collections::BTreeMap<String, u64>,
+}
+
+impl Default for TraceSection {
+    fn default() -> Self {
+        TraceSection {
+            enabled: true,
+            capacity: default_trace_capacity(),
+            hop_budget_us: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+impl TraceSection {
+    /// True when the section records nothing — the orchestrator then
+    /// leaves the recorder off, keeping the run on the pristine path.
+    pub fn is_noop(&self) -> bool {
+        !self.enabled
+    }
+}
+
+fn default_true() -> bool {
+    true
+}
+
+fn default_trace_capacity() -> usize {
+    262_144
+}
+
 /// A complete test configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(rename_all = "kebab-case", deny_unknown_fields)]
@@ -498,6 +544,9 @@ pub struct TestConfig {
     /// DUT misbehavior injection; absent = spec-faithful devices.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub quirks: Option<QuirksSection>,
+    /// Packet-lifecycle tracing; absent = recorder off, pristine report.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<TraceSection>,
 }
 
 impl TestConfig {
@@ -661,6 +710,16 @@ impl TestConfig {
                 &mut problems,
             );
             prob("icrc-corrupt-prob", quirks.icrc_corrupt_prob, &mut problems);
+        }
+        if let Some(trace) = &self.trace {
+            if trace.capacity == 0 {
+                problems.push("trace: capacity must be ≥ 1".into());
+            }
+            for (hop, &budget) in &trace.hop_budget_us {
+                if budget == 0 {
+                    problems.push(format!("trace: hop-budget-us {hop:?} must be ≥ 1"));
+                }
+            }
         }
         problems
     }
@@ -924,6 +983,65 @@ quirks:
             "skip-serializing must keep pristine configs pristine"
         );
         assert!(QuirksSection::default().is_noop());
+    }
+
+    #[test]
+    fn absent_trace_section_stays_absent() {
+        let cfg = TestConfig::from_yaml(LISTING2).unwrap();
+        assert!(cfg.trace.is_none());
+        assert!(
+            !cfg.to_yaml().contains("trace:"),
+            "skip-serializing must keep pristine configs pristine"
+        );
+        // Default section = tracing on; explicit `enabled: false` = noop.
+        assert!(!TraceSection::default().is_noop());
+    }
+
+    #[test]
+    fn trace_section_parses_and_validates() {
+        let yaml = r#"
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 1
+  mtu: 1024
+  message-size: 1024
+trace:
+  capacity: 4096
+  hop-budget-us:
+    link.ingress: 10
+    switch.forward: 2
+"#;
+        let cfg = TestConfig::from_yaml(yaml).unwrap();
+        let trace = cfg.trace.as_ref().unwrap();
+        assert!(trace.enabled, "enabled defaults to true when present");
+        assert_eq!(trace.capacity, 4096);
+        assert_eq!(trace.hop_budget_us["link.ingress"], 10);
+        assert!(cfg.problems().is_empty());
+
+        let bad = TestConfig::from_yaml(
+            r#"
+traffic:
+  num-connections: 1
+  rdma-verb: write
+  num-msgs-per-qp: 1
+  mtu: 1024
+  message-size: 1024
+trace:
+  capacity: 0
+  hop-budget-us:
+    link.ingress: 0
+"#,
+        )
+        .unwrap();
+        let problems = bad.problems();
+        assert!(problems.iter().any(|p| p.contains("capacity")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("hop-budget-us")), "{problems:?}");
+        let off = TraceSection {
+            enabled: false,
+            ..TraceSection::default()
+        };
+        assert!(off.is_noop());
     }
 
     #[test]

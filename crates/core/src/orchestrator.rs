@@ -17,7 +17,7 @@ use lumina_rnic::qp::{QpConfig, QpEndpoint};
 use lumina_rnic::{QuirkPlane, QuirkStats, Rnic};
 use lumina_sim::{
     Engine, EngineStats, FaultPlane, FaultStats, FrameStats, FreezeWindow, MirrorFaults, PortId,
-    RunOutcome, SimTime, Telemetry,
+    MetricSet, RunOutcome, SimTime, Telemetry,
 };
 use lumina_switch::device::{MirrorMode, SwitchConfig, SwitchCounters, SwitchNode};
 use serde::Serialize;
@@ -167,7 +167,20 @@ impl TestResults {
                 Error::internal(format!("conformance report failed to serialize: {e}"))
             })?;
         }
+        // The lifecycle dissection appears only when tracing was on, so
+        // trace-free reports (and all eight goldens) stay byte-identical.
+        if self.telemetry.is_tracing() {
+            report["trace"] = self.trace_summary().snapshot();
+        }
         Ok(report)
+    }
+
+    /// Per-hop / end-to-end latency dissection of the flight recorder.
+    /// Meaningful only when the run traced (`trace:` section enabled);
+    /// otherwise every histogram is empty.
+    pub fn trace_summary(&self) -> lumina_sim::telemetry::TraceSummary {
+        use lumina_sim::telemetry::TraceSummary;
+        self.telemetry.with_recorder(TraceSummary::from_recorder)
     }
 }
 
@@ -189,6 +202,12 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
     let mut eng = Engine::new(cfg.network.seed);
     let tel = Telemetry::enabled();
     eng.set_telemetry(tel.clone());
+    // Lifecycle tracing arms only on request: the flight recorder is
+    // baselined against the thread's provenance counter so same-seed
+    // runs record identical ids no matter what ran on the thread before.
+    if let Some(t) = cfg.trace.as_ref().filter(|t| !t.is_noop()) {
+        tel.enable_tracing(t.capacity, lumina_packet::buf::next_trace_id());
+    }
 
     // ---- Runtime metadata (the generators' random QPNs/PSNs, §3.2) ----
     let ets_cfg = EtsConfig {
@@ -546,6 +565,12 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
     }
     if let Some(fs) = &fault_stats {
         tel.record_metric_set(sw_id.0 as u32, fs);
+    }
+    if tel.is_tracing() {
+        // Fold the dissection into the registry under the switch (the
+        // testbed's vantage point) so `telemetry` surfaces it too.
+        let summary = tel.with_recorder(lumina_sim::telemetry::TraceSummary::from_recorder);
+        tel.record_metric_set(sw_id.0 as u32, &summary);
     }
     let captures_corrupted: u64 = dumper_handles
         .iter()

@@ -273,6 +273,14 @@ impl Node for DumperNode {
         let core_idx = token as usize;
         let popped = self.cores[core_idx].ring.pop_front();
         if let Some((rx_time, frame)) = popped {
+            // Capture time (now), not rx_time: the gap is the ring's
+            // buffering delay, which the latency dissection should see.
+            ctx.telemetry().record_hop(
+                frame.trace_id(),
+                lumina_telemetry::trace::hops::DUMPER_CAPTURE,
+                ctx.telemetry_node(),
+                ctx.now().as_nanos(),
+            );
             self.capture(rx_time, &frame, core_idx);
         }
         if self.cores[core_idx].ring.is_empty() {
@@ -283,11 +291,17 @@ impl Node for DumperNode {
         }
     }
 
-    fn on_finish(&mut self, _ctx: &mut NodeCtx<'_>) {
+    fn on_finish(&mut self, ctx: &mut NodeCtx<'_>) {
         // Drain whatever is still buffered in the rings — the TERM path:
         // processing stops, memory is flushed to disk.
         for i in 0..self.cores.len() {
             while let Some((rx_time, frame)) = self.cores[i].ring.pop_front() {
+                ctx.telemetry().record_hop(
+                    frame.trace_id(),
+                    lumina_telemetry::trace::hops::DUMPER_CAPTURE,
+                    ctx.telemetry_node(),
+                    ctx.now().as_nanos(),
+                );
                 self.capture(rx_time, &frame, i);
             }
         }

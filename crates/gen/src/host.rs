@@ -113,7 +113,17 @@ impl HostNode {
         let mut queue: VecDeque<Action> = actions.into();
         while let Some(act) = queue.pop_front() {
             match act {
-                Action::Emit(frame) => ctx.send(PortId(0), frame),
+                Action::Emit(frame) => {
+                    // Every frame the host hands the engine — data, ACK,
+                    // CNP, retransmission — passes this one choke point.
+                    ctx.telemetry().record_hop(
+                        frame.trace_id(),
+                        lumina_telemetry::trace::hops::GEN_ENQUEUE,
+                        ctx.telemetry_node(),
+                        ctx.now().as_nanos(),
+                    );
+                    ctx.send(PortId(0), frame);
+                }
                 Action::ArmTimer { at, token } => ctx.set_timer_at(at.max(ctx.now()), token),
                 Action::Complete(c) => {
                     let more = self.on_completion(c, ctx);

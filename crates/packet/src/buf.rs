@@ -31,6 +31,7 @@ thread_local! {
     static BYTES_SHARED: Cell<u64> = const { Cell::new(0) };
     static LIVE_FRAMES: Cell<u64> = const { Cell::new(0) };
     static PEAK_LIVE_FRAMES: Cell<u64> = const { Cell::new(0) };
+    static NEXT_TRACE_ID: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Point-in-time reading of this thread's frame-plane counters.
@@ -91,6 +92,15 @@ pub fn note_shared(n: usize) {
     BYTES_SHARED.set(BYTES_SHARED.get() + n as u64);
 }
 
+/// The provenance id the next [`Frame::from_vec`] on this thread will
+/// stamp. The flight recorder reads this when tracing is enabled and
+/// stores subsequent ids relative to it, so same-seed runs produce
+/// identical traces regardless of how many frames earlier runs on this
+/// thread (or other fuzz workers) already minted.
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.get()
+}
+
 /// Tracks one live buffer for the duration of every handle over it.
 /// Clones of a `Frame` — and slices, which view the same allocation —
 /// share the token; the buffer counts as dead only when the last handle
@@ -126,6 +136,7 @@ impl Drop for LiveToken {
 pub struct Frame {
     bytes: Bytes,
     token: Arc<LiveToken>,
+    trace_id: u64,
 }
 
 impl Frame {
@@ -134,10 +145,23 @@ impl Frame {
     pub fn from_vec(buf: Vec<u8>) -> Frame {
         FRAMES_ALLOCATED.set(FRAMES_ALLOCATED.get() + 1);
         BYTES_ALLOCATED.set(BYTES_ALLOCATED.get() + buf.len() as u64);
+        let trace_id = NEXT_TRACE_ID.get();
+        NEXT_TRACE_ID.set(trace_id.wrapping_add(1));
         Frame {
             bytes: Bytes::from(buf),
             token: LiveToken::new(),
+            trace_id,
         }
+    }
+
+    /// The provenance id stamped when this packet entered the plane via
+    /// [`Frame::from_vec`]. Clones, slices and copy-on-write detaches all
+    /// keep the id: it names the *packet*, not the allocation, so the
+    /// lifecycle tracer can follow one packet across mirror copies and
+    /// in-flight mutations. Ids are a per-thread monotonic counter —
+    /// meaningful only relative to [`next_trace_id`] read at trace start.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
     }
 
     /// Copy a borrowed slice into a new frame. Test/tooling convenience —
@@ -166,6 +190,7 @@ impl Frame {
         Frame {
             bytes: view,
             token: Arc::clone(&self.token),
+            trace_id: self.trace_id,
         }
     }
 
@@ -211,6 +236,7 @@ impl Clone for Frame {
         Frame {
             bytes: self.bytes.clone(),
             token: Arc::clone(&self.token),
+            trace_id: self.trace_id,
         }
     }
 }
@@ -320,6 +346,22 @@ mod tests {
         assert_eq!(counters().live_frames, base + 1, "clone keeps it alive");
         drop(c);
         assert_eq!(counters().live_frames, base);
+    }
+
+    #[test]
+    fn trace_id_names_the_packet_across_clone_slice_and_cow() {
+        let base = next_trace_id();
+        let mut f = Frame::from_vec(vec![1u8; 32]);
+        let g = Frame::from_vec(vec![2u8; 32]);
+        assert_eq!(f.trace_id(), base);
+        assert_eq!(g.trace_id(), base + 1, "ids are monotonic per thread");
+        let c = f.clone();
+        let s = f.slice(4..8);
+        assert_eq!(c.trace_id(), f.trace_id(), "clone keeps the id");
+        assert_eq!(s.trace_id(), f.trace_id(), "slice keeps the id");
+        f.make_mut()[0] = 9; // shared → copy-on-write detach
+        assert_eq!(f.trace_id(), c.trace_id(), "CoW detach keeps the id");
+        assert_eq!(next_trace_id(), base + 2, "CoW mints no new id");
     }
 
     #[test]

@@ -1251,7 +1251,8 @@ impl Rnic {
         let lin = qp.send_ptr_lin;
         let m = *qp.msg_at(lin).expect("tx pointer outside any message");
         let idx = (lin - m.base_lin) as u32;
-        if lin < qp.max_sent_lin {
+        let is_retransmit = lin < qp.max_sent_lin;
+        if is_retransmit {
             self.counters.retransmitted_packets += 1;
             tev!(
                 self.tel,
@@ -1318,7 +1319,16 @@ impl Rnic {
         if qp.send_ptr_lin > qp.max_sent_lin {
             qp.max_sent_lin = qp.send_ptr_lin;
         }
-        frame.emit()
+        let emitted = frame.emit();
+        if is_retransmit {
+            self.tel.record_hop(
+                emitted.trace_id(),
+                lumina_telemetry::trace::hops::RNIC_RETRANSMIT,
+                self.tel_node,
+                now.as_nanos(),
+            );
+        }
+        emitted
     }
 
     fn gen_read_resp_frame(&mut self, qpn: u32) -> Frame {

@@ -8,6 +8,7 @@ use crate::wheel::{Entry, TimerWheel};
 use crate::Node;
 use lumina_packet::buf::{self, CounterSnapshot};
 use lumina_packet::Frame;
+use lumina_telemetry::trace::hops as trace_hops;
 use lumina_telemetry::{tev, MetricSet, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -416,9 +417,11 @@ impl Engine {
         if self.telemetry.is_enabled() {
             self.telemetry.record_global_set(&self.stats);
             let (hwm, events) = (self.queue_hwm as u64, self.stats.events);
+            let peak = self.frame_stats().peak_live_frames;
             self.telemetry.with_profile(|p| {
                 p.queue_depth_hwm = p.queue_depth_hwm.max(hwm);
                 p.sim_events_dispatched = events;
+                p.peak_live_frames = p.peak_live_frames.max(peak);
             });
         }
         outcome
@@ -442,6 +445,12 @@ impl Engine {
                 EventKind::FrameArrive { port, frame } => {
                     self.stats.frames_delivered += 1;
                     self.stats.frame_bytes_delivered += frame.len() as u64;
+                    self.telemetry.record_hop(
+                        frame.trace_id(),
+                        trace_hops::LINK_INGRESS,
+                        ev.node.0 as u32,
+                        self.now.as_nanos(),
+                    );
                     node.on_frame(port, frame, &mut ctx);
                 }
                 EventKind::Timer { token } => {
@@ -502,6 +511,12 @@ impl Engine {
                 };
                 let line_bytes = lumina_packet::frame::line_occupancy_of(f.len());
                 let handoff = self.now + depart_delay;
+                self.telemetry.record_hop(
+                    f.trace_id(),
+                    trace_hops::LINK_EGRESS,
+                    from.0 as u32,
+                    handoff.as_nanos(),
+                );
                 // A duplicate serializes behind the original, like a
                 // link-layer replay.
                 let arrive = link.transmit(handoff, line_bytes);

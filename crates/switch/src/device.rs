@@ -9,6 +9,7 @@ use crate::wrr::WeightedRoundRobin;
 use lumina_packet::frame::{RoceFrame, ICRC_LEN};
 use lumina_packet::icrc::icrc_over_masked;
 use lumina_sim::{Frame, Node, NodeCtx, PortId, SimTime};
+use lumina_telemetry::trace::hops as trace_hops;
 use lumina_telemetry::{tev, MetricSet};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -237,6 +238,14 @@ impl SwitchNode {
         self.port_counters(port).mirrored += 1;
         self.port_counters(port).tx += 1;
         let latency = self.cfg.pipeline_latency;
+        // The copy shares the original's provenance id, so the lifecycle
+        // tracer sees one packet branching into a mirror leg.
+        ctx.telemetry().record_hop(
+            copy.trace_id(),
+            trace_hops::SWITCH_MIRROR,
+            ctx.telemetry_node(),
+            ctx.now().as_nanos(),
+        );
         ctx.send_after(port, copy, latency);
     }
 
@@ -328,6 +337,12 @@ impl SwitchNode {
                         *rem = rem.saturating_sub(1);
                         if *rem == 0 {
                             let h = slot.take().unwrap();
+                            ctx.telemetry().record_hop(
+                                h.frame.trace_id(),
+                                trace_hops::SWITCH_FORWARD,
+                                ctx.telemetry_node(),
+                                ctx.now().as_nanos(),
+                            );
                             ctx.send_after(h.out, h.frame, latency);
                         }
                     }
@@ -348,6 +363,12 @@ impl Node for SwitchNode {
                 if let Some(out) = self.forward_port(hdrs.ipv4.dst) {
                     self.port_counters(out).tx += 1;
                     let latency = self.cfg.pipeline_latency;
+                    ctx.telemetry().record_hop(
+                        raw.trace_id(),
+                        trace_hops::SWITCH_FORWARD,
+                        ctx.telemetry_node(),
+                        ctx.now().as_nanos(),
+                    );
                     ctx.send_after(out, raw, latency);
                     return;
                 }
@@ -409,6 +430,20 @@ impl Node for SwitchNode {
                     psn = frame.bth.psn,
                     iter = iter,
                 );
+                let hop = match a {
+                    EventAction::Drop => "switch.mutate.drop",
+                    EventAction::EcnMark => "switch.mutate.ecn",
+                    EventAction::Corrupt => "switch.mutate.corrupt",
+                    EventAction::SetMigReq(_) => "switch.mutate.migreq",
+                    EventAction::Delay(_) => "switch.mutate.delay",
+                    EventAction::Reorder(_) => "switch.mutate.reorder",
+                };
+                ctx.telemetry().record_hop(
+                    raw.trace_id(),
+                    hop,
+                    ctx.telemetry_node(),
+                    ctx.now().as_nanos(),
+                );
             }
         }
 
@@ -454,6 +489,12 @@ impl Node for SwitchNode {
             ForwardDecision::Dropped => {}
             ForwardDecision::Forward(fwd) => {
                 self.port_counters(out).tx += 1;
+                ctx.telemetry().record_hop(
+                    fwd.trace_id(),
+                    trace_hops::SWITCH_FORWARD,
+                    ctx.telemetry_node(),
+                    ctx.now().as_nanos(),
+                );
                 ctx.send_after(out, fwd, latency);
                 if is_data {
                     self.advance_holds(conn, ctx);
@@ -482,6 +523,12 @@ impl Node for SwitchNode {
         if let Some(Some(_)) = self.held.get(idx) {
             let h = self.held[idx].take().unwrap();
             let latency = self.cfg.pipeline_latency;
+            ctx.telemetry().record_hop(
+                h.frame.trace_id(),
+                trace_hops::SWITCH_FORWARD,
+                ctx.telemetry_node(),
+                ctx.now().as_nanos(),
+            );
             ctx.send_after(h.out, h.frame, latency);
         }
     }

@@ -39,10 +39,12 @@
 pub mod journal;
 pub mod metrics;
 pub mod profile;
+pub mod trace;
 
 pub use journal::{AttrValue, Journal, TelemetryEvent};
 pub use metrics::{Histogram, MetricSet, NodeMetrics, Registry};
 pub use profile::SelfProfile;
+pub use trace::{FlightRecorder, HopRecord, TraceSummary};
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -69,9 +71,14 @@ impl Default for TelemetryConfig {
 
 struct Inner {
     enabled: AtomicBool,
+    // Packet-lifecycle tracing is a separate, off-by-default gate: an
+    // enabled sink still records no hops until `enable_tracing`, so the
+    // golden reports (which run with telemetry on) never see a trace.
+    tracing: AtomicBool,
     journal: Mutex<Journal>,
     registry: Mutex<Registry>,
     profile: Mutex<SelfProfile>,
+    recorder: Mutex<FlightRecorder>,
 }
 
 /// Lock that shrugs off poisoning: a panicking worker thread must not
@@ -119,9 +126,11 @@ impl Telemetry {
         Telemetry {
             inner: Arc::new(Inner {
                 enabled: AtomicBool::new(config.enabled),
+                tracing: AtomicBool::new(false),
                 journal: Mutex::new(Journal::new(config.journal_capacity)),
                 registry: Mutex::new(Registry::default()),
                 profile: Mutex::new(SelfProfile::default()),
+                recorder: Mutex::new(FlightRecorder::new(1, 0)),
             }),
         }
     }
@@ -144,6 +153,40 @@ impl Telemetry {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------ tracing
+
+    /// Whether packet-lifecycle tracing is on. Instrumented hops consult
+    /// this first, so tracing costs one branch when off — exactly like
+    /// the [`tev!`] gate.
+    #[inline]
+    pub fn is_tracing(&self) -> bool {
+        self.inner.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Turn on the flight recorder with a ring of `capacity` records.
+    /// `baseline` is the raw provenance-counter reading at enable time
+    /// (`lumina_packet::buf::next_trace_id()` at the call site); recorded
+    /// ids are stored relative to it, which is what makes same-seed
+    /// traces byte-identical across runs and across fuzz worker threads.
+    pub fn enable_tracing(&self, capacity: usize, baseline: u64) {
+        *lock(&self.inner.recorder) = FlightRecorder::new(capacity, baseline);
+        self.inner.tracing.store(true, Ordering::Relaxed);
+    }
+
+    /// Record one lifecycle hop; no-op (one branch) unless tracing is on.
+    #[inline]
+    pub fn record_hop(&self, raw_trace_id: u64, hop: &'static str, node: u32, t: u64) {
+        if !self.is_tracing() {
+            return;
+        }
+        lock(&self.inner.recorder).record(raw_trace_id, hop, node, t);
+    }
+
+    /// Run `f` over the flight recorder (summaries, exports).
+    pub fn with_recorder<R>(&self, f: impl FnOnce(&FlightRecorder) -> R) -> R {
+        f(&lock(&self.inner.recorder))
     }
 
     // ------------------------------------------------------------ journal
@@ -493,6 +536,28 @@ mod tests {
         assert_eq!(snap["journal"]["events"], 1u64);
         assert_eq!(snap["nodes"]["1"]["counters"]["tx_packets"], 3u64);
         assert_eq!(snap["nodes"]["1"]["gauges"]["queue_depth_hwm"], 5i64);
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_even_when_enabled() {
+        let tel = Telemetry::enabled();
+        assert!(tel.is_enabled());
+        assert!(!tel.is_tracing());
+        tel.record_hop(5, "gen.enqueue", 0, 100);
+        assert!(tel.with_recorder(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn enable_tracing_normalizes_against_baseline() {
+        let tel = Telemetry::enabled();
+        tel.enable_tracing(16, 40);
+        assert!(tel.is_tracing());
+        tel.record_hop(42, "gen.enqueue", 0, 100);
+        let (len, id) = tel.with_recorder(|r| {
+            (r.len(), r.iter().next().map(|h| h.trace_id))
+        });
+        assert_eq!(len, 1);
+        assert_eq!(id, Some(2));
     }
 
     #[test]

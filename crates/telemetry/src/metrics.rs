@@ -73,6 +73,26 @@ impl Histogram {
         self.sum
     }
 
+    /// Lower bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`), or `None` for an empty histogram. The log-linear
+    /// buckets bound the approximation error at ≤ 12.5 % of the value —
+    /// good enough for a latency budget check, and exactly reproducible
+    /// from the serialized `[lower_bound, count]` pairs.
+    pub fn quantile_lower_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&idx, &c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_lower_bound(idx));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Render as JSON: summary stats plus `[lower_bound, count]` pairs
     /// for each non-empty bucket, ascending.
     pub fn to_json(&self) -> serde_json::Value {
@@ -273,6 +293,22 @@ mod tests {
         let j = h.to_json();
         assert_eq!(j["min"], 10u64);
         assert_eq!(j["max"], 30u64);
+    }
+
+    #[test]
+    fn quantile_walks_the_bucket_table() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile_lower_bound(0.99), None);
+        for v in 1..=100u64 {
+            h.record(v * 100);
+        }
+        // p50 sits near 5000, p99 near 9900 — within one bucket width.
+        let p50 = h.quantile_lower_bound(0.50).unwrap();
+        let p99 = h.quantile_lower_bound(0.99).unwrap();
+        assert!((4096..=5120).contains(&p50), "p50 {p50}");
+        assert!((8192..=9984).contains(&p99), "p99 {p99}");
+        assert!(h.quantile_lower_bound(1.0).unwrap() <= 10_000);
+        assert_eq!(h.quantile_lower_bound(0.0), h.quantile_lower_bound(0.001));
     }
 
     #[test]

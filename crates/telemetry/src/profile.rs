@@ -33,6 +33,9 @@ pub struct SelfProfile {
     pub queue_depth_hwm: u64,
     /// Simulation events dispatched, reported by the engine.
     pub sim_events_dispatched: u64,
+    /// High-water mark of concurrently live frame buffers, reported by
+    /// the engine from the frame-plane ledger.
+    pub peak_live_frames: u64,
     started: Instant,
     wall_ns: Option<u64>,
     spans: BTreeMap<&'static str, SpanStats>,
@@ -46,6 +49,7 @@ impl Default for SelfProfile {
             events_recorded: 0,
             queue_depth_hwm: 0,
             sim_events_dispatched: 0,
+            peak_live_frames: 0,
             started: Instant::now(),
             wall_ns: None,
             spans: BTreeMap::new(),
@@ -125,6 +129,10 @@ impl SelfProfile {
             serde_json::Value::from(self.sim_events_dispatched),
         );
         m.insert("queue_depth_hwm", serde_json::Value::from(self.queue_depth_hwm));
+        m.insert(
+            "peak_live_frames",
+            serde_json::Value::from(self.peak_live_frames),
+        );
         let mut spans = serde_json::Map::new();
         for (name, s) in &self.spans {
             let mut sj = serde_json::Map::new();

@@ -14,7 +14,10 @@ check:
 # kind and asserts the conformance oracle flags each with its expected
 # violation class), the panic guard (no unwrap/expect on capture-derived
 # paths), the frame-plane hotpath smoke (asserts the identical-outcome
-# column and the copy-reduction bar), lint with warnings fatal.
+# column and the copy-reduction bar), the trace-determinism suite plus a
+# live `trace` smoke with Perfetto export, the bench gate (fails on >20%
+# regression against the newest committed BENCH_*.json), lint with
+# warnings fatal.
 ci:
     cargo build --release
     cargo test -q
@@ -23,7 +26,10 @@ ci:
     cargo test -q --test fault_matrix
     cargo test -q --test quirk_matrix
     cargo test -q --test panic_guard
+    cargo test -q --test trace_determinism
     cargo test -q -p lumina-bench hotpath
+    just trace
+    just bench-gate
     cargo clippy -- -D warnings
 
 # Fast feedback loop: debug build + tests.
@@ -36,11 +42,22 @@ lint:
 
 # Run one test config end to end and show the human report.
 demo config="configs/listing2.yaml":
-    cargo run --release --bin lumina-cli -- {{config}}
+    cargo run --release -p lumina-core --bin lumina-cli -- {{config}}
 
 # Dump the telemetry journal + per-node metrics for a config.
 telemetry config="configs/listing2.yaml":
-    cargo run --release --bin lumina-cli -- telemetry --config {{config}}
+    cargo run --release -p lumina-core --bin lumina-cli -- telemetry --config {{config}}
+
+# Per-packet latency dissection with Perfetto export (load the JSON at
+# ui.perfetto.dev). Doubles as the CI smoke test for the tracing path.
+trace config="configs/fig11_noisy_neighbor.yaml" out="perfetto.json":
+    cargo run --release -p lumina-core --bin lumina-cli -- trace --config {{config}} --perfetto {{out}}
+
+# Compare current performance against the newest committed BENCH_*.json;
+# exits 1 on a >20% regression. Record a new baseline with
+# `cargo run --release -p lumina-bench --bin bench-gate -- --write BENCH_<date>.json`.
+bench-gate:
+    cargo run --release -p lumina-bench --bin bench-gate
 
 # Criterion-style benchmarks (shimmed harness; wall-clock smoke numbers).
 bench:

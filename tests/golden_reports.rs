@@ -169,6 +169,46 @@ fn quirk_free_reports_never_gain_quirk_keys() {
 }
 
 #[test]
+fn trace_free_reports_never_gain_a_trace_key() {
+    // Lifecycle tracing is absent-by-default: a config without an active
+    // `trace:` section must produce a report with no "trace" key at all
+    // — not even an empty dissection — or every pre-tracing golden
+    // silently invalidates. (The needle includes the colon because every
+    // golden legitimately contains "trace_packets".)
+    if updating() {
+        return;
+    }
+    let mut trace_free = 0;
+    for (name, cfg) in corpus() {
+        let golden = std::fs::read_to_string(golden_dir().join(format!("{name}.json")))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        if cfg.trace.as_ref().is_some_and(|t| !t.is_noop()) {
+            assert!(
+                golden.contains("\"trace\":"),
+                "{name}: traced preset lost its trace dissection"
+            );
+        } else {
+            trace_free += 1;
+            assert!(
+                !golden.contains("\"trace\":"),
+                "{name}: trace-free report gained a trace section"
+            );
+        }
+    }
+    assert!(trace_free >= 8, "seed corpus shrank: {trace_free}");
+
+    // The "on" side of the protection: the same config with tracing
+    // enabled gains the dissection (so the absence above is a choice,
+    // not a dead feature).
+    let (name, mut cfg) = corpus().swap_remove(0);
+    cfg.trace = Some(lumina_core::config::TraceSection::default());
+    let res = run_test(&cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let report = res.report_json().unwrap();
+    let trace = report.get("trace").expect("traced run reports a dissection");
+    assert!(trace["packets"].as_u64().unwrap_or(0) > 0, "{name}: empty dissection");
+}
+
+#[test]
 fn same_timestamp_timers_fire_in_schedule_order() {
     // The calendar-queue scheduler's FIFO contract, observed through the
     // public engine API: events sharing one timestamp pop in the order

@@ -35,6 +35,9 @@ fn audited_sources() -> Vec<PathBuf> {
 
     // The trace reconstructor: first consumer of raw capture bytes.
     files.push(root.join("crates/dumper/src/trace.rs"));
+    // The lifecycle flight recorder and its Perfetto export: runs inside
+    // every traced simulation and renders attacker-shaped record streams.
+    files.push(root.join("crates/telemetry/src/trace.rs"));
     files
 }
 

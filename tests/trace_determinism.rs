@@ -1,0 +1,77 @@
+//! Lifecycle tracing is part of the deterministic surface: the flight
+//! recorder and its Perfetto export must be byte-identical across
+//! same-seed runs, and — because provenance ids are normalized against a
+//! baseline captured at enable time — across threads whose provenance
+//! counters start at different values (exactly the situation of parallel
+//! fuzz workers, each of which replays candidates on its own thread).
+
+use lumina_core::config::TestConfig;
+use lumina_core::orchestrator::run_test;
+use lumina_sim::telemetry::trace::perfetto_json;
+use std::collections::BTreeMap;
+
+const TRACED_YAML: &str = r#"
+requester:
+  nic-type: cx5
+responder:
+  nic-type: cx5
+traffic:
+  num-connections: 2
+  rdma-verb: write
+  num-msgs-per-qp: 4
+  mtu: 1024
+  message-size: 4096
+  tx-depth: 2
+trace:
+  capacity: 65536
+"#;
+
+/// Run the traced config and render both deterministic views.
+fn trace_bytes() -> (String, String) {
+    let cfg = TestConfig::from_yaml(TRACED_YAML).expect("config parses");
+    let res = run_test(&cfg).expect("run succeeds");
+    assert!(res.telemetry.is_tracing(), "trace section arms the recorder");
+    let mut names = BTreeMap::new();
+    for (id, name) in [(0u32, "requester"), (1, "responder"), (2, "switch"), (3, "dumper-0")] {
+        names.insert(id, name.to_string());
+    }
+    res.telemetry.with_recorder(|r| {
+        assert!(!r.is_empty(), "instrumented hops recorded");
+        let perfetto = serde_json::to_string(&perfetto_json(r, &names)).expect("serializes");
+        (r.to_jsonl(), perfetto)
+    })
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let (jsonl_a, perfetto_a) = trace_bytes();
+    let (jsonl_b, perfetto_b) = trace_bytes();
+    assert_eq!(jsonl_a, jsonl_b, "flight recorder differs across runs");
+    assert_eq!(perfetto_a, perfetto_b, "Perfetto export differs across runs");
+}
+
+#[test]
+fn worker_threads_with_different_id_baselines_agree() {
+    // Advance this thread's provenance counter the way earlier fuzz
+    // candidates would, then trace: the baseline captured at enable time
+    // must cancel the offset out.
+    for _ in 0..3 {
+        let _ = lumina_packet::Frame::from_vec(vec![0u8; 64]);
+    }
+    let (jsonl_main, perfetto_main) = trace_bytes();
+
+    // A fresh worker thread starts its provenance counter from zero —
+    // the same situation as a differently-sized fuzz worker pool
+    // handing the candidate to a different thread.
+    let handle = std::thread::spawn(trace_bytes);
+    let (jsonl_worker, perfetto_worker) = handle.join().expect("worker thread");
+
+    assert_eq!(
+        jsonl_main, jsonl_worker,
+        "flight recorder depends on which thread ran the test"
+    );
+    assert_eq!(
+        perfetto_main, perfetto_worker,
+        "Perfetto export depends on which thread ran the test"
+    );
+}
