@@ -265,15 +265,49 @@ fn trace_cmd(args: &[String]) -> ExitCode {
 
 /// `lumina-cli fuzz --config <base.yaml> [--workers N] [--generations G]
 /// [--batch B] [--seed S] [--pool P] [--threshold T] [--score default|noisy]
-/// [--events-only]`: genetic campaign with the parallel executor. Anomaly
-/// JSONL on stdout, summary + per-worker profile on stderr.
+/// [--events-only] [--coverage] [--corpus-dir D] [--no-shrink]
+/// [--quirk-knobs]`: genetic campaign with the parallel executor. Anomaly
+/// JSONL on stdout (reproducer JSONL after it in coverage mode), summary +
+/// per-worker profile on stderr.
 fn fuzz_cmd(args: &[String]) -> ExitCode {
+    let corpus_dir = cli::flag_value(args, "--corpus-dir").map(str::to_owned);
+    let coverage_on = cli::has_flag(args, "--coverage")
+        || cli::has_flag(args, "--shrink")
+        || corpus_dir.is_some();
     let parsed: Result<(TestConfig, FuzzParams), Error> = (|| {
         let opts = CommonOpts::parse(args)?;
         let cfg = opts.load()?;
         let defaults = FuzzParams::default();
         let batch_size = cli::numeric_flag(args, "--batch", defaults.batch_size)?;
         let generations: usize = cli::numeric_flag(args, "--generations", 8)?;
+        let coverage = if coverage_on {
+            // A corpus from an earlier campaign seeds the pool and
+            // pre-covers the map, so growth counts only new behavior.
+            let mut cp = lumina_core::fuzz::coverage::CoverageParams {
+                shrink: !cli::has_flag(args, "--no-shrink"),
+                ..Default::default()
+            };
+            if let Some(dir) = &corpus_dir {
+                let path = std::path::Path::new(dir).join("corpus.jsonl");
+                if path.exists() {
+                    let text =
+                        std::fs::read_to_string(&path).map_err(|source| Error::Io {
+                            path: path.display().to_string(),
+                            source,
+                        })?;
+                    cp.seed_corpus =
+                        lumina_core::fuzz::coverage::Corpus::from_jsonl(&text)?;
+                    eprintln!(
+                        "fuzz: reloaded {} corpus entries from {}",
+                        cp.seed_corpus.len(),
+                        path.display()
+                    );
+                }
+            }
+            Some(cp)
+        } else {
+            None
+        };
         let params = FuzzParams {
             pool_size: cli::numeric_flag(args, "--pool", defaults.pool_size)?,
             iterations: generations.max(1) * batch_size.max(1),
@@ -283,6 +317,7 @@ fn fuzz_cmd(args: &[String]) -> ExitCode {
             seed: opts.seed.unwrap_or(defaults.seed),
             batch_size,
             workers: cli::numeric_flag(args, "--workers", fuzz::default_workers())?,
+            coverage,
             ..defaults
         };
         Ok((cfg, params))
@@ -304,6 +339,7 @@ fn fuzz_cmd(args: &[String]) -> ExitCode {
         };
     let mut mutator = EventMutator {
         events_only: cli::has_flag(args, "--events-only"),
+        mutate_quirks: cli::has_flag(args, "--quirk-knobs"),
         ..EventMutator::default()
     };
 
@@ -345,6 +381,79 @@ fn fuzz_cmd(args: &[String]) -> ExitCode {
             "{}",
             serde_json::to_string(&serde_json::Value::Object(line)).unwrap()
         );
+    }
+
+    // Coverage mode: one JSON line per finding's minimal reproducer,
+    // after the rejection stream (a new key, so legacy consumers are
+    // untouched), then corpus/reproducer persistence and the growth
+    // summary on stderr.
+    if let Some(cov) = &out.coverage {
+        for r in &cov.reproducers {
+            let mut line = serde_json::Map::new();
+            line.insert("reproducer", serde_json::Value::from(r.candidate));
+            line.insert(
+                "class",
+                match r.class {
+                    Some(c) => serde_json::Value::from(c.label()),
+                    None => serde_json::Value::Null,
+                },
+            );
+            line.insert("desc", serde_json::Value::from(r.desc.as_str()));
+            line.insert("reproduces", serde_json::Value::from(r.shrink.reproduces));
+            line.insert("removed", serde_json::Value::from(r.shrink.removed() as u64));
+            line.insert("shrink-runs", serde_json::Value::from(r.shrink.runs_used as u64));
+            line.insert("config", serde_json::to_value(&r.shrink.cfg).unwrap());
+            println!(
+                "{}",
+                serde_json::to_string(&serde_json::Value::Object(line)).unwrap()
+            );
+        }
+        if let Some(dir) = &corpus_dir {
+            let dir = std::path::Path::new(dir);
+            let write = |path: &std::path::Path, text: &str| -> Result<(), Error> {
+                std::fs::write(path, text).map_err(|source| Error::Io {
+                    path: path.display().to_string(),
+                    source,
+                })
+            };
+            let persist = (|| -> Result<(), Error> {
+                std::fs::create_dir_all(dir).map_err(|source| Error::Io {
+                    path: dir.display().to_string(),
+                    source,
+                })?;
+                write(&dir.join("corpus.jsonl"), &cov.corpus.to_jsonl())?;
+                for r in &cov.reproducers {
+                    let label = r.class.map_or("anomaly", |c| c.label());
+                    let name = format!("repro-{}-{}.yaml", r.candidate, label);
+                    write(&dir.join(name), &r.shrink.cfg.to_yaml())?;
+                }
+                Ok(())
+            })();
+            if let Err(e) = persist {
+                return fail(e);
+            }
+            eprintln!(
+                "fuzz: persisted {} corpus entries, {} reproducers to {}",
+                cov.corpus.len(),
+                cov.reproducers.len(),
+                dir.display()
+            );
+        }
+        match (cov.growth.first(), cov.growth.last()) {
+            (Some((_, first)), Some((at, last))) => eprintln!(
+                "fuzz: coverage {} distinct slots ({} novel candidates, {first}->{last} by candidate {at}), corpus {} entries, {} reproducers",
+                cov.map.distinct(),
+                cov.growth.len(),
+                cov.corpus.len(),
+                cov.reproducers.len()
+            ),
+            _ => eprintln!(
+                "fuzz: coverage {} distinct slots (no growth this campaign), corpus {} entries, {} reproducers",
+                cov.map.distinct(),
+                cov.corpus.len(),
+                cov.reproducers.len()
+            ),
+        }
     }
 
     eprintln!(

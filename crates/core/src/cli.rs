@@ -75,6 +75,15 @@ FUZZ OPTIONS:
     --threshold <t>   anomaly score threshold
     --score <name>    scoring function: default | noisy | violations
     --events-only     mutate only the event list
+    --coverage        coverage-guided mode: journal-edge × violation-class
+                      novelty steers selection; findings are auto-shrunk
+                      into minimal reproducer YAMLs on stdout
+    --corpus-dir <d>  persist/reload the novel-config corpus (JSONL) and
+                      write reproducer YAMLs there (implies --coverage)
+    --shrink          force shrinking on (implied by --coverage; use
+                      --no-shrink to keep findings unshrunk)
+    --no-shrink       record findings without shrinking them
+    --quirk-knobs     let the mutator flip DUT-misbehavior (quirks) knobs
     (--seed seeds the campaign's mutation PRNG)
 
 EXIT CODES:
@@ -122,7 +131,7 @@ pub fn opt_numeric_flag<T: std::str::FromStr>(
 }
 
 /// Flags whose value must not be mistaken for the positional config path.
-const VALUED_FLAGS: [&str; 13] = [
+const VALUED_FLAGS: [&str; 14] = [
     "--config",
     "--seed",
     "--pcap",
@@ -136,6 +145,7 @@ const VALUED_FLAGS: [&str; 13] = [
     "--faults",
     "--quirks",
     "--retries",
+    "--corpus-dir",
 ];
 
 /// A standalone fault-injection file (`--faults`): one top-level
@@ -309,6 +319,11 @@ mod tests {
             "--faults",
             "--quirks",
             "--retries",
+            "--coverage",
+            "--corpus-dir",
+            "--shrink",
+            "--no-shrink",
+            "--quirk-knobs",
             "conformance oracle",
             "6  reconstruction",
             "7  watchdog",

@@ -22,15 +22,34 @@
 //! worker count** (including the thread-free serial path, `workers <= 1`).
 //! `tests/fuzz_parallel_differential.rs` holds the executor to that
 //! guarantee.
+//!
+//! # Coverage-guided mode
+//!
+//! With [`FuzzParams::coverage`] set, candidate fitness combines the
+//! heuristic score with *novelty*: each run is reduced to its
+//! (journal-edge, violation-class) signal ([`coverage::signal_of`]) and
+//! folded into a campaign-wide [`coverage::CoverageMap`] — on the
+//! campaign thread, in slot order, so the bit-identity guarantee above
+//! extends to the map, the corpus and every reproducer
+//! (`tests/fuzz_coverage_differential.rs`). A candidate covering fresh
+//! slots is kept regardless of the pool median, earns a selection-energy
+//! bonus (re-sanitized, so a NaN/inf scorer cannot poison corpus energy),
+//! and enters a bounded [`coverage::Corpus`]. Findings — proven violation
+//! classes and threshold anomalies — are auto-shrunk into minimal
+//! reproducer configs ([`shrink`]), one per class / anomaly description.
 
+pub mod coverage;
 pub mod mutate;
 pub mod score;
+pub mod shrink;
 
 use crate::config::TestConfig;
 use crate::error::Error;
 use crate::orchestrator::{panic_message, run_test, TestResults};
+use coverage::CorpusEntry;
 use lumina_sim::{SimRng, Telemetry};
 use mutate::Mutator;
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -59,6 +78,9 @@ pub struct FuzzParams {
     /// evaluates on the calling thread without spawning. The outcome is
     /// identical for every value given the same seed and batch size.
     pub workers: usize,
+    /// Coverage-guided mode (see the module docs); `None` — the default —
+    /// keeps the campaign byte-identical to the heuristic-only executor.
+    pub coverage: Option<coverage::CoverageParams>,
 }
 
 impl Default for FuzzParams {
@@ -71,6 +93,7 @@ impl Default for FuzzParams {
             seed: 0xf022,
             batch_size: 8,
             workers: default_workers(),
+            coverage: None,
         }
     }
 }
@@ -152,6 +175,36 @@ pub struct FuzzOutcome {
     /// Campaign-level telemetry: the self-profile carries per-worker
     /// runs/sec and the campaign wall clock.
     pub telemetry: Telemetry,
+    /// Coverage accounting, `Some` iff [`FuzzParams::coverage`] was set.
+    pub coverage: Option<CoverageOutcome>,
+}
+
+/// What a coverage-guided campaign accumulated.
+#[derive(Debug)]
+pub struct CoverageOutcome {
+    /// The campaign-wide coverage map.
+    pub map: coverage::CoverageMap,
+    /// Novel configurations, bounded and in discovery order.
+    pub corpus: coverage::Corpus,
+    /// Findings with their (shrunk) minimal reproducers: one per proven
+    /// violation class plus one per distinct anomaly description.
+    pub reproducers: Vec<shrink::Reproducer>,
+    /// `(candidate index, cumulative distinct slots)` recorded each time
+    /// the map grew — the coverage-growth curve.
+    pub growth: Vec<(u64, usize)>,
+}
+
+/// Mutable campaign state for the coverage-guided mode.
+struct CoverageState {
+    params: coverage::CoverageParams,
+    map: coverage::CoverageMap,
+    corpus: coverage::Corpus,
+    reproducers: Vec<shrink::Reproducer>,
+    growth: Vec<(u64, usize)>,
+    /// Violation classes already shipped with a reproducer.
+    seen_classes: BTreeSet<&'static str>,
+    /// Anomaly descriptions already shipped with a reproducer.
+    seen_anomalies: BTreeSet<String>,
 }
 
 /// A candidate with its pre-drawn selection randomness. Building these is
@@ -167,15 +220,16 @@ struct Candidate {
 
 /// How a dispatched run failed: a typed error from `run_test`, or a panic
 /// the worker caught and carried home as a message.
-enum EvalFailure {
+pub(crate) enum EvalFailure {
     Error(Error),
     Panic(String),
 }
 
 /// `run_test` with panic isolation: a panicking configuration is a result
 /// to classify, not the end of the campaign (or of a worker thread, which
-/// would silently starve the batch).
-fn run_caught(cfg: &TestConfig) -> Result<TestResults, EvalFailure> {
+/// would silently starve the batch). The shrinker leans on the same
+/// isolation for its verification re-runs.
+pub(crate) fn run_caught(cfg: &TestConfig) -> Result<TestResults, EvalFailure> {
     match catch_unwind(AssertUnwindSafe(|| run_test(cfg))) {
         Ok(Ok(r)) => Ok(r),
         Ok(Err(e)) => Err(EvalFailure::Error(e)),
@@ -234,7 +288,25 @@ where
         rejections: Vec::new(),
         final_pool: Vec::new(),
         telemetry: tel.clone(),
+        coverage: None,
     };
+    // Coverage mode: the map starts pre-covered by the reloaded corpus,
+    // so the growth curve counts only what this campaign adds.
+    let mut cov = params.coverage.clone().map(|cp| {
+        let mut map = coverage::CoverageMap::default();
+        for e in cp.seed_corpus.entries() {
+            map.preload(e.new_slots.iter().copied());
+        }
+        CoverageState {
+            map,
+            corpus: cp.seed_corpus.clone(),
+            reproducers: Vec::new(),
+            growth: Vec::new(),
+            seen_classes: BTreeSet::new(),
+            seen_anomalies: BTreeSet::new(),
+            params: cp,
+        }
+    });
 
     // 1. Initialization: a pool of valid configurations derived from the
     // base.
@@ -251,6 +323,18 @@ where
             score: 0.0,
         });
     }
+    // A reloaded corpus seeds the pool too (no RNG draws, so the
+    // cross-worker-count determinism is untouched).
+    if let Some(cov) = cov.as_ref() {
+        for e in cov.params.seed_corpus.entries() {
+            if e.config.validate().is_ok() {
+                pool.push(Scored {
+                    cfg: e.config.clone(),
+                    score: sanitize_score(e.score),
+                });
+            }
+        }
+    }
 
     let batch = params.batch_size.max(1);
     let mut done = 0usize;
@@ -259,7 +343,16 @@ where
         // 2. Mutation — every RNG decision for the generation, up front.
         let cands: Vec<Candidate> = (0..g)
             .map(|_| {
-                let parent = pool[rng.index(pool.len())].cfg.clone();
+                // Binary-tournament parent selection: selection energy —
+                // heuristic score plus any novelty bonus — biases which
+                // lineages get mutated, which is what makes the bonus
+                // *guide* the campaign rather than just pad the pool.
+                // Two draws regardless of outcome, so the RNG schedule
+                // stays a pure function of (seed, batch sizes).
+                let a = rng.index(pool.len());
+                let b = rng.index(pool.len());
+                let pick = if pool[b].score > pool[a].score { b } else { a };
+                let parent = pool[pick].cfg.clone();
                 let cfg = mutator.mutate(&parent, &mut rng);
                 let accept_draw = rng.unit_f64();
                 let invalid = cfg.validate().err().map(|e| e.to_string());
@@ -321,18 +414,108 @@ where
                     continue;
                 }
             };
-            let s = sanitize_score(raw);
+            let raw_s = sanitize_score(raw);
+            let mut s = raw_s;
+            let mut fresh_slots = 0usize;
+            // Coverage merge: on the campaign thread, in slot order, so
+            // the map/corpus/reproducers inherit the executor's
+            // cross-worker-count bit-identity.
+            if let Some(cov) = cov.as_mut() {
+                let sig = coverage::signal_of(&results);
+                let fresh = cov.map.merge(&sig);
+                fresh_slots = fresh.len();
+                if fresh_slots > 0 {
+                    // Novelty is selection energy: a bonus per fresh
+                    // slot, re-sanitized so a NaN/inf scorer cannot ride
+                    // the bonus into the pool or the corpus.
+                    s = sanitize_score(
+                        raw_s + cov.params.novelty_weight * fresh_slots as f64,
+                    );
+                    cov.growth.push((candidate, cov.map.distinct()));
+                    cov.corpus.admit(
+                        CorpusEntry {
+                            candidate,
+                            score: s,
+                            new_slots: fresh,
+                            config: cand.cfg.clone(),
+                        },
+                        cov.params.corpus_cap,
+                    );
+                }
+                // Findings ship with a minimal reproducer: one per newly
+                // proven violation class…
+                let classes = coverage::violation_classes(&results);
+                for class in &classes {
+                    if !cov.seen_classes.insert(class.label()) {
+                        continue;
+                    }
+                    let shrunk = if cov.params.shrink {
+                        shrink::shrink_violation(
+                            &cand.cfg,
+                            *class,
+                            &shrink::ShrinkParams {
+                                max_runs: cov.params.shrink_budget,
+                                ..Default::default()
+                            },
+                        )
+                    } else {
+                        unshrunk(cand.cfg.clone())
+                    };
+                    cov.reproducers.push(shrink::Reproducer {
+                        candidate,
+                        class: Some(*class),
+                        desc: format!("violation {}", class.label()),
+                        shrink: shrunk,
+                    });
+                }
+                // …and one per distinct heuristic-anomaly description
+                // (violation-free runs whose raw score crossed the
+                // threshold), preserving "score still over threshold".
+                if raw_s >= params.anomaly_threshold
+                    && classes.is_empty()
+                    && cov.seen_anomalies.insert(desc.clone())
+                {
+                    let shrunk = if cov.params.shrink {
+                        let threshold = params.anomaly_threshold;
+                        let keep = |c: &TestConfig, r: &TestResults| {
+                            match catch_unwind(AssertUnwindSafe(|| score(c, r))) {
+                                Ok((v, _)) => sanitize_score(v) >= threshold,
+                                Err(_) => false,
+                            }
+                        };
+                        shrink::shrink_config(
+                            &cand.cfg,
+                            &keep,
+                            &shrink::ShrinkParams {
+                                max_runs: cov.params.shrink_budget,
+                                ..Default::default()
+                            },
+                        )
+                    } else {
+                        unshrunk(cand.cfg.clone())
+                    };
+                    cov.reproducers.push(shrink::Reproducer {
+                        candidate,
+                        class: None,
+                        desc: desc.clone(),
+                        shrink: shrunk,
+                    });
+                }
+            }
             outcome.history.push(s);
             let scored = Scored { cfg: cand.cfg, score: s };
             if outcome.best.as_ref().is_none_or(|b| s > b.score) {
                 outcome.best = Some(scored.clone());
             }
-            if s >= params.anomaly_threshold {
+            // The anomaly verdict stays on the raw heuristic score: the
+            // novelty bonus is selection energy, not anomaly evidence.
+            if raw_s >= params.anomaly_threshold {
                 on_anomaly(candidate, &scored, &desc);
                 outcome.anomalies.push((scored.clone(), desc));
             }
             let median = median_score(&pool);
-            if s >= median || cand.accept_draw < params.accept_prob {
+            // New coverage ⇒ keep, regardless of the pool median.
+            if fresh_slots > 0 || s >= median || cand.accept_draw < params.accept_prob {
                 pool.push(scored);
                 // Bound the pool: evict the worst member.
                 if pool.len() > params.pool_size * 4 {
@@ -351,8 +534,22 @@ where
     tel.with_profile(|p| {
         p.set_campaign_wall_ns(campaign_start.elapsed().as_nanos() as u64);
     });
+    outcome.coverage = cov.map(|c| CoverageOutcome {
+        map: c.map,
+        corpus: c.corpus,
+        reproducers: c.reproducers,
+        growth: c.growth,
+    });
     outcome.final_pool = pool;
     outcome
+}
+
+/// A reproducer recorded with shrinking disabled: the finding config
+/// as-is, known to reproduce (the discovering run just did).
+fn unshrunk(cfg: TestConfig) -> shrink::ShrinkOutcome {
+    let mut out = shrink::ShrinkOutcome::untouched(cfg);
+    out.reproduces = true;
+    out
 }
 
 /// Run every valid candidate of a generation, returning results in slot
@@ -555,6 +752,113 @@ traffic:
         assert!(out.history.iter().all(|s| *s == 0.0));
         assert!(out.anomalies.is_empty());
         assert!(out.final_pool.iter().all(|s| s.score.is_finite()));
+    }
+
+    #[test]
+    fn nan_scorer_with_novelty_bonus_stays_sanitized() {
+        // Regression: the novelty bonus is added *after* the first
+        // sanitize; the sum must be re-sanitized or a NaN/inf scorer
+        // rides the bonus into pool energy and corpus entries.
+        let base = tiny_base();
+        let mut m = EventMutator::default();
+        let params = serial(&FuzzParams {
+            pool_size: 2,
+            iterations: 6,
+            anomaly_threshold: f64::INFINITY,
+            coverage: Some(coverage::CoverageParams::default()),
+            ..Default::default()
+        });
+        let out = fuzz(&base, &mut m, |_c, _r| (f64::NAN, "nan".into()), &params);
+        assert!(out.history.iter().all(|s| s.is_finite()), "{:?}", out.history);
+        assert!(out.final_pool.iter().all(|s| s.score.is_finite()));
+        let cov = out.coverage.expect("coverage mode on");
+        assert!(cov.corpus.entries().iter().all(|e| e.score.is_finite()));
+
+        // Same with an infinite scorer: the bonus must not overflow past
+        // the clamp.
+        let mut m = EventMutator::default();
+        let out = fuzz(&base, &mut m, |_c, _r| (f64::INFINITY, "inf".into()), &params);
+        assert!(out.history.iter().all(|s| s.is_finite()));
+        let cov = out.coverage.expect("coverage mode on");
+        assert!(cov.corpus.entries().iter().all(|e| e.score.is_finite()));
+    }
+
+    #[test]
+    fn coverage_mode_parallel_matches_serial_smoke() {
+        // The full sweep (map, corpus, reproducers, across worker counts)
+        // lives in tests/fuzz_coverage_differential.rs; this pins the
+        // invariant at the unit level for the growth curve and history.
+        let base = tiny_base();
+        let params = FuzzParams {
+            pool_size: 3,
+            iterations: 6,
+            batch_size: 3,
+            workers: 0,
+            coverage: Some(coverage::CoverageParams {
+                shrink: false,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let run = |workers: usize| {
+            let mut m = EventMutator::default();
+            let out = fuzz(
+                &base,
+                &mut m,
+                score::default_score,
+                &FuzzParams { workers, ..params.clone() },
+            );
+            let cov = out.coverage.expect("coverage mode on");
+            (
+                out.history.clone(),
+                cov.growth.clone(),
+                cov.map.slots().collect::<Vec<_>>(),
+                cov.corpus.to_jsonl(),
+            )
+        };
+        let serial = run(0);
+        assert!(!serial.2.is_empty(), "some coverage must register");
+        assert_eq!(serial, run(2));
+    }
+
+    #[test]
+    fn coverage_findings_ship_reproducers() {
+        // A base that proves a violation class on every run: the campaign
+        // must ship exactly one reproducer for it, and the reproducer
+        // must re-trigger the class.
+        let mut base = tiny_base();
+        base.quirks = Some(crate::config::QuirksSection {
+            ghost_retransmit_prob: 1.0,
+            ..Default::default()
+        });
+        base.traffic.rdma_verb = "read".into();
+        let mut m = EventMutator {
+            events_only: true,
+            ..Default::default()
+        };
+        let params = serial(&FuzzParams {
+            pool_size: 2,
+            iterations: 4,
+            coverage: Some(coverage::CoverageParams {
+                shrink_budget: 12,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        let out = fuzz(&base, &mut m, score::violation_score, &params);
+        let cov = out.coverage.expect("coverage mode on");
+        let repro: Vec<_> = cov
+            .reproducers
+            .iter()
+            .filter(|r| {
+                r.class == Some(crate::analyzers::ViolationClass::SpuriousRetransmit)
+            })
+            .collect();
+        assert_eq!(repro.len(), 1, "one reproducer per class");
+        assert!(repro[0].shrink.reproduces);
+        let res = crate::orchestrator::run_test(&repro[0].shrink.cfg).unwrap();
+        assert!(coverage::violation_classes(&res)
+            .contains(&crate::analyzers::ViolationClass::SpuriousRetransmit));
     }
 
     #[test]

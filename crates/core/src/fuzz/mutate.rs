@@ -1,5 +1,6 @@
 //! Configuration mutation operators for the fuzzer.
 
+use super::shrink::{quirk_prob, set_quirk_prob, QUIRK_KNOB_COUNT};
 use crate::config::{EventSpec, TestConfig};
 use lumina_sim::SimRng;
 
@@ -20,6 +21,11 @@ pub struct EventMutator {
     pub max_connections: Option<u32>,
     /// Restrict mutations to event changes (keep traffic shape fixed).
     pub events_only: bool,
+    /// Add a mutation dimension that flips DUT misbehavior knobs
+    /// ([`crate::config::QuirksSection`]), letting a coverage-guided
+    /// campaign explore the oracle's violation classes. Off by default:
+    /// a quirk-free campaign must stay quirk-free.
+    pub mutate_quirks: bool,
 }
 
 impl EventMutator {
@@ -81,7 +87,13 @@ impl Mutator for EventMutator {
 
     fn mutate(&mut self, parent: &TestConfig, rng: &mut SimRng) -> TestConfig {
         let mut cfg = parent.clone();
-        let dims: u64 = if self.events_only { 4 } else { 7 };
+        let dims: u64 = if self.events_only {
+            4
+        } else if self.mutate_quirks {
+            8
+        } else {
+            7
+        };
         if rng.below(dims) == dims - 1 {
             Self::drop_wave(&mut cfg, rng);
             return cfg;
@@ -122,9 +134,27 @@ impl Mutator for EventMutator {
                 let total = (cfg.traffic.pkts_per_msg() * cfg.traffic.num_msgs_per_qp).max(1);
                 cfg.traffic.data_pkt_events.retain(|e| e.psn <= total);
             }
-            _ => {
+            5 => {
                 let verbs = ["write", "read", "send"];
                 cfg.traffic.rdma_verb = verbs[rng.index(verbs.len())].to_string();
+            }
+            // --- quirk-knob mutation (reachable only with mutate_quirks) ---
+            _ => {
+                let k = rng.index(QUIRK_KNOB_COUNT);
+                let q = cfg.quirks.get_or_insert_with(Default::default);
+                if quirk_prob(q, k) != 0.0 && rng.chance(0.4) {
+                    set_quirk_prob(q, k, 0.0);
+                } else {
+                    // Quantized probabilities spanning "rare" to "always",
+                    // matching the regimes the quirk matrix exercises.
+                    let probs = [0.05, 0.3, 0.5, 1.0];
+                    set_quirk_prob(q, k, probs[rng.index(probs.len())]);
+                }
+                // An all-zero section is behavior-identical to none;
+                // normalize so quirk-free configs stay byte-comparable.
+                if q.is_noop() {
+                    cfg.quirks = None;
+                }
             }
         }
         cfg
@@ -176,6 +206,39 @@ traffic:
         assert_eq!(cfg.traffic.num_connections, b.traffic.num_connections);
         assert_eq!(cfg.traffic.message_size, b.traffic.message_size);
         assert_eq!(cfg.traffic.rdma_verb, b.traffic.rdma_verb);
+    }
+
+    #[test]
+    fn quirk_dimension_is_opt_in_and_stays_valid() {
+        // Default mutator: a quirk-free lineage never gains a quirks
+        // section.
+        let mut m = EventMutator::default();
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut cfg = base();
+        for _ in 0..100 {
+            cfg = m.mutate(&cfg, &mut rng);
+            assert!(cfg.quirks.is_none());
+        }
+
+        // Opted in: the dimension flips knobs, keeps configs valid, and
+        // normalizes all-zero sections back to none.
+        let mut m = EventMutator {
+            mutate_quirks: true,
+            ..Default::default()
+        };
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut cfg = base();
+        let mut saw_quirks = false;
+        for i in 0..200 {
+            cfg = m.mutate(&cfg, &mut rng);
+            let problems = cfg.problems();
+            assert!(problems.is_empty(), "iteration {i}: {problems:?}");
+            if let Some(q) = cfg.quirks.as_ref() {
+                saw_quirks = true;
+                assert!(!q.is_noop(), "noop sections must normalize to none");
+            }
+        }
+        assert!(saw_quirks, "200 mutations must hit the quirk dimension");
     }
 
     #[test]

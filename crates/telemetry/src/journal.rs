@@ -162,6 +162,27 @@ impl Journal {
         self.events.iter()
     }
 
+    /// Run `f` over every same-node event-kind *edge*, oldest-first: for
+    /// each event, `f(node, prev_kind, kind)` where `prev_kind` is the
+    /// kind of the previous retained event on the same node, or `"^"` for
+    /// the node's first. This is the journal's behavior signature — the
+    /// fuzzer's coverage signal hashes these edges — and it is a pure
+    /// function of the retained ring, so it inherits the journal's
+    /// same-seed determinism.
+    pub fn for_each_edge<F: FnMut(u32, &'static str, &'static str)>(&self, mut f: F) {
+        let mut last: Vec<(u32, &'static str)> = Vec::new();
+        for ev in &self.events {
+            let prev = match last.iter_mut().find(|(n, _)| *n == ev.node) {
+                Some(entry) => std::mem::replace(&mut entry.1, ev.kind),
+                None => {
+                    last.push((ev.node, ev.kind));
+                    "^"
+                }
+            };
+            f(ev.node, prev, ev.kind);
+        }
+    }
+
     /// Render as JSON Lines (one compact object per event, oldest first).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
@@ -197,6 +218,58 @@ mod tests {
         assert_eq!(j.dropped(), 2);
         let ts: Vec<u64> = j.iter().map(|e| e.t).collect();
         assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn edges_pair_consecutive_kinds_per_node() {
+        let mut j = Journal::new(8);
+        let push = |j: &mut Journal, t, node, kind| {
+            j.push(TelemetryEvent {
+                t,
+                node,
+                component: "test",
+                kind,
+                attrs: vec![],
+            })
+        };
+        // Node 0 and node 1 interleave; edges must not cross nodes.
+        push(&mut j, 0, 0, "a");
+        push(&mut j, 1, 1, "x");
+        push(&mut j, 2, 0, "b");
+        push(&mut j, 3, 1, "y");
+        push(&mut j, 4, 0, "a");
+        let mut edges = Vec::new();
+        j.for_each_edge(|node, prev, kind| edges.push((node, prev, kind)));
+        assert_eq!(
+            edges,
+            vec![
+                (0, "^", "a"),
+                (1, "^", "x"),
+                (0, "a", "b"),
+                (1, "x", "y"),
+                (0, "b", "a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn edges_restart_after_ring_eviction() {
+        // Eviction loses the head of each node's sequence; the edge view
+        // is defined over the *retained* ring only, so it stays a pure
+        // function of the journal contents.
+        let mut j = Journal::new(2);
+        for (t, kind) in [(0, "a"), (1, "b"), (2, "c")] {
+            j.push(TelemetryEvent {
+                t,
+                node: 0,
+                component: "test",
+                kind,
+                attrs: vec![],
+            });
+        }
+        let mut edges = Vec::new();
+        j.for_each_edge(|_, prev, kind| edges.push((prev, kind)));
+        assert_eq!(edges, vec![("^", "b"), ("b", "c")]);
     }
 
     #[test]

@@ -241,6 +241,13 @@ impl Telemetry {
         }
     }
 
+    /// Run `f` over every same-node event-kind edge in the journal, in
+    /// order ([`Journal::for_each_edge`]): the behavior signature the
+    /// coverage-guided fuzzer hashes.
+    pub fn for_each_edge<F: FnMut(u32, &'static str, &'static str)>(&self, f: F) {
+        lock(&self.inner.journal).for_each_edge(f);
+    }
+
     // ------------------------------------------------------------ metrics
 
     /// Add `delta` to the named per-node counter (saturating).

@@ -39,7 +39,7 @@ network:
 
     let mut mutator = EventMutator {
         max_connections: Some(30),
-        events_only: false,
+        ..Default::default()
     };
     let params = FuzzParams {
         pool_size: 6,

@@ -15,13 +15,18 @@ check:
 # violation class), the panic guard (no unwrap/expect on capture-derived
 # paths), the frame-plane hotpath smoke (asserts the identical-outcome
 # column and the copy-reduction bar), the trace-determinism suite plus a
-# live `trace` smoke with Perfetto export, the bench gate (fails on >20%
-# regression against the newest committed BENCH_*.json), lint with
-# warnings fatal.
+# live `trace` smoke with Perfetto export, the coverage-fuzzing suites
+# (serial==parallel differential over map/corpus/reproducers; the 9-knob
+# quirk sweep with the 2x fixed-budget acceptance) plus a live
+# `fuzz-coverage` smoke through the CLI corpus-persistence path, the bench
+# gate (fails on >20% regression against the newest committed
+# BENCH_*.json), lint with warnings fatal.
 ci:
     cargo build --release
     cargo test -q
     cargo test -q --test fuzz_parallel_differential
+    cargo test -q --test fuzz_coverage_differential
+    cargo test -q --test fuzz_quirk_coverage
     cargo test -q --test golden_reports
     cargo test -q --test fault_matrix
     cargo test -q --test quirk_matrix
@@ -29,6 +34,7 @@ ci:
     cargo test -q --test trace_determinism
     cargo test -q -p lumina-bench hotpath
     just trace
+    just fuzz-coverage
     just bench-gate
     cargo clippy -- -D warnings
 
@@ -52,6 +58,14 @@ telemetry config="configs/listing2.yaml":
 # ui.perfetto.dev). Doubles as the CI smoke test for the tracing path.
 trace config="configs/fig11_noisy_neighbor.yaml" out="perfetto.json":
     cargo run --release -p lumina-core --bin lumina-cli -- trace --config {{config}} --perfetto {{out}}
+
+# Coverage-guided fuzzing smoke: a short campaign on the quirks demo with
+# the quirk-knob mutation dimension, persisting the novelty corpus and the
+# shrunk per-class reproducer YAMLs to a scratch dir. Doubles as the CI
+# smoke for the coverage/shrink/corpus-persistence CLI path.
+fuzz-coverage config="configs/quirks_demo.yaml" out="target/fuzz-corpus":
+    mkdir -p {{out}}
+    cargo run --release -p lumina-core --bin lumina-cli -- fuzz --config {{config}} --corpus-dir {{out}} --quirk-knobs --generations 4 --batch 4 --seed 7 > {{out}}/findings.jsonl
 
 # Compare current performance against the newest committed BENCH_*.json;
 # exits 1 on a >20% regression. Record a new baseline with

@@ -169,6 +169,26 @@ fn quirk_free_reports_never_gain_quirk_keys() {
 }
 
 #[test]
+fn single_run_reports_never_gain_a_coverage_key() {
+    // Coverage-guided fuzzing is a campaign-level feature: its map,
+    // corpus and reproducers live in the fuzz outcome (and under
+    // `--corpus-dir` on disk), never in a single run's report. If a
+    // "coverage" key ever appears in a golden, campaign state leaked into
+    // the per-run path and every pre-coverage golden silently invalidates.
+    if updating() {
+        return;
+    }
+    for (name, _) in corpus() {
+        let golden = std::fs::read_to_string(golden_dir().join(format!("{name}.json")))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            !golden.contains("\"coverage\""),
+            "{name}: single-run report gained a coverage section"
+        );
+    }
+}
+
+#[test]
 fn trace_free_reports_never_gain_a_trace_key() {
     // Lifecycle tracing is absent-by-default: a config without an active
     // `trace:` section must produce a report with no "trace" key at all

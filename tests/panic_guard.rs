@@ -38,6 +38,12 @@ fn audited_sources() -> Vec<PathBuf> {
     // The lifecycle flight recorder and its Perfetto export: runs inside
     // every traced simulation and renders attacker-shaped record streams.
     files.push(root.join("crates/telemetry/src/trace.rs"));
+    // The coverage map/corpus and the reproducer shrinker: both digest
+    // campaign-generated data (journals, persisted corpus JSONL, arbitrary
+    // mutated configs) inside long unattended fuzz runs, where a panic
+    // forfeits the whole campaign's findings.
+    files.push(root.join("crates/core/src/fuzz/coverage.rs"));
+    files.push(root.join("crates/core/src/fuzz/shrink.rs"));
     files
 }
 
