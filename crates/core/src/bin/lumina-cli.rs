@@ -35,6 +35,7 @@ use lumina_core::analyzers::{cnp, conformance, counter, gbn_fsm, latency, retran
 use lumina_core::cli::{self, CommonOpts};
 use lumina_core::config::TestConfig;
 use lumina_core::fuzz::{self, mutate::EventMutator, score, FuzzParams};
+use lumina_core::matrix::{run_matrix, MatrixParams};
 use lumina_core::orchestrator::{run_supervised, run_test, RetryPolicy};
 use lumina_core::Error;
 use std::process::ExitCode;
@@ -491,12 +492,69 @@ fn fuzz_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `lumina-cli matrix --config <test.yaml> [--devices a,b] [--workers N]
+/// [--cell-reports] [--no-quirk-overlay]`: run the scenario once per
+/// device profile (twice under an active quirk overlay), grade every cell
+/// with the conformance oracle and print the cross-device behavior diffs.
+/// The report is byte-identical for every `--workers` value.
+fn matrix_cmd(args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<_, Error> {
+        let opts = CommonOpts::parse(args)?;
+        let cfg = opts.load()?;
+        let devices: Vec<String> = cli::flag_value(args, "--devices")
+            .map(|list| {
+                list.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let params = MatrixParams {
+            devices,
+            workers: cli::numeric_flag(args, "--workers", 1)?,
+            quirk_overlay: !cli::has_flag(args, "--no-quirk-overlay"),
+            include_reports: cli::has_flag(args, "--cell-reports"),
+        };
+        Ok((opts, cfg, params))
+    })();
+    let (opts, cfg, params) = match parsed {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    // The scenario label is the config file stem, as in saved reports.
+    let scenario = std::path::Path::new(&opts.config_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(opts.config_path.as_str())
+        .to_string();
+    let report = match run_matrix(&cfg, &scenario, &params) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    if opts.json {
+        let doc = match report.to_json() {
+            Ok(d) => d,
+            Err(e) => return fail(e),
+        };
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+    } else {
+        print!("{}", report.render_human());
+    }
+    // An error cell means part of the grid never ran: the sweep failed.
+    if report.cells.iter().any(|c| c.error.is_some()) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// The default subcommand: run one test and report.
 fn run_cmd(args: &[String]) -> ExitCode {
     let opts = match CommonOpts::parse(args) {
         Ok(o) => o,
         Err(e) => {
-            eprint!("{}", cli::HELP);
+            eprint!("{}", cli::help());
             return fail(e);
         }
     };
@@ -689,20 +747,59 @@ fn run_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+/// A subcommand implementation: the tail of argv, minus the subcommand.
+type Handler = fn(&[String]) -> ExitCode;
+
+/// Handlers for the subcommands declared in [`cli::SUBCOMMANDS`] — the
+/// names here must match the table (checked by `dispatch_covers_table`).
+/// `run` is the fallback when the first argument is no subcommand.
+const HANDLERS: &[(&str, Handler)] = &[
+    ("telemetry", telemetry_cmd),
+    ("trace", trace_cmd),
+    ("fuzz", fuzz_cmd),
+    ("matrix", matrix_cmd),
+];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || cli::has_flag(&args, "--help") || cli::has_flag(&args, "-h") {
-        print!("{}", cli::HELP);
+        print!("{}", cli::help());
         return if args.is_empty() {
             ExitCode::from(2)
         } else {
             ExitCode::SUCCESS
         };
     }
-    match args.first().map(String::as_str) {
-        Some("telemetry") => telemetry_cmd(&args[1..]),
-        Some("trace") => trace_cmd(&args[1..]),
-        Some("fuzz") => fuzz_cmd(&args[1..]),
-        _ => run_cmd(&args),
+    let first = args.first().map(String::as_str).unwrap_or("");
+    match HANDLERS.iter().find(|(name, _)| *name == first) {
+        Some((_, handler)) => handler(&args[1..]),
+        None => run_cmd(&args),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_covers_table() {
+        // Every subcommand in the declarative table has a handler here
+        // (run is the fallback arm), and no handler is unlisted.
+        for spec in cli::SUBCOMMANDS {
+            if spec.name == "run" {
+                continue;
+            }
+            assert!(
+                HANDLERS.iter().any(|(name, _)| *name == spec.name),
+                "subcommand {} has no handler",
+                spec.name
+            );
+        }
+        for (name, _) in HANDLERS {
+            assert!(
+                cli::SUBCOMMANDS.iter().any(|s| s.name == *name),
+                "handler {name} is not in the subcommand table"
+            );
+        }
     }
 }

@@ -16,82 +16,247 @@
 //!   mapping read failures to [`Error::Io`] and parse/validation
 //!   failures to [`Error::Config`] — the typed errors the binary maps to
 //!   distinct exit codes via [`Error::exit_code`].
-//! * [`HELP`] is the single `--help` text and covers all subcommands.
+//! * [`SUBCOMMANDS`] is the single declarative table of every subcommand —
+//!   its name, usage line, flags and notes. The `--help` text
+//!   ([`help`]) and the valued-flag set used by positional-argument
+//!   resolution are both rendered from it, so a new flag or subcommand
+//!   cannot drift out of the help or break positional parsing.
 
 use crate::config::{FaultsSection, QuirksSection, TestConfig};
 use crate::error::Error;
 use serde::Deserialize;
+use std::sync::OnceLock;
 
-/// The full usage text, printed for `--help`/`-h` on any subcommand.
-pub const HELP: &str = "\
-lumina-cli — run Lumina tests against the simulated testbed
+/// One flag of a subcommand: its name, the value placeholder when it
+/// consumes the next argument, and the help text (newlines become
+/// aligned continuation lines).
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// The literal flag, e.g. `--pcap`.
+    pub name: &'static str,
+    /// Placeholder for the consumed value (`Some("<out>")`), or `None`
+    /// for boolean flags.
+    pub value: Option<&'static str>,
+    /// Help text; embedded newlines continue at the help column.
+    pub help: &'static str,
+}
 
-USAGE:
-    lumina-cli <test.yaml> [OPTIONS]            run one test
-    lumina-cli telemetry --config <test.yaml>   event journal + metrics
-    lumina-cli trace --config <test.yaml>       per-packet latency dissection
-    lumina-cli fuzz --config <base.yaml>        genetic anomaly campaign
+/// One subcommand of `lumina-cli`: everything the binary and the help
+/// renderer need to know about it, in one place.
+#[derive(Debug, Clone, Copy)]
+pub struct SubcommandSpec {
+    /// Dispatch name (`"run"` is the default when no subcommand matches).
+    pub name: &'static str,
+    /// The USAGE line, without the leading indent.
+    pub usage: &'static str,
+    /// One-line summary shown next to the usage line.
+    pub summary: &'static str,
+    /// The subcommand's own flags (common flags excluded).
+    pub flags: &'static [FlagSpec],
+    /// Free-text paragraph printed after the flags.
+    pub notes: &'static [&'static str],
+}
 
-The config path may always be given either positionally or as
-`--config <path>`.
+/// Flags every subcommand understands identically.
+pub const COMMON_FLAGS: &[FlagSpec] = &[
+    FlagSpec { name: "--config", value: Some("<path>"), help: "test configuration YAML" },
+    FlagSpec { name: "--seed", value: Some("<n>"), help: "override the config's network.seed" },
+    FlagSpec { name: "--json", value: None, help: "machine-readable output on stdout" },
+    FlagSpec { name: "--help, -h", value: None, help: "this text" },
+];
 
-COMMON OPTIONS (all subcommands):
-    --config <path>   test configuration YAML
-    --seed <n>        override the config's network.seed
-    --json            machine-readable output on stdout
-    --help, -h        this text
+/// The declarative subcommand table: the single source for dispatch
+/// names, the `--help` text and the valued-flag set.
+pub const SUBCOMMANDS: &[SubcommandSpec] = &[
+    SubcommandSpec {
+        name: "run",
+        usage: "lumina-cli <test.yaml> [OPTIONS]",
+        summary: "run one test",
+        flags: &[
+            FlagSpec { name: "--validate", value: None, help: "check the configuration, run nothing" },
+            FlagSpec { name: "--pcap", value: Some("<out>"), help: "also write the reconstructed trace as pcap" },
+            FlagSpec {
+                name: "--faults",
+                value: Some("<path>"),
+                help: "merge a fault-injection YAML (a bare `faults:`\nsection) into the test configuration",
+            },
+            FlagSpec {
+                name: "--quirks",
+                value: Some("<path>"),
+                help: "merge a DUT-misbehavior YAML (a bare `quirks:`\nsection); the conformance oracle grades the result",
+            },
+            FlagSpec {
+                name: "--retries",
+                value: Some("<n>"),
+                help: "retry watchdog/I-O-classified failures up to n extra\ntimes with backoff (default 0: fail fast)",
+            },
+        ],
+        notes: &[
+            "Every run with a trace is graded by the spec-conformance oracle;",
+            "proven violations exit 9 (reproducible — same seed, same verdict).",
+        ],
+    },
+    SubcommandSpec {
+        name: "telemetry",
+        usage: "lumina-cli telemetry --config <test.yaml>",
+        summary: "event journal + metrics",
+        flags: &[],
+        notes: &[
+            "Prints the structured event journal (JSONL) then the per-node metric",
+            "registry — both byte-identical across same-seed runs — plus the",
+            "frame-plane allocation counters. With --json, one JSON document.",
+        ],
+    },
+    SubcommandSpec {
+        name: "trace",
+        usage: "lumina-cli trace --config <test.yaml>",
+        summary: "per-packet latency dissection",
+        flags: &[FlagSpec {
+            name: "--perfetto",
+            value: Some("<out>"),
+            help: "also write the packet-lifecycle flight recorder as\nChrome trace-event JSON, loadable at ui.perfetto.dev",
+        }],
+        notes: &[
+            "Runs the test with lifecycle tracing forced on and prints the",
+            "per-hop / end-to-end latency dissection. Hops whose p99 exceeds a",
+            "`trace.hop-budget-us` entry are flagged and exit 1.",
+        ],
+    },
+    SubcommandSpec {
+        name: "fuzz",
+        usage: "lumina-cli fuzz --config <base.yaml>",
+        summary: "genetic anomaly campaign",
+        flags: &[
+            FlagSpec { name: "--workers", value: Some("<n>"), help: "parallel workers (default: available cores)" },
+            FlagSpec { name: "--generations", value: Some("<g>"), help: "generations to run (default 8)" },
+            FlagSpec { name: "--batch", value: Some("<n>"), help: "candidates per generation" },
+            FlagSpec { name: "--pool", value: Some("<n>"), help: "survivor pool size" },
+            FlagSpec { name: "--threshold", value: Some("<t>"), help: "anomaly score threshold" },
+            FlagSpec { name: "--score", value: Some("<name>"), help: "scoring function: default | noisy | violations" },
+            FlagSpec { name: "--events-only", value: None, help: "mutate only the event list" },
+            FlagSpec {
+                name: "--coverage",
+                value: None,
+                help: "coverage-guided mode: journal-edge × violation-class\nnovelty steers selection; findings are auto-shrunk\ninto minimal reproducer YAMLs on stdout",
+            },
+            FlagSpec {
+                name: "--corpus-dir",
+                value: Some("<d>"),
+                help: "persist/reload the novel-config corpus (JSONL) and\nwrite reproducer YAMLs there (implies --coverage)",
+            },
+            FlagSpec {
+                name: "--shrink",
+                value: None,
+                help: "force shrinking on (implied by --coverage; use\n--no-shrink to keep findings unshrunk)",
+            },
+            FlagSpec { name: "--no-shrink", value: None, help: "record findings without shrinking them" },
+            FlagSpec { name: "--quirk-knobs", value: None, help: "let the mutator flip DUT-misbehavior (quirks) knobs" },
+        ],
+        notes: &["(--seed seeds the campaign's mutation PRNG)"],
+    },
+    SubcommandSpec {
+        name: "matrix",
+        usage: "lumina-cli matrix --config <test.yaml>",
+        summary: "scenario × device behavior matrix",
+        flags: &[
+            FlagSpec {
+                name: "--devices",
+                value: Some("<list>"),
+                help: "comma-separated registry names/prefixes to sweep\n(default: the config's device.matrix list, else\nevery registered profile)",
+            },
+            FlagSpec {
+                name: "--workers",
+                value: Some("<n>"),
+                help: "parallel workers (default 1; the report is\nbyte-identical for every worker count)",
+            },
+            FlagSpec { name: "--cell-reports", value: None, help: "embed each cell's full run report in the JSON" },
+            FlagSpec {
+                name: "--no-quirk-overlay",
+                value: None,
+                help: "sweep only pristine devices even when the config\ncarries an active quirks: section",
+            },
+        ],
+        notes: &[
+            "Runs the scenario once per device profile, twice when a quirk",
+            "overlay is active (pristine + quirked), grades every cell with the",
+            "conformance oracle and prints the cross-device behavior diffs.",
+        ],
+    },
+];
 
-RUN OPTIONS:
-    --validate        check the configuration, run nothing
-    --pcap <out>      also write the reconstructed trace as pcap
-    --faults <path>   merge a fault-injection YAML (a bare `faults:`
-                      section) into the test configuration
-    --quirks <path>   merge a DUT-misbehavior YAML (a bare `quirks:`
-                      section); the conformance oracle grades the result
-    --retries <n>     retry watchdog/I-O-classified failures up to n extra
-                      times with backoff (default 0: fail fast)
-
-    Every run with a trace is graded by the spec-conformance oracle;
-    proven violations exit 9 (reproducible — same seed, same verdict).
-
-TELEMETRY:
-    Prints the structured event journal (JSONL) then the per-node metric
-    registry — both byte-identical across same-seed runs — plus the
-    frame-plane allocation counters. With --json, one JSON document.
-
-TRACE OPTIONS:
-    --perfetto <out>  also write the packet-lifecycle flight recorder as
-                      Chrome trace-event JSON, loadable at ui.perfetto.dev
-
-    Runs the test with lifecycle tracing forced on and prints the
-    per-hop / end-to-end latency dissection. Hops whose p99 exceeds a
-    `trace.hop-budget-us` entry are flagged and exit 1.
-
-FUZZ OPTIONS:
-    --workers <n>     parallel workers (default: available cores)
-    --generations <g> generations to run (default 8)
-    --batch <n>       candidates per generation
-    --pool <n>        survivor pool size
-    --threshold <t>   anomaly score threshold
-    --score <name>    scoring function: default | noisy | violations
-    --events-only     mutate only the event list
-    --coverage        coverage-guided mode: journal-edge × violation-class
-                      novelty steers selection; findings are auto-shrunk
-                      into minimal reproducer YAMLs on stdout
-    --corpus-dir <d>  persist/reload the novel-config corpus (JSONL) and
-                      write reproducer YAMLs there (implies --coverage)
-    --shrink          force shrinking on (implied by --coverage; use
-                      --no-shrink to keep findings unshrunk)
-    --no-shrink       record findings without shrinking them
-    --quirk-knobs     let the mutator flip DUT-misbehavior (quirks) knobs
-    (--seed seeds the campaign's mutation PRNG)
-
+/// The exit-code legend, shared by every subcommand.
+const EXIT_CODES: &str = "\
 EXIT CODES:
     0  success          1  test ran but failed
     2  bad config       3  I/O error
     4  translation      5  engine          6  reconstruction
     7  watchdog         8  internal        9  violations
 ";
+
+/// True when `flag` consumes the next argument, per the table.
+fn is_valued(flag: &str) -> bool {
+    COMMON_FLAGS
+        .iter()
+        .chain(SUBCOMMANDS.iter().flat_map(|s| s.flags.iter()))
+        .any(|f| f.name == flag && f.value.is_some())
+}
+
+/// Render one flag row plus aligned continuation lines.
+fn render_flag(out: &mut String, f: &FlagSpec) {
+    let head = match f.value {
+        Some(v) => format!("{} {v}", f.name),
+        None => f.name.to_string(),
+    };
+    for (i, line) in f.help.lines().enumerate() {
+        if i == 0 {
+            out.push_str(&format!("    {head:<18}{line}\n"));
+        } else {
+            out.push_str(&format!("    {:<18}{line}\n", ""));
+        }
+    }
+}
+
+/// The full usage text, rendered from [`SUBCOMMANDS`] — printed for
+/// `--help`/`-h` on any subcommand.
+pub fn help() -> &'static str {
+    static HELP: OnceLock<String> = OnceLock::new();
+    HELP.get_or_init(|| {
+        let mut out = String::new();
+        out.push_str("lumina-cli — run Lumina tests against the simulated testbed\n\nUSAGE:\n");
+        for s in SUBCOMMANDS {
+            out.push_str(&format!("    {:<44}{}\n", s.usage, s.summary));
+        }
+        out.push_str(
+            "\nThe config path may always be given either positionally or as\n`--config <path>`.\n",
+        );
+        out.push_str("\nCOMMON OPTIONS (all subcommands):\n");
+        for f in COMMON_FLAGS {
+            render_flag(&mut out, f);
+        }
+        for s in SUBCOMMANDS {
+            let title = s.name.to_uppercase();
+            if s.flags.is_empty() {
+                out.push_str(&format!("\n{title}:\n"));
+            } else {
+                out.push_str(&format!("\n{title} OPTIONS:\n"));
+                for f in s.flags {
+                    render_flag(&mut out, f);
+                }
+            }
+            if !s.notes.is_empty() {
+                if !s.flags.is_empty() {
+                    out.push('\n');
+                }
+                for line in s.notes {
+                    out.push_str(&format!("    {line}\n"));
+                }
+            }
+        }
+        out.push('\n');
+        out.push_str(EXIT_CODES);
+        out
+    })
+}
 
 /// Value following `--flag`, if present.
 pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -129,24 +294,6 @@ pub fn opt_numeric_flag<T: std::str::FromStr>(
             .map_err(|_| Error::config(format!("{flag} wants a number, got {raw:?}"))),
     }
 }
-
-/// Flags whose value must not be mistaken for the positional config path.
-const VALUED_FLAGS: [&str; 14] = [
-    "--config",
-    "--seed",
-    "--pcap",
-    "--perfetto",
-    "--workers",
-    "--generations",
-    "--batch",
-    "--pool",
-    "--threshold",
-    "--score",
-    "--faults",
-    "--quirks",
-    "--retries",
-    "--corpus-dir",
-];
 
 /// A standalone fault-injection file (`--faults`): one top-level
 /// `faults:` section, same schema as inline in a test config.
@@ -200,13 +347,14 @@ impl CommonOpts {
         })
     }
 
-    /// First argument that is neither a flag nor a flag's value.
+    /// First argument that is neither a flag nor a flag's value. Which
+    /// flags consume a value comes from the subcommand table, so a flag
+    /// added there can never be mistaken for the config path.
     fn positional(args: &[String]) -> Option<String> {
         args.iter()
             .enumerate()
             .filter(|(i, a)| {
-                !a.starts_with("--")
-                    && (*i == 0 || !VALUED_FLAGS.contains(&args[i - 1].as_str()))
+                !a.starts_with("--") && (*i == 0 || !is_valued(args[i - 1].as_str()))
             })
             .map(|(_, a)| a.clone())
             .next()
@@ -310,6 +458,7 @@ mod tests {
             "telemetry",
             "trace",
             "fuzz",
+            "matrix",
             "--validate",
             "--pcap",
             "--perfetto",
@@ -324,14 +473,57 @@ mod tests {
             "--shrink",
             "--no-shrink",
             "--quirk-knobs",
+            "--devices",
+            "--cell-reports",
+            "--no-quirk-overlay",
             "conformance oracle",
             "6  reconstruction",
             "7  watchdog",
             "8  internal",
             "9  violations",
         ] {
-            assert!(HELP.contains(needle), "help is missing {needle}");
+            assert!(help().contains(needle), "help is missing {needle}");
         }
+        // Every subcommand and flag in the table surfaces in the help —
+        // the table IS the help, so nothing can drift out of it.
+        for s in SUBCOMMANDS {
+            assert!(help().contains(s.usage), "usage missing for {}", s.name);
+            for f in s.flags {
+                assert!(help().contains(f.name), "flag {} missing", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn valued_flags_derive_from_the_table() {
+        for flag in [
+            "--config",
+            "--seed",
+            "--pcap",
+            "--perfetto",
+            "--workers",
+            "--generations",
+            "--batch",
+            "--pool",
+            "--threshold",
+            "--score",
+            "--faults",
+            "--quirks",
+            "--retries",
+            "--corpus-dir",
+            "--devices",
+        ] {
+            assert!(is_valued(flag), "{flag} must consume its value");
+        }
+        for flag in ["--json", "--validate", "--coverage", "--cell-reports", "--no-quirk-overlay"] {
+            assert!(!is_valued(flag), "{flag} must not consume a value");
+        }
+    }
+
+    #[test]
+    fn matrix_flag_values_are_not_positionals() {
+        let o = CommonOpts::parse(&argv(&["--devices", "cx5,e810", "test.yaml"])).unwrap();
+        assert_eq!(o.config_path, "test.yaml");
     }
 
     #[test]

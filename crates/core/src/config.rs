@@ -58,6 +58,13 @@ impl HostConfig {
     /// Resolve the device profile with any ablation overrides applied.
     pub fn resolved_profile(&self) -> Option<lumina_rnic::DeviceProfile> {
         let mut p = lumina_rnic::DeviceProfile::by_name(&self.nic_type)?;
+        self.apply_overrides(&mut p);
+        Some(p)
+    }
+
+    /// Apply this host's ablation overrides to an already-resolved profile
+    /// (the `device:` section path resolves through the registry first).
+    pub fn apply_overrides(&self, p: &mut lumina_rnic::DeviceProfile) {
         if let Some(n) = self.override_recovery_contexts {
             match p.noisy_neighbor.as_mut() {
                 Some(m) => m.recovery_contexts = n,
@@ -75,7 +82,6 @@ impl HostConfig {
                 apm.queue_capacity = cap;
             }
         }
-        Some(p)
     }
 }
 
@@ -520,6 +526,34 @@ fn default_trace_capacity() -> usize {
     262_144
 }
 
+/// Device selection (`device:`): pick both NICs from the typed
+/// [`lumina_rnic::DeviceRegistry`] by canonical name and declare which
+/// registry columns `lumina-cli matrix` sweeps. Absent — the default —
+/// means the per-host `nic-type` fields select the devices, byte-identical
+/// to every pre-registry release (no new report keys).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct DeviceSection {
+    /// Requester NIC, a registry name (`cx4`, `CX6-Dx`, `e810`, `cx8`,
+    /// …). Overrides `requester.nic-type`; ablation overrides still apply.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub requester: Option<String>,
+    /// Responder NIC, a registry name. Overrides `responder.nic-type`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub responder: Option<String>,
+    /// Device columns for the `matrix` subcommand; empty = the whole
+    /// registry.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub matrix: Vec<String>,
+}
+
+impl DeviceSection {
+    /// True when the section selects nothing.
+    pub fn is_noop(&self) -> bool {
+        self.requester.is_none() && self.responder.is_none() && self.matrix.is_empty()
+    }
+}
+
 /// A complete test configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(rename_all = "kebab-case", deny_unknown_fields)]
@@ -547,6 +581,9 @@ pub struct TestConfig {
     /// Packet-lifecycle tracing; absent = recorder off, pristine report.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub trace: Option<TraceSection>,
+    /// Registry-based device selection; absent = `nic-type` fields apply.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub device: Option<DeviceSection>,
 }
 
 impl TestConfig {
@@ -569,6 +606,37 @@ impl TestConfig {
             &self.requester
         };
         SimTime::from_micros(host.min_time_between_cnps_us)
+    }
+
+    /// The device query string selecting a role's NIC: the `device:`
+    /// section override when present, the host's `nic-type` otherwise.
+    pub fn device_query(&self, responder_side: bool) -> &str {
+        let section = self.device.as_ref().and_then(|d| {
+            if responder_side {
+                d.responder.as_deref()
+            } else {
+                d.requester.as_deref()
+            }
+        });
+        section.unwrap_or(if responder_side {
+            &self.responder.nic_type
+        } else {
+            &self.requester.nic_type
+        })
+    }
+
+    /// Resolve a role's device through the registry (honoring the
+    /// `device:` section), then apply that host's ablation overrides.
+    pub fn resolved_device(&self, responder_side: bool) -> Option<lumina_rnic::DeviceProfile> {
+        let reg = lumina_rnic::DeviceRegistry::builtin();
+        let mut p = reg.get(self.device_query(responder_side))?;
+        let host = if responder_side {
+            &self.responder
+        } else {
+            &self.requester
+        };
+        host.apply_overrides(&mut p);
+        Some(p)
     }
 
     /// Validate the configuration: the orchestrator's entry point. Every
@@ -594,11 +662,27 @@ impl TestConfig {
         if self.traffic.verb().is_err() {
             problems.push(format!("unknown rdma-verb {:?}", self.traffic.rdma_verb));
         }
-        if lumina_rnic::DeviceProfile::by_name(&self.requester.nic_type).is_none() {
-            problems.push(format!("unknown requester nic {:?}", self.requester.nic_type));
+        // Device resolution: the `device:` section override wins per role;
+        // either way an unresolvable name lists what the registry offers.
+        let registry = lumina_rnic::DeviceRegistry::builtin();
+        let available = registry.names().join(", ");
+        for responder_side in [false, true] {
+            let role = if responder_side { "responder" } else { "requester" };
+            let query = self.device_query(responder_side);
+            if registry.get(query).is_none() {
+                problems.push(format!(
+                    "unknown {role} nic {query:?} (available: {available})"
+                ));
+            }
         }
-        if lumina_rnic::DeviceProfile::by_name(&self.responder.nic_type).is_none() {
-            problems.push(format!("unknown responder nic {:?}", self.responder.nic_type));
+        if let Some(dev) = &self.device {
+            for (i, name) in dev.matrix.iter().enumerate() {
+                if registry.get(name).is_none() {
+                    problems.push(format!(
+                        "device: matrix entry {i}: unknown device {name:?} (available: {available})"
+                    ));
+                }
+            }
         }
         if self.traffic.min_retransmit_timeout >= 32 {
             problems.push("min-retransmit-timeout must be a 5-bit code".into());

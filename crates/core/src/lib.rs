@@ -43,6 +43,7 @@ pub mod config;
 pub mod error;
 pub mod fuzz;
 pub mod integrity;
+pub mod matrix;
 pub mod orchestrator;
 pub mod translate;
 
@@ -50,5 +51,6 @@ pub use config::{FaultsSection, QuirksSection, TestConfig};
 pub use analyzers::{ConformanceOpts, ConformanceReport, Violation, ViolationClass};
 pub use error::Error;
 pub use integrity::{DegradedMode, IntegrityReport};
+pub use matrix::{run_matrix, BehaviorDiff, CellOutcome, MatrixParams, MatrixReport};
 pub use orchestrator::{run_supervised, run_test, RetryPolicy, TestResults};
 pub use translate::ConnMeta;

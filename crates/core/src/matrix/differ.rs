@@ -1,0 +1,213 @@
+//! Cross-device behavior diffs over matrix cells.
+//!
+//! The differ turns the per-cell numbers into the sentences the paper
+//! builds its narrative from: "CX-5 recovers in 1 retransmit where E810
+//! takes 3", counter lies, quirk-overlay verdict flips. Everything here is
+//! pure arithmetic over the already-deterministic cells, so the diff list
+//! is deterministic too (first occurrence wins ties).
+
+use super::CellOutcome;
+use serde::Serialize;
+
+/// One observed behavioral difference.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BehaviorDiff {
+    /// Which axis differs (kebab-case metric name).
+    pub metric: String,
+    /// The devices involved, best-to-worst for scalar metrics; a single
+    /// entry for self-inconsistencies (counter lies, quirk flips).
+    pub devices: Vec<String>,
+    /// Human-readable sentence.
+    pub detail: String,
+}
+
+/// Format nanoseconds for humans, deterministically.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn plural(n: u64, word: &str) -> String {
+    if n == 1 {
+        format!("{n} {word}")
+    } else {
+        format!("{n} {word}s")
+    }
+}
+
+/// Extract the diffs from an assembled cell list.
+pub fn diff_cells(cells: &[CellOutcome]) -> Vec<BehaviorDiff> {
+    let mut diffs = Vec::new();
+    let baselines: Vec<&CellOutcome> = cells
+        .iter()
+        .filter(|c| !c.quirked && c.error.is_none() && c.metrics.is_some())
+        .collect();
+
+    // Scalar spreads across devices: lowest vs highest value.
+    let spread = |f: &dyn Fn(&CellOutcome) -> u64| -> Option<(&CellOutcome, &CellOutcome)> {
+        let lo = baselines.iter().min_by_key(|c| f(c))?;
+        let hi = baselines.iter().max_by_key(|c| f(c))?;
+        if f(lo) == f(hi) {
+            None
+        } else {
+            Some((lo, hi))
+        }
+    };
+    let m = |c: &CellOutcome| c.metrics.clone().expect("baselines carry metrics");
+
+    if let Some((lo, hi)) = spread(&|c| m(c).retransmits) {
+        let (a, b) = (m(lo).retransmits, m(hi).retransmits);
+        let lo_part = if a == 0 {
+            "recovers with no retransmits".to_string()
+        } else {
+            format!("recovers in {}", plural(a, "retransmit"))
+        };
+        diffs.push(BehaviorDiff {
+            metric: "retransmits".into(),
+            devices: vec![lo.device.clone(), hi.device.clone()],
+            detail: format!("{} {lo_part} where {} takes {b}", lo.device, hi.device),
+        });
+    }
+    if let Some((lo, hi)) = spread(&|c| m(c).timeout_rounds) {
+        let (a, b) = (m(lo).timeout_rounds, m(hi).timeout_rounds);
+        let lo_part = if a == 0 {
+            "resolves the loss without a timeout".to_string()
+        } else {
+            format!("needs {}", plural(a, "timeout round"))
+        };
+        diffs.push(BehaviorDiff {
+            metric: "timeout-rounds".into(),
+            devices: vec![lo.device.clone(), hi.device.clone()],
+            detail: format!(
+                "{} {lo_part} where {} burns {}",
+                lo.device,
+                hi.device,
+                plural(b, "timeout round")
+            ),
+        });
+    }
+    if let Some((lo, hi)) = spread(&|c| m(c).cnps) {
+        diffs.push(BehaviorDiff {
+            metric: "cnps".into(),
+            devices: vec![hi.device.clone(), lo.device.clone()],
+            detail: format!(
+                "{} puts {} on the wire where {} sends {}",
+                hi.device,
+                plural(m(hi).cnps, "CNP"),
+                lo.device,
+                m(lo).cnps
+            ),
+        });
+    }
+    {
+        // Mean completion time: only cells that completed something.
+        let done: Vec<&&CellOutcome> =
+            baselines.iter().filter(|c| m(c).avg_mct_ns > 0).collect();
+        let lo = done.iter().min_by_key(|c| m(c).avg_mct_ns);
+        let hi = done.iter().max_by_key(|c| m(c).avg_mct_ns);
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            let (a, b) = (m(lo).avg_mct_ns, m(hi).avg_mct_ns);
+            if a != b {
+                let ratio = b as f64 / a as f64;
+                diffs.push(BehaviorDiff {
+                    metric: "avg-mct".into(),
+                    devices: vec![lo.device.clone(), hi.device.clone()],
+                    detail: format!(
+                        "{} completes messages in {} mean where {} takes {} ({ratio:.1}× slower)",
+                        lo.device,
+                        fmt_ns(a),
+                        hi.device,
+                        fmt_ns(b)
+                    ),
+                });
+            }
+        }
+    }
+
+    // Conformance verdict spread, with violation classes spelled out.
+    {
+        let mut verdicts: Vec<&str> = baselines.iter().map(|c| c.verdict.as_str()).collect();
+        verdicts.sort_unstable();
+        verdicts.dedup();
+        if verdicts.len() > 1 {
+            let parts: Vec<String> = baselines
+                .iter()
+                .map(|c| {
+                    if c.violations.is_empty() {
+                        format!("{}: {}", c.device, c.verdict)
+                    } else {
+                        let classes: Vec<String> = c
+                            .violations
+                            .iter()
+                            .map(|(label, n)| format!("{label} ×{n}"))
+                            .collect();
+                        format!("{}: {}", c.device, classes.join(", "))
+                    }
+                })
+                .collect();
+            diffs.push(BehaviorDiff {
+                metric: "conformance".into(),
+                devices: baselines.iter().map(|c| c.device.clone()).collect(),
+                detail: parts.join("; "),
+            });
+        }
+    }
+
+    // Counter lies: vendor counters disagreeing with the wire (§6.2.4).
+    for c in &baselines {
+        let mm = m(c);
+        if mm.vendor_cnps != mm.cnps {
+            let wire = if mm.cnps == 1 {
+                "1 CNP is".to_string()
+            } else {
+                format!("{} CNPs are", mm.cnps)
+            };
+            diffs.push(BehaviorDiff {
+                metric: "counter-cnp-sent".into(),
+                devices: vec![c.device.clone()],
+                detail: format!(
+                    "{} counters report {} cnpSent while {wire} on the wire",
+                    c.device, mm.vendor_cnps
+                ),
+            });
+        }
+        if mm.vendor_implied_naks != mm.implied_naks {
+            diffs.push(BehaviorDiff {
+                metric: "counter-implied-nak".into(),
+                devices: vec![c.device.clone()],
+                detail: format!(
+                    "{} implied_nak_seq_err counter stuck at {} while {} occurred",
+                    c.device,
+                    mm.vendor_implied_naks,
+                    plural(mm.implied_naks, "implied-NAK event")
+                ),
+            });
+        }
+    }
+
+    // Quirk overlay: baseline vs quirked twin of the same device.
+    for c in &baselines {
+        let twin = cells
+            .iter()
+            .find(|t| t.quirked && t.device == c.device && t.error.is_none());
+        if let Some(t) = twin {
+            if t.verdict != c.verdict {
+                diffs.push(BehaviorDiff {
+                    metric: "quirk-overlay".into(),
+                    devices: vec![c.device.clone()],
+                    detail: format!(
+                        "{} flips from {} to {} under the quirk overlay",
+                        c.device, c.verdict, t.verdict
+                    ),
+                });
+            }
+        }
+    }
+
+    diffs
+}

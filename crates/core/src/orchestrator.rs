@@ -172,6 +172,20 @@ impl TestResults {
         if self.telemetry.is_tracing() {
             report["trace"] = self.trace_summary().snapshot();
         }
+        // The canonical device names appear only when a `device:` section
+        // selected them, so registry-free reports stay byte-identical.
+        if self.cfg.device.is_some() {
+            let canonical = |responder_side| {
+                self.cfg
+                    .resolved_device(responder_side)
+                    .map(|p| p.name)
+                    .unwrap_or_default()
+            };
+            let mut device = serde_json::Map::new();
+            device.insert("requester", canonical(false).into());
+            device.insert("responder", canonical(true).into());
+            report["device"] = serde_json::Value::Object(device);
+        }
         Ok(report)
     }
 
@@ -189,14 +203,13 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
     cfg.validate()?;
     let verb = cfg.traffic.verb()?;
     let verbs = cfg.traffic.verbs()?;
-    // validate() checked both NIC names resolve.
+    // validate() checked both device queries resolve against the registry
+    // (the `device:` section override wins over `nic-type` per role).
     let req_profile = cfg
-        .requester
-        .resolved_profile()
+        .resolved_device(false)
         .ok_or_else(|| Error::config("unknown requester nic"))?;
     let rsp_profile = cfg
-        .responder
-        .resolved_profile()
+        .resolved_device(true)
         .ok_or_else(|| Error::config("unknown responder nic"))?;
 
     let mut eng = Engine::new(cfg.network.seed);
@@ -225,25 +238,33 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
     let req_mac = MacAddr::local(1);
     let rsp_mac = MacAddr::local(2);
     let switch_mac = MacAddr::local(100);
-    let mut req_rnic = Rnic::new(req_profile.clone(), ets_cfg.clone(), req_mac);
-    let mut rsp_rnic = Rnic::new(rsp_profile.clone(), ets_cfg, rsp_mac);
-
-    // DUT misbehavior plane: installed only when a `quirks:` section asks
-    // for at least one quirk. The plane draws from its own RNG stream
-    // (seeded off `quirks.seed` or the run seed, salted per node), so the
-    // engine/workload schedule never shifts and quirk-free runs stay
-    // byte-identical to every pre-quirk release.
-    if let Some(q) = cfg.quirks.as_ref().filter(|q| !q.is_noop()) {
-        let quirk_seed = q.seed.unwrap_or(cfg.network.seed);
-        req_rnic.set_quirks(QuirkPlane::new(
-            q.knobs(),
-            QuirkPlane::node_rng(quirk_seed, 1),
-        ));
-        rsp_rnic.set_quirks(QuirkPlane::new(
-            q.knobs(),
-            QuirkPlane::node_rng(quirk_seed, 2),
-        ));
-    }
+    // Hosts are the first two nodes registered below, so the devices'
+    // telemetry node ids are known at construction time (asserted at
+    // add_node). The DUT misbehavior plane is installed only when a
+    // `quirks:` section asks for at least one quirk; it draws from its own
+    // RNG stream (seeded off `quirks.seed` or the run seed, salted per
+    // node), so the engine/workload schedule never shifts and quirk-free
+    // runs stay byte-identical to every pre-quirk release.
+    let active_quirks = cfg.quirks.as_ref().filter(|q| !q.is_noop());
+    let quirk_plane = |salt: u64| {
+        active_quirks.map(|q| {
+            let quirk_seed = q.seed.unwrap_or(cfg.network.seed);
+            QuirkPlane::new(q.knobs(), QuirkPlane::node_rng(quirk_seed, salt))
+        })
+    };
+    let build_rnic = |profile: &lumina_rnic::DeviceProfile,
+                          ets_cfg: EtsConfig,
+                          mac: MacAddr,
+                          node: u32,
+                          salt: u64| {
+        let mut b = Rnic::builder(profile.clone(), ets_cfg, mac).telemetry(tel.clone(), node);
+        if let Some(plane) = quirk_plane(salt) {
+            b = b.quirks(plane);
+        }
+        b.build()
+    };
+    let mut req_rnic = build_rnic(&req_profile, ets_cfg.clone(), req_mac, 0, 1);
+    let mut rsp_rnic = build_rnic(&rsp_profile, ets_cfg, rsp_mac, 1, 2);
 
     let n = cfg.traffic.num_connections;
     let mut conns = Vec::with_capacity(n as usize);
@@ -382,6 +403,9 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
     let req_id = eng.add_node(Box::new(requester));
     let rsp_id = eng.add_node(Box::new(responder));
     let sw_id = eng.add_node(Box::new(switch));
+    // The devices journal under the node ids injected at construction.
+    debug_assert_eq!(req_id.0, 0, "requester must be node 0");
+    debug_assert_eq!(rsp_id.0, 1, "responder must be node 1");
     let prop = SimTime::from_nanos(cfg.network.propagation_delay_ns);
     eng.connect(req_id, PortId(0), sw_id, PortId(0), req_profile.port_bandwidth, prop);
     eng.connect(rsp_id, PortId(0), sw_id, PortId(1), rsp_profile.port_bandwidth, prop);

@@ -100,15 +100,6 @@ impl HostNode {
         START_TOKEN
     }
 
-    /// Hand the RNIC the engine's telemetry sink the first time this node
-    /// runs with one attached (the device model itself is engine-agnostic).
-    fn wire_telemetry(&mut self, ctx: &NodeCtx<'_>) {
-        if ctx.telemetry().is_enabled() && !self.rnic.telemetry().is_enabled() {
-            self.rnic
-                .set_telemetry(ctx.telemetry().clone(), ctx.telemetry_node());
-        }
-    }
-
     fn apply_actions(&mut self, actions: Vec<Action>, ctx: &mut NodeCtx<'_>) {
         let mut queue: VecDeque<Action> = actions.into();
         while let Some(act) = queue.pop_front() {
@@ -266,14 +257,12 @@ impl HostNode {
 
 impl Node for HostNode {
     fn on_frame(&mut self, _port: PortId, frame: Frame, ctx: &mut NodeCtx<'_>) {
-        self.wire_telemetry(ctx);
         let now = ctx.now();
         let actions = self.rnic.on_frame(frame, now);
         self.apply_actions(actions, ctx);
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx<'_>) {
-        self.wire_telemetry(ctx);
         let now = ctx.now();
         if token == START_TOKEN {
             if self.role_is_requester {

@@ -112,6 +112,36 @@ pub struct Rnic {
     pub(crate) quirks: Option<crate::quirks::QuirkPlane>,
 }
 
+/// Chainable constructor for a fully configured [`Rnic`]: telemetry and
+/// the misbehavior plane are injected at creation, so a built device never
+/// needs post-hoc mutation from its host node.
+pub struct RnicBuilder {
+    rnic: Rnic,
+}
+
+impl RnicBuilder {
+    /// Attach a telemetry sink; the device journals its decision points
+    /// (CNPs, timeouts, Go-back-N rollbacks, retransmissions) under
+    /// `node`, the engine node id the device will be registered as.
+    pub fn telemetry(mut self, tel: Telemetry, node: u32) -> Self {
+        self.rnic.tel = tel;
+        self.rnic.tel_node = node;
+        self
+    }
+
+    /// Attach a misbehavior plane (see [`crate::quirks`]). Without one, a
+    /// device never consults an RNG on any emission path.
+    pub fn quirks(mut self, plane: crate::quirks::QuirkPlane) -> Self {
+        self.rnic.quirks = Some(plane);
+        self
+    }
+
+    /// Finish the device.
+    pub fn build(self) -> Rnic {
+        self.rnic
+    }
+}
+
 impl Rnic {
     /// Build a device from a profile and ETS configuration. The profile's
     /// work-conservation bug overrides the configuration (a buggy NIC
@@ -127,10 +157,11 @@ impl Rnic {
                 .map(|m| m.recovery_contexts)
                 .unwrap_or(0)
         ];
+        let dcqcn_params = profile.dcqcn.clone();
         Rnic {
             profile,
             counters: Counters::default(),
-            dcqcn_params: DcqcnParams::default(),
+            dcqcn_params,
             local_mac,
             qps: BTreeMap::new(),
             np: NotificationPoint::default(),
@@ -150,12 +181,13 @@ impl Rnic {
         }
     }
 
-    /// Attach a telemetry sink; the device journals its decision points
-    /// (CNPs, timeouts, Go-back-N rollbacks, retransmissions) under
-    /// `node`.
-    pub fn set_telemetry(&mut self, tel: Telemetry, node: u32) {
-        self.tel = tel;
-        self.tel_node = node;
+    /// Start building a fully configured device: profile + ETS first, then
+    /// optional telemetry sink and misbehavior plane, fixed at creation.
+    /// Replaces the old post-hoc `set_telemetry` mutation path.
+    pub fn builder(profile: DeviceProfile, ets_cfg: EtsConfig, local_mac: MacAddr) -> RnicBuilder {
+        RnicBuilder {
+            rnic: Rnic::new(profile, ets_cfg, local_mac),
+        }
     }
 
     /// The attached telemetry sink (disabled by default).
@@ -1059,15 +1091,12 @@ impl Rnic {
 
     fn timeout_policy(&self, qpn: u32) -> TimeoutPolicy {
         let qp = &self.qps[&qpn];
-        TimeoutPolicy {
-            timeout_code: qp.cfg.timeout_code,
-            retry_cnt: qp.cfg.retry_cnt,
-            adaptive: if qp.cfg.adaptive_retrans {
-                self.profile.adaptive_retrans.clone()
-            } else {
-                None
-            },
-        }
+        TimeoutPolicy::for_profile(
+            &self.profile,
+            qp.cfg.timeout_code,
+            qp.cfg.retry_cnt,
+            qp.cfg.adaptive_retrans,
+        )
     }
 
     fn arm_timeout_if_needed(&mut self, qpn: u32, now: SimTime, actions: &mut Vec<Action>) {

@@ -42,8 +42,8 @@ pub mod timeout;
 pub mod verbs;
 
 pub use counters::Counters;
-pub use device::{Action, Rnic};
-pub use profile::{CnpLimitMode, DeviceProfile, Vendor};
+pub use device::{Action, Rnic, RnicBuilder};
+pub use profile::{CnpLimitMode, DeviceProfile, DeviceProfileBuilder, DeviceRegistry, Vendor};
 pub use quirks::{QuirkKnobs, QuirkPlane, QuirkStats};
 pub use qp::{QpConfig, QpEndpoint};
 pub use verbs::{Completion, CompletionStatus, Verb, WorkRequest};

@@ -4,8 +4,14 @@
 //! against a faithful model of a given NIC, or (b) toggle a single quirk to
 //! produce an ablation (e.g. a "fixed" CX6 Dx with work-conserving ETS).
 //! Calibration sources are cited per field; see DESIGN.md §3 for the table
-//! of paper-reported numbers.
+//! of paper-reported numbers and §12 for the registry/matrix layer.
+//!
+//! Profiles are built through [`DeviceProfileBuilder`] and looked up through
+//! the [`DeviceRegistry`], which holds the four paper NICs plus the
+//! hypothetical next-generation `CX8NEXT` used for "what would a fixed NIC
+//! look like" matrix columns.
 
+use crate::dcqcn::DcqcnParams;
 use lumina_sim::{Bandwidth, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -84,7 +90,7 @@ pub struct CounterBugs {
 /// The full behavioral description of one RNIC model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceProfile {
-    /// Short name ("CX4LX", "CX5", "CX6DX", "E810").
+    /// Short name ("CX4LX", "CX5", "CX6DX", "E810", "CX8NEXT").
     pub name: String,
     /// Vendor, selects counter naming.
     pub vendor: Vendor,
@@ -131,6 +137,11 @@ pub struct DeviceProfile {
     pub cnp_hidden_min_interval: Option<SimTime>,
     /// Default of the configurable `min_time_between_cnps` (NVIDIA: 4 µs).
     pub min_time_between_cnps_default: SimTime,
+    /// DCQCN reaction-point constants this device ships with. All four
+    /// paper NICs use the calibrated commodity defaults; profiles built
+    /// through the builder may sweep them.
+    #[serde(default)]
+    pub dcqcn: DcqcnParams,
 
     // ---- Adaptive retransmission (§6.3) ----
     /// Present on NVIDIA NICs; `None` on Intel.
@@ -150,7 +161,153 @@ pub struct DeviceProfile {
     pub counter_bugs: CounterBugs,
 }
 
+/// Chainable constructor for [`DeviceProfile`].
+///
+/// Starts from a quirk-free, spec-following baseline (100 GbE, flat fast
+/// NACK paths, per-port CNP limiting, no hidden intervals, work-conserving
+/// ETS, honest counters) so each profile only states where the device
+/// deviates. `build()` always succeeds — name and vendor are taken up
+/// front, every other field has the baseline default.
+#[derive(Debug, Clone)]
+pub struct DeviceProfileBuilder {
+    profile: DeviceProfile,
+}
+
+impl DeviceProfileBuilder {
+    fn new(name: &str, vendor: Vendor) -> Self {
+        DeviceProfileBuilder {
+            profile: DeviceProfile {
+                name: name.to_string(),
+                vendor,
+                port_bandwidth: Bandwidth::gbps(100),
+                rx_latency: SimTime::from_nanos(400),
+                nack_gen_write: SimTime::from_nanos(2_000),
+                nack_gen_read: SimTime::from_nanos(2_000),
+                nack_react_write_base: SimTime::from_nanos(2_000),
+                nack_react_write_per_pkt: SimTime::ZERO,
+                nack_react_read_base: SimTime::from_nanos(2_000),
+                nack_react_read_per_pkt: SimTime::ZERO,
+                mig_req_bit: true,
+                apm_slowpath_on_migreq0: None,
+                cnp_mode: CnpLimitMode::PerPort,
+                cnp_hidden_min_interval: None,
+                min_time_between_cnps_default: SimTime::from_micros(4),
+                dcqcn: DcqcnParams::default(),
+                adaptive_retrans: None,
+                ets_work_conserving: true,
+                noisy_neighbor: None,
+                counter_bugs: CounterBugs::default(),
+            },
+        }
+    }
+
+    /// Port speed.
+    pub fn port_bandwidth(mut self, bw: Bandwidth) -> Self {
+        self.profile.port_bandwidth = bw;
+        self
+    }
+
+    /// Fast-path ingress latency.
+    pub fn rx_latency(mut self, t: SimTime) -> Self {
+        self.profile.rx_latency = t;
+        self
+    }
+
+    /// NACK generation latencies (Write/Send responder, Read requester).
+    pub fn nack_gen(mut self, write: SimTime, read: SimTime) -> Self {
+        self.profile.nack_gen_write = write;
+        self.profile.nack_gen_read = read;
+        self
+    }
+
+    /// Write/Send NACK reaction latency: base term plus PSN-dependent
+    /// per-packet rollback cost.
+    pub fn nack_react_write(mut self, base: SimTime, per_pkt: SimTime) -> Self {
+        self.profile.nack_react_write_base = base;
+        self.profile.nack_react_write_per_pkt = per_pkt;
+        self
+    }
+
+    /// Read NACK reaction latency: base term plus PSN-dependent term.
+    pub fn nack_react_read(mut self, base: SimTime, per_pkt: SimTime) -> Self {
+        self.profile.nack_react_read_base = base;
+        self.profile.nack_react_read_per_pkt = per_pkt;
+        self
+    }
+
+    /// BTH MigReq bit on transmitted packets (NVIDIA: 1, Intel: 0).
+    pub fn mig_req_bit(mut self, bit: bool) -> Self {
+        self.profile.mig_req_bit = bit;
+        self
+    }
+
+    /// Enable the CX5-style APM slow path for `MigReq = 0` peers.
+    pub fn apm_slowpath(mut self, model: ApmModel) -> Self {
+        self.profile.apm_slowpath_on_migreq0 = Some(model);
+        self
+    }
+
+    /// CNP rate-limiter granularity.
+    pub fn cnp_mode(mut self, mode: CnpLimitMode) -> Self {
+        self.profile.cnp_mode = mode;
+        self
+    }
+
+    /// Hidden hardware floor on the CNP interval (E810: ~50 µs).
+    pub fn cnp_hidden_min_interval(mut self, t: SimTime) -> Self {
+        self.profile.cnp_hidden_min_interval = Some(t);
+        self
+    }
+
+    /// Default of the configurable `min_time_between_cnps`.
+    pub fn min_time_between_cnps_default(mut self, t: SimTime) -> Self {
+        self.profile.min_time_between_cnps_default = t;
+        self
+    }
+
+    /// DCQCN reaction-point constants.
+    pub fn dcqcn(mut self, params: DcqcnParams) -> Self {
+        self.profile.dcqcn = params;
+        self
+    }
+
+    /// Enable NVIDIA-style adaptive retransmission with the given
+    /// measured timeout schedule and extra-retry budget.
+    pub fn adaptive_retrans(mut self, model: AdaptiveRetransModel) -> Self {
+        self.profile.adaptive_retrans = Some(model);
+        self
+    }
+
+    /// ETS work conservation; `false` reproduces the CX6 Dx bug.
+    pub fn ets_work_conserving(mut self, on: bool) -> Self {
+        self.profile.ets_work_conserving = on;
+        self
+    }
+
+    /// Enable the CX4 Lx noisy-neighbor pipeline stall.
+    pub fn noisy_neighbor(mut self, model: NoisyNeighborModel) -> Self {
+        self.profile.noisy_neighbor = Some(model);
+        self
+    }
+
+    /// Which counters lie (§6.2.4).
+    pub fn counter_bugs(mut self, bugs: CounterBugs) -> Self {
+        self.profile.counter_bugs = bugs;
+        self
+    }
+
+    /// Finish the profile.
+    pub fn build(self) -> DeviceProfile {
+        self.profile
+    }
+}
+
 impl DeviceProfile {
+    /// Start building a profile from the quirk-free baseline.
+    pub fn builder(name: &str, vendor: Vendor) -> DeviceProfileBuilder {
+        DeviceProfileBuilder::new(name, vendor)
+    }
+
     /// NVIDIA ConnectX-4 Lx, 40 GbE.
     ///
     /// Calibration: NACK generation ≈ a few µs for Write, ≈ 150 µs for
@@ -159,23 +316,14 @@ impl DeviceProfile {
     /// limiting; noisy-neighbor pipeline stall; frozen
     /// `implied_nak_seq_err`.
     pub fn cx4_lx() -> DeviceProfile {
-        DeviceProfile {
-            name: "CX4LX".into(),
-            vendor: Vendor::Nvidia,
-            port_bandwidth: Bandwidth::gbps(40),
-            rx_latency: SimTime::from_nanos(600),
-            nack_gen_write: SimTime::from_nanos(3_500),
-            nack_gen_read: SimTime::from_micros(150),
-            nack_react_write_base: SimTime::from_micros(120),
-            nack_react_write_per_pkt: SimTime::from_nanos(800),
-            nack_react_read_base: SimTime::from_micros(110),
-            nack_react_read_per_pkt: SimTime::from_nanos(700),
-            mig_req_bit: true,
-            apm_slowpath_on_migreq0: None,
-            cnp_mode: CnpLimitMode::PerDestinationIp,
-            cnp_hidden_min_interval: None,
-            min_time_between_cnps_default: SimTime::from_micros(4),
-            adaptive_retrans: Some(AdaptiveRetransModel {
+        Self::builder("CX4LX", Vendor::Nvidia)
+            .port_bandwidth(Bandwidth::gbps(40))
+            .rx_latency(SimTime::from_nanos(600))
+            .nack_gen(SimTime::from_nanos(3_500), SimTime::from_micros(150))
+            .nack_react_write(SimTime::from_micros(120), SimTime::from_nanos(800))
+            .nack_react_read(SimTime::from_micros(110), SimTime::from_nanos(700))
+            .cnp_mode(CnpLimitMode::PerDestinationIp)
+            .adaptive_retrans(AdaptiveRetransModel {
                 timeout_schedule: vec![
                     SimTime::from_micros(4_700),
                     SimTime::from_micros(3_900),
@@ -186,16 +334,15 @@ impl DeviceProfile {
                     SimTime::from_micros(134_200),
                 ],
                 extra_retries: 1, // retries 8 times with retry_cnt = 7
-            }),
-            ets_work_conserving: true,
-            noisy_neighbor: Some(NoisyNeighborModel {
+            })
+            .noisy_neighbor(NoisyNeighborModel {
                 recovery_contexts: 10,
-            }),
-            counter_bugs: CounterBugs {
+            })
+            .counter_bugs(CounterBugs {
                 cnp_sent_stuck: false,
                 implied_nak_frozen: true,
-            },
-        }
+            })
+            .build()
     }
 
     /// NVIDIA ConnectX-5, 100 GbE.
@@ -204,30 +351,19 @@ impl DeviceProfile {
     /// reaction 2–6 µs); per-port CNP limiting; APM slow path when peered
     /// with a `MigReq = 0` sender (§6.2.3).
     pub fn cx5() -> DeviceProfile {
-        DeviceProfile {
-            name: "CX5".into(),
-            vendor: Vendor::Nvidia,
-            port_bandwidth: Bandwidth::gbps(100),
-            rx_latency: SimTime::from_nanos(400),
-            nack_gen_write: SimTime::from_nanos(1_900),
-            nack_gen_read: SimTime::from_nanos(2_100),
-            nack_react_write_base: SimTime::from_nanos(2_200),
-            nack_react_write_per_pkt: SimTime::from_nanos(38),
-            nack_react_read_base: SimTime::from_nanos(2_000),
-            nack_react_read_per_pkt: SimTime::from_nanos(20),
-            mig_req_bit: true,
+        Self::builder("CX5", Vendor::Nvidia)
+            .nack_gen(SimTime::from_nanos(1_900), SimTime::from_nanos(2_100))
+            .nack_react_write(SimTime::from_nanos(2_200), SimTime::from_nanos(38))
+            .nack_react_read(SimTime::from_nanos(2_000), SimTime::from_nanos(20))
             // Calibrated to §6.2.3: ~500 RX discards when 16 QPs start
             // simultaneously from an E810, no discards at ≤ 8 QPs, drops
             // concentrated on each QP's first message.
-            apm_slowpath_on_migreq0: Some(ApmModel {
+            .apm_slowpath(ApmModel {
                 service_time: SimTime::from_nanos(900),
                 queue_capacity: 1024,
                 resolve_after_packets: 128,
-            }),
-            cnp_mode: CnpLimitMode::PerPort,
-            cnp_hidden_min_interval: None,
-            min_time_between_cnps_default: SimTime::from_micros(4),
-            adaptive_retrans: Some(AdaptiveRetransModel {
+            })
+            .adaptive_retrans(AdaptiveRetransModel {
                 timeout_schedule: vec![
                     SimTime::from_micros(5_100),
                     SimTime::from_micros(4_000),
@@ -238,11 +374,8 @@ impl DeviceProfile {
                     SimTime::from_micros(134_200),
                 ],
                 extra_retries: 3, // retries 10 times with retry_cnt = 7
-            }),
-            ets_work_conserving: true,
-            noisy_neighbor: None,
-            counter_bugs: CounterBugs::default(),
-        }
+            })
+            .build()
     }
 
     /// NVIDIA ConnectX-6 Dx, 100 GbE.
@@ -251,23 +384,11 @@ impl DeviceProfile {
     /// **non-work-conserving ETS** (§6.2.1); the adaptive-retransmission
     /// timeout table is exactly the sequence the paper measured.
     pub fn cx6_dx() -> DeviceProfile {
-        DeviceProfile {
-            name: "CX6DX".into(),
-            vendor: Vendor::Nvidia,
-            port_bandwidth: Bandwidth::gbps(100),
-            rx_latency: SimTime::from_nanos(400),
-            nack_gen_write: SimTime::from_nanos(2_000),
-            nack_gen_read: SimTime::from_nanos(2_200),
-            nack_react_write_base: SimTime::from_nanos(2_000),
-            nack_react_write_per_pkt: SimTime::from_nanos(30),
-            nack_react_read_base: SimTime::from_nanos(1_800),
-            nack_react_read_per_pkt: SimTime::from_nanos(15),
-            mig_req_bit: true,
-            apm_slowpath_on_migreq0: None,
-            cnp_mode: CnpLimitMode::PerPort,
-            cnp_hidden_min_interval: None,
-            min_time_between_cnps_default: SimTime::from_micros(4),
-            adaptive_retrans: Some(AdaptiveRetransModel {
+        Self::builder("CX6DX", Vendor::Nvidia)
+            .nack_gen(SimTime::from_nanos(2_000), SimTime::from_nanos(2_200))
+            .nack_react_write(SimTime::from_nanos(2_000), SimTime::from_nanos(30))
+            .nack_react_read(SimTime::from_nanos(1_800), SimTime::from_nanos(15))
+            .adaptive_retrans(AdaptiveRetransModel {
                 // §6.3: 0.0056, 0.0041, 0.0084, 0.0167, 0.0251, 0.0671,
                 // 0.1342 seconds.
                 timeout_schedule: vec![
@@ -280,11 +401,9 @@ impl DeviceProfile {
                     SimTime::from_micros(134_200),
                 ],
                 extra_retries: 6, // retries 13 times with retry_cnt = 7
-            }),
-            ets_work_conserving: false,
-            noisy_neighbor: None,
-            counter_bugs: CounterBugs::default(),
-        }
+            })
+            .ets_work_conserving(false)
+            .build()
     }
 
     /// Intel E810, 100 GbE.
@@ -294,50 +413,51 @@ impl DeviceProfile {
     /// `MigReq = 0` on the wire; per-QP CNP limiting with a hidden ~50 µs
     /// minimum interval; `cnpSent` counter stuck.
     pub fn e810() -> DeviceProfile {
-        DeviceProfile {
-            name: "E810".into(),
-            vendor: Vendor::Intel,
-            port_bandwidth: Bandwidth::gbps(100),
-            rx_latency: SimTime::from_nanos(500),
-            nack_gen_write: SimTime::from_micros(10),
-            nack_gen_read: SimTime::from_millis(83),
-            nack_react_write_base: SimTime::from_micros(95),
-            nack_react_write_per_pkt: SimTime::from_nanos(500),
-            nack_react_read_base: SimTime::from_micros(90),
-            nack_react_read_per_pkt: SimTime::from_nanos(400),
-            mig_req_bit: false,
-            apm_slowpath_on_migreq0: None,
-            cnp_mode: CnpLimitMode::PerQp,
-            cnp_hidden_min_interval: Some(SimTime::from_micros(50)),
-            min_time_between_cnps_default: SimTime::ZERO,
-            adaptive_retrans: None,
-            ets_work_conserving: true,
-            noisy_neighbor: None,
-            counter_bugs: CounterBugs {
+        Self::builder("E810", Vendor::Intel)
+            .rx_latency(SimTime::from_nanos(500))
+            .nack_gen(SimTime::from_micros(10), SimTime::from_millis(83))
+            .nack_react_write(SimTime::from_micros(95), SimTime::from_nanos(500))
+            .nack_react_read(SimTime::from_micros(90), SimTime::from_nanos(400))
+            .mig_req_bit(false)
+            .cnp_mode(CnpLimitMode::PerQp)
+            .cnp_hidden_min_interval(SimTime::from_micros(50))
+            .min_time_between_cnps_default(SimTime::ZERO)
+            .counter_bugs(CounterBugs {
                 cnp_sent_stuck: true,
                 implied_nak_frozen: false,
-            },
-        }
+            })
+            .build()
+    }
+
+    /// Hypothetical next-generation NIC ("CX8NEXT"): what Table 2 would
+    /// look like if every misbehavior the paper reports were fixed.
+    ///
+    /// Fastest NACK paths of the family with *flat* (PSN-independent)
+    /// reaction latency, per-port CNP limiting with no hidden interval,
+    /// spec-following retransmission (no adaptive table, so the configured
+    /// `4.096 µs × 2^timeout` minimum is honored), work-conserving ETS,
+    /// honest counters, and no interop or noisy-neighbor slow paths. It is
+    /// the matrix's control column: any violation the oracle reports
+    /// against it is a harness bug, not a modeled quirk.
+    pub fn cx8_next() -> DeviceProfile {
+        Self::builder("CX8NEXT", Vendor::Nvidia)
+            .port_bandwidth(Bandwidth::gbps(200))
+            .rx_latency(SimTime::from_nanos(300))
+            .nack_gen(SimTime::from_nanos(1_500), SimTime::from_nanos(1_600))
+            .nack_react_write(SimTime::from_nanos(1_500), SimTime::ZERO)
+            .nack_react_read(SimTime::from_nanos(1_400), SimTime::ZERO)
+            .build()
     }
 
     /// Look a profile up by the names used in Lumina configs
-    /// (`cx4`, `cx5`, `cx6`, `e810`, case-insensitive, suffixes allowed).
+    /// (`cx4`, `cx5`, `cx6`, `e810`, …) under the built-in registry's
+    /// matching rules: case/separator-insensitive, unique prefixes allowed.
     pub fn by_name(name: &str) -> Option<DeviceProfile> {
-        let n = name.to_ascii_lowercase();
-        if n.starts_with("cx4") {
-            Some(Self::cx4_lx())
-        } else if n.starts_with("cx5") {
-            Some(Self::cx5())
-        } else if n.starts_with("cx6") {
-            Some(Self::cx6_dx())
-        } else if n.starts_with("e810") {
-            Some(Self::e810())
-        } else {
-            None
-        }
+        DeviceRegistry::builtin().get(name)
     }
 
-    /// All four shipped profiles, in the order the paper lists them.
+    /// The four shipped paper profiles, in the order the paper lists them.
+    /// (The hypothetical `CX8NEXT` lives only in the registry.)
     pub fn all() -> Vec<DeviceProfile> {
         vec![Self::cx4_lx(), Self::cx5(), Self::cx6_dx(), Self::e810()]
     }
@@ -354,6 +474,68 @@ impl DeviceProfile {
         self.nack_react_read_base
             + SimTime::from_nanos(self.nack_react_read_per_pkt.as_nanos() * pkts_beyond as u64)
     }
+}
+
+/// Named collection of device profiles, the lookup surface behind config
+/// `device:` sections, `--devices` lists and `nic-type` fields.
+#[derive(Debug, Clone)]
+pub struct DeviceRegistry {
+    profiles: Vec<DeviceProfile>,
+}
+
+impl DeviceRegistry {
+    /// The built-in registry: the four paper NICs in paper order, plus the
+    /// hypothetical `CX8NEXT` control profile.
+    pub fn builtin() -> DeviceRegistry {
+        DeviceRegistry {
+            profiles: vec![
+                DeviceProfile::cx4_lx(),
+                DeviceProfile::cx5(),
+                DeviceProfile::cx6_dx(),
+                DeviceProfile::e810(),
+                DeviceProfile::cx8_next(),
+            ],
+        }
+    }
+
+    /// Registered canonical names, in registry order.
+    pub fn names(&self) -> Vec<&str> {
+        self.profiles.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Iterate the registered profiles in order.
+    pub fn iter(&self) -> impl Iterator<Item = &DeviceProfile> {
+        self.profiles.iter()
+    }
+
+    /// Resolve a query to a profile. Matching ignores case and separators
+    /// (`"CX6-Dx"` ≡ `"cx6dx"`): an exact normalized name wins, otherwise a
+    /// prefix that selects exactly one registered profile (`"cx4"` →
+    /// `CX4LX`). Ambiguous (`"cx"`) or unknown (`"cx7"`) queries return
+    /// `None`.
+    pub fn get(&self, query: &str) -> Option<DeviceProfile> {
+        let q = normalize(query);
+        if q.is_empty() {
+            return None;
+        }
+        if let Some(p) = self.profiles.iter().find(|p| normalize(&p.name) == q) {
+            return Some(p.clone());
+        }
+        let mut hits = self.profiles.iter().filter(|p| normalize(&p.name).starts_with(&q));
+        match (hits.next(), hits.next()) {
+            (Some(p), None) => Some(p.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// Lowercased alphanumerics only: the equivalence under which config names,
+/// CLI arguments and canonical profile names are compared.
+fn normalize(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
 }
 
 #[cfg(test)]
@@ -374,6 +556,79 @@ mod tests {
         assert_eq!(DeviceProfile::by_name("CX6-Dx").unwrap().name, "CX6DX");
         assert_eq!(DeviceProfile::by_name("e810").unwrap().name, "E810");
         assert!(DeviceProfile::by_name("cx7").is_none());
+    }
+
+    #[test]
+    fn registry_holds_paper_nics_plus_control() {
+        let reg = DeviceRegistry::builtin();
+        assert_eq!(reg.names(), ["CX4LX", "CX5", "CX6DX", "E810", "CX8NEXT"]);
+        // The registry agrees with the paper-order constructors.
+        for (reg_p, ctor_p) in reg.iter().zip(DeviceProfile::all()) {
+            assert_eq!(*reg_p, ctor_p);
+        }
+    }
+
+    #[test]
+    fn registry_lookup_rules() {
+        let reg = DeviceRegistry::builtin();
+        // Exact normalized match beats prefixing.
+        assert_eq!(reg.get("cx8next").unwrap().name, "CX8NEXT");
+        assert_eq!(reg.get("CX8-Next").unwrap().name, "CX8NEXT");
+        // Unique prefixes resolve.
+        assert_eq!(reg.get("cx8").unwrap().name, "CX8NEXT");
+        assert_eq!(reg.get("cx4lx").unwrap().name, "CX4LX");
+        // Ambiguous, unknown and empty queries do not.
+        assert!(reg.get("cx").is_none());
+        assert!(reg.get("cx7").is_none());
+        assert!(reg.get("").is_none());
+        assert!(reg.get("--").is_none());
+    }
+
+    #[test]
+    fn builder_baseline_is_quirk_free() {
+        let p = DeviceProfile::builder("TEST", Vendor::Nvidia).build();
+        assert!(p.ets_work_conserving);
+        assert!(p.adaptive_retrans.is_none());
+        assert!(p.noisy_neighbor.is_none());
+        assert!(p.apm_slowpath_on_migreq0.is_none());
+        assert!(p.cnp_hidden_min_interval.is_none());
+        assert_eq!(p.counter_bugs, CounterBugs::default());
+        assert_eq!(p.dcqcn, DcqcnParams::default());
+    }
+
+    #[test]
+    fn builder_reproduces_struct_literal() {
+        // The builder is a re-expression, not a re-calibration: a profile
+        // assembled field by field equals the named constructor.
+        let e810 = DeviceProfile::e810();
+        let rebuilt = DeviceProfile::builder("E810", Vendor::Intel)
+            .rx_latency(e810.rx_latency)
+            .nack_gen(e810.nack_gen_write, e810.nack_gen_read)
+            .nack_react_write(e810.nack_react_write_base, e810.nack_react_write_per_pkt)
+            .nack_react_read(e810.nack_react_read_base, e810.nack_react_read_per_pkt)
+            .mig_req_bit(false)
+            .cnp_mode(CnpLimitMode::PerQp)
+            .cnp_hidden_min_interval(SimTime::from_micros(50))
+            .min_time_between_cnps_default(SimTime::ZERO)
+            .counter_bugs(e810.counter_bugs)
+            .build();
+        assert_eq!(rebuilt, e810);
+    }
+
+    #[test]
+    fn cx8_control_profile_is_clean_and_fast() {
+        let cx8 = DeviceProfile::cx8_next();
+        assert_eq!(cx8.name, "CX8NEXT");
+        // Fixed: every Table-2 misbehavior is absent.
+        assert!(cx8.ets_work_conserving);
+        assert!(cx8.noisy_neighbor.is_none());
+        assert!(cx8.adaptive_retrans.is_none());
+        assert!(cx8.cnp_hidden_min_interval.is_none());
+        assert_eq!(cx8.counter_bugs, CounterBugs::default());
+        // Faster than the best paper NIC, with flat reaction latency.
+        let cx5 = DeviceProfile::cx5();
+        assert!(cx8.nack_gen_write < cx5.nack_gen_write);
+        assert_eq!(cx8.nack_react_write(90), cx8.nack_react_write(0));
     }
 
     #[test]

@@ -35,6 +35,26 @@ pub struct TimeoutPolicy {
 }
 
 impl TimeoutPolicy {
+    /// Policy for a QP configured with `timeout_code`/`retry_cnt` on a
+    /// given device: the profile's adaptive model applies only when the
+    /// device has one *and* the QP opted in.
+    pub fn for_profile(
+        profile: &crate::profile::DeviceProfile,
+        timeout_code: u8,
+        retry_cnt: u32,
+        adaptive_enabled: bool,
+    ) -> TimeoutPolicy {
+        TimeoutPolicy {
+            timeout_code,
+            retry_cnt,
+            adaptive: if adaptive_enabled {
+                profile.adaptive_retrans.clone()
+            } else {
+                None
+            },
+        }
+    }
+
     /// Timeout duration before the `n`-th consecutive timeout fires.
     pub fn timeout_for(&self, n: u32) -> SimTime {
         match &self.adaptive {

@@ -12,8 +12,10 @@ check:
 # smokes every fault kind on fig11 and asserts same-seed degraded reports
 # replay byte-identically; the quirk matrix injects every DUT misbehavior
 # kind and asserts the conformance oracle flags each with its expected
-# violation class), the panic guard (no unwrap/expect on capture-derived
-# paths), the frame-plane hotpath smoke (asserts the identical-outcome
+# violation class), the device matrix (cross-NIC registry sweep:
+# worker-count determinism, plain-run parity, per-profile calibration
+# signatures and the differential-report golden), the panic guard (no
+# unwrap/expect on capture-derived paths), the frame-plane hotpath smoke (asserts the identical-outcome
 # column and the copy-reduction bar), the trace-determinism suite plus a
 # live `trace` smoke with Perfetto export, the coverage-fuzzing suites
 # (serial==parallel differential over map/corpus/reproducers; the 9-knob
@@ -30,11 +32,13 @@ ci:
     cargo test -q --test golden_reports
     cargo test -q --test fault_matrix
     cargo test -q --test quirk_matrix
+    cargo test -q --test device_matrix
     cargo test -q --test panic_guard
     cargo test -q --test trace_determinism
     cargo test -q -p lumina-bench hotpath
     just trace
     just fuzz-coverage
+    just matrix
     just bench-gate
     cargo clippy -- -D warnings
 
@@ -66,6 +70,13 @@ trace config="configs/fig11_noisy_neighbor.yaml" out="perfetto.json":
 fuzz-coverage config="configs/quirks_demo.yaml" out="target/fuzz-corpus":
     mkdir -p {{out}}
     cargo run --release -p lumina-core --bin lumina-cli -- fuzz --config {{config}} --corpus-dir {{out}} --quirk-knobs --generations 4 --batch 4 --seed 7 > {{out}}/findings.jsonl
+
+# Cross-NIC behavior matrix: the demo scenario swept over the whole
+# device registry, with per-cell conformance verdicts and the
+# cross-device behavior diffs. Doubles as the CI smoke for the
+# device-registry + matrix CLI path (byte-identical for any --workers).
+matrix config="configs/matrix_demo.yaml":
+    cargo run --release -p lumina-core --bin lumina-cli -- matrix --config {{config}} --workers 4
 
 # Compare current performance against the newest committed BENCH_*.json;
 # exits 1 on a >20% regression. Record a new baseline with

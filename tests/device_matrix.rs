@@ -1,0 +1,203 @@
+//! The cross-NIC behavior matrix: determinism, parity with plain runs,
+//! per-profile calibration signatures, and the differential-report golden.
+
+use lumina_core::config::TestConfig;
+use lumina_core::matrix::{cell_config, run_matrix, CellOutcome, MatrixParams, MatrixReport};
+use lumina_core::orchestrator::run_test;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn demo_config() -> TestConfig {
+    let yaml = std::fs::read_to_string(repo_root().join("configs/matrix_demo.yaml")).unwrap();
+    TestConfig::from_yaml(&yaml).unwrap()
+}
+
+fn demo_matrix(workers: usize) -> MatrixReport {
+    let params = MatrixParams {
+        workers,
+        ..MatrixParams::default()
+    };
+    run_matrix(&demo_config(), "matrix_demo", &params).unwrap()
+}
+
+fn rendered(report: &MatrixReport) -> String {
+    let mut s = serde_json::to_string_pretty(&report.to_json().unwrap()).unwrap();
+    s.push('\n');
+    s
+}
+
+fn cell<'a>(report: &'a MatrixReport, device: &str) -> &'a CellOutcome {
+    report
+        .cells
+        .iter()
+        .find(|c| c.device == device && !c.quirked)
+        .unwrap_or_else(|| panic!("{device} missing from matrix"))
+}
+
+#[test]
+fn matrix_is_byte_identical_across_worker_counts() {
+    // The acceptance bar: any --workers value and any repetition of the
+    // same seed assemble the same report, byte for byte — human and JSON.
+    let one = demo_matrix(1);
+    let again = demo_matrix(1);
+    let two = demo_matrix(2);
+    let four = demo_matrix(4);
+    assert_eq!(rendered(&one), rendered(&again), "same-seed reruns differ");
+    assert_eq!(rendered(&one), rendered(&two), "workers=2 drifted");
+    assert_eq!(rendered(&one), rendered(&four), "workers=4 drifted");
+    assert_eq!(one.render_human(), four.render_human());
+}
+
+#[test]
+fn single_device_cell_equals_plain_run() {
+    // A one-column matrix is just `lumina-cli run` with the device
+    // pinned: the embedded cell report must match that run byte for byte.
+    let base = demo_config();
+    let params = MatrixParams {
+        devices: vec!["cx5".into()],
+        include_reports: true,
+        ..MatrixParams::default()
+    };
+    let report = run_matrix(&base, "matrix_demo", &params).unwrap();
+    assert_eq!(report.devices, vec!["CX5".to_string()]);
+    assert_eq!(report.cells.len(), 1);
+    let cell_report = report.cells[0].report.as_ref().expect("embedded report");
+
+    let pinned = cell_config(&base, "CX5", None);
+    let plain = run_test(&pinned).unwrap().report_json().unwrap();
+    assert_eq!(
+        serde_json::to_string_pretty(cell_report).unwrap(),
+        serde_json::to_string_pretty(&plain).unwrap(),
+        "matrix cell and plain run disagree"
+    );
+}
+
+#[test]
+fn matrix_emits_cross_device_diffs() {
+    let report = demo_matrix(1);
+    assert_eq!(report.devices.len(), 5, "demo sweeps the whole registry");
+    assert!(
+        !report.diffs.is_empty(),
+        "demo scenario must surface at least one behavioral diff"
+    );
+    // The E810 cnpSent counter lie (§6.2.4) is scenario-independent as
+    // long as any CNP is emitted, so the demo pins it as a named diff.
+    assert!(
+        report
+            .diffs
+            .iter()
+            .any(|d| d.metric == "counter-cnp-sent" && d.devices == ["E810"]),
+        "E810 counter lie missing from diffs: {:?}",
+        report.diffs
+    );
+}
+
+#[test]
+fn paper_nic_calibration_signatures() {
+    // Per-profile signatures, observed through the matrix rather than the
+    // profile struct: the slow NICs recover via timeout-scale waits, the
+    // fast ones via quick fast-path retransmits, and the counter lies sit
+    // exactly where §6.2.4 puts them.
+    let report = demo_matrix(2);
+    let m = |d: &str| cell(&report, d).metrics.clone().unwrap();
+
+    for d in ["CX4LX", "CX5", "CX6DX", "E810", "CX8NEXT"] {
+        assert_eq!(cell(&report, d).verdict, "compliant", "{d} not compliant");
+        assert!(m(d).msgs_failed == 0, "{d} failed messages");
+    }
+
+    // E810 lies about CNPs; everyone else reports them faithfully.
+    assert!(m("E810").cnps > 0 && m("E810").vendor_cnps == 0, "{:?}", m("E810"));
+    for d in ["CX4LX", "CX5", "CX6DX", "CX8NEXT"] {
+        assert_eq!(m(d).vendor_cnps, m(d).cnps, "{d} miscounts CNPs");
+    }
+
+    // Recovery-latency ordering the paper measures: CX5/CX6 Dx recover
+    // an order faster than CX4 Lx and E810; the hypothetical next-gen
+    // part is fastest of all.
+    let mct = |d: &str| m(d).avg_mct_ns;
+    assert!(mct("CX5") < mct("CX4LX"), "CX5 should beat CX4 Lx");
+    assert!(mct("CX6DX") < mct("E810"), "CX6 Dx should beat E810");
+    assert!(
+        ["CX4LX", "CX5", "CX6DX", "E810"]
+            .iter()
+            .all(|d| mct("CX8NEXT") <= mct(d)),
+        "control profile must be fastest"
+    );
+}
+
+#[test]
+fn quirk_overlay_doubles_columns_and_diffs_verdicts() {
+    let yaml = std::fs::read_to_string(repo_root().join("configs/quirks_demo.yaml")).unwrap();
+    let base = TestConfig::from_yaml(&yaml).unwrap();
+    let params = MatrixParams {
+        devices: vec!["cx5".into(), "e810".into()],
+        workers: 2,
+        ..MatrixParams::default()
+    };
+    let report = run_matrix(&base, "quirks_demo", &params).unwrap();
+    assert!(report.quirk_overlay);
+    assert_eq!(report.cells.len(), 4, "baseline + quirked per device");
+    for d in ["CX5", "E810"] {
+        assert_eq!(cell(&report, d).verdict, "compliant");
+        let quirked = report
+            .cells
+            .iter()
+            .find(|c| c.device == d && c.quirked)
+            .unwrap();
+        assert_eq!(quirked.verdict, "violations", "{d} quirk cell too clean");
+        assert!(!quirked.violations.is_empty());
+        assert!(
+            report
+                .diffs
+                .iter()
+                .any(|x| x.metric == "quirk-overlay" && x.devices == [d]),
+            "{d} missing its quirk-overlay flip diff"
+        );
+    }
+}
+
+#[test]
+fn unknown_device_is_a_config_error_naming_the_registry() {
+    let params = MatrixParams {
+        devices: vec!["cx9000".into()],
+        ..MatrixParams::default()
+    };
+    let err = run_matrix(&demo_config(), "matrix_demo", &params).unwrap_err();
+    assert_eq!(err.exit_code(), 2, "{err}");
+    let msg = err.to_string();
+    for name in ["CX4LX", "CX5", "CX6DX", "E810", "CX8NEXT"] {
+        assert!(msg.contains(name), "error must list {name}: {msg}");
+    }
+}
+
+#[test]
+fn duplicate_queries_collapse_to_one_column() {
+    // "cx5" and "CX-5" canonicalize to the same registry entry.
+    let params = MatrixParams {
+        devices: vec!["cx5".into(), "CX-5".into(), "e810".into()],
+        ..MatrixParams::default()
+    };
+    let report = run_matrix(&demo_config(), "matrix_demo", &params).unwrap();
+    assert_eq!(report.devices, vec!["CX5".to_string(), "E810".to_string()]);
+}
+
+#[test]
+fn matrix_differential_report_matches_golden() {
+    // The matrix differential report is part of the CLI surface: pin its
+    // bytes like every run report. Regenerate with
+    // `UPDATE_GOLDEN=1 cargo test --test device_matrix`.
+    let actual = rendered(&demo_matrix(1));
+    let path = repo_root().join("tests/golden/matrix_demo.matrix.json");
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("golden updated: {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e} (regenerate with UPDATE_GOLDEN=1)", path.display()));
+    assert_eq!(expected, actual, "matrix differential report drifted");
+}

@@ -229,6 +229,41 @@ fn trace_free_reports_never_gain_a_trace_key() {
 }
 
 #[test]
+fn device_free_reports_never_gain_a_device_key() {
+    // The device registry is opt-in: a config without a `device:` section
+    // must produce a report with no "device" key at all — not even an
+    // empty one — or every pre-registry golden silently invalidates. The
+    // other direction too: a preset that names devices must surface the
+    // canonical registry names it resolved to, so the key cannot rot into
+    // a dead feature.
+    if updating() {
+        return;
+    }
+    let mut device_free = 0;
+    let mut pinned = 0;
+    for (name, cfg) in corpus() {
+        let golden = std::fs::read_to_string(golden_dir().join(format!("{name}.json")))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        if cfg.device.is_some() {
+            pinned += 1;
+            assert!(
+                golden.contains("\"device\":"),
+                "{name}: device-pinned preset lost its device section"
+            );
+        } else {
+            device_free += 1;
+            assert!(
+                !golden.contains("\"device\":"),
+                "{name}: device-free report gained a device section"
+            );
+        }
+    }
+    // Both sides of the protection must actually be exercised.
+    assert!(device_free >= 8, "seed corpus shrank: {device_free}");
+    assert!(pinned >= 1, "no device-pinned preset left in configs/");
+}
+
+#[test]
 fn same_timestamp_timers_fire_in_schedule_order() {
     // The calendar-queue scheduler's FIFO contract, observed through the
     // public engine API: events sharing one timestamp pop in the order
