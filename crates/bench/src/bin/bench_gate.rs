@@ -1,6 +1,6 @@
 //! `bench-gate` — the committed performance trajectory.
 //!
-//! Measures the repo's four headline performance numbers:
+//! Measures the repo's five headline performance numbers:
 //!
 //! * `events_per_sec` — simulation events dispatched per wall-clock
 //!   second on the `fig11_noisy_neighbor` preset (best of three runs);
@@ -8,7 +8,15 @@
 //! * `copied_per_pkt` — bytes memcpy'd per captured packet, from the
 //!   frame-plane ledger (deterministic);
 //! * `fuzz_runs_per_sec` — genetic-campaign throughput, best worker
-//!   count of the `fuzz_throughput` sweep.
+//!   count of the `fuzz_throughput` sweep;
+//! * `ingest_bytes_per_sec` — offline pcap→conformance throughput: the
+//!   fig11 trace exported as pcap and re-graded end to end (format parse,
+//!   frame recovery, chunked reconstruction, discovery-mode oracle), best
+//!   of three runs.
+//!
+//! A metric missing from the committed baseline (added after it was
+//! written) is reported and skipped, not failed — regenerating the
+//! baseline picks it up.
 //!
 //! Modes:
 //!
@@ -32,11 +40,12 @@ use std::time::Instant;
 
 /// Metric names, their direction, and how to read them from a report.
 /// `true` = higher is better (throughput), `false` = lower is better.
-const METRICS: [(&str, bool); 4] = [
+const METRICS: [(&str, bool); 5] = [
     ("events_per_sec", true),
     ("ns_per_event", false),
     ("copied_per_pkt", false),
     ("fuzz_runs_per_sec", true),
+    ("ingest_bytes_per_sec", true),
 ];
 
 /// Allowed regression: 20% against the committed baseline.
@@ -83,6 +92,38 @@ fn measure() -> Result<serde_json::Value, String> {
         return Err("fuzz sweep outcomes diverged across worker counts".into());
     }
 
+    // Offline ingestion throughput: the warm run's trace as pcap, graded
+    // end to end through the streaming pipeline, best of three.
+    let trace = warm
+        .trace
+        .as_ref()
+        .ok_or_else(|| "fig11 run produced no trace".to_string())?;
+    let mut pcap = Vec::new();
+    trace
+        .write_pcap(&mut pcap)
+        .map_err(|e| format!("pcap export: {e}"))?;
+    let params = lumina_core::IngestParams {
+        context: Some(cfg.clone()),
+        progress: false,
+        ..lumina_core::IngestParams::default()
+    };
+    let mut best_ingest_bytes_per_sec = 0.0f64;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let out = lumina_core::ingest_reader(std::io::Cursor::new(&pcap[..]), "fig11", &params)
+            .map_err(|e| format!("fig11 re-ingest: {e}"))?;
+        let wall = t0.elapsed().as_secs_f64();
+        if out.records != trace.len() as u64 {
+            return Err("fig11 re-ingest lost records".into());
+        }
+        if wall > 0.0 {
+            best_ingest_bytes_per_sec = best_ingest_bytes_per_sec.max(pcap.len() as f64 / wall);
+        }
+    }
+    if best_ingest_bytes_per_sec <= 0.0 {
+        return Err("fig11 re-ingest finished in zero wall time".into());
+    }
+
     Ok(serde_json::json!({
         "schema": 1,
         "preset": "fig11_noisy_neighbor",
@@ -90,6 +131,7 @@ fn measure() -> Result<serde_json::Value, String> {
         "ns_per_event": (1e9 / best_events_per_sec),
         "copied_per_pkt": (copied_per_pkt),
         "fuzz_runs_per_sec": (fuzz_runs_per_sec),
+        "ingest_bytes_per_sec": (best_ingest_bytes_per_sec),
     }))
 }
 
@@ -128,7 +170,12 @@ fn check(current: &serde_json::Value) -> Result<ExitCode, String> {
 
     let mut failed = false;
     for (name, higher_better) in METRICS {
-        let base = metric(&baseline, name)?;
+        let Ok(base) = metric(&baseline, name) else {
+            println!(
+                "  {name:<18} not in baseline; skipped (regenerate with --write to gate it)"
+            );
+            continue;
+        };
         let now = metric(current, name)?;
         let (bound, ok) = if higher_better {
             let bound = base * (1.0 - TOLERANCE);

@@ -22,12 +22,15 @@
 
 use crate::orchestrator::TestResults;
 use crate::translate::ConnMeta;
-use lumina_dumper::Trace;
+use lumina_dumper::{Trace, TraceEntry};
 use lumina_packet::bth::{psn_add, psn_distance};
 use lumina_packet::opcode::Opcode;
+use lumina_packet::RoceFrame;
+use lumina_rnic::qp::QpEndpoint;
+use lumina_rnic::Verb;
 use lumina_switch::events::EventType;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::net::Ipv4Addr;
 
 /// Hard cap on reported violations; the rest are counted via
@@ -37,6 +40,17 @@ pub const MAX_VIOLATIONS: usize = 64;
 pub const MAX_PENDING_ACKS: usize = 64;
 /// Per-connection cap on recorded injected-loss PSNs.
 pub const MAX_LOSS_RECORDS: usize = 256;
+/// Cap on connections discovery mode will create from the wire.
+pub const MAX_DISCOVERED_CONNS: usize = 1024;
+/// Cap on distinct IPs tracked for CE/CNP accounting in discovery mode.
+const MAX_TRACKED_IPS: usize = 256;
+/// PSN slack beyond the sent frontier an ACK may still name and
+/// window-match a connection during discovery binding.
+const ACK_WINDOW_SLACK: i32 = 1024;
+/// Forward PSN window from a connection's initial PSN inside which
+/// discovery binding accepts a packet. Initial PSNs are randomized over
+/// 24 bits, so windows of this size essentially never collide.
+const BIND_WINDOW: i32 = 1 << 20;
 
 /// The taxonomy of spec departures the oracle can prove from a trace,
 /// mirroring the bug families of the paper's Table 2.
@@ -228,94 +242,589 @@ struct ConnState {
     read_frontier: Option<u32>,
 }
 
-/// Replay the RC reference FSM over a trace and report every departure.
+/// Replay the RC reference FSM over a complete trace and report every
+/// departure.
 ///
-/// Never panics and never allocates beyond the documented caps,
-/// whatever the trace contains.
+/// Never panics and never allocates beyond the documented caps, whatever
+/// the trace contains. This is the one-shot wrapper over
+/// [`ConformanceStream`] in known-connections mode; the streaming form
+/// exists for chunked ingestion of captures too large to hold at once.
 pub fn analyze(trace: &Trace, conns: &[ConnMeta], opts: &ConformanceOpts) -> ConformanceReport {
-    let mut report = ConformanceReport {
-        compliant: true,
-        partial: opts.degraded,
-        ..Default::default()
-    };
-    report.packets_checked = trace.len() as u64;
-
-    for meta in conns {
-        analyze_conn(trace, meta, opts, &mut report);
-    }
-    analyze_global(trace, conns, opts, &mut report);
-
-    report.compliant = report.violations.is_empty();
-    report
+    let mut stream = ConformanceStream::new(conns, opts);
+    stream.observe_trace(trace);
+    stream.finish()
 }
 
-fn analyze_conn(
-    trace: &Trace,
-    meta: &ConnMeta,
-    opts: &ConformanceOpts,
-    report: &mut ConformanceReport,
-) {
-    let data_key = meta.data_conn_key();
-    let is_read = meta.verb.data_from_responder();
-    let reverse_qpn = if is_read {
-        meta.responder.qpn
-    } else {
-        meta.requester.qpn
-    };
+/// Violations and partial-evidence flags buffered per connection until
+/// [`ConformanceStream::finish`] merges them in connection order — which
+/// is how the streaming oracle reproduces the batch oracle byte for byte.
+#[derive(Default)]
+struct ConnSink {
+    violations: Vec<Violation>,
+    overflow: bool,
+    partial: bool,
+}
 
-    // Displacement in either direction makes mirror order diverge from
-    // arrival order: the FSM cannot be replayed for this connection.
-    let displaced = trace.iter().any(|e| {
-        matches!(e.event, EventType::Delay | EventType::Reorder)
-            && ((e.frame.ipv4.src == data_key.src_ip
-                && e.frame.ipv4.dst == data_key.dst_ip
-                && e.frame.bth.dest_qp == data_key.dst_qpn)
-                || (e.frame.ipv4.src == data_key.dst_ip
-                    && e.frame.ipv4.dst == data_key.src_ip
-                    && e.frame.bth.dest_qp == reverse_qpn))
-    });
-    if displaced {
-        report.skipped_displaced += 1;
-        report.partial = true;
-        return;
-    }
-    report.checked_conns += 1;
-
-    let mut st = ConnState {
-        expected: meta.data_psn(1),
-        ..Default::default()
-    };
-
-    for e in trace.iter() {
-        let f = &e.frame;
-        let is_data_of_conn = f.ipv4.src == data_key.src_ip
-            && f.ipv4.dst == data_key.dst_ip
-            && f.bth.dest_qp == data_key.dst_qpn
-            && f.bth.opcode.is_data()
-            && (is_read == f.bth.opcode.is_read_response());
-        let is_reverse_of_conn = f.ipv4.src == data_key.dst_ip
-            && f.ipv4.dst == data_key.src_ip
-            && f.bth.dest_qp == reverse_qpn;
-
-        if is_data_of_conn {
-            data_packet(e.event, f, meta, opts, &mut st, report);
-        } else if is_reverse_of_conn {
-            reverse_packet(f, meta, opts, &mut st, report);
+impl ConnSink {
+    fn push(&mut self, v: Violation) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(v);
+        } else {
+            self.overflow = true;
         }
     }
-    if st.pending_overflow || st.loss_overflow {
-        report.partial = true;
+}
+
+/// One connection's replay in flight.
+struct ConnTracker {
+    meta: ConnMeta,
+    st: ConnState,
+    sink: ConnSink,
+    /// A delay/reorder event touched this connection: mirror order is not
+    /// arrival order, so the replay is void and discarded at finish.
+    displaced: bool,
+    /// Discovery mode learns QPNs lazily; an unknown one matches by PSN
+    /// window until the first packet that names it binds it.
+    req_qpn_known: bool,
+    rsp_qpn_known: bool,
+}
+
+impl ConnTracker {
+    fn new(meta: ConnMeta, req_qpn_known: bool, rsp_qpn_known: bool) -> ConnTracker {
+        ConnTracker {
+            st: ConnState {
+                expected: meta.data_psn(1),
+                ..Default::default()
+            },
+            meta,
+            sink: ConnSink::default(),
+            displaced: false,
+            req_qpn_known,
+            rsp_qpn_known,
+        }
+    }
+
+    fn is_read(&self) -> bool {
+        self.meta.verb.data_from_responder()
+    }
+
+    /// Is the destination QPN of the data direction known?
+    fn data_qpn_known(&self) -> bool {
+        if self.is_read() {
+            self.req_qpn_known
+        } else {
+            self.rsp_qpn_known
+        }
+    }
+
+    /// The reverse direction's destination QPN, and whether it is known.
+    fn reverse_qpn(&self) -> (u32, bool) {
+        if self.is_read() {
+            (self.meta.responder.qpn, self.rsp_qpn_known)
+        } else {
+            (self.meta.requester.qpn, self.req_qpn_known)
+        }
+    }
+
+    fn claims_data(&self, f: &RoceFrame) -> bool {
+        let key = self.meta.data_conn_key();
+        self.data_qpn_known()
+            && f.ipv4.src == key.src_ip
+            && f.ipv4.dst == key.dst_ip
+            && f.bth.dest_qp == key.dst_qpn
+            && f.bth.opcode.is_data()
+            && (self.is_read() == f.bth.opcode.is_read_response())
+    }
+
+    fn claims_reverse(&self, f: &RoceFrame) -> bool {
+        let key = self.meta.data_conn_key();
+        let (rq, known) = self.reverse_qpn();
+        known && f.ipv4.src == key.dst_ip && f.ipv4.dst == key.src_ip && f.bth.dest_qp == rq
+    }
+
+    /// Does a delay/reorder event on this frame displace this connection?
+    /// An unknown QPN matches any — better to skip a replay than misjudge
+    /// one.
+    fn touched_by(&self, f: &RoceFrame) -> bool {
+        let key = self.meta.data_conn_key();
+        let (rq, rknown) = self.reverse_qpn();
+        (f.ipv4.src == key.src_ip
+            && f.ipv4.dst == key.dst_ip
+            && (!self.data_qpn_known() || f.bth.dest_qp == key.dst_qpn))
+            || (f.ipv4.src == key.dst_ip
+                && f.ipv4.dst == key.src_ip
+                && (!rknown || f.bth.dest_qp == rq))
+    }
+}
+
+/// True when `psn` lies within the forward discovery window of `ipsn`.
+fn in_bind_window(ipsn: u32, psn: u32) -> bool {
+    (0..=BIND_WINDOW).contains(&psn_distance(ipsn, psn))
+}
+
+/// Incremental form of the oracle: feed trace entries (or whole chunks)
+/// as they stream out of reconstruction, then [`finish`](Self::finish)
+/// for the report. Two modes:
+///
+/// * **known connections** ([`ConformanceStream::new`]) — the engine's
+///   own runs, where [`ConnMeta`] is exact. [`analyze`] is this mode over
+///   one whole trace and produces identical reports.
+/// * **discovery** ([`ConformanceStream::discovering`]) — ingested
+///   captures with no config context: connections are inferred from the
+///   wire. Data packets create them; ACKs and read requests bind the
+///   reverse-direction QPNs by PSN-window match (initial PSNs are random
+///   24-bit values, so windows are effectively unique). Anything
+///   ambiguous is counted as unattributed and marks the report partial
+///   instead of being guessed at.
+pub struct ConformanceStream {
+    opts: ConformanceOpts,
+    trackers: Vec<ConnTracker>,
+    discovery: bool,
+    packets: u64,
+    req_ips: BTreeSet<Ipv4Addr>,
+    rsp_ips: BTreeSet<Ipv4Addr>,
+    ce_by_dst: BTreeMap<Ipv4Addr, u64>,
+    cnp_by_src: BTreeMap<Ipv4Addr, u64>,
+    corrupt_events: u64,
+    ip_overflow: bool,
+    unattributed: u64,
+    flows_dropped: u64,
+}
+
+impl ConformanceStream {
+    /// Known-connections mode (the engine's own runs).
+    pub fn new(conns: &[ConnMeta], opts: &ConformanceOpts) -> ConformanceStream {
+        ConformanceStream {
+            opts: opts.clone(),
+            trackers: conns
+                .iter()
+                .map(|m| ConnTracker::new(*m, true, true))
+                .collect(),
+            discovery: false,
+            packets: 0,
+            req_ips: conns.iter().map(|c| c.requester.ip).collect(),
+            rsp_ips: conns.iter().map(|c| c.responder.ip).collect(),
+            ce_by_dst: BTreeMap::new(),
+            cnp_by_src: BTreeMap::new(),
+            corrupt_events: 0,
+            ip_overflow: false,
+            unattributed: 0,
+            flows_dropped: 0,
+        }
+    }
+
+    /// Discovery mode (ingested captures without config context).
+    pub fn discovering(opts: &ConformanceOpts) -> ConformanceStream {
+        ConformanceStream {
+            discovery: true,
+            ..ConformanceStream::new(&[], opts)
+        }
+    }
+
+    /// Mark the remaining evidence degraded (e.g. the streaming
+    /// reconstructor just reported its first gap): loss-sensitive checks
+    /// stop firing from here on and the report will be partial.
+    pub fn set_degraded(&mut self) {
+        self.opts.degraded = true;
+    }
+
+    /// Connections currently tracked (preconfigured plus discovered).
+    pub fn conns_tracked(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// Packets discovery mode could not route (ambiguous or unbindable).
+    pub fn unattributed(&self) -> u64 {
+        self.unattributed
+    }
+
+    /// Feed every entry of a chunk, in order.
+    pub fn observe_trace(&mut self, trace: &Trace) {
+        for e in trace.iter() {
+            self.observe(e);
+        }
+    }
+
+    /// Feed one trace entry.
+    pub fn observe(&mut self, e: &TraceEntry) {
+        self.packets += 1;
+        let f = &e.frame;
+
+        // Whole-trace accounting (CE marks, CNPs, corruption events);
+        // classification against the requester/responder IP sets happens
+        // at finish, once the sets are final.
+        if e.event == EventType::Ecn {
+            self.count_ip(true, f.ipv4.dst);
+        }
+        if e.event == EventType::Corrupt {
+            self.corrupt_events += 1;
+        }
+        if f.bth.opcode == Opcode::Cnp {
+            self.count_ip(false, f.ipv4.src);
+        }
+
+        if matches!(e.event, EventType::Delay | EventType::Reorder) {
+            for t in &mut self.trackers {
+                if t.touched_by(f) {
+                    t.displaced = true;
+                }
+            }
+        }
+
+        let opts = &self.opts;
+        let mut claimed = false;
+        for t in &mut self.trackers {
+            if t.claims_data(f) {
+                data_packet(e.event, f, &t.meta, opts, &mut t.st, &mut t.sink);
+                claimed = true;
+            } else if t.claims_reverse(f) {
+                reverse_packet(f, &t.meta, opts, &mut t.st, &mut t.sink);
+                claimed = true;
+            }
+        }
+        if self.discovery && !claimed {
+            self.discover(e);
+        }
+    }
+
+    /// Count a CE-marked destination (`ce`) or CNP source IP. In known
+    /// mode only configured endpoint IPs are eligible (exactly the batch
+    /// accounting); discovery counts every IP under a cap.
+    fn count_ip(&mut self, ce: bool, ip: Ipv4Addr) {
+        if !self.discovery && !self.req_ips.contains(&ip) && !self.rsp_ips.contains(&ip) {
+            return;
+        }
+        let map = if ce {
+            &mut self.ce_by_dst
+        } else {
+            &mut self.cnp_by_src
+        };
+        if let Some(n) = map.get_mut(&ip) {
+            *n += 1;
+        } else if !self.discovery || map.len() < MAX_TRACKED_IPS {
+            map.insert(ip, 1);
+        } else {
+            self.ip_overflow = true;
+        }
+    }
+
+    /// Route an entry no tracked connection claims: create or bind one.
+    fn discover(&mut self, e: &TraceEntry) {
+        let f = &e.frame;
+        let psn = f.bth.psn;
+        let op = f.bth.opcode;
+        if op == Opcode::RdmaReadRequest {
+            // Must be routed before the `is_data` arm: read requests
+            // count as data (they consume PSN space) but flow requester →
+            // responder, so treating one as a data packet would invent a
+            // write connection in the wrong direction.
+            let cands = self.bind_candidates(|t| {
+                t.is_read()
+                    && !t.rsp_qpn_known
+                    && t.meta.requester.ip == f.ipv4.src
+                    && t.meta.responder.ip == f.ipv4.dst
+                    && in_bind_window(t.meta.requester.ipsn, psn)
+            });
+            if cands.is_empty() {
+                self.create_conn(e, Verb::Read);
+            } else if let Some(i) = self.best_bind(&cands, psn) {
+                let t = &mut self.trackers[i];
+                t.meta.responder.qpn = f.bth.dest_qp;
+                t.rsp_qpn_known = true;
+                reverse_packet(f, &t.meta, &self.opts, &mut t.st, &mut t.sink);
+            } else {
+                self.unattributed += 1;
+            }
+        } else if op.is_data() {
+            if op.is_read_response() {
+                // A response stream: bind to a read connection created
+                // from its request, or create one outright.
+                let cands = self.bind_candidates(|t| {
+                    t.is_read()
+                        && !t.req_qpn_known
+                        && t.meta.responder.ip == f.ipv4.src
+                        && t.meta.requester.ip == f.ipv4.dst
+                        && in_bind_window(t.meta.requester.ipsn, psn)
+                });
+                if cands.is_empty() {
+                    self.create_conn(e, Verb::Read);
+                } else if let Some(i) = self.best_bind(&cands, psn) {
+                    let t = &mut self.trackers[i];
+                    t.meta.requester.qpn = f.bth.dest_qp;
+                    t.req_qpn_known = true;
+                    data_packet(e.event, f, &t.meta, &self.opts, &mut t.st, &mut t.sink);
+                } else {
+                    self.unattributed += 1;
+                }
+            } else if op.has_payload() {
+                let verb = if (op as u8) <= 0x05 {
+                    Verb::Send
+                } else {
+                    Verb::Write
+                };
+                self.create_conn(e, verb);
+            } else {
+                // Payload-less requests (atomics): no PSN stream this
+                // oracle models — count, don't guess a connection shape.
+                self.unattributed += 1;
+            }
+        } else if op == Opcode::Acknowledge {
+            // Bind the ACK stream of a write/send connection: the ACK's
+            // PSN must fall inside the span that connection has sent.
+            let cands = self.bind_candidates(|t| {
+                !t.is_read()
+                    && !t.req_qpn_known
+                    && t.meta.responder.ip == f.ipv4.src
+                    && t.meta.requester.ip == f.ipv4.dst
+                    && t.st.max_sent.is_some_and(|m| {
+                        psn_distance(t.meta.requester.ipsn, psn) >= 0
+                            && psn_distance(psn, m) >= -ACK_WINDOW_SLACK
+                    })
+            });
+            if let Some(i) = self.best_bind(&cands, psn) {
+                let t = &mut self.trackers[i];
+                t.meta.requester.qpn = f.bth.dest_qp;
+                t.req_qpn_known = true;
+                reverse_packet(f, &t.meta, &self.opts, &mut t.st, &mut t.sink);
+            } else {
+                self.unattributed += 1;
+            }
+        }
+        // Anything else (CNPs, atomic acknowledges) carries no
+        // per-connection evidence this oracle uses.
+    }
+
+    fn bind_candidates(&self, pred: impl Fn(&ConnTracker) -> bool) -> Vec<usize> {
+        self.trackers
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| pred(t))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Pick the binding among window candidates. Windows are anchored at
+    /// random 24-bit initial PSNs, so when several overlap the owner is
+    /// the one whose anchor sits nearest below the packet's PSN — every
+    /// impostor's anchor is, with overwhelming probability, much farther
+    /// away. A distance tie is genuinely ambiguous and stays unbound.
+    fn best_bind(&self, cands: &[usize], psn: u32) -> Option<usize> {
+        let dist = |i: usize| psn_distance(self.trackers[i].meta.requester.ipsn, psn);
+        let mut best: Option<usize> = None;
+        let mut tied = false;
+        for &i in cands {
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let (db, di) = (dist(b), dist(i));
+                    if di < db {
+                        best = Some(i);
+                        tied = false;
+                    } else if di == db {
+                        tied = true;
+                    }
+                }
+            }
+        }
+        if tied {
+            None
+        } else {
+            best
+        }
+    }
+
+    /// Create a tracker from the first packet of an undiscovered flow and
+    /// feed that packet through it.
+    fn create_conn(&mut self, e: &TraceEntry, verb: Verb) {
+        if self.trackers.len() >= MAX_DISCOVERED_CONNS {
+            self.flows_dropped += 1;
+            return;
+        }
+        let f = &e.frame;
+        let psn = f.bth.psn;
+        let index = self.trackers.len() as u32 + 1;
+        let from_request = verb == Verb::Read && f.bth.opcode == Opcode::RdmaReadRequest;
+        // Read responses flow responder → requester, so a response names
+        // the requester side and a request names the responder side; the
+        // opposite QPN stays unknown until a packet names it. Both
+        // directions share the requester's PSN space (read responses echo
+        // the request's PSNs), so the creating packet's PSN is the best
+        // initial-PSN estimate either way.
+        let (requester, responder, req_known, rsp_known) = if from_request || !verb.data_from_responder()
+        {
+            (
+                QpEndpoint {
+                    ip: f.ipv4.src,
+                    qpn: 0,
+                    ipsn: psn,
+                },
+                QpEndpoint {
+                    ip: f.ipv4.dst,
+                    qpn: f.bth.dest_qp,
+                    ipsn: 0,
+                },
+                false,
+                true,
+            )
+        } else {
+            (
+                QpEndpoint {
+                    ip: f.ipv4.dst,
+                    qpn: f.bth.dest_qp,
+                    ipsn: psn,
+                },
+                QpEndpoint {
+                    ip: f.ipv4.src,
+                    qpn: 0,
+                    ipsn: 0,
+                },
+                true,
+                false,
+            )
+        };
+        let meta = ConnMeta {
+            index,
+            requester,
+            responder,
+            verb,
+        };
+        let mut t = ConnTracker::new(meta, req_known, rsp_known);
+        if from_request {
+            reverse_packet(f, &t.meta, &self.opts, &mut t.st, &mut t.sink);
+        } else {
+            data_packet(e.event, f, &t.meta, &self.opts, &mut t.st, &mut t.sink);
+        }
+        self.trackers.push(t);
+    }
+
+    /// Close the stream and produce the report. In known-connections mode
+    /// this is identical to [`analyze`] over the concatenated chunks.
+    pub fn finish(self) -> ConformanceReport {
+        let mut report = ConformanceReport {
+            compliant: true,
+            partial: self.opts.degraded,
+            ..Default::default()
+        };
+        report.packets_checked = self.packets;
+
+        let (req_ips, rsp_ips) = if self.discovery {
+            (
+                self.trackers
+                    .iter()
+                    .map(|t| t.meta.requester.ip)
+                    .collect::<BTreeSet<_>>(),
+                self.trackers
+                    .iter()
+                    .map(|t| t.meta.responder.ip)
+                    .collect::<BTreeSet<_>>(),
+            )
+        } else {
+            (self.req_ips, self.rsp_ips)
+        };
+
+        for t in self.trackers {
+            if t.displaced {
+                report.skipped_displaced += 1;
+                report.partial = true;
+                continue;
+            }
+            report.checked_conns += 1;
+            for v in t.sink.violations {
+                report.push(v);
+            }
+            if t.sink.overflow {
+                report.truncated = true;
+            }
+            if t.sink.partial || t.st.pending_overflow || t.st.loss_overflow {
+                report.partial = true;
+            }
+        }
+
+        // Whole-trace congestion-notification and ICRC accounting. CNPs
+        // are rate-limited per NIC (per-IP/per-QP/per-port by vendor), so
+        // the sound per-direction claims are "CE arrived, NP enabled,
+        // zero CNPs ever" and "CNPs without any CE" — the first CNP
+        // always passes every limiter.
+        let classify = |map: &BTreeMap<Ipv4Addr, u64>| {
+            let (mut toward_req, mut toward_rsp) = (0u64, 0u64);
+            for (ip, n) in map {
+                if rsp_ips.contains(ip) {
+                    toward_rsp += n;
+                } else if req_ips.contains(ip) {
+                    toward_req += n;
+                }
+            }
+            (toward_req, toward_rsp)
+        };
+        let (ce_toward_req, ce_toward_rsp) = classify(&self.ce_by_dst);
+        let (cnps_from_req, cnps_from_rsp) = classify(&self.cnp_by_src);
+
+        if !self.opts.degraded {
+            for (side, ce, cnps, np) in [
+                (
+                    "responder",
+                    ce_toward_rsp,
+                    cnps_from_rsp,
+                    self.opts.np_enabled_responder,
+                ),
+                (
+                    "requester",
+                    ce_toward_req,
+                    cnps_from_req,
+                    self.opts.np_enabled_requester,
+                ),
+            ] {
+                if ce > 0 && np && cnps == 0 {
+                    report.push(Violation {
+                        class: ViolationClass::MissingCnp,
+                        conn: None,
+                        psn: None,
+                        detail: format!(
+                            "{ce} CE-marked packets reached the {side} (NP enabled) and it never sent a CNP"
+                        ),
+                    });
+                }
+                if cnps > 0 && ce == 0 {
+                    report.push(Violation {
+                        class: ViolationClass::SpuriousCnp,
+                        conn: None,
+                        psn: None,
+                        detail: format!(
+                            "the {side} sent {cnps} CNPs with zero CE marks behind them"
+                        ),
+                    });
+                }
+            }
+            if self.opts.rx_icrc_errors > self.corrupt_events {
+                report.push(Violation {
+                    class: ViolationClass::IcrcMiscompute,
+                    conn: None,
+                    psn: None,
+                    detail: format!(
+                        "receivers dropped {} frames on ICRC but the wire only explains {} — the sender computes ICRC wrong",
+                        self.opts.rx_icrc_errors, self.corrupt_events
+                    ),
+                });
+            }
+        }
+
+        if self.unattributed > 0 || self.flows_dropped > 0 || self.ip_overflow {
+            report.partial = true;
+        }
+
+        report.compliant = report.violations.is_empty();
+        report
     }
 }
 
 /// A data packet of the connection (write/send data, or read responses).
 fn data_packet(
     event: EventType,
-    f: &lumina_packet::RoceFrame,
+    f: &RoceFrame,
     meta: &ConnMeta,
     opts: &ConformanceOpts,
     st: &mut ConnState,
-    report: &mut ConformanceReport,
+    sink: &mut ConnSink,
 ) {
     let psn = f.bth.psn;
     let is_read = meta.verb.data_from_responder();
@@ -356,7 +865,7 @@ fn data_packet(
                     .last_ack
                     .is_some_and(|a| psn_distance(psn, a) >= 0);
                 if is_read || already_acked {
-                    report.push(Violation {
+                    sink.push(Violation {
                         class: ViolationClass::SpuriousRetransmit,
                         conn: Some(meta.index),
                         psn: Some(psn),
@@ -366,7 +875,7 @@ fn data_packet(
                         ),
                     });
                 } else {
-                    report.push(Violation {
+                    sink.push(Violation {
                         class: ViolationClass::UnackedDelivery,
                         conn: Some(meta.index),
                         psn: Some(psn),
@@ -377,7 +886,7 @@ fn data_packet(
                     });
                 }
             } else if opts.rx_icrc_errors > 0 {
-                report.partial = true;
+                sink.partial = true;
             }
         }
     }
@@ -388,7 +897,7 @@ fn data_packet(
 
     // ---- Read responses carry AETH on last/only: track MSN there ----
     if let Some(aeth) = f.ext.aeth {
-        track_msn(aeth.msn, psn, meta, st, report, opts);
+        track_msn(aeth.msn, psn, meta, st, sink, opts);
     }
 
     // ---- Receiver view ----
@@ -415,11 +924,11 @@ fn data_packet(
 /// A packet flowing against the data direction: ACK/NACK for write/send,
 /// (re-)issued read requests for read.
 fn reverse_packet(
-    f: &lumina_packet::RoceFrame,
+    f: &RoceFrame,
     meta: &ConnMeta,
     opts: &ConformanceOpts,
     st: &mut ConnState,
-    report: &mut ConformanceReport,
+    sink: &mut ConnSink,
 ) {
     let psn = f.bth.psn;
     let is_read = meta.verb.data_from_responder();
@@ -427,12 +936,12 @@ fn reverse_packet(
     if !is_read && f.bth.opcode == Opcode::Acknowledge {
         let Some(aeth) = f.ext.aeth else {
             // An ACK without an AETH is unparseable evidence; skip it.
-            report.partial = true;
+            sink.partial = true;
             return;
         };
         if aeth.syndrome.is_seq_err_nak() {
             if psn_distance(st.expected, psn) != 0 && !opts.degraded {
-                report.push(Violation {
+                sink.push(Violation {
                     class: ViolationClass::NackPsnMismatch,
                     conn: Some(meta.index),
                     psn: Some(psn),
@@ -443,7 +952,7 @@ fn reverse_packet(
                 });
             }
             st.last_nack = Some(psn);
-            track_msn(aeth.msn, psn, meta, st, report, opts);
+            track_msn(aeth.msn, psn, meta, st, sink, opts);
         } else if aeth.syndrome.is_nak() {
             // Other NAK codes are out of the oracle's scope.
         } else {
@@ -453,7 +962,7 @@ fn reverse_packet(
                 None => true,
             };
             if beyond_sent && !opts.degraded {
-                report.push(Violation {
+                sink.push(Violation {
                     class: ViolationClass::AckPsnInvalid,
                     conn: Some(meta.index),
                     psn: Some(psn),
@@ -465,7 +974,7 @@ fn reverse_packet(
                     ),
                 });
             }
-            track_msn(aeth.msn, psn, meta, st, report, opts);
+            track_msn(aeth.msn, psn, meta, st, sink, opts);
             // Every ACK-due boundary at or below this ACK's PSN is
             // covered by it; a compliant responder acknowledges each
             // boundary individually.
@@ -479,7 +988,7 @@ fn reverse_packet(
                 }
             }
             if covered > 1 && !st.pending_overflow && !opts.degraded {
-                report.push(Violation {
+                sink.push(Violation {
                     class: ViolationClass::AckCoalescing,
                     conn: Some(meta.index),
                     psn: Some(psn),
@@ -522,12 +1031,12 @@ fn track_msn(
     psn: u32,
     meta: &ConnMeta,
     st: &mut ConnState,
-    report: &mut ConformanceReport,
+    sink: &mut ConnSink,
     opts: &ConformanceOpts,
 ) {
     if let Some(prev) = st.last_msn {
         if psn_distance(prev, msn) < 0 && !opts.degraded {
-            report.push(Violation {
+            sink.push(Violation {
                 class: ViolationClass::MsnRegression,
                 conn: Some(meta.index),
                 psn: Some(psn),
@@ -540,97 +1049,6 @@ fn track_msn(
     }
     if st.last_msn.is_none_or(|p| psn_distance(p, msn) > 0) {
         st.last_msn = Some(msn);
-    }
-}
-
-/// Whole-trace checks that cannot be attributed to one connection:
-/// congestion-notification accounting and ICRC bookkeeping. CNPs are
-/// rate-limited per NIC (per-IP/per-QP/per-port by vendor), so the sound
-/// per-direction claims are "CE arrived, NP enabled, zero CNPs ever" and
-/// "CNPs without any CE" — the first CNP always passes every limiter.
-fn analyze_global(
-    trace: &Trace,
-    conns: &[ConnMeta],
-    opts: &ConformanceOpts,
-    report: &mut ConformanceReport,
-) {
-    let req_ips: BTreeSet<Ipv4Addr> = conns.iter().map(|c| c.requester.ip).collect();
-    let rsp_ips: BTreeSet<Ipv4Addr> = conns.iter().map(|c| c.responder.ip).collect();
-
-    let mut ce_toward_req = 0u64;
-    let mut ce_toward_rsp = 0u64;
-    let mut cnps_from_req = 0u64;
-    let mut cnps_from_rsp = 0u64;
-    let mut corrupt_events = 0u64;
-
-    for e in trace.iter() {
-        let f = &e.frame;
-        if e.event == EventType::Ecn {
-            if rsp_ips.contains(&f.ipv4.dst) {
-                ce_toward_rsp += 1;
-            } else if req_ips.contains(&f.ipv4.dst) {
-                ce_toward_req += 1;
-            }
-        }
-        if e.event == EventType::Corrupt {
-            corrupt_events += 1;
-        }
-        if f.bth.opcode == Opcode::Cnp {
-            if rsp_ips.contains(&f.ipv4.src) {
-                cnps_from_rsp += 1;
-            } else if req_ips.contains(&f.ipv4.src) {
-                cnps_from_req += 1;
-            }
-        }
-    }
-
-    if !opts.degraded {
-        for (side, ce, cnps, np) in [
-            (
-                "responder",
-                ce_toward_rsp,
-                cnps_from_rsp,
-                opts.np_enabled_responder,
-            ),
-            (
-                "requester",
-                ce_toward_req,
-                cnps_from_req,
-                opts.np_enabled_requester,
-            ),
-        ] {
-            if ce > 0 && np && cnps == 0 {
-                report.push(Violation {
-                    class: ViolationClass::MissingCnp,
-                    conn: None,
-                    psn: None,
-                    detail: format!(
-                        "{ce} CE-marked packets reached the {side} (NP enabled) and it never sent a CNP"
-                    ),
-                });
-            }
-            if cnps > 0 && ce == 0 {
-                report.push(Violation {
-                    class: ViolationClass::SpuriousCnp,
-                    conn: None,
-                    psn: None,
-                    detail: format!(
-                        "the {side} sent {cnps} CNPs with zero CE marks behind them"
-                    ),
-                });
-            }
-        }
-        if opts.rx_icrc_errors > corrupt_events {
-            report.push(Violation {
-                class: ViolationClass::IcrcMiscompute,
-                conn: None,
-                psn: None,
-                detail: format!(
-                    "receivers dropped {} frames on ICRC but the wire only explains {corrupt_events} — the sender computes ICRC wrong",
-                    opts.rx_icrc_errors
-                ),
-            });
-        }
     }
 }
 
@@ -793,5 +1211,117 @@ traffic:
         }
         assert_eq!(rep.violations.len(), MAX_VIOLATIONS);
         assert!(rep.truncated);
+    }
+
+    const STREAM_YAML: &str = r#"
+requester: { nic-type: cx5 }
+responder: { nic-type: cx5 }
+traffic:
+  num-connections: 3
+  rdma-verb: write
+  num-msgs-per-qp: 3
+  mtu: 1024
+  message-size: 10240
+  data-pkt-events:
+    - {qpn: 1, psn: 5, type: drop, iter: 1}
+    - {qpn: 2, psn: 7, type: drop, iter: 1}
+"#;
+
+    fn report_fingerprint(rep: &ConformanceReport) -> String {
+        format!(
+            "{} {} {} {} {:?}",
+            rep.compliant,
+            rep.partial,
+            rep.checked_conns,
+            rep.packets_checked,
+            rep.violations
+                .iter()
+                .map(|v| (v.class.label(), v.conn, v.psn, v.detail.clone()))
+                .collect::<Vec<_>>()
+        )
+    }
+
+    #[test]
+    fn chunked_stream_matches_batch_analyze() {
+        let cfg = TestConfig::from_yaml(STREAM_YAML).unwrap();
+        let res = run_test(&cfg).unwrap();
+        let trace = res.trace.as_ref().unwrap();
+        let opts = ConformanceOpts::from_results(&res);
+        let batch = analyze(trace, &res.conns, &opts);
+
+        // Feed the same trace in chunks of every awkward size: the
+        // streaming oracle must be insensitive to chunk boundaries.
+        for chunk in [1usize, 7, 64, trace.len().max(1)] {
+            let mut stream = ConformanceStream::new(&res.conns, &opts);
+            let mut piece = Trace::default();
+            for e in trace.iter() {
+                piece.entries.push(e.clone());
+                if piece.entries.len() >= chunk {
+                    stream.observe_trace(&piece);
+                    piece.entries.clear();
+                }
+            }
+            stream.observe_trace(&piece);
+            let streamed = stream.finish();
+            assert_eq!(
+                report_fingerprint(&streamed),
+                report_fingerprint(&batch),
+                "chunk size {chunk} diverged from batch analyze"
+            );
+        }
+    }
+
+    #[test]
+    fn discovery_matches_known_mode_on_write_traffic() {
+        let cfg = TestConfig::from_yaml(STREAM_YAML).unwrap();
+        let res = run_test(&cfg).unwrap();
+        let trace = res.trace.as_ref().unwrap();
+        let opts = ConformanceOpts::from_results(&res);
+        let known = analyze(trace, &res.conns, &opts);
+
+        let mut disc = ConformanceStream::discovering(&opts);
+        disc.observe_trace(trace);
+        assert_eq!(disc.conns_tracked(), res.conns.len());
+        assert_eq!(disc.unattributed(), 0);
+        let rep = disc.finish();
+        assert_eq!(rep.compliant, known.compliant, "{:?}", rep.violations);
+        assert_eq!(rep.checked_conns, known.checked_conns);
+        assert_eq!(rep.packets_checked, known.packets_checked);
+    }
+
+    #[test]
+    fn discovery_matches_known_mode_on_read_traffic() {
+        // Read traffic is the shape that once broke discovery: read
+        // requests are "data" opcodes but flow requester → responder, so
+        // routing them through the data arm invented a write connection
+        // per flow and left every response stream orphaned.
+        let cfg = TestConfig::from_yaml(
+            r#"
+requester: { nic-type: cx6 }
+responder: { nic-type: cx6 }
+traffic:
+  num-connections: 3
+  rdma-verb: read
+  num-msgs-per-qp: 2
+  mtu: 1024
+  message-size: 10240
+  data-pkt-events:
+    - {qpn: 1, psn: 4, type: drop, iter: 1}
+"#,
+        )
+        .unwrap();
+        let res = run_test(&cfg).unwrap();
+        let trace = res.trace.as_ref().unwrap();
+        let opts = ConformanceOpts::from_results(&res);
+        let known = analyze(trace, &res.conns, &opts);
+        assert!(known.compliant, "{:?}", known.violations);
+
+        let mut disc = ConformanceStream::discovering(&opts);
+        disc.observe_trace(trace);
+        assert_eq!(disc.conns_tracked(), res.conns.len());
+        assert_eq!(disc.unattributed(), 0);
+        let rep = disc.finish();
+        assert!(rep.compliant, "{:?}", rep.violations);
+        assert_eq!(rep.checked_conns, known.checked_conns);
     }
 }

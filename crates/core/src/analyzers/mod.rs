@@ -8,7 +8,9 @@ pub mod latency;
 pub mod retrans_perf;
 
 pub use cnp::CnpReport;
-pub use conformance::{ConformanceOpts, ConformanceReport, Violation, ViolationClass};
+pub use conformance::{
+    ConformanceOpts, ConformanceReport, ConformanceStream, Violation, ViolationClass,
+};
 pub use counter::CounterFinding;
 pub use gbn_fsm::GbnReport;
 pub use latency::{HopVerdict, LatencyReport};

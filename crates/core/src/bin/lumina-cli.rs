@@ -8,6 +8,7 @@
 //! lumina-cli telemetry --config test.yaml   # event journal + metrics
 //! lumina-cli trace --config test.yaml --perfetto out.json
 //! lumina-cli fuzz --config base.yaml --workers 4 --generations 16
+//! lumina-cli ingest --pcap capture.pcap    # grade a real capture offline
 //! ```
 //!
 //! All flag parsing lives in [`lumina_core::cli`]; `--config`, `--seed`
@@ -29,7 +30,8 @@
 //! Exit codes follow [`lumina_core::Error::exit_code`]: 0 success, 1 test
 //! ran but failed (integrity or incomplete traffic), 2 configuration,
 //! 3 I/O, 4 translation, 5 engine, 6 reconstruction, 7 watchdog,
-//! 8 internal, 9 spec-conformance violations proven by the oracle.
+//! 8 internal, 9 spec-conformance violations proven by the oracle,
+//! 10 unreadable capture (`ingest` found nothing to degrade into).
 
 use lumina_core::analyzers::{cnp, conformance, counter, gbn_fsm, latency, retrans_perf};
 use lumina_core::cli::{self, CommonOpts};
@@ -549,6 +551,74 @@ fn matrix_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+/// `lumina-cli ingest --pcap <capture> [--config <test.yaml>]
+/// [--chunk-events N] [--max-bytes N] [--json]`: stream a real capture
+/// through recovery, chunked reconstruction and the conformance oracle.
+/// Damage degrades the verdict instead of aborting; only a capture with
+/// no readable prefix at all exits 10 ([`Error::Ingest`]).
+fn ingest_cmd(args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<_, Error> {
+        let pcap = cli::flag_value(args, "--pcap")
+            .map(str::to_owned)
+            .ok_or_else(|| Error::config("ingest needs --pcap <capture>"))?;
+        let defaults = lumina_core::IngestParams::default();
+        let context = match cli::flag_value(args, "--config") {
+            None => None,
+            Some(path) => {
+                let yaml = std::fs::read_to_string(path).map_err(|source| Error::Io {
+                    path: path.to_string(),
+                    source,
+                })?;
+                let cfg = TestConfig::from_yaml(&yaml)?;
+                cfg.validate()?;
+                Some(cfg)
+            }
+        };
+        let params = lumina_core::IngestParams {
+            chunk_entries: cli::numeric_flag(args, "--chunk-events", defaults.chunk_entries)?,
+            max_resident_bytes: cli::numeric_flag(args, "--max-bytes", defaults.max_resident_bytes)?,
+            context,
+            retain_trace: false,
+            progress: true,
+        };
+        Ok((pcap, params, cli::has_flag(args, "--json")))
+    })();
+    let (pcap, params, json) = match parsed {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    let out = match lumina_core::ingest_path(&pcap, &params) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    if json {
+        let doc = match out.report_json() {
+            Ok(d) => d,
+            Err(e) => return fail(e),
+        };
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+    } else {
+        println!("capture         : {pcap}");
+        print!("{}", out.render_human());
+    }
+    if !out.conformance.compliant {
+        let classes: Vec<String> = out
+            .conformance
+            .class_counts()
+            .iter()
+            .map(|(label, n)| format!("{n} {label}"))
+            .collect();
+        return fail(Error::Violations(classes.join(", ")));
+    }
+    if out.pristine() {
+        ExitCode::SUCCESS
+    } else {
+        // Compliant but on damaged evidence: the degraded-report exit,
+        // same class as a failed-but-completed test.
+        ExitCode::from(1)
+    }
+}
+
 /// The default subcommand: run one test and report.
 fn run_cmd(args: &[String]) -> ExitCode {
     let opts = match CommonOpts::parse(args) {
@@ -757,6 +827,7 @@ const HANDLERS: &[(&str, Handler)] = &[
     ("telemetry", telemetry_cmd),
     ("trace", trace_cmd),
     ("fuzz", fuzz_cmd),
+    ("ingest", ingest_cmd),
     ("matrix", matrix_cmd),
 ];
 

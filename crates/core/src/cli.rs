@@ -155,6 +155,30 @@ pub const SUBCOMMANDS: &[SubcommandSpec] = &[
         notes: &["(--seed seeds the campaign's mutation PRNG)"],
     },
     SubcommandSpec {
+        name: "ingest",
+        usage: "lumina-cli ingest --pcap <capture>",
+        summary: "grade a real capture offline",
+        flags: &[
+            FlagSpec {
+                name: "--chunk-events",
+                value: Some("<n>"),
+                help: "seal a reconstruction chunk after n entries\n(default 65536)",
+            },
+            FlagSpec {
+                name: "--max-bytes",
+                value: Some("<n>"),
+                help: "memory bound on the resident reconstruction\nwindow in bytes (default 64 MiB)",
+            },
+        ],
+        notes: &[
+            "Streams a pcap/pcapng capture (classic or ng, either endianness)",
+            "through mirror-metadata recovery and chunked reconstruction, then",
+            "grades it with the conformance oracle in connection-discovery mode.",
+            "--config supplies NP/MTU context; damage degrades the verdict to",
+            "partial instead of aborting. Progress heartbeats go to stderr.",
+        ],
+    },
+    SubcommandSpec {
         name: "matrix",
         usage: "lumina-cli matrix --config <test.yaml>",
         summary: "scenario × device behavior matrix",
@@ -191,6 +215,7 @@ EXIT CODES:
     2  bad config       3  I/O error
     4  translation      5  engine          6  reconstruction
     7  watchdog         8  internal        9  violations
+    10 ingest (unreadable capture)
 ";
 
 /// True when `flag` consumes the next argument, per the table.
@@ -476,11 +501,15 @@ mod tests {
             "--devices",
             "--cell-reports",
             "--no-quirk-overlay",
+            "--chunk-events",
+            "--max-bytes",
             "conformance oracle",
+            "discovery mode",
             "6  reconstruction",
             "7  watchdog",
             "8  internal",
             "9  violations",
+            "10 ingest",
         ] {
             assert!(help().contains(needle), "help is missing {needle}");
         }
@@ -512,6 +541,8 @@ mod tests {
             "--retries",
             "--corpus-dir",
             "--devices",
+            "--chunk-events",
+            "--max-bytes",
         ] {
             assert!(is_valued(flag), "{flag} must consume its value");
         }

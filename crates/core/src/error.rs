@@ -44,6 +44,18 @@ pub enum Error {
     /// device under test violated the RC specification. Not an
     /// infrastructure fault: rerunning the same seed reproduces it.
     Violations(String),
+    /// A capture file could not be ingested at all — the pcap header was
+    /// unreadable or the very first record was malformed, so there is
+    /// nothing to degrade into. Carries the byte offset of the first
+    /// malformed structure so operators can inspect the file directly.
+    Ingest {
+        /// The capture file involved.
+        path: String,
+        /// Byte offset of the first malformed record or header.
+        offset: u64,
+        /// What was wrong there.
+        msg: String,
+    },
 }
 
 impl Error {
@@ -71,6 +83,7 @@ impl Error {
             Error::Watchdog(_) => 7,
             Error::Internal(_) => 8,
             Error::Violations(_) => 9,
+            Error::Ingest { .. } => 10,
         }
     }
 
@@ -102,6 +115,9 @@ impl fmt::Display for Error {
             Error::Watchdog(msg) => write!(f, "watchdog killed the run: {msg}"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
             Error::Violations(msg) => write!(f, "spec-conformance violations: {msg}"),
+            Error::Ingest { path, offset, msg } => {
+                write!(f, "{path}: unreadable capture at offset {offset}: {msg}")
+            }
         }
     }
 }
@@ -133,6 +149,11 @@ mod tests {
             Error::Watchdog("w".into()),
             Error::internal("i"),
             Error::Violations("v".into()),
+            Error::Ingest {
+                path: "cap.pcap".into(),
+                offset: 24,
+                msg: "bad magic".into(),
+            },
         ];
         let codes: Vec<u8> = errs.iter().map(|e| e.exit_code()).collect();
         let mut uniq = codes.clone();
@@ -168,6 +189,21 @@ mod tests {
             !Error::Violations("dut bug".into()).is_infra_fault(),
             "violations reproduce on retry — retrying is pointless"
         );
+    }
+
+    #[test]
+    fn ingest_error_names_file_and_offset() {
+        let e = Error::Ingest {
+            path: "bad.pcapng".into(),
+            offset: 1028,
+            msg: "block length 7 not a multiple of 4".into(),
+        };
+        assert_eq!(e.exit_code(), 10);
+        assert!(!e.is_infra_fault(), "a rotten file reproduces on retry");
+        let s = e.to_string();
+        assert!(s.contains("bad.pcapng"), "{s}");
+        assert!(s.contains("offset 1028"), "{s}");
+        assert!(s.contains("multiple of 4"), "{s}");
     }
 
     #[test]

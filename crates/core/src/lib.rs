@@ -42,6 +42,7 @@ pub mod cli;
 pub mod config;
 pub mod error;
 pub mod fuzz;
+pub mod ingest;
 pub mod integrity;
 pub mod matrix;
 pub mod orchestrator;
@@ -50,6 +51,7 @@ pub mod translate;
 pub use config::{FaultsSection, QuirksSection, TestConfig};
 pub use analyzers::{ConformanceOpts, ConformanceReport, Violation, ViolationClass};
 pub use error::Error;
+pub use ingest::{ingest_path, ingest_reader, IngestOutcome, IngestParams};
 pub use integrity::{DegradedMode, IntegrityReport};
 pub use matrix::{run_matrix, BehaviorDiff, CellOutcome, MatrixParams, MatrixReport};
 pub use orchestrator::{run_supervised, run_test, RetryPolicy, TestResults};

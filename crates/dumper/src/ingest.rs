@@ -1,0 +1,487 @@
+//! Offline ingestion: recovering mirrored captures from foreign pcap bytes
+//! and reconstructing them in bounded-memory chunks.
+//!
+//! [`reconstruct_lossy`](crate::trace::reconstruct_lossy) assumes its input
+//! is a `CapturedPacket` buffer the engine itself produced. Real captures
+//! arrive as raw Ethernet frames from a pcap file: the UDP destination port
+//! may still carry the switch's RSS randomization, non-RoCE traffic is
+//! interleaved, snaplen truncation is routine, and header length fields
+//! lie. This module is the hardening layer between the two worlds:
+//!
+//! * [`recover_frame`] maps one raw frame back to a [`CapturedPacket`],
+//!   classifying every rejection into a [`RecoveryStats`] counter instead
+//!   of failing — foreign traffic, rotten RoCE headers, and missing mirror
+//!   metadata are all just counters;
+//! * [`StreamingReconstructor`] windows recovered packets by mirror
+//!   sequence number so a multi-gigabyte capture flows through in chunks
+//!   under a configurable memory bound, each sealed chunk a normal
+//!   [`Trace`] the analyzers already understand, with all damage (gaps,
+//!   duplicates, late stragglers, parse casualties) merged into one
+//!   [`StreamSummary`].
+
+use crate::trace::{CapturedPacket, GapSpan, Trace, TraceEntry};
+use lumina_packet::frame::RoceFrame;
+use lumina_packet::udp::ROCEV2_UDP_PORT;
+use lumina_sim::SimTime;
+use lumina_switch::mirror;
+use serde::Serialize;
+
+/// Dumpers trim mirror copies to this many bytes (all headers, no
+/// payload); a capture shorter than its wire length *and* shorter than
+/// this was truncated abnormally (snaplen below the trim, mid-frame drop).
+pub const TRIM_LEN: usize = 128;
+
+/// Offset of the UDP destination port in an Ethernet/IPv4/UDP frame.
+const DPORT_OFF: usize = 14 + 20 + 2;
+
+/// Most gap spans a [`StreamSummary`] retains verbatim; the totals keep
+/// counting past the cap.
+const MAX_SUMMARY_GAPS: usize = 1024;
+
+/// Where every ingested frame ended up. The classification is exhaustive:
+/// `frames_seen == recovered + non_roce + unparseable + no_mirror_meta`
+/// always holds, so nothing is silently dropped.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RecoveryStats {
+    /// Frames offered to [`recover_frame`].
+    pub frames_seen: u64,
+    /// Capture bytes offered (post-snaplen, as stored in the file).
+    pub bytes_seen: u64,
+    /// Frames successfully mapped to [`CapturedPacket`]s.
+    pub recovered: u64,
+    /// Frames that are simply foreign traffic (wrong ethertype/protocol).
+    pub non_roce: u64,
+    /// Frames that look like RoCEv2 but whose headers did not parse.
+    pub unparseable: u64,
+    /// Frames that parsed but carry no valid mirror metadata (TTL is not
+    /// an event code) — a direct capture, not a Lumina mirror.
+    pub no_mirror_meta: u64,
+    /// Recovered frames shorter than both their wire length and the
+    /// dumper trim — abnormal snaplen truncation.
+    pub truncated: u64,
+    /// Recovered frames whose UDP destination port still carried the RSS
+    /// randomization and was restored to 4791.
+    pub dport_restored: u64,
+    /// Frames whose header claimed an original length *smaller* than the
+    /// bytes actually captured (a lying length field).
+    pub lying_lengths: u64,
+}
+
+impl RecoveryStats {
+    /// The exhaustiveness invariant the proptest suite pins down.
+    pub fn consistent(&self) -> bool {
+        self.frames_seen
+            == self.recovered + self.non_roce + self.unparseable + self.no_mirror_meta
+    }
+}
+
+impl lumina_telemetry::MetricSet for RecoveryStats {
+    fn metric_kind(&self) -> &'static str {
+        "ingest"
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::json!({
+            "frames_seen": (self.frames_seen),
+            "bytes_seen": (self.bytes_seen),
+            "recovered": (self.recovered),
+            "non_roce": (self.non_roce),
+            "unparseable": (self.unparseable),
+            "no_mirror_meta": (self.no_mirror_meta),
+            "truncated": (self.truncated),
+            "dport_restored": (self.dport_restored),
+            "lying_lengths": (self.lying_lengths),
+        })
+    }
+}
+
+/// Map one raw captured frame back to a [`CapturedPacket`], or classify
+/// why it cannot be. Total: every input increments exactly one of
+/// `recovered` / `non_roce` / `unparseable` / `no_mirror_meta`.
+pub fn recover_frame(
+    data: &[u8],
+    orig_len: u32,
+    ts: SimTime,
+    stats: &mut RecoveryStats,
+) -> Option<CapturedPacket> {
+    stats.frames_seen += 1;
+    stats.bytes_seen += data.len() as u64;
+    match RoceFrame::parse_headers(data) {
+        Ok(_) => {}
+        Err(e) if e.is_foreign() => {
+            stats.non_roce += 1;
+            return None;
+        }
+        Err(_) => {
+            stats.unparseable += 1;
+            return None;
+        }
+    }
+    if mirror::extract(data).is_none() {
+        stats.no_mirror_meta += 1;
+        return None;
+    }
+    let mut bytes = data.to_vec();
+    // The switch randomizes the UDP destination port for dumper RSS; a
+    // capture taken upstream of the dumper's restore still carries it.
+    if bytes.len() >= DPORT_OFF + 2 {
+        let dport = u16::from_be_bytes([bytes[DPORT_OFF], bytes[DPORT_OFF + 1]]);
+        if dport != ROCEV2_UDP_PORT {
+            mirror::restore_dport(&mut bytes);
+            stats.dport_restored += 1;
+        }
+    }
+    // Length bookkeeping: a header may claim less than was captured (a
+    // lie — trust the bytes) or more (normal trimming).
+    let claimed = orig_len as usize;
+    if claimed < bytes.len() {
+        stats.lying_lengths += 1;
+    }
+    let wire_len = claimed.max(bytes.len());
+    if bytes.len() < wire_len && bytes.len() < TRIM_LEN {
+        stats.truncated += 1;
+    }
+    stats.recovered += 1;
+    Some(CapturedPacket {
+        rx_time: ts,
+        orig_len: wire_len,
+        bytes,
+    })
+}
+
+/// Tuning knobs for [`StreamingReconstructor`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOpts {
+    /// Seal a chunk once it holds this many entries.
+    pub chunk_entries: usize,
+    /// Seal a chunk once its resident entries exceed this many bytes —
+    /// the memory bound that lets multi-GB captures flow.
+    pub max_resident_bytes: usize,
+}
+
+impl Default for StreamOpts {
+    fn default() -> StreamOpts {
+        StreamOpts {
+            chunk_entries: 65_536,
+            max_resident_bytes: 64 << 20,
+        }
+    }
+}
+
+/// The merged account of everything a streaming pass saw — the chunked
+/// equivalent of [`LossyTrace`](crate::trace::LossyTrace)'s damage fields.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct StreamSummary {
+    /// Entries that survived into sealed chunks.
+    pub entries: u64,
+    /// Chunks sealed.
+    pub chunks: u64,
+    /// First [`MAX_SUMMARY_GAPS`] runs of missing mirror seqs.
+    pub gaps: Vec<GapSpan>,
+    /// Total gap runs, including those past the cap.
+    pub gap_spans_total: u64,
+    /// Total missing mirror copies across all gaps.
+    pub missing: u64,
+    /// Copies discarded because their seq was already present.
+    pub duplicates: u64,
+    /// Captures whose mirror or RoCE headers did not parse.
+    pub bad_captures: u64,
+    /// Packets that arrived after their seq window was already sealed —
+    /// reordering wider than the chunk, counted and dropped.
+    pub late: u64,
+    /// High-water mark of resident (unsealed) entry bytes.
+    pub peak_resident_bytes: usize,
+}
+
+impl StreamSummary {
+    /// Sequence numbers the capture should span (tail loss invisible).
+    pub fn expected(&self) -> u64 {
+        self.entries + self.missing
+    }
+
+    /// Fraction of the expected sequence range that survived, `[0, 1]`.
+    pub fn analyzable_fraction(&self) -> f64 {
+        let expected = self.expected();
+        if expected == 0 {
+            return 0.0;
+        }
+        self.entries as f64 / expected as f64
+    }
+
+    /// True when the capture was pristine end to end.
+    pub fn is_complete(&self) -> bool {
+        self.gap_spans_total == 0 && self.duplicates == 0 && self.bad_captures == 0 && self.late == 0
+    }
+}
+
+/// Chunked, bounded-memory trace reconstruction: feed recovered packets in
+/// file order; each sealed chunk comes back as an ordinary [`Trace`] ready
+/// for the analyzers, while gaps/duplicates/stragglers accumulate into the
+/// final [`StreamSummary`].
+#[derive(Debug, Default)]
+pub struct StreamingReconstructor {
+    opts: StreamOpts,
+    pending: Vec<TraceEntry>,
+    pending_bytes: usize,
+    /// Next mirror seq not yet covered by a sealed chunk.
+    cursor: u64,
+    summary: StreamSummary,
+}
+
+impl StreamingReconstructor {
+    /// Create a reconstructor with the given windowing options.
+    pub fn new(opts: StreamOpts) -> StreamingReconstructor {
+        StreamingReconstructor {
+            opts,
+            ..StreamingReconstructor::default()
+        }
+    }
+
+    /// Offer one recovered packet. Returns a sealed chunk when the window
+    /// fills; damage counters in [`Self::summary`] are current the moment
+    /// a chunk is returned (its gaps are already merged).
+    pub fn push(&mut self, p: &CapturedPacket) -> Option<Trace> {
+        let Some(meta) = mirror::extract(&p.bytes) else {
+            self.summary.bad_captures += 1;
+            return None;
+        };
+        let Ok(frame) = RoceFrame::parse_headers(&p.bytes) else {
+            self.summary.bad_captures += 1;
+            return None;
+        };
+        if meta.seq < self.cursor {
+            // Its window was already sealed: reordering wider than the
+            // chunk. Counted, not resurrected.
+            self.summary.late += 1;
+            return None;
+        }
+        self.pending.push(TraceEntry {
+            seq: meta.seq,
+            timestamp: meta.timestamp,
+            event: meta.event,
+            frame,
+            orig_len: p.orig_len,
+        });
+        self.pending_bytes += std::mem::size_of::<TraceEntry>() + p.bytes.len();
+        self.summary.peak_resident_bytes = self.summary.peak_resident_bytes.max(self.pending_bytes);
+        if self.pending.len() >= self.opts.chunk_entries.max(1)
+            || self.pending_bytes >= self.opts.max_resident_bytes
+        {
+            return Some(self.seal());
+        }
+        None
+    }
+
+    /// True once any damage (parse casualty, gap, duplicate, straggler)
+    /// has been observed.
+    pub fn damaged(&self) -> bool {
+        self.summary.bad_captures > 0
+            || self.summary.duplicates > 0
+            || self.summary.missing > 0
+            || self.summary.late > 0
+    }
+
+    /// Running summary (final after [`Self::finish`]).
+    pub fn summary(&self) -> &StreamSummary {
+        &self.summary
+    }
+
+    /// Seal whatever is pending into a chunk: sort by seq, dedup keeping
+    /// the first capture, and record the gaps against the seq cursor.
+    fn seal(&mut self) -> Trace {
+        let mut entries = std::mem::take(&mut self.pending);
+        self.pending_bytes = 0;
+        // Stable: among same-seq duplicates the earlier capture survives.
+        entries.sort_by_key(|e| e.seq);
+        entries.dedup_by(|b, a| {
+            let dup = a.seq == b.seq;
+            self.summary.duplicates += dup as u64;
+            dup
+        });
+        for e in &entries {
+            if e.seq > self.cursor {
+                let span = GapSpan {
+                    start: self.cursor,
+                    len: e.seq - self.cursor,
+                };
+                if self.summary.gaps.len() < MAX_SUMMARY_GAPS {
+                    self.summary.gaps.push(span);
+                }
+                self.summary.gap_spans_total += 1;
+                self.summary.missing += span.len;
+            }
+            self.cursor = e.seq + 1;
+        }
+        self.summary.entries += entries.len() as u64;
+        self.summary.chunks += 1;
+        Trace { entries }
+    }
+
+    /// Seal the final partial chunk (if any) and return the summary.
+    pub fn finish(mut self) -> (Option<Trace>, StreamSummary) {
+        let tail = if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.seal())
+        };
+        (tail, self.summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumina_packet::builder::DataPacketBuilder;
+    use lumina_packet::opcode::Opcode;
+    use lumina_switch::events::EventType;
+
+    /// A raw mirrored frame as a capture file would hold it: metadata
+    /// embedded, dport randomized, trimmed to 128 bytes.
+    fn raw_mirror(seq: u64, ts_ns: u64, dport: Option<u16>) -> (Vec<u8>, u32) {
+        let mut buf = DataPacketBuilder::new()
+            .opcode(Opcode::RdmaWriteMiddle)
+            .psn(seq as u32)
+            .payload_len(1024)
+            .build()
+            .emit()
+            .to_vec();
+        mirror::embed(&mut buf, seq, SimTime::from_nanos(ts_ns), EventType::None, dport);
+        let orig_len = buf.len() as u32;
+        buf.truncate(TRIM_LEN);
+        (buf, orig_len)
+    }
+
+    #[test]
+    fn recovers_mirrored_frame_and_restores_dport() {
+        let mut st = RecoveryStats::default();
+        let (buf, orig_len) = raw_mirror(7, 700, Some(31337));
+        let p = recover_frame(&buf, orig_len, SimTime::from_nanos(1), &mut st).unwrap();
+        assert_eq!(st.recovered, 1);
+        assert_eq!(st.dport_restored, 1);
+        assert_eq!(p.orig_len, orig_len as usize);
+        let dport = u16::from_be_bytes([p.bytes[DPORT_OFF], p.bytes[DPORT_OFF + 1]]);
+        assert_eq!(dport, ROCEV2_UDP_PORT);
+        assert!(st.consistent());
+    }
+
+    #[test]
+    fn classifies_foreign_and_rotten_frames() {
+        let mut st = RecoveryStats::default();
+        // Foreign: valid-looking Ethernet with a non-IPv4 ethertype.
+        let mut arp = vec![0u8; 64];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert!(recover_frame(&arp, 64, SimTime::ZERO, &mut st).is_none());
+        assert_eq!(st.non_roce, 1);
+        // Rotten: a real mirror frame cut below the BTH.
+        let (buf, orig_len) = raw_mirror(0, 0, None);
+        assert!(recover_frame(&buf[..30], orig_len, SimTime::ZERO, &mut st).is_none());
+        assert_eq!(st.unparseable, 1);
+        // No metadata: zero out the TTL event code on a parsed frame.
+        let (mut buf2, orig2) = raw_mirror(1, 100, None);
+        buf2[22] = 0xfe;
+        mirror::fix_ip_checksum(&mut buf2);
+        assert!(recover_frame(&buf2, orig2, SimTime::ZERO, &mut st).is_none());
+        assert_eq!(st.no_mirror_meta, 1);
+        assert!(st.consistent());
+    }
+
+    #[test]
+    fn lying_orig_len_trusts_the_bytes() {
+        let mut st = RecoveryStats::default();
+        let (buf, _) = raw_mirror(2, 200, None);
+        let p = recover_frame(&buf, 10, SimTime::ZERO, &mut st).unwrap();
+        assert_eq!(st.lying_lengths, 1);
+        assert_eq!(p.orig_len, buf.len());
+    }
+
+    #[test]
+    fn abnormal_truncation_detected() {
+        let mut st = RecoveryStats::default();
+        let (buf, orig_len) = raw_mirror(3, 300, None);
+        // Cut below the trim but above the headers: parses, but truncated.
+        let cut = &buf[..80];
+        assert!(recover_frame(cut, orig_len, SimTime::ZERO, &mut st).is_some());
+        assert_eq!(st.truncated, 1);
+        // The normal dumper trim (128 of a larger wire frame) is NOT
+        // abnormal truncation.
+        assert!(recover_frame(&buf, orig_len, SimTime::ZERO, &mut st).is_some());
+        assert_eq!(st.truncated, 1);
+    }
+
+    fn captured(seq: u64) -> CapturedPacket {
+        let (bytes, orig_len) = raw_mirror(seq, seq * 100, None);
+        CapturedPacket {
+            rx_time: SimTime::from_nanos(seq * 100),
+            orig_len: orig_len as usize,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_on_pristine_input() {
+        let mut s = StreamingReconstructor::new(StreamOpts {
+            chunk_entries: 4,
+            ..StreamOpts::default()
+        });
+        let mut chunks = Vec::new();
+        for seq in 0..10 {
+            if let Some(c) = s.push(&captured(seq)) {
+                chunks.push(c);
+            }
+        }
+        let (tail, summary) = s.finish();
+        chunks.extend(tail);
+        assert_eq!(chunks.len(), 3, "4 + 4 + 2");
+        let seqs: Vec<u64> = chunks.iter().flat_map(|c| c.iter().map(|e| e.seq)).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+        assert!(summary.is_complete());
+        assert_eq!(summary.entries, 10);
+        assert_eq!(summary.chunks, 3);
+        assert_eq!(summary.analyzable_fraction(), 1.0);
+    }
+
+    #[test]
+    fn streaming_counts_gaps_duplicates_and_stragglers() {
+        let mut s = StreamingReconstructor::new(StreamOpts {
+            chunk_entries: 3,
+            ..StreamOpts::default()
+        });
+        // Chunk 1: 0, 2, 2 (gap at 1, one duplicate).
+        for seq in [0, 2, 2] {
+            s.push(&captured(seq));
+        }
+        // Straggler: seq 1 arrives after its window sealed.
+        assert!(s.push(&captured(1)).is_none());
+        // Rotten capture.
+        let mut rotten = captured(5);
+        rotten.bytes.truncate(8);
+        assert!(s.push(&rotten).is_none());
+        let (_, summary) = s.finish();
+        assert_eq!(summary.duplicates, 1);
+        assert_eq!(summary.late, 1);
+        assert_eq!(summary.bad_captures, 1);
+        assert_eq!(summary.gaps, vec![GapSpan { start: 1, len: 1 }]);
+        assert_eq!(summary.missing, 1);
+        assert!(!summary.is_complete());
+    }
+
+    #[test]
+    fn memory_bound_seals_chunks() {
+        let mut s = StreamingReconstructor::new(StreamOpts {
+            chunk_entries: usize::MAX,
+            max_resident_bytes: 1, // seal after every entry
+        });
+        let mut sealed = 0;
+        for seq in 0..5 {
+            if s.push(&captured(seq)).is_some() {
+                sealed += 1;
+            }
+        }
+        let (tail, summary) = s.finish();
+        assert_eq!(sealed, 5);
+        assert!(tail.is_none());
+        assert!(summary.peak_resident_bytes > 0);
+        assert!(summary.is_complete());
+    }
+}

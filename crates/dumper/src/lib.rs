@@ -14,9 +14,13 @@
 //! naive two-host design at a ~30 % capture success rate and motivated the
 //! weighted-round-robin pool design (§3.4).
 
+pub mod ingest;
 pub mod node;
 pub mod trace;
 
+pub use ingest::{
+    recover_frame, RecoveryStats, StreamOpts, StreamSummary, StreamingReconstructor, TRIM_LEN,
+};
 pub use node::{CaptureHandle, DumperConfig, DumperFaults, DumperNode, StallWindow};
 pub use trace::{
     reconstruct, reconstruct_lossy, CapturedPacket, GapSpan, LossyTrace, ReconstructError, Trace,

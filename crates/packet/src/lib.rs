@@ -80,6 +80,24 @@ pub enum ParseError {
     NotRoce(&'static str),
 }
 
+impl ParseError {
+    /// True when the bytes are simply foreign traffic (wrong ethertype,
+    /// protocol, or port) rather than damaged RoCEv2 — ingest pipelines use
+    /// this to separate "not ours" from "ours but rotten".
+    pub fn is_foreign(&self) -> bool {
+        matches!(self, ParseError::NotRoce(_))
+    }
+
+    /// Stable kebab-case label of the failure class, for skip counters.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            ParseError::Truncated { .. } => "truncated",
+            ParseError::BadField { .. } => "bad-field",
+            ParseError::NotRoce(_) => "not-roce",
+        }
+    }
+}
+
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -38,11 +38,13 @@
 
 pub mod journal;
 pub mod metrics;
+pub mod ops;
 pub mod profile;
 pub mod trace;
 
 pub use journal::{AttrValue, Journal, TelemetryEvent};
 pub use metrics::{Histogram, MetricSet, NodeMetrics, Registry};
+pub use ops::{OpsReporter, OpsSnapshot};
 pub use profile::SelfProfile;
 pub use trace::{FlightRecorder, HopRecord, TraceSummary};
 

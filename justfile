@@ -22,7 +22,9 @@ check:
 # quirk sweep with the 2x fixed-budget acceptance) plus a live
 # `fuzz-coverage` smoke through the CLI corpus-persistence path, the bench
 # gate (fails on >20% regression against the newest committed
-# BENCH_*.json), lint with warnings fatal.
+# BENCH_*.json), the pcap round-trip corpus (every preset re-ingests to
+# its live verdict) plus a live `ingest` smoke through the CLI, lint with
+# warnings fatal.
 ci:
     cargo build --release
     cargo test -q
@@ -35,10 +37,12 @@ ci:
     cargo test -q --test device_matrix
     cargo test -q --test panic_guard
     cargo test -q --test trace_determinism
+    cargo test -q --test ingest_roundtrip
     cargo test -q -p lumina-bench hotpath
     just trace
     just fuzz-coverage
     just matrix
+    just ingest
     just bench-gate
     cargo clippy -- -D warnings
 
@@ -77,6 +81,16 @@ fuzz-coverage config="configs/quirks_demo.yaml" out="target/fuzz-corpus":
 # device-registry + matrix CLI path (byte-identical for any --workers).
 matrix config="configs/matrix_demo.yaml":
     cargo run --release -p lumina-core --bin lumina-cli -- matrix --config {{config}} --workers 4
+
+# Real-capture ingestion smoke: run the fig11 preset with pcap export,
+# then grade the capture offline. `ingest` exits 0 only when the offline
+# verdict is compliant AND the file re-ingested pristine, so this recipe
+# failing means the export→ingest round trip no longer reproduces the
+# live verdict. Doubles as the CI smoke for the pcap → frame-recovery →
+# streaming-reconstruction → discovery-conformance path.
+ingest config="configs/fig11_noisy_neighbor.yaml" out="target/ingest-smoke.pcap":
+    cargo run --release -p lumina-core --bin lumina-cli -- {{config}} --pcap {{out}}
+    cargo run --release -p lumina-core --bin lumina-cli -- ingest --pcap {{out}} --config {{config}}
 
 # Compare current performance against the newest committed BENCH_*.json;
 # exits 1 on a >20% regression. Record a new baseline with

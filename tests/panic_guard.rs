@@ -44,6 +44,11 @@ fn audited_sources() -> Vec<PathBuf> {
     // forfeits the whole campaign's findings.
     files.push(root.join("crates/core/src/fuzz/coverage.rs"));
     files.push(root.join("crates/core/src/fuzz/shrink.rs"));
+    // The offline-ingestion path: every byte here comes straight from a
+    // capture file on disk — the most hostile input surface in the repo.
+    files.push(root.join("crates/sim/src/pcap.rs"));
+    files.push(root.join("crates/dumper/src/ingest.rs"));
+    files.push(root.join("crates/core/src/ingest.rs"));
     files
 }
 
