@@ -50,7 +50,10 @@ impl CnpReport {
     pub fn min_interval_per_src_ip(&self) -> BTreeMap<Ipv4Addr, Option<SimTime>> {
         let mut merged: BTreeMap<Ipv4Addr, Vec<SimTime>> = BTreeMap::new();
         for ((src, _, _), st) in &self.flows {
-            merged.entry(*src).or_default().extend(st.times.iter().copied());
+            merged
+                .entry(*src)
+                .or_default()
+                .extend(st.times.iter().copied());
         }
         merged
             .into_iter()
@@ -68,7 +71,10 @@ impl CnpReport {
     pub fn min_interval_per_dst_ip(&self) -> BTreeMap<Ipv4Addr, Option<SimTime>> {
         let mut merged: BTreeMap<Ipv4Addr, Vec<SimTime>> = BTreeMap::new();
         for ((_, dst, _), st) in &self.flows {
-            merged.entry(*dst).or_default().extend(st.times.iter().copied());
+            merged
+                .entry(*dst)
+                .or_default()
+                .extend(st.times.iter().copied());
         }
         merged
             .into_iter()

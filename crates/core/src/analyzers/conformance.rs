@@ -106,9 +106,7 @@ impl ViolationClass {
             | ViolationClass::UnackedDelivery
             | ViolationClass::AckCoalescing
             | ViolationClass::MsnRegression => "packet acknowledgment",
-            ViolationClass::MissingCnp | ViolationClass::SpuriousCnp => {
-                "congestion notification"
-            }
+            ViolationClass::MissingCnp | ViolationClass::SpuriousCnp => "congestion notification",
             ViolationClass::SpuriousRetransmit | ViolationClass::NackPsnMismatch => {
                 "retransmission logic"
             }
@@ -194,6 +192,15 @@ pub struct ConformanceOpts {
     /// The trace failed its integrity check: report what is provable but
     /// mark the result partial and skip loss-sensitive checks.
     pub degraded: bool,
+    /// Frames were destroyed or displaced outside the injector's event
+    /// table — the data-path chaos plane dropped, corrupted or reordered
+    /// traffic the mirror cannot attribute. Retransmission rounds are then
+    /// *justified* by definition (the loss was real, just not
+    /// injector-recorded), so every loss- and order-sensitive check is
+    /// skipped rather than blamed on the DUT. Checks chaos cannot
+    /// confound (ACKs beyond the sender frontier, CNPs with no CE marks)
+    /// stay live.
+    pub external_loss: bool,
 }
 
 impl ConformanceOpts {
@@ -206,6 +213,10 @@ impl ConformanceOpts {
             rx_icrc_errors: res.requester_counters.rx_icrc_errors
                 + res.responder_counters.rx_icrc_errors,
             degraded: !res.integrity.passed(),
+            external_loss: res
+                .chaos_stats
+                .as_ref()
+                .is_some_and(|cs| cs.data_drops() + cs.corruptions + cs.reorders > 0),
         }
     }
 }
@@ -650,38 +661,38 @@ impl ConformanceStream {
         // directions share the requester's PSN space (read responses echo
         // the request's PSNs), so the creating packet's PSN is the best
         // initial-PSN estimate either way.
-        let (requester, responder, req_known, rsp_known) = if from_request || !verb.data_from_responder()
-        {
-            (
-                QpEndpoint {
-                    ip: f.ipv4.src,
-                    qpn: 0,
-                    ipsn: psn,
-                },
-                QpEndpoint {
-                    ip: f.ipv4.dst,
-                    qpn: f.bth.dest_qp,
-                    ipsn: 0,
-                },
-                false,
-                true,
-            )
-        } else {
-            (
-                QpEndpoint {
-                    ip: f.ipv4.dst,
-                    qpn: f.bth.dest_qp,
-                    ipsn: psn,
-                },
-                QpEndpoint {
-                    ip: f.ipv4.src,
-                    qpn: 0,
-                    ipsn: 0,
-                },
-                true,
-                false,
-            )
-        };
+        let (requester, responder, req_known, rsp_known) =
+            if from_request || !verb.data_from_responder() {
+                (
+                    QpEndpoint {
+                        ip: f.ipv4.src,
+                        qpn: 0,
+                        ipsn: psn,
+                    },
+                    QpEndpoint {
+                        ip: f.ipv4.dst,
+                        qpn: f.bth.dest_qp,
+                        ipsn: 0,
+                    },
+                    false,
+                    true,
+                )
+            } else {
+                (
+                    QpEndpoint {
+                        ip: f.ipv4.dst,
+                        qpn: f.bth.dest_qp,
+                        ipsn: psn,
+                    },
+                    QpEndpoint {
+                        ip: f.ipv4.src,
+                        qpn: 0,
+                        ipsn: 0,
+                    },
+                    true,
+                    false,
+                )
+            };
         let meta = ConnMeta {
             index,
             requester,
@@ -702,7 +713,7 @@ impl ConformanceStream {
     pub fn finish(self) -> ConformanceReport {
         let mut report = ConformanceReport {
             compliant: true,
-            partial: self.opts.degraded,
+            partial: self.opts.degraded || self.opts.external_loss,
             ..Default::default()
         };
         report.packets_checked = self.packets;
@@ -774,7 +785,11 @@ impl ConformanceStream {
                     self.opts.np_enabled_requester,
                 ),
             ] {
-                if ce > 0 && np && cnps == 0 {
+                // Chaos can destroy a CE-marked frame after the mirror
+                // counted it, leaving the NP innocently silent — but it
+                // cannot make a NIC *emit* CNPs, so the spurious check
+                // below stays live under external loss.
+                if ce > 0 && np && cnps == 0 && !self.opts.external_loss {
                     report.push(Violation {
                         class: ViolationClass::MissingCnp,
                         conn: None,
@@ -795,7 +810,9 @@ impl ConformanceStream {
                     });
                 }
             }
-            if self.opts.rx_icrc_errors > self.corrupt_events {
+            // Chaos corruptions die at the receiver's ICRC check without a
+            // Corrupt mirror event to explain them — not the sender's fault.
+            if self.opts.rx_icrc_errors > self.corrupt_events && !self.opts.external_loss {
                 report.push(Violation {
                     class: ViolationClass::IcrcMiscompute,
                     conn: None,
@@ -849,21 +866,18 @@ fn data_packet(
             // oldest unacknowledged PSN, which is ≤ the lost one).
             let nack = st.last_nack.take();
             let reread = st.pending_reread.take();
-            let justified_by_loss = st
-                .loss_psns
-                .iter()
-                .any(|&l| psn_distance(psn, l) >= 0);
+            let justified_by_loss = st.loss_psns.iter().any(|&l| psn_distance(psn, l) >= 0);
             // A NACK's resume-point correctness is the Go-back-N
             // analyzer's job; here any NACK/re-request justifies a round.
             let justified = nack.is_some() || reread.is_some() || justified_by_loss;
-            // Receiver-side ICRC drops and degraded mirrors hide real
-            // losses: skip rather than guess.
-            let evidence_ok =
-                opts.rx_icrc_errors == 0 && !st.loss_overflow && !opts.degraded;
+            // Receiver-side ICRC drops, degraded mirrors and chaos-plane
+            // losses hide real drops: skip rather than guess.
+            let evidence_ok = opts.rx_icrc_errors == 0
+                && !st.loss_overflow
+                && !opts.degraded
+                && !opts.external_loss;
             if evidence_ok && !justified {
-                let already_acked = st
-                    .last_ack
-                    .is_some_and(|a| psn_distance(psn, a) >= 0);
+                let already_acked = st.last_ack.is_some_and(|a| psn_distance(psn, a) >= 0);
                 if is_read || already_acked {
                     sink.push(Violation {
                         class: ViolationClass::SpuriousRetransmit,
@@ -940,7 +954,10 @@ fn reverse_packet(
             return;
         };
         if aeth.syndrome.is_seq_err_nak() {
-            if psn_distance(st.expected, psn) != 0 && !opts.degraded {
+            // Chaos-destroyed frames desync the mirror's expected pointer
+            // from the receiver's (a drop after the mirror tap advances one
+            // but not the other), so this check is void under external loss.
+            if psn_distance(st.expected, psn) != 0 && !opts.degraded && !opts.external_loss {
                 sink.push(Violation {
                     class: ViolationClass::NackPsnMismatch,
                     conn: Some(meta.index),
@@ -969,8 +986,7 @@ fn reverse_packet(
                     detail: format!(
                         "conn {}: ACK acknowledges PSN {psn} but the sender frontier is {}",
                         meta.index,
-                        st.max_sent
-                            .map_or("unset".to_string(), |m| m.to_string()),
+                        st.max_sent.map_or("unset".to_string(), |m| m.to_string()),
                     ),
                 });
             }
@@ -987,7 +1003,7 @@ fn reverse_packet(
                     break;
                 }
             }
-            if covered > 1 && !st.pending_overflow && !opts.degraded {
+            if covered > 1 && !st.pending_overflow && !opts.degraded && !opts.external_loss {
                 sink.push(Violation {
                     class: ViolationClass::AckCoalescing,
                     conn: Some(meta.index),
@@ -1016,10 +1032,7 @@ fn reverse_packet(
             }
         }
         let end = psn_add(psn, npkts);
-        if st
-            .read_frontier
-            .is_none_or(|fr| psn_distance(fr, end) > 0)
-        {
+        if st.read_frontier.is_none_or(|fr| psn_distance(fr, end) > 0) {
             st.read_frontier = Some(end);
         }
     }
@@ -1035,7 +1048,7 @@ fn track_msn(
     opts: &ConformanceOpts,
 ) {
     if let Some(prev) = st.last_msn {
-        if psn_distance(prev, msn) < 0 && !opts.degraded {
+        if psn_distance(prev, msn) < 0 && !opts.degraded && !opts.external_loss {
             sink.push(Violation {
                 class: ViolationClass::MsnRegression,
                 conn: Some(meta.index),

@@ -168,11 +168,10 @@ fn analyze_conn(trace: &Trace, meta: &ConnMeta) -> ConnGbnReport {
                     rep.in_order += 1;
                     in_episode = false;
                     nack_sent_in_episode = false;
-                } else if d > 0
-                    && !in_episode {
-                        in_episode = true;
-                        rep.ooo_episodes += 1;
-                    }
+                } else if d > 0 && !in_episode {
+                    in_episode = true;
+                    rep.ooo_episodes += 1;
+                }
                 // d < 0: duplicate, no state change.
             }
         } else if is_reverse_of_conn {

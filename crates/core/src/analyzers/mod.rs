@@ -5,6 +5,7 @@ pub mod conformance;
 pub mod counter;
 pub mod gbn_fsm;
 pub mod latency;
+pub mod recovery;
 pub mod retrans_perf;
 
 pub use cnp::CnpReport;
@@ -14,4 +15,7 @@ pub use conformance::{
 pub use counter::CounterFinding;
 pub use gbn_fsm::GbnReport;
 pub use latency::{HopVerdict, LatencyReport};
+pub use recovery::{
+    FlowAccount, LivenessViolation, QpEndState, RecoveryOpts, RecoveryReport, WindowRecovery,
+};
 pub use retrans_perf::{RetransBreakdown, RetransKind};

@@ -9,6 +9,7 @@
 //! lumina-cli trace --config test.yaml --perfetto out.json
 //! lumina-cli fuzz --config base.yaml --workers 4 --generations 16
 //! lumina-cli ingest --pcap capture.pcap    # grade a real capture offline
+//! lumina-cli soak --configs configs --scenarios 3  # randomized chaos sweep
 //! ```
 //!
 //! All flag parsing lives in [`lumina_core::cli`]; `--config`, `--seed`
@@ -31,7 +32,8 @@
 //! ran but failed (integrity or incomplete traffic), 2 configuration,
 //! 3 I/O, 4 translation, 5 engine, 6 reconstruction, 7 watchdog,
 //! 8 internal, 9 spec-conformance violations proven by the oracle,
-//! 10 unreadable capture (`ingest` found nothing to degrade into).
+//! 10 unreadable capture (`ingest` found nothing to degrade into),
+//! 11 proven liveness failure (the recovery oracle caught a wedge).
 
 use lumina_core::analyzers::{cnp, conformance, counter, gbn_fsm, latency, retrans_perf};
 use lumina_core::cli::{self, CommonOpts};
@@ -39,6 +41,7 @@ use lumina_core::config::TestConfig;
 use lumina_core::fuzz::{self, mutate::EventMutator, score, FuzzParams};
 use lumina_core::matrix::{run_matrix, MatrixParams};
 use lumina_core::orchestrator::{run_supervised, run_test, RetryPolicy};
+use lumina_core::soak;
 use lumina_core::Error;
 use std::process::ExitCode;
 
@@ -201,15 +204,20 @@ fn trace_cmd(args: &[String]) -> ExitCode {
     } else {
         println!("test            : {}", opts.config_path);
         println!("trace packets   : {}", summary.packets());
-        let (records, dropped) = results
-            .telemetry
-            .with_recorder(|r| (r.len(), r.dropped()));
+        let (records, dropped) = results.telemetry.with_recorder(|r| (r.len(), r.dropped()));
         println!("trace records   : {records} retained, {dropped} evicted");
-        println!("{:<24} {:>8} {:>12} {:>12}", "hop", "count", "mean ns", "p99 ns");
+        println!(
+            "{:<24} {:>8} {:>12} {:>12}",
+            "hop", "count", "mean ns", "p99 ns"
+        );
         let hops: Vec<&str> = summary.hop_names().collect();
         for hop in hops {
             if let Some(h) = summary.hop_histogram(hop) {
-                let mean = if h.count() > 0 { h.sum() / h.count() } else { 0 };
+                let mean = if h.count() > 0 {
+                    h.sum() / h.count()
+                } else {
+                    0
+                };
                 let p99 = h.quantile_lower_bound(0.99).unwrap_or(0);
                 println!("{hop:<24} {:>8} {mean:>12} {p99:>12}", h.count());
             }
@@ -218,7 +226,11 @@ fn trace_cmd(args: &[String]) -> ExitCode {
         if e2e.count() > 0 {
             let mean = e2e.sum() / e2e.count();
             let p99 = e2e.quantile_lower_bound(0.99).unwrap_or(0);
-            println!("{:<24} {:>8} {mean:>12} {p99:>12}", "end_to_end", e2e.count());
+            println!(
+                "{:<24} {:>8} {mean:>12} {p99:>12}",
+                "end_to_end",
+                e2e.count()
+            );
         }
         if !tsec.hop_budget_us.is_empty() {
             if verdict.passed() {
@@ -256,7 +268,10 @@ fn trace_cmd(args: &[String]) -> ExitCode {
                 source,
             });
         }
-        eprintln!("wrote {} trace events to {out}", doc["traceEvents"].as_array().map_or(0, |a| a.len()));
+        eprintln!(
+            "wrote {} trace events to {out}",
+            doc["traceEvents"].as_array().map_or(0, |a| a.len())
+        );
     }
 
     if verdict.passed() {
@@ -293,13 +308,11 @@ fn fuzz_cmd(args: &[String]) -> ExitCode {
             if let Some(dir) = &corpus_dir {
                 let path = std::path::Path::new(dir).join("corpus.jsonl");
                 if path.exists() {
-                    let text =
-                        std::fs::read_to_string(&path).map_err(|source| Error::Io {
-                            path: path.display().to_string(),
-                            source,
-                        })?;
-                    cp.seed_corpus =
-                        lumina_core::fuzz::coverage::Corpus::from_jsonl(&text)?;
+                    let text = std::fs::read_to_string(&path).map_err(|source| Error::Io {
+                        path: path.display().to_string(),
+                        source,
+                    })?;
+                    cp.seed_corpus = lumina_core::fuzz::coverage::Corpus::from_jsonl(&text)?;
                     eprintln!(
                         "fuzz: reloaded {} corpus entries from {}",
                         cp.seed_corpus.len(),
@@ -403,8 +416,14 @@ fn fuzz_cmd(args: &[String]) -> ExitCode {
             );
             line.insert("desc", serde_json::Value::from(r.desc.as_str()));
             line.insert("reproduces", serde_json::Value::from(r.shrink.reproduces));
-            line.insert("removed", serde_json::Value::from(r.shrink.removed() as u64));
-            line.insert("shrink-runs", serde_json::Value::from(r.shrink.runs_used as u64));
+            line.insert(
+                "removed",
+                serde_json::Value::from(r.shrink.removed() as u64),
+            );
+            line.insert(
+                "shrink-runs",
+                serde_json::Value::from(r.shrink.runs_used as u64),
+            );
             line.insert("config", serde_json::to_value(&r.shrink.cfg).unwrap());
             println!(
                 "{}",
@@ -551,6 +570,51 @@ fn matrix_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+/// `lumina-cli soak [--configs <dir>] [--scenarios N] [--seed N]
+/// [--workers N] [--json]`: sweep every preset under seeded randomized
+/// chaos schedules and grade each run with the liveness/recovery oracle.
+/// The report is byte-identical for every `--workers` value; a proven
+/// liveness failure exits 11, a scenario that fails to run exits 1.
+fn soak_cmd(args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<_, Error> {
+        let dir = cli::flag_value(args, "--configs")
+            .unwrap_or("configs")
+            .to_owned();
+        let params = soak::SoakParams {
+            scenarios_per_preset: cli::numeric_flag(args, "--scenarios", 3)?,
+            seed: cli::numeric_flag(args, "--seed", 1)?,
+            workers: cli::numeric_flag(args, "--workers", 1)?,
+        };
+        Ok((dir, params, cli::has_flag(args, "--json")))
+    })();
+    let (dir, params, json) = match parsed {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    let report = match soak::collect_presets(&dir).and_then(|p| soak::sweep(&p, &params)) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    if json {
+        let doc = match report.to_json() {
+            Ok(d) => d,
+            Err(e) => return fail(e),
+        };
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if let Some(msg) = report.first_liveness_failure() {
+        return fail(Error::Liveness(msg));
+    }
+    if report.errors > 0 {
+        // A scenario that failed to run means the sweep is incomplete.
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `lumina-cli ingest --pcap <capture> [--config <test.yaml>]
 /// [--chunk-events N] [--max-bytes N] [--json]`: stream a real capture
 /// through recovery, chunked reconstruction and the conformance oracle.
@@ -576,7 +640,11 @@ fn ingest_cmd(args: &[String]) -> ExitCode {
         };
         let params = lumina_core::IngestParams {
             chunk_entries: cli::numeric_flag(args, "--chunk-events", defaults.chunk_entries)?,
-            max_resident_bytes: cli::numeric_flag(args, "--max-bytes", defaults.max_resident_bytes)?,
+            max_resident_bytes: cli::numeric_flag(
+                args,
+                "--max-bytes",
+                defaults.max_resident_bytes,
+            )?,
             context,
             retain_trace: false,
             progress: true,
@@ -697,8 +765,7 @@ fn run_cmd(args: &[String]) -> ExitCode {
             report["cnp_total"] = serde_json::json!(cnp_rep.total_cnps);
             report["ce_marked"] = serde_json::json!(cnp_rep.total_ce_marked);
         }
-        report["counter_findings"] =
-            serde_json::to_value(counter::analyze(&results)).unwrap();
+        report["counter_findings"] = serde_json::to_value(counter::analyze(&results)).unwrap();
         if report.get("conformance").is_none() {
             if let Some(conf) = &conformance_rep {
                 report["conformance"] = serde_json::to_value(conf).unwrap();
@@ -741,7 +808,11 @@ fn run_cmd(args: &[String]) -> ExitCode {
             let gbn = gbn_fsm::analyze(trace, &results.conns);
             println!(
                 "go-back-N FSM   : {}",
-                if gbn.compliant() { "compliant" } else { "VIOLATIONS" }
+                if gbn.compliant() {
+                    "compliant"
+                } else {
+                    "VIOLATIONS"
+                }
             );
             for v in gbn.violations() {
                 println!("  !! {v}");
@@ -783,6 +854,35 @@ fn run_cmd(args: &[String]) -> ExitCode {
         if let Some(qs) = &results.quirk_stats {
             println!("quirks injected : {} misbehaviors fired", qs.total());
         }
+        if let Some(rec) = &results.recovery {
+            println!(
+                "recovery        : {} ({} chaos window{}, {} retransmits)",
+                if rec.live {
+                    "live"
+                } else {
+                    "LIVENESS VIOLATIONS"
+                },
+                rec.windows.len(),
+                if rec.windows.len() == 1 { "" } else { "s" },
+                rec.retransmits,
+            );
+            for w in &rec.windows {
+                println!(
+                    "  window {}–{}µs : {} pkts, {} retrans, ttr {}, goodput ×{:.2}",
+                    w.from_us,
+                    w.until_us,
+                    w.data_packets,
+                    w.retransmits,
+                    w.time_to_recovery_us
+                        .map(|t| format!("{t}µs"))
+                        .unwrap_or_else(|| "unrecovered".into()),
+                    w.goodput_ratio,
+                );
+            }
+            for v in &rec.violations {
+                println!("  !! {}", v.describe());
+            }
+        }
         for c in &results.conns {
             let fm = &results.requester_metrics.flows[&c.requester.qpn];
             println!(
@@ -791,13 +891,23 @@ fn run_cmd(args: &[String]) -> ExitCode {
                 fm.completed,
                 fm.completed + fm.failed,
                 fm.goodput_gbps(),
-                fm.avg_mct().map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+                fm.avg_mct()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into()),
             );
         }
     }
 
-    let ok = results.traffic_completed()
-        && (results.trace.is_none() || results.integrity.passed());
+    // A proven liveness failure outranks the generic exit-1: chaos runs
+    // leave traffic incomplete by construction, and the oracle's typed
+    // verdict — not "traffic incomplete" — is the story.
+    if let Some(rec) = &results.recovery {
+        if !rec.live {
+            return fail(Error::Liveness(rec.violation_summary()));
+        }
+    }
+
+    let ok = results.traffic_completed() && (results.trace.is_none() || results.integrity.passed());
     // A healthy run with proven spec violations is its own failure class:
     // deterministic (same seed, same verdict), distinct from flaky infra.
     if ok {
@@ -829,6 +939,7 @@ const HANDLERS: &[(&str, Handler)] = &[
     ("fuzz", fuzz_cmd),
     ("ingest", ingest_cmd),
     ("matrix", matrix_cmd),
+    ("soak", soak_cmd),
 ];
 
 fn main() -> ExitCode {

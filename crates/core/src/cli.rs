@@ -59,10 +59,26 @@ pub struct SubcommandSpec {
 
 /// Flags every subcommand understands identically.
 pub const COMMON_FLAGS: &[FlagSpec] = &[
-    FlagSpec { name: "--config", value: Some("<path>"), help: "test configuration YAML" },
-    FlagSpec { name: "--seed", value: Some("<n>"), help: "override the config's network.seed" },
-    FlagSpec { name: "--json", value: None, help: "machine-readable output on stdout" },
-    FlagSpec { name: "--help, -h", value: None, help: "this text" },
+    FlagSpec {
+        name: "--config",
+        value: Some("<path>"),
+        help: "test configuration YAML",
+    },
+    FlagSpec {
+        name: "--seed",
+        value: Some("<n>"),
+        help: "override the config's network.seed",
+    },
+    FlagSpec {
+        name: "--json",
+        value: None,
+        help: "machine-readable output on stdout",
+    },
+    FlagSpec {
+        name: "--help, -h",
+        value: None,
+        help: "this text",
+    },
 ];
 
 /// The declarative subcommand table: the single source for dispatch
@@ -179,6 +195,34 @@ pub const SUBCOMMANDS: &[SubcommandSpec] = &[
         ],
     },
     SubcommandSpec {
+        name: "soak",
+        usage: "lumina-cli soak [--configs <dir>] [OPTIONS]",
+        summary: "randomized chaos soak sweep",
+        flags: &[
+            FlagSpec {
+                name: "--configs",
+                value: Some("<dir>"),
+                help: "preset directory to sweep (default: configs/);\na single YAML file soaks just that preset",
+            },
+            FlagSpec {
+                name: "--scenarios",
+                value: Some("<n>"),
+                help: "randomized chaos schedules per preset (default 3)",
+            },
+            FlagSpec {
+                name: "--workers",
+                value: Some("<n>"),
+                help: "parallel workers (default 1; the report is\nbyte-identical for every worker count)",
+            },
+        ],
+        notes: &[
+            "Sweeps every preset under seeded randomized chaos schedules",
+            "(--seed seeds the schedule PRNG; same seed, same schedules), runs",
+            "the liveness/recovery oracle on every scenario and prints a",
+            "per-scenario recovery report. Proven liveness failures exit 11.",
+        ],
+    },
+    SubcommandSpec {
         name: "matrix",
         usage: "lumina-cli matrix --config <test.yaml>",
         summary: "scenario × device behavior matrix",
@@ -216,6 +260,7 @@ EXIT CODES:
     4  translation      5  engine          6  reconstruction
     7  watchdog         8  internal        9  violations
     10 ingest (unreadable capture)
+    11 liveness (recovery oracle proved a wedge)
 ";
 
 /// True when `flag` consumes the next argument, per the table.
@@ -360,8 +405,9 @@ impl CommonOpts {
     pub fn parse(args: &[String]) -> Result<CommonOpts, Error> {
         let config_path = match flag_value(args, "--config") {
             Some(p) => p.to_owned(),
-            None => Self::positional(args)
-                .ok_or_else(|| Error::config("missing test configuration (positional or --config)"))?,
+            None => Self::positional(args).ok_or_else(|| {
+                Error::config("missing test configuration (positional or --config)")
+            })?,
         };
         Ok(CommonOpts {
             config_path,
@@ -378,9 +424,7 @@ impl CommonOpts {
     fn positional(args: &[String]) -> Option<String> {
         args.iter()
             .enumerate()
-            .filter(|(i, a)| {
-                !a.starts_with("--") && (*i == 0 || !is_valued(args[i - 1].as_str()))
-            })
+            .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || !is_valued(args[i - 1].as_str())))
             .map(|(_, a)| a.clone())
             .next()
     }
@@ -510,6 +554,11 @@ mod tests {
             "8  internal",
             "9  violations",
             "10 ingest",
+            "11 liveness",
+            "soak",
+            "--configs",
+            "--scenarios",
+            "recovery oracle",
         ] {
             assert!(help().contains(needle), "help is missing {needle}");
         }
@@ -543,10 +592,18 @@ mod tests {
             "--devices",
             "--chunk-events",
             "--max-bytes",
+            "--configs",
+            "--scenarios",
         ] {
             assert!(is_valued(flag), "{flag} must consume its value");
         }
-        for flag in ["--json", "--validate", "--coverage", "--cell-reports", "--no-quirk-overlay"] {
+        for flag in [
+            "--json",
+            "--validate",
+            "--coverage",
+            "--cell-reports",
+            "--no-quirk-overlay",
+        ] {
             assert!(!is_valued(flag), "{flag} must not consume a value");
         }
     }

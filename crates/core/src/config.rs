@@ -69,8 +69,9 @@ impl HostConfig {
             match p.noisy_neighbor.as_mut() {
                 Some(m) => m.recovery_contexts = n,
                 None => {
-                    p.noisy_neighbor =
-                        Some(lumina_rnic::profile::NoisyNeighborModel { recovery_contexts: n })
+                    p.noisy_neighbor = Some(lumina_rnic::profile::NoisyNeighborModel {
+                        recovery_contexts: n,
+                    })
                 }
             }
         }
@@ -248,7 +249,6 @@ pub enum SwitchMode {
     /// Plain L2 forwarding baseline.
     L2Forward,
 }
-
 
 /// The simulated substrate (our stand-in for the physical testbed).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -554,6 +554,146 @@ impl DeviceSection {
     }
 }
 
+/// A chaos window in the `chaos:` section: `[at-us, at-us + duration-us)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct ChaosWindowSpec {
+    /// Window start, microseconds of simulation time.
+    pub at_us: u64,
+    /// Window length, microseconds (≥ 1).
+    pub duration_us: u64,
+}
+
+impl ChaosWindowSpec {
+    /// Lower the schema window into the sim-layer representation.
+    pub fn to_window(self) -> lumina_sim::ChaosWindow {
+        lumina_sim::ChaosWindow {
+            from: SimTime::from_micros(self.at_us),
+            until: SimTime::from_micros(self.at_us + self.duration_us),
+        }
+    }
+}
+
+/// A sustained seeded burst regime in the `chaos:` section: while the
+/// window is open, every frame handed to the covered link independently
+/// risks loss, tail-byte corruption, or a fixed reorder delay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct ChaosBurstSpec {
+    /// Burst start, microseconds of simulation time.
+    pub at_us: u64,
+    /// Burst length, microseconds (≥ 1).
+    pub duration_us: u64,
+    /// Per-frame drop probability inside the window.
+    #[serde(default)]
+    pub loss_prob: f64,
+    /// Per-frame tail-byte bit-flip probability inside the window.
+    #[serde(default)]
+    pub corrupt_prob: f64,
+    /// Per-frame extra-delay (reorder) probability inside the window.
+    #[serde(default)]
+    pub reorder_prob: f64,
+    /// Extra arrival delay applied to reordered frames, microseconds.
+    #[serde(default = "default_reorder_delay_us")]
+    pub reorder_delay_us: u64,
+}
+
+fn default_reorder_delay_us() -> u64 {
+    5
+}
+
+impl ChaosBurstSpec {
+    /// Lower the schema burst into the sim-layer representation.
+    pub fn to_regime(self) -> lumina_sim::BurstRegime {
+        lumina_sim::BurstRegime {
+            window: lumina_sim::ChaosWindow {
+                from: SimTime::from_micros(self.at_us),
+                until: SimTime::from_micros(self.at_us + self.duration_us),
+            },
+            loss_prob: self.loss_prob,
+            corrupt_prob: self.corrupt_prob,
+            reorder_prob: self.reorder_prob,
+            reorder_delay: SimTime::from_micros(self.reorder_delay_us),
+        }
+    }
+}
+
+/// Per-link chaos schedule in the `chaos:` section. `link` names a
+/// host↔switch data link; the schedule covers both directions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct ChaosLinkSpec {
+    /// Which data link: `requester` (requester↔switch) or `responder`
+    /// (responder↔switch).
+    pub link: String,
+    /// Link-flap windows: in-flight and arriving frames are dropped.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub flaps: Vec<ChaosWindowSpec>,
+    /// PFC-style pause windows: serialization stalls, nothing drops.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub pauses: Vec<ChaosWindowSpec>,
+    /// Sustained seeded loss/corruption/reorder burst regimes.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub bursts: Vec<ChaosBurstSpec>,
+}
+
+impl ChaosLinkSpec {
+    /// Lower the schema schedule into the sim-layer representation.
+    pub fn to_chaos(&self) -> lumina_sim::LinkChaos {
+        lumina_sim::LinkChaos {
+            flaps: self.flaps.iter().map(|w| w.to_window()).collect(),
+            pauses: self.pauses.iter().map(|w| w.to_window()).collect(),
+            bursts: self.bursts.iter().map(|b| b.to_regime()).collect(),
+        }
+    }
+}
+
+/// Data-path chaos injection (`chaos:`): sustained fault regimes — link
+/// flaps, PFC-style pauses, seeded loss/corruption/reorder bursts — on the
+/// host↔switch data links, paired with the liveness/recovery oracle.
+/// Absent — the default — means a pristine data path, zero extra RNG
+/// draws, and byte-identical behavior to every pre-chaos release.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", deny_unknown_fields)]
+pub struct ChaosSection {
+    /// Chaos-schedule seed; absent = derived from `network.seed`.
+    /// Separate so soak campaigns can sweep chaos schedules while holding
+    /// the workload fixed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub seed: Option<u64>,
+    /// Retransmit-amplification bound per chaos window: retransmitted
+    /// frames may not exceed `limit × dropped` + a small constant slack.
+    /// Absent = the recovery oracle's built-in default.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub amplification_limit: Option<f64>,
+    /// Per-link chaos schedules.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub links: Vec<ChaosLinkSpec>,
+}
+
+impl ChaosSection {
+    /// True when the section injects nothing — the orchestrator then skips
+    /// building a chaos plane entirely, keeping the run on the pristine
+    /// code path (zero extra RNG draws, byte-identical reports).
+    pub fn is_noop(&self) -> bool {
+        self.links.iter().all(|l| l.to_chaos().is_noop())
+    }
+
+    /// Every chaos window (flap/pause/burst) across all links, sorted —
+    /// the recovery oracle keys its per-window histograms to these.
+    pub fn windows(&self) -> Vec<lumina_sim::ChaosWindow> {
+        let mut out: Vec<lumina_sim::ChaosWindow> = Vec::new();
+        for l in &self.links {
+            out.extend(l.flaps.iter().map(|w| w.to_window()));
+            out.extend(l.pauses.iter().map(|w| w.to_window()));
+            out.extend(l.bursts.iter().map(|b| b.to_regime().window));
+        }
+        out.sort_by_key(|w| (w.from, w.until));
+        out.dedup();
+        out
+    }
+}
+
 /// A complete test configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(rename_all = "kebab-case", deny_unknown_fields)]
@@ -584,6 +724,9 @@ pub struct TestConfig {
     /// Registry-based device selection; absent = `nic-type` fields apply.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub device: Option<DeviceSection>,
+    /// Data-path chaos injection; absent = pristine data path.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub chaos: Option<ChaosSection>,
 }
 
 impl TestConfig {
@@ -667,7 +810,11 @@ impl TestConfig {
         let registry = lumina_rnic::DeviceRegistry::builtin();
         let available = registry.names().join(", ");
         for responder_side in [false, true] {
-            let role = if responder_side { "responder" } else { "requester" };
+            let role = if responder_side {
+                "responder"
+            } else {
+                "requester"
+            };
             let query = self.device_query(responder_side);
             if registry.get(query).is_none() {
                 problems.push(format!(
@@ -777,7 +924,11 @@ impl TestConfig {
                     problems.push(format!("quirks: {name} {p} not a probability"));
                 }
             };
-            prob("wrong-ack-psn-prob", quirks.wrong_ack_psn_prob, &mut problems);
+            prob(
+                "wrong-ack-psn-prob",
+                quirks.wrong_ack_psn_prob,
+                &mut problems,
+            );
             prob("ack-drop-prob", quirks.ack_drop_prob, &mut problems);
             prob("ack-coalesce-prob", quirks.ack_coalesce_prob, &mut problems);
             prob("cnp-suppress-prob", quirks.cnp_suppress_prob, &mut problems);
@@ -794,6 +945,50 @@ impl TestConfig {
                 &mut problems,
             );
             prob("icrc-corrupt-prob", quirks.icrc_corrupt_prob, &mut problems);
+        }
+        if let Some(chaos) = &self.chaos {
+            if chaos.amplification_limit.is_some_and(|l| l <= 0.0 || l.is_nan()) {
+                problems.push(format!(
+                    "chaos: amplification-limit {} must be > 0",
+                    chaos.amplification_limit.unwrap_or(0.0)
+                ));
+            }
+            for (i, l) in chaos.links.iter().enumerate() {
+                if !matches!(l.link.as_str(), "requester" | "responder") {
+                    problems.push(format!("chaos: link {i}: unknown link {:?}", l.link));
+                }
+                for (j, w) in l.flaps.iter().enumerate() {
+                    if w.duration_us == 0 {
+                        problems.push(format!(
+                            "chaos: link {i}: flap {j}: duration-us must be ≥ 1"
+                        ));
+                    }
+                }
+                for (j, w) in l.pauses.iter().enumerate() {
+                    if w.duration_us == 0 {
+                        problems.push(format!(
+                            "chaos: link {i}: pause {j}: duration-us must be ≥ 1"
+                        ));
+                    }
+                }
+                for (j, b) in l.bursts.iter().enumerate() {
+                    if b.duration_us == 0 {
+                        problems.push(format!(
+                            "chaos: link {i}: burst {j}: duration-us must be ≥ 1"
+                        ));
+                    }
+                    let prob = |name: &str, p: f64, problems: &mut Vec<String>| {
+                        if !(0.0..=1.0).contains(&p) {
+                            problems.push(format!(
+                                "chaos: link {i}: burst {j}: {name} {p} not a probability"
+                            ));
+                        }
+                    };
+                    prob("loss-prob", b.loss_prob, &mut problems);
+                    prob("corrupt-prob", b.corrupt_prob, &mut problems);
+                    prob("reorder-prob", b.reorder_prob, &mut problems);
+                }
+            }
         }
         if let Some(trace) = &self.trace {
             if trace.capacity == 0 {
@@ -878,7 +1073,10 @@ traffic:
         let problems = cfg.problems();
         assert!(problems.len() >= 4, "{problems:?}");
         let err = cfg.validate().unwrap_err().to_string();
-        assert!(err.contains("rdma-verb") && err.contains("num-connections"), "{err}");
+        assert!(
+            err.contains("rdma-verb") && err.contains("num-connections"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1119,8 +1317,14 @@ trace:
         )
         .unwrap();
         let problems = bad.problems();
-        assert!(problems.iter().any(|p| p.contains("capacity")), "{problems:?}");
-        assert!(problems.iter().any(|p| p.contains("hop-budget-us")), "{problems:?}");
+        assert!(
+            problems.iter().any(|p| p.contains("capacity")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("hop-budget-us")),
+            "{problems:?}"
+        );
         let off = TraceSection {
             enabled: false,
             ..TraceSection::default()

@@ -44,6 +44,12 @@ pub enum Error {
     /// device under test violated the RC specification. Not an
     /// infrastructure fault: rerunning the same seed reproduces it.
     Violations(String),
+    /// The recovery oracle proved a liveness failure: posted work neither
+    /// completed nor was accounted with a typed reason, a QP wedged with
+    /// unacked PSNs and no live timer, or retransmit amplification blew
+    /// its per-window bound. Not an infrastructure fault: the same seed
+    /// reproduces the same wedge.
+    Liveness(String),
     /// A capture file could not be ingested at all — the pcap header was
     /// unreadable or the very first record was malformed, so there is
     /// nothing to degrade into. Carries the byte offset of the first
@@ -84,6 +90,7 @@ impl Error {
             Error::Internal(_) => 8,
             Error::Violations(_) => 9,
             Error::Ingest { .. } => 10,
+            Error::Liveness(_) => 11,
         }
     }
 
@@ -115,6 +122,7 @@ impl fmt::Display for Error {
             Error::Watchdog(msg) => write!(f, "watchdog killed the run: {msg}"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
             Error::Violations(msg) => write!(f, "spec-conformance violations: {msg}"),
+            Error::Liveness(msg) => write!(f, "liveness violation: {msg}"),
             Error::Ingest { path, offset, msg } => {
                 write!(f, "{path}: unreadable capture at offset {offset}: {msg}")
             }
@@ -154,6 +162,7 @@ mod tests {
                 offset: 24,
                 msg: "bad magic".into(),
             },
+            Error::Liveness("qp 2 stuck".into()),
         ];
         let codes: Vec<u8> = errs.iter().map(|e| e.exit_code()).collect();
         let mut uniq = codes.clone();
@@ -189,6 +198,19 @@ mod tests {
             !Error::Violations("dut bug".into()).is_infra_fault(),
             "violations reproduce on retry — retrying is pointless"
         );
+        assert!(
+            !Error::Liveness("qp 2 stuck".into()).is_infra_fault(),
+            "a proven wedge reproduces on retry — retrying is pointless"
+        );
+    }
+
+    #[test]
+    fn liveness_gets_exit_code_11() {
+        let e = Error::Liveness("1 message unaccounted on qp 1".into());
+        assert_eq!(e.exit_code(), 11);
+        let s = e.to_string();
+        assert!(s.contains("liveness violation"), "{s}");
+        assert!(s.contains("unaccounted"), "{s}");
     }
 
     #[test]

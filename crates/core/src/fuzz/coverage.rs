@@ -115,8 +115,7 @@ pub fn violation_classes(res: &TestResults) -> Vec<ViolationClass> {
 /// The verdict labels a run's pairs carry: one per proven violation
 /// class, or `"compliant"` when the oracle found nothing.
 fn verdict_labels(res: &TestResults) -> Vec<&'static str> {
-    let mut labels: Vec<&'static str> =
-        violation_classes(res).iter().map(|c| c.label()).collect();
+    let mut labels: Vec<&'static str> = violation_classes(res).iter().map(|c| c.label()).collect();
     labels.sort_unstable();
     if labels.is_empty() {
         labels.push("compliant");
@@ -289,9 +288,8 @@ impl Corpus {
             if line.trim().is_empty() {
                 continue;
             }
-            let entry: CorpusEntry = serde_json::from_str(line).map_err(|e| {
-                Error::config(format!("corpus line {}: {e}", lineno + 1))
-            })?;
+            let entry: CorpusEntry = serde_json::from_str(line)
+                .map_err(|e| Error::config(format!("corpus line {}: {e}", lineno + 1)))?;
             entries.push(entry);
         }
         Ok(Corpus { entries })
@@ -345,8 +343,9 @@ traffic:
         });
         quirked.traffic.rdma_verb = "read".into();
         let res = run_test(&quirked).unwrap();
-        assert!(violation_classes(&res)
-            .contains(&crate::analyzers::ViolationClass::SpuriousRetransmit));
+        assert!(
+            violation_classes(&res).contains(&crate::analyzers::ViolationClass::SpuriousRetransmit)
+        );
         let q = signal_of(&res);
         assert_ne!(a, q);
         let labels: Vec<&str> = pairs_of(&res).iter().map(|(_, v)| *v).collect();

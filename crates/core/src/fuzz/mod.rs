@@ -256,7 +256,12 @@ impl EvalFailure {
 /// anomalous) and an optional description used when the threshold is
 /// crossed. Non-finite scores are clamped ([`sanitize_score`]) so a
 /// misbehaving scorer cannot poison pool selection.
-pub fn fuzz<S>(base: &TestConfig, mutator: &mut dyn Mutator, score: S, params: &FuzzParams) -> FuzzOutcome
+pub fn fuzz<S>(
+    base: &TestConfig,
+    mutator: &mut dyn Mutator,
+    score: S,
+    params: &FuzzParams,
+) -> FuzzOutcome
 where
     S: Fn(&TestConfig, &TestResults) -> (f64, String),
 {
@@ -428,9 +433,7 @@ where
                     // Novelty is selection energy: a bonus per fresh
                     // slot, re-sanitized so a NaN/inf scorer cannot ride
                     // the bonus into the pool or the corpus.
-                    s = sanitize_score(
-                        raw_s + cov.params.novelty_weight * fresh_slots as f64,
-                    );
+                    s = sanitize_score(raw_s + cov.params.novelty_weight * fresh_slots as f64);
                     cov.growth.push((candidate, cov.map.distinct()));
                     cov.corpus.admit(
                         CorpusEntry {
@@ -477,11 +480,11 @@ where
                 {
                     let shrunk = if cov.params.shrink {
                         let threshold = params.anomaly_threshold;
-                        let keep = |c: &TestConfig, r: &TestResults| {
-                            match catch_unwind(AssertUnwindSafe(|| score(c, r))) {
-                                Ok((v, _)) => sanitize_score(v) >= threshold,
-                                Err(_) => false,
-                            }
+                        let keep = |c: &TestConfig, r: &TestResults| match catch_unwind(
+                            AssertUnwindSafe(|| score(c, r)),
+                        ) {
+                            Ok((v, _)) => sanitize_score(v) >= threshold,
+                            Err(_) => false,
                         };
                         shrink::shrink_config(
                             &cand.cfg,
@@ -503,7 +506,10 @@ where
                 }
             }
             outcome.history.push(s);
-            let scored = Scored { cfg: cand.cfg, score: s };
+            let scored = Scored {
+                cfg: cand.cfg,
+                score: s,
+            };
             if outcome.best.as_ref().is_none_or(|b| s > b.score) {
                 outcome.best = Some(scored.clone());
             }
@@ -712,7 +718,12 @@ traffic:
             fuzz(
                 &base,
                 &mut m,
-                |_c, r| (r.requester_counters.retransmitted_packets as f64, String::new()),
+                |_c, r| {
+                    (
+                        r.requester_counters.retransmitted_packets as f64,
+                        String::new(),
+                    )
+                },
                 &params,
             )
             .history
@@ -769,7 +780,11 @@ traffic:
             ..Default::default()
         });
         let out = fuzz(&base, &mut m, |_c, _r| (f64::NAN, "nan".into()), &params);
-        assert!(out.history.iter().all(|s| s.is_finite()), "{:?}", out.history);
+        assert!(
+            out.history.iter().all(|s| s.is_finite()),
+            "{:?}",
+            out.history
+        );
         assert!(out.final_pool.iter().all(|s| s.score.is_finite()));
         let cov = out.coverage.expect("coverage mode on");
         assert!(cov.corpus.entries().iter().all(|e| e.score.is_finite()));
@@ -777,7 +792,12 @@ traffic:
         // Same with an infinite scorer: the bonus must not overflow past
         // the clamp.
         let mut m = EventMutator::default();
-        let out = fuzz(&base, &mut m, |_c, _r| (f64::INFINITY, "inf".into()), &params);
+        let out = fuzz(
+            &base,
+            &mut m,
+            |_c, _r| (f64::INFINITY, "inf".into()),
+            &params,
+        );
         assert!(out.history.iter().all(|s| s.is_finite()));
         let cov = out.coverage.expect("coverage mode on");
         assert!(cov.corpus.entries().iter().all(|e| e.score.is_finite()));
@@ -806,7 +826,10 @@ traffic:
                 &base,
                 &mut m,
                 score::default_score,
-                &FuzzParams { workers, ..params.clone() },
+                &FuzzParams {
+                    workers,
+                    ..params.clone()
+                },
             );
             let cov = out.coverage.expect("coverage mode on");
             (
@@ -850,9 +873,7 @@ traffic:
         let repro: Vec<_> = cov
             .reproducers
             .iter()
-            .filter(|r| {
-                r.class == Some(crate::analyzers::ViolationClass::SpuriousRetransmit)
-            })
+            .filter(|r| r.class == Some(crate::analyzers::ViolationClass::SpuriousRetransmit))
             .collect();
         assert_eq!(repro.len(), 1, "one reproducer per class");
         assert!(repro[0].shrink.reproduces);
@@ -972,7 +993,12 @@ traffic:
             iterations: 2,
             ..Default::default()
         });
-        let out = fuzz(&base, &mut Strangler, |_c, _r| (0.0, String::new()), &params);
+        let out = fuzz(
+            &base,
+            &mut Strangler,
+            |_c, _r| (0.0, String::new()),
+            &params,
+        );
         assert_eq!(out.rejected, 2);
         for r in &out.rejections {
             assert_eq!(r.reason, RejectReason::Watchdog, "{}", r.detail);
@@ -1004,7 +1030,10 @@ traffic:
                     }
                     (1.0, String::new())
                 },
-                &FuzzParams { workers, ..params.clone() },
+                &FuzzParams {
+                    workers,
+                    ..params.clone()
+                },
             );
             (
                 out.history.clone(),
@@ -1035,7 +1064,10 @@ traffic:
                 &base,
                 &mut m,
                 score::default_score,
-                &FuzzParams { workers, ..params.clone() },
+                &FuzzParams {
+                    workers,
+                    ..params.clone()
+                },
             );
             (
                 out.history.clone(),

@@ -30,8 +30,7 @@ pub struct EventMutator {
 
 impl EventMutator {
     fn random_event(cfg: &TestConfig, rng: &mut SimRng) -> EventSpec {
-        let total_pkts =
-            (cfg.traffic.pkts_per_msg() * cfg.traffic.num_msgs_per_qp).max(1);
+        let total_pkts = (cfg.traffic.pkts_per_msg() * cfg.traffic.num_msgs_per_qp).max(1);
         EventSpec {
             qpn: rng.range_inclusive(1, cfg.traffic.num_connections as u64) as u32,
             psn: rng.range_inclusive(1, total_pkts as u64) as u32,
@@ -113,8 +112,7 @@ impl Mutator for EventMutator {
             2 => {
                 if !cfg.traffic.data_pkt_events.is_empty() {
                     let i = rng.index(cfg.traffic.data_pkt_events.len());
-                    let total =
-                        (cfg.traffic.pkts_per_msg() * cfg.traffic.num_msgs_per_qp).max(1);
+                    let total = (cfg.traffic.pkts_per_msg() * cfg.traffic.num_msgs_per_qp).max(1);
                     cfg.traffic.data_pkt_events[i].psn =
                         rng.range_inclusive(1, total as u64) as u32;
                 }

@@ -40,14 +40,13 @@ pub fn default_score(cfg: &TestConfig, res: &TestResults) -> (f64, String) {
     let mut score = 0.0;
     let mut notes = Vec::new();
 
-    let discards =
-        res.requester_counters.rx_discards_phy + res.responder_counters.rx_discards_phy;
+    let discards = res.requester_counters.rx_discards_phy + res.responder_counters.rx_discards_phy;
     if discards > 0 {
         score += w.rx_discard * discards as f64;
         notes.push(format!("{discards} rx discards"));
     }
-    let timeouts = res.requester_counters.local_ack_timeout_err
-        + res.responder_counters.local_ack_timeout_err;
+    let timeouts =
+        res.requester_counters.local_ack_timeout_err + res.responder_counters.local_ack_timeout_err;
     if timeouts > 0 {
         score += w.timeout * timeouts as f64;
         notes.push(format!("{timeouts} timeouts"));
@@ -72,12 +71,8 @@ pub fn default_score(cfg: &TestConfig, res: &TestResults) -> (f64, String) {
 /// event was injected on.
 pub fn noisy_neighbor_score(cfg: &TestConfig, res: &TestResults) -> (f64, String) {
     let w = ScoreWeights::default();
-    let victims: std::collections::HashSet<u32> = cfg
-        .traffic
-        .data_pkt_events
-        .iter()
-        .map(|e| e.qpn)
-        .collect();
+    let victims: std::collections::HashSet<u32> =
+        cfg.traffic.data_pkt_events.iter().map(|e| e.qpn).collect();
     let mut worst_innocent_mct = SimTime::ZERO;
     let mut innocent_failures = 0u32;
     for c in &res.conns {
@@ -94,13 +89,11 @@ pub fn noisy_neighbor_score(cfg: &TestConfig, res: &TestResults) -> (f64, String
     let score = w.innocent_mct_ms * worst_innocent_mct.as_millis_f64()
         + w.failed_message * innocent_failures as f64
         + w.rx_discard
-            * (res.requester_counters.rx_discards_phy
-                + res.responder_counters.rx_discards_phy) as f64;
+            * (res.requester_counters.rx_discards_phy + res.responder_counters.rx_discards_phy)
+                as f64;
     (
         score,
-        format!(
-            "worst innocent MCT {worst_innocent_mct}, {innocent_failures} innocent failures"
-        ),
+        format!("worst innocent MCT {worst_innocent_mct}, {innocent_failures} innocent failures"),
     )
 }
 

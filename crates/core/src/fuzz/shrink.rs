@@ -230,8 +230,7 @@ pub fn shrink_config(
         while cur.traffic.num_msgs_per_qp > 1 && budget > 0 {
             let mut cand = cur.clone();
             cand.traffic.num_msgs_per_qp = cur.traffic.num_msgs_per_qp / 2;
-            let total =
-                (cand.traffic.pkts_per_msg() * cand.traffic.num_msgs_per_qp).max(1);
+            let total = (cand.traffic.pkts_per_msg() * cand.traffic.num_msgs_per_qp).max(1);
             cand.traffic.data_pkt_events.retain(|e| e.psn <= total);
             if still_reproduces(&cand, keep, &mut budget, &mut out.runs_used) {
                 out.msgs_trimmed += cur.traffic.num_msgs_per_qp - cand.traffic.num_msgs_per_qp;

@@ -118,12 +118,21 @@ impl IngestOutcome {
         let mut root = serde_json::Map::new();
         root.insert("format", serde_json::Value::from(self.format));
         root.insert("records", serde_json::Value::from(self.records));
-        root.insert("blocks_skipped", serde_json::Value::from(self.blocks_skipped));
+        root.insert(
+            "blocks_skipped",
+            serde_json::Value::from(self.blocks_skipped),
+        );
         root.insert("recovery", conv(serde_json::to_value(&self.recovery))?);
         root.insert("stream", conv(serde_json::to_value(&self.stream))?);
         root.insert("integrity", conv(serde_json::to_value(&self.integrity))?);
-        root.insert("conformance", conv(serde_json::to_value(&self.conformance))?);
-        root.insert("conns_tracked", serde_json::Value::from(self.conns_tracked as u64));
+        root.insert(
+            "conformance",
+            conv(serde_json::to_value(&self.conformance))?,
+        );
+        root.insert(
+            "conns_tracked",
+            serde_json::Value::from(self.conns_tracked as u64),
+        );
         root.insert("unattributed", serde_json::Value::from(self.unattributed));
         root.insert(
             "first_malformed",
@@ -190,7 +199,11 @@ impl IngestOutcome {
                 deg.analyzable_fraction * 100.0,
                 deg.missing,
                 self.stream.gap_spans_total,
-                if self.stream.gap_spans_total == 1 { "" } else { "s" },
+                if self.stream.gap_spans_total == 1 {
+                    ""
+                } else {
+                    "s"
+                },
             )
         } else {
             "FAIL".to_string()
@@ -209,7 +222,10 @@ impl IngestOutcome {
             "connections",
             match self.unattributed {
                 0 => format!("{} discovered", self.conns_tracked),
-                n => format!("{} discovered, {n} packets unattributed", self.conns_tracked),
+                n => format!(
+                    "{} discovered, {n} packets unattributed",
+                    self.conns_tracked
+                ),
             },
         );
         let conf = &self.conformance;
@@ -304,10 +320,10 @@ pub fn ingest_reader<R: Read>(
     // moment the reconstructor has seen damage (its summary is current
     // when a chunk is returned — gaps merge during sealing), then replay.
     let feed = |chunk: Trace,
-                    recon_damaged: bool,
-                    oracle: &mut ConformanceStream,
-                    degraded_seen: &mut bool,
-                    retained: &mut Option<Trace>| {
+                recon_damaged: bool,
+                oracle: &mut ConformanceStream,
+                degraded_seen: &mut bool,
+                retained: &mut Option<Trace>| {
         if recon_damaged && !*degraded_seen {
             *degraded_seen = true;
             oracle.set_degraded();
@@ -364,7 +380,13 @@ pub fn ingest_reader<R: Read>(
             || summary.duplicates > 0
             || summary.missing > 0
             || summary.late > 0;
-        feed(chunk, damaged, &mut oracle, &mut degraded_seen, &mut retained);
+        feed(
+            chunk,
+            damaged,
+            &mut oracle,
+            &mut degraded_seen,
+            &mut retained,
+        );
     }
 
     let integrity = integrity_from(&summary, &recovery, first_malformed.is_some());
@@ -405,6 +427,7 @@ fn conformance_opts(params: &IngestParams) -> ConformanceOpts {
             mtu: cfg.traffic.mtu,
             rx_icrc_errors: 0,
             degraded: false,
+            external_loss: false,
         },
         None => ConformanceOpts {
             np_enabled_requester: false,
@@ -412,6 +435,7 @@ fn conformance_opts(params: &IngestParams) -> ConformanceOpts {
             mtu: 1024,
             rx_icrc_errors: 0,
             degraded: false,
+            external_loss: false,
         },
     }
 }
@@ -489,7 +513,12 @@ fn integrity_from(
             missing: summary.missing,
             duplicates: summary.duplicates,
             bad_captures: summary.bad_captures,
-            gaps: summary.gaps.iter().take(MAX_REPORTED_GAPS).copied().collect(),
+            gaps: summary
+                .gaps
+                .iter()
+                .take(MAX_REPORTED_GAPS)
+                .copied()
+                .collect(),
             gaps_truncated: summary.gap_spans_total as usize > MAX_REPORTED_GAPS,
         });
     }
@@ -518,10 +547,17 @@ mod tests {
                 .build()
                 .emit()
                 .to_vec();
-            mirror::embed(&mut buf, seq, SimTime::from_nanos(seq * 100), EventType::None, None);
+            mirror::embed(
+                &mut buf,
+                seq,
+                SimTime::from_nanos(seq * 100),
+                EventType::None,
+                None,
+            );
             let orig = buf.len();
             buf.truncate(TRIM_LEN);
-            w.write_packet(SimTime::from_nanos(seq * 100), &buf, orig).unwrap();
+            w.write_packet(SimTime::from_nanos(seq * 100), &buf, orig)
+                .unwrap();
         }
         w.finish().unwrap()
     }
@@ -541,8 +577,12 @@ mod tests {
 
     #[test]
     fn garbage_header_is_an_ingest_error() {
-        let err = ingest_reader(&b"not a capture at all"[..], "junk.bin", &IngestParams::default())
-            .unwrap_err();
+        let err = ingest_reader(
+            &b"not a capture at all"[..],
+            "junk.bin",
+            &IngestParams::default(),
+        )
+        .unwrap_err();
         assert_eq!(err.exit_code(), 10);
         let s = err.to_string();
         assert!(s.contains("junk.bin"), "{s}");
@@ -557,7 +597,10 @@ mod tests {
         let out = ingest_reader(&bytes[..], "cut.pcap", &IngestParams::default()).unwrap();
         assert_eq!(out.recovery.recovered, 5, "prefix graded");
         let (offset, msg) = out.first_malformed.expect("damage reported");
-        assert!(offset > 24, "offset {offset} points at a record, not the header");
+        assert!(
+            offset > 24,
+            "offset {offset} points at a record, not the header"
+        );
         assert!(msg.contains("file ends inside"), "{msg}");
         assert!(!out.integrity.passed());
         assert!(out.integrity.degraded.is_some());
@@ -568,8 +611,7 @@ mod tests {
     fn first_record_malformed_is_an_ingest_error_with_offset() {
         let mut bytes = mirror_pcap(1);
         bytes.truncate(30); // inside the first record header
-        let err =
-            ingest_reader(&bytes[..], "stub.pcap", &IngestParams::default()).unwrap_err();
+        let err = ingest_reader(&bytes[..], "stub.pcap", &IngestParams::default()).unwrap_err();
         assert_eq!(err.exit_code(), 10);
         assert!(err.to_string().contains("offset 24"), "{err}");
     }
@@ -597,7 +639,11 @@ mod tests {
             ..IngestParams::default()
         };
         let out = ingest_reader(&bytes[..], "t.pcap", &params).unwrap();
-        assert!(out.stream.chunks > 1, "bound forced sealing: {:?}", out.stream);
+        assert!(
+            out.stream.chunks > 1,
+            "bound forced sealing: {:?}",
+            out.stream
+        );
         assert!(out.stream.peak_resident_bytes <= 2048, "{:?}", out.stream);
         assert!(out.integrity.passed(), "chunking alone never degrades");
     }
@@ -626,7 +672,10 @@ mod tests {
         assert_eq!(out.recovery.non_roce, 1);
         assert_eq!(out.recovery.recovered, 1);
         assert!(out.recovery.consistent());
-        assert!(out.integrity.passed(), "foreign frames are skips, not damage");
+        assert!(
+            out.integrity.passed(),
+            "foreign frames are skips, not damage"
+        );
     }
 
     #[test]

@@ -91,9 +91,10 @@ pub fn check(
         ));
     }
     if lossy.duplicates > 0 {
-        report
-            .details
-            .push(format!("{} duplicated mirror copies discarded", lossy.duplicates));
+        report.details.push(format!(
+            "{} duplicated mirror copies discarded",
+            lossy.duplicates
+        ));
     }
     if lossy.bad_captures > 0 {
         report
@@ -147,7 +148,13 @@ mod tests {
             .build()
             .emit()
             .to_vec();
-        mirror::embed(&mut buf, seq, SimTime::from_nanos(seq), EventType::None, None);
+        mirror::embed(
+            &mut buf,
+            seq,
+            SimTime::from_nanos(seq),
+            EventType::None,
+            None,
+        );
         CapturedPacket {
             rx_time: SimTime::ZERO,
             orig_len: buf.len(),

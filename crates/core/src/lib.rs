@@ -46,10 +46,11 @@ pub mod ingest;
 pub mod integrity;
 pub mod matrix;
 pub mod orchestrator;
+pub mod soak;
 pub mod translate;
 
-pub use config::{FaultsSection, QuirksSection, TestConfig};
 pub use analyzers::{ConformanceOpts, ConformanceReport, Violation, ViolationClass};
+pub use config::{FaultsSection, QuirksSection, TestConfig};
 pub use error::Error;
 pub use ingest::{ingest_path, ingest_reader, IngestOutcome, IngestParams};
 pub use integrity::{DegradedMode, IntegrityReport};

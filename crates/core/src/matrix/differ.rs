@@ -106,8 +106,7 @@ pub fn diff_cells(cells: &[CellOutcome]) -> Vec<BehaviorDiff> {
     }
     {
         // Mean completion time: only cells that completed something.
-        let done: Vec<&&CellOutcome> =
-            baselines.iter().filter(|c| m(c).avg_mct_ns > 0).collect();
+        let done: Vec<&&CellOutcome> = baselines.iter().filter(|c| m(c).avg_mct_ns > 0).collect();
         let lo = done.iter().min_by_key(|c| m(c).avg_mct_ns);
         let hi = done.iter().max_by_key(|c| m(c).avg_mct_ns);
         if let (Some(lo), Some(hi)) = (lo, hi) {

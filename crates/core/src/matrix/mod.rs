@@ -349,7 +349,9 @@ fn cell_outcome(
             violations.insert(label.to_string(), n as u64);
         }
         for v in &c.violations {
-            *table2.entry(v.class.table2_class().to_string()).or_insert(0u64) += 1;
+            *table2
+                .entry(v.class.table2_class().to_string())
+                .or_insert(0u64) += 1;
         }
     }
     let req = &res.requester_counters;
@@ -373,10 +375,7 @@ fn cell_outcome(
         vendor_cnps: req.np_cnp_sent + rsp.np_cnp_sent,
         implied_naks: req.truth_implied_nak_seq_err + rsp.truth_implied_nak_seq_err,
         vendor_implied_naks: req.implied_nak_seq_err + rsp.implied_nak_seq_err,
-        avg_mct_ns: res
-            .requester_metrics
-            .avg_mct()
-            .map_or(0, |t| t.as_nanos()),
+        avg_mct_ns: res.requester_metrics.avg_mct().map_or(0, |t| t.as_nanos()),
         goodput_gbps: res.requester_metrics.total_goodput_gbps(),
         msgs_completed: completed,
         msgs_failed: failed,

@@ -16,8 +16,8 @@ use lumina_rnic::ets::{EtsConfig, TcConfig};
 use lumina_rnic::qp::{QpConfig, QpEndpoint};
 use lumina_rnic::{QuirkPlane, QuirkStats, Rnic};
 use lumina_sim::{
-    Engine, EngineStats, FaultPlane, FaultStats, FrameStats, FreezeWindow, MirrorFaults, PortId,
-    MetricSet, RunOutcome, SimTime, Telemetry,
+    ChaosPlane, ChaosStats, Engine, EngineStats, FaultPlane, FaultStats, FrameStats, FreezeWindow,
+    MetricSet, MirrorFaults, PortId, RunOutcome, SimRng, SimTime, Telemetry,
 };
 use lumina_switch::device::{MirrorMode, SwitchConfig, SwitchCounters, SwitchNode};
 use serde::Serialize;
@@ -89,6 +89,13 @@ pub struct TestResults {
     /// Spec-conformance oracle verdict. Computed here for quirk-injected
     /// runs with a trace; the CLI runs the oracle on demand otherwise.
     pub conformance: Option<crate::analyzers::ConformanceReport>,
+    /// Chaos-plane counters; `Some` only when the run had an active
+    /// `chaos:` section, so chaos-free reports are byte-identical to
+    /// every pre-chaos release.
+    pub chaos_stats: Option<ChaosStats>,
+    /// Liveness/recovery oracle verdict; `Some` only on chaos-injected
+    /// runs (the whole point of injecting chaos is proving recovery).
+    pub recovery: Option<crate::analyzers::RecoveryReport>,
 }
 
 // The parallel fuzz executor evaluates `run_test` on worker threads and
@@ -165,6 +172,17 @@ impl TestResults {
         if let Some(conf) = &self.conformance {
             report["conformance"] = serde_json::to_value(conf).map_err(|e| {
                 Error::internal(format!("conformance report failed to serialize: {e}"))
+            })?;
+        }
+        // Chaos accounting and the recovery verdict appear only on
+        // chaos-injected runs, keeping chaos-free reports byte-identical.
+        if let Some(cs) = &self.chaos_stats {
+            report["chaos"] = serde_json::to_value(cs)
+                .map_err(|e| Error::internal(format!("chaos stats failed to serialize: {e}")))?;
+        }
+        if let Some(rec) = &self.recovery {
+            report["recovery"] = serde_json::to_value(rec).map_err(|e| {
+                Error::internal(format!("recovery report failed to serialize: {e}"))
             })?;
         }
         // The lifecycle dissection appears only when tracing was on, so
@@ -253,10 +271,10 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
         })
     };
     let build_rnic = |profile: &lumina_rnic::DeviceProfile,
-                          ets_cfg: EtsConfig,
-                          mac: MacAddr,
-                          node: u32,
-                          salt: u64| {
+                      ets_cfg: EtsConfig,
+                      mac: MacAddr,
+                      node: u32,
+                      salt: u64| {
         let mut b = Rnic::builder(profile.clone(), ets_cfg, mac).telemetry(tel.clone(), node);
         if let Some(plane) = quirk_plane(salt) {
             b = b.quirks(plane);
@@ -303,14 +321,9 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
 
     // ---- QP creation on both RNICs ----
     for (i, c) in conns.iter().enumerate() {
-        let tc = cfg
-            .traffic
-            .qp_traffic_class
-            .get(i)
-            .copied()
-            .unwrap_or(0);
-        let base = |local: QpEndpoint, remote: QpEndpoint, host: &crate::config::HostConfig| {
-            QpConfig {
+        let tc = cfg.traffic.qp_traffic_class.get(i).copied().unwrap_or(0);
+        let base =
+            |local: QpEndpoint, remote: QpEndpoint, host: &crate::config::HostConfig| QpConfig {
                 local,
                 remote,
                 remote_mac: switch_mac,
@@ -323,8 +336,7 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
                 dcqcn_np: host.dcqcn_np_enable,
                 min_time_between_cnps: SimTime::from_micros(host.min_time_between_cnps_us),
                 udp_src_port: 49152 + c.index as u16,
-            }
-        };
+            };
         req_rnic.create_qp(base(c.requester, c.responder, &cfg.requester));
         rsp_rnic.create_qp(base(c.responder, c.requester, &cfg.responder));
         if verbs.contains(&lumina_rnic::Verb::Send) {
@@ -407,8 +419,22 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
     debug_assert_eq!(req_id.0, 0, "requester must be node 0");
     debug_assert_eq!(rsp_id.0, 1, "responder must be node 1");
     let prop = SimTime::from_nanos(cfg.network.propagation_delay_ns);
-    eng.connect(req_id, PortId(0), sw_id, PortId(0), req_profile.port_bandwidth, prop);
-    eng.connect(rsp_id, PortId(0), sw_id, PortId(1), rsp_profile.port_bandwidth, prop);
+    eng.connect(
+        req_id,
+        PortId(0),
+        sw_id,
+        PortId(0),
+        req_profile.port_bandwidth,
+        prop,
+    );
+    eng.connect(
+        rsp_id,
+        PortId(0),
+        sw_id,
+        PortId(1),
+        rsp_profile.port_bandwidth,
+        prop,
+    );
     // An active `faults:` section turns the pristine testbed into a
     // deliberately unreliable one. The schedule draws from its own RNG
     // stream (seeded separately below), so the simulated workload is
@@ -492,6 +518,28 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
         }
         eng.set_fault_plane(plane);
     }
+    // An active `chaos:` section arms the data-path chaos plane. Like the
+    // fault plane it owns its RNG stream and only touches covered links,
+    // so a noop/absent section draws nothing and the run stays pristine.
+    let active_chaos = cfg.chaos.as_ref().filter(|c| !c.is_noop());
+    if let Some(c) = active_chaos {
+        let chaos_seed = c.seed.unwrap_or(cfg.network.seed);
+        let mut plane = ChaosPlane::new(chaos_seed);
+        for l in &c.links {
+            // A "link" covers both directions: the host's egress and the
+            // switch's egress back toward that host.
+            let (host_id, sw_port) = match l.link.as_str() {
+                "requester" => (req_id, PortId(0)),
+                "responder" => (rsp_id, PortId(1)),
+                // validate() rejects anything else before we get here
+                other => return Err(Error::config(format!("unknown chaos link {other:?}"))),
+            };
+            let schedule = l.to_chaos();
+            plane.set_link(host_id, PortId(0), schedule.clone());
+            plane.set_link(sw_id, sw_port, schedule);
+        }
+        eng.set_chaos_plane(plane);
+    }
 
     // ---- Run (supervised by the watchdog limits, if configured) ----
     if let Some(max_events) = cfg.network.max_events {
@@ -524,6 +572,7 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
     // Snapshot the frame-plane counters before teardown frees the buffers.
     let frame_stats = eng.frame_stats();
     let fault_stats = eng.fault_stats();
+    let chaos_stats = eng.chaos_stats();
 
     // ---- Collect (Table 1) ----
     let req_any: Box<dyn std::any::Any> = eng.remove_node(req_id);
@@ -553,23 +602,43 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
 
     // Harvest misbehavior-plane accounting from both devices; `Some` only
     // on quirk-injected runs, keeping pristine reports byte-identical.
-    let quirk_stats: Option<QuirkStats> = match (
-        req_host.rnic.quirk_stats(),
-        rsp_host.rnic.quirk_stats(),
-    ) {
-        (None, None) => None,
-        (req_qs, rsp_qs) => {
-            let mut merged = QuirkStats::default();
-            if let Some(qs) = req_qs {
-                tel.record_metric_set(req_id.0 as u32, qs);
-                merged.merge(qs);
+    let quirk_stats: Option<QuirkStats> =
+        match (req_host.rnic.quirk_stats(), rsp_host.rnic.quirk_stats()) {
+            (None, None) => None,
+            (req_qs, rsp_qs) => {
+                let mut merged = QuirkStats::default();
+                if let Some(qs) = req_qs {
+                    tel.record_metric_set(req_id.0 as u32, qs);
+                    merged.merge(qs);
+                }
+                if let Some(qs) = rsp_qs {
+                    tel.record_metric_set(rsp_id.0 as u32, qs);
+                    merged.merge(qs);
+                }
+                Some(merged)
             }
-            if let Some(qs) = rsp_qs {
-                tel.record_metric_set(rsp_id.0 as u32, qs);
-                merged.merge(qs);
+        };
+
+    // Harvest end-of-run QP state for the recovery oracle; chaos-injected
+    // runs only (pristine runs skip the walk entirely).
+    let qp_end_states: Vec<crate::analyzers::QpEndState> = if active_chaos.is_some() {
+        let mut states = Vec::new();
+        for (rnic, requester) in [(&req_host.rnic, true), (&rsp_host.rnic, false)] {
+            for qpn in rnic.qpns() {
+                if let Some(qp) = rnic.qp(qpn) {
+                    states.push(crate::analyzers::QpEndState {
+                        qpn,
+                        requester,
+                        errored: qp.state == lumina_rnic::qp::QpState::Error,
+                        unacked: qp.has_unacked(),
+                        timer_armed: qp.timeout_armed,
+                    });
+                }
             }
-            Some(merged)
         }
+        states
+    } else {
+        Vec::new()
     };
 
     let req_counters = req_host.rnic.counters.clone();
@@ -589,6 +658,9 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
     }
     if let Some(fs) = &fault_stats {
         tel.record_metric_set(sw_id.0 as u32, fs);
+    }
+    if let Some(cs) = &chaos_stats {
+        tel.record_metric_set(sw_id.0 as u32, cs);
     }
     if tel.is_tracing() {
         // Fold the dissection into the registry under the switch (the
@@ -629,15 +701,55 @@ pub fn run_test(cfg: &TestConfig) -> Result<TestResults, Error> {
         service_ticks_stalled,
         quirk_stats,
         conformance: None,
+        chaos_stats,
+        recovery: None,
     };
     // Quirk-injected runs get the conformance verdict inline: the whole
     // point of injecting misbehavior is to see the oracle call it.
     if results.quirk_stats.is_some() {
         if let Some(trace) = &results.trace {
             let opts = crate::analyzers::ConformanceOpts::from_results(&results);
-            results.conformance =
-                Some(crate::analyzers::conformance::analyze(trace, &results.conns, &opts));
+            results.conformance = Some(crate::analyzers::conformance::analyze(
+                trace,
+                &results.conns,
+                &opts,
+            ));
         }
+    }
+    // Chaos-injected runs get the recovery verdict inline: the whole
+    // point of injecting chaos is proving the stack recovers.
+    if let Some(chaos) = active_chaos {
+        let planned = cfg.traffic.num_msgs_per_qp as u64;
+        let flows: Vec<crate::analyzers::FlowAccount> = results
+            .conns
+            .iter()
+            .map(|conn| {
+                let m = results.requester_metrics.flows.get(&conn.requester.qpn);
+                crate::analyzers::FlowAccount {
+                    qpn: conn.requester.qpn,
+                    planned,
+                    completed: m.map_or(0, |f| f.completed as u64),
+                    failed: m.map_or(0, |f| f.failed as u64),
+                }
+            })
+            .collect();
+        let destroyed = results
+            .chaos_stats
+            .as_ref()
+            .map_or(0, |cs| cs.data_drops() + cs.corruptions);
+        let opts = crate::analyzers::RecoveryOpts {
+            windows: chaos.windows(),
+            destroyed,
+            amplification_limit: chaos.amplification_limit,
+        };
+        let report = crate::analyzers::recovery::analyze(
+            results.trace.as_ref(),
+            &flows,
+            &qp_end_states,
+            &opts,
+        );
+        results.telemetry.record_metric_set(sw_id.0 as u32, &report);
+        results.recovery = Some(report);
     }
     Ok(results)
 }
@@ -653,14 +765,26 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Salt separating the retry-jitter stream from every other consumer of
+/// the workload seed.
+const RETRY_JITTER_SALT: u64 = 0x4a17_7e5b_ac0f_f5a1;
+
 /// How [`run_supervised`] reacts to infrastructure-classified failures.
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
     /// Total attempts, including the first (≥ 1).
     pub max_attempts: u32,
-    /// Sleep before the first retry; doubles per subsequent retry
-    /// (capped at 16× the base).
+    /// Sleep before the first retry; doubles per subsequent retry.
     pub backoff: Duration,
+    /// Upper bound on any single backoff sleep, applied before jitter.
+    /// No magic shift cap: the doubling runs free and this clamps it.
+    pub backoff_cap: Duration,
+    /// Jitter fraction in `[0, 1]`: each sleep is stretched by up to this
+    /// fraction. The stretch is *deterministic* — drawn from a [`SimRng`]
+    /// keyed on the workload seed and attempt index — so a supervised run
+    /// sleeps identically on replay while distinct seeds still desynchronize
+    /// their retry storms.
+    pub jitter: f64,
     /// Bump the fault-schedule seed on each retry so a run killed by an
     /// unlucky fault draw gets fresh weather instead of a replay of the
     /// same storm. The workload seed is never touched.
@@ -672,8 +796,26 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_millis(800),
+            jitter: 0.25,
             reseed_faults: true,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `attempt` (1-based) of a run seeded with
+    /// `seed`: exponential from [`RetryPolicy::backoff`], clamped to
+    /// [`RetryPolicy::backoff_cap`], then stretched by the deterministic
+    /// jitter draw. Pure — same inputs, same delay.
+    pub fn backoff_delay(&self, attempt: u32, seed: u64) -> Duration {
+        let shift = attempt.saturating_sub(1).min(20);
+        let exp = self.backoff.saturating_mul(1u32 << shift);
+        let capped = exp.min(self.backoff_cap);
+        let mix = (seed ^ RETRY_JITTER_SALT)
+            .wrapping_add((attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let frac = SimRng::seed_from_u64(mix).unit_f64();
+        capped.mul_f64(1.0 + self.jitter.clamp(0.0, 1.0) * frac)
     }
 }
 
@@ -692,9 +834,19 @@ pub fn run_supervised(cfg: &TestConfig, policy: &RetryPolicy) -> Result<TestResu
         .unwrap_or(cfg.network.seed);
     let attempts = policy.max_attempts.max(1);
     let mut last_err = None;
+    let mut ops = lumina_sim::telemetry::ops::OpsReporter::new(std::io::stderr(), Duration::ZERO);
     for attempt in 0..attempts {
         if attempt > 0 {
-            std::thread::sleep(policy.backoff * (1u32 << (attempt - 1).min(4)));
+            let delay = policy.backoff_delay(attempt, cfg.network.seed);
+            ops.note(&format!(
+                "supervisor: retry {attempt}/{} after infra fault ({}); backing off {:.0}ms",
+                attempts - 1,
+                last_err
+                    .as_ref()
+                    .map_or_else(|| "unknown".to_string(), |e: &Error| e.to_string()),
+                delay.as_secs_f64() * 1_000.0,
+            ));
+            std::thread::sleep(delay);
             if policy.reseed_faults {
                 if let Some(f) = cfg.faults.as_mut() {
                     f.seed = Some(base_fault_seed.wrapping_add(attempt as u64));

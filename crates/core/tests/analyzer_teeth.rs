@@ -7,10 +7,10 @@ use lumina_core::analyzers::gbn_fsm;
 use lumina_core::translate::ConnMeta;
 use lumina_dumper::trace::{Trace, TraceEntry};
 use lumina_packet::aeth::{Aeth, AethSyndrome, NakCode};
+use lumina_packet::bth::psn_add;
 use lumina_packet::builder::{ack_frame, nack_frame, DataPacketBuilder};
 use lumina_packet::frame::RoceFrame;
 use lumina_packet::opcode::Opcode;
-use lumina_packet::bth::psn_add;
 use lumina_rnic::qp::QpEndpoint;
 use lumina_rnic::Verb;
 use lumina_sim::SimTime;
@@ -80,13 +80,7 @@ impl TraceBuilder {
     }
 
     fn nack(&mut self, rel_expected: u32) -> &mut Self {
-        let frame = nack_frame(
-            RSP_IP,
-            REQ_IP,
-            REQ_QPN,
-            psn_add(IPSN, rel_expected - 1),
-            0,
-        );
+        let frame = nack_frame(RSP_IP, REQ_IP, REQ_QPN, psn_add(IPSN, rel_expected - 1), 0);
         self.push(frame, EventType::None)
     }
 
@@ -138,9 +132,7 @@ fn compliant_drop_recovery_accepted() {
 fn spurious_nack_flagged() {
     // A NACK with no out-of-sequence episode is a spec violation.
     let mut b = TraceBuilder::new();
-    b.data(1, EventType::None)
-        .data(2, EventType::None)
-        .nack(3);
+    b.data(1, EventType::None).data(2, EventType::None).nack(3);
     let rep = analyze(&b.build());
     // The PSN happens to match the receiver's expectation, so exactly one
     // violation: the missing episode.

@@ -82,6 +82,7 @@ fn grind_analyzers(trace: &lumina_dumper::Trace, degraded: bool) {
             mtu: 1024,
             rx_icrc_errors: icrc,
             degraded,
+            external_loss: false,
         };
         let rep = conformance::analyze(trace, &conns, &opts);
         assert!(rep.violations.len() <= 64, "violation cap breached");

@@ -51,8 +51,7 @@ fn grind(bytes: &[u8]) {
         Ok(out) => {
             assert!(out.recovery.consistent(), "recovery ledger out of balance");
             assert_eq!(
-                out.recovery.frames_seen,
-                out.records,
+                out.recovery.frames_seen, out.records,
                 "every record must be classified"
             );
             if out.first_malformed.is_some() {

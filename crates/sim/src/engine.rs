@@ -1,6 +1,6 @@
 //! The event loop: nodes, ports, timers, and deterministic dispatch.
 
-use crate::faults::{FaultPlane, FaultStats, TransmitFate};
+use crate::faults::{ChaosFate, ChaosPlane, ChaosStats, FaultPlane, FaultStats, TransmitFate};
 use crate::link::{Link, LinkState};
 use crate::rng::SimRng;
 use crate::time::{Bandwidth, SimTime};
@@ -181,6 +181,8 @@ pub struct Engine {
     pub wall_clock_limit: Option<Duration>,
     /// Attached infrastructure fault plane, if any.
     faults: Option<FaultPlane>,
+    /// Attached data-path chaos plane, if any.
+    chaos: Option<ChaosPlane>,
 }
 
 impl Engine {
@@ -202,6 +204,7 @@ impl Engine {
             event_limit: 500_000_000,
             wall_clock_limit: None,
             faults: None,
+            chaos: None,
         }
     }
 
@@ -215,6 +218,18 @@ impl Engine {
     /// The attached fault plane's counters, if a plane is attached.
     pub fn fault_stats(&self) -> Option<FaultStats> {
         self.faults.as_ref().map(|p| p.stats)
+    }
+
+    /// Attach a data-path chaos plane. Like the fault plane it owns its
+    /// seeded RNG stream, and every transmit on an uncovered link bypasses
+    /// it without a draw — a chaos-free run replays byte-identically.
+    pub fn set_chaos_plane(&mut self, plane: ChaosPlane) {
+        self.chaos = Some(plane);
+    }
+
+    /// The attached chaos plane's counters, if a plane is attached.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(|p| p.stats)
     }
 
     /// Attach a telemetry sink. Nodes reach it through
@@ -496,21 +511,44 @@ impl Engine {
                     }
                 }
             }
+            // Chaos-covered links (host↔switch data paths) consult the
+            // chaos plane; everything else bypasses it without a draw.
+            let chaos_covered = self
+                .chaos
+                .as_ref()
+                .is_some_and(|p| p.covers_link(from, port));
             // In the single-copy case the frame is moved, never cloned —
             // the frame-plane counters of fault-free runs are untouched.
             let mut remaining = Some(frame);
             for copy in 0..copies {
                 let is_last = copy + 1 == copies;
-                let f = if is_last {
+                let mut f = if is_last {
                     remaining.take().expect("frame still held")
                 } else {
                     remaining.as_ref().expect("frame still held").clone()
                 };
+                let line_bytes = lumina_packet::frame::line_occupancy_of(f.len());
+                let mut handoff = self.now + depart_delay;
+                if chaos_covered {
+                    // PFC-style pause: the handoff stalls to the window's
+                    // end; the frame then serializes normally — stalled,
+                    // never dropped.
+                    let plane = self.chaos.as_mut().expect("chaos cover checked");
+                    if let Some(resume) = plane.pause_until(from, port, handoff) {
+                        tev!(
+                            &self.telemetry,
+                            self.now.as_nanos(),
+                            from.0 as u32,
+                            "chaos",
+                            "pause",
+                            until = resume.as_nanos(),
+                        );
+                        handoff = resume;
+                    }
+                }
                 let Some(link) = self.links.get_mut(&key) else {
                     panic!("node {from:?} sent on unconnected port {port:?}");
                 };
-                let line_bytes = lumina_packet::frame::line_occupancy_of(f.len());
-                let handoff = self.now + depart_delay;
                 self.telemetry.record_hop(
                     f.trace_id(),
                     trace_hops::LINK_EGRESS,
@@ -519,8 +557,62 @@ impl Engine {
                 );
                 // A duplicate serializes behind the original, like a
                 // link-layer replay.
-                let arrive = link.transmit(handoff, line_bytes);
+                let mut arrive = link.transmit(handoff, line_bytes);
                 let (to_node, to_port) = (link.link.to_node, link.link.to_port);
+                if chaos_covered {
+                    let plane = self.chaos.as_mut().expect("chaos cover checked");
+                    match plane.fate(from, port, handoff, arrive, f.len()) {
+                        ChaosFate::Deliver => {}
+                        ChaosFate::FlapDrop => {
+                            // The link is down at handoff or arrival: the
+                            // frame burned its serialization slot and died
+                            // on the wire.
+                            tev!(
+                                &self.telemetry,
+                                handoff.as_nanos(),
+                                from.0 as u32,
+                                "chaos",
+                                "flap.drop",
+                            );
+                            continue;
+                        }
+                        ChaosFate::BurstDrop => {
+                            tev!(
+                                &self.telemetry,
+                                handoff.as_nanos(),
+                                from.0 as u32,
+                                "chaos",
+                                "burst.drop",
+                            );
+                            continue;
+                        }
+                        ChaosFate::Corrupt { offset, mask } => {
+                            tev!(
+                                &self.telemetry,
+                                handoff.as_nanos(),
+                                from.0 as u32,
+                                "chaos",
+                                "corrupt",
+                                offset = offset as u64,
+                            );
+                            let buf = f.make_mut();
+                            if let Some(b) = buf.get_mut(offset) {
+                                *b ^= mask;
+                            }
+                        }
+                        ChaosFate::Delay(extra) => {
+                            tev!(
+                                &self.telemetry,
+                                handoff.as_nanos(),
+                                from.0 as u32,
+                                "chaos",
+                                "delay",
+                                extra = extra.as_nanos(),
+                            );
+                            arrive += extra;
+                        }
+                    }
+                }
                 self.push(arrive, to_node, EventKind::FrameArrive {
                     port: to_port,
                     frame: f,
@@ -957,6 +1049,134 @@ mod tests {
         assert_eq!(stats.timers_deferred, 1);
         assert_eq!(stats.frames_dropped_frozen, 1);
         assert_eq!(eng.stats().frames_delivered, 0);
+    }
+
+    #[test]
+    fn chaos_flap_drops_in_flight_frames_and_replays() {
+        use crate::faults::{ChaosPlane, ChaosWindow, LinkChaos};
+        let run = || {
+            let mut eng = Engine::new(5);
+            let blaster = eng.add_node(Box::new(Blaster {
+                count: 50,
+                frame: test_frame(),
+                echoes: vec![],
+            }));
+            let sink = eng.add_node(Box::new(Echo {
+                delay: SimTime::ZERO,
+                received: vec![],
+            }));
+            eng.connect(
+                blaster,
+                PortId(0),
+                sink,
+                PortId(0),
+                Bandwidth::gbps(10),
+                SimTime::from_nanos(500),
+            );
+            let mut plane = ChaosPlane::new(9);
+            plane.set_link(
+                blaster,
+                PortId(0),
+                LinkChaos {
+                    flaps: vec![ChaosWindow {
+                        from: SimTime::from_micros(1),
+                        until: SimTime::from_micros(3),
+                    }],
+                    ..LinkChaos::default()
+                },
+            );
+            eng.set_chaos_plane(plane);
+            eng.schedule_timer(blaster, SimTime::ZERO, 0);
+            eng.run(None);
+            let stats = eng.chaos_stats().expect("plane attached");
+            (*eng.stats(), stats)
+        };
+        let (eng_stats, chaos) = run();
+        assert!(chaos.flap_drops > 0, "{chaos:?}");
+        // Dropped frames never arrive, and survivors echo back over the
+        // uncovered reverse link.
+        let survivors = 50 - chaos.flap_drops;
+        assert_eq!(eng_stats.frames_delivered, survivors * 2);
+        assert_eq!(run(), (eng_stats, chaos), "chaos schedule must replay");
+    }
+
+    #[test]
+    fn chaos_pause_delays_without_loss() {
+        use crate::faults::{ChaosPlane, ChaosWindow, LinkChaos};
+        let mut eng = Engine::new(5);
+        let blaster = eng.add_node(Box::new(Blaster {
+            count: 5,
+            frame: test_frame(),
+            echoes: vec![],
+        }));
+        let sink = eng.add_node(Box::new(Echo {
+            delay: SimTime::ZERO,
+            received: vec![],
+        }));
+        eng.connect(
+            blaster,
+            PortId(0),
+            sink,
+            PortId(0),
+            Bandwidth::gbps(100),
+            SimTime::from_nanos(100),
+        );
+        let mut plane = ChaosPlane::new(1);
+        plane.set_link(
+            blaster,
+            PortId(0),
+            LinkChaos {
+                pauses: vec![ChaosWindow {
+                    from: SimTime::ZERO,
+                    until: SimTime::from_micros(50),
+                }],
+                ..LinkChaos::default()
+            },
+        );
+        eng.set_chaos_plane(plane);
+        eng.schedule_timer(blaster, SimTime::ZERO, 0);
+        let outcome = eng.run(None);
+        assert!(outcome.is_quiescent());
+        let chaos = eng.chaos_stats().unwrap();
+        assert_eq!(chaos.paused_frames, 5);
+        assert_eq!(chaos.data_drops(), 0, "pause must not drop: {chaos:?}");
+        // All five frames arrive (and echo back), but only after the pause.
+        assert_eq!(eng.stats().frames_delivered, 10);
+        assert!(outcome.end_time() >= SimTime::from_micros(50));
+    }
+
+    #[test]
+    fn chaos_free_plane_leaves_runs_byte_identical() {
+        use crate::faults::ChaosPlane;
+        let run = |attach: bool| {
+            let mut eng = Engine::new(42);
+            let blaster = eng.add_node(Box::new(Blaster {
+                count: 50,
+                frame: test_frame(),
+                echoes: vec![],
+            }));
+            let echo = eng.add_node(Box::new(Echo {
+                delay: SimTime::from_nanos(37),
+                received: vec![],
+            }));
+            eng.connect(
+                blaster,
+                PortId(0),
+                echo,
+                PortId(0),
+                Bandwidth::gbps(40),
+                SimTime::from_nanos(750),
+            );
+            if attach {
+                // A plane with no covered links: every transmit bypasses
+                // it without a draw.
+                eng.set_chaos_plane(ChaosPlane::new(7));
+            }
+            eng.schedule_timer(blaster, SimTime::ZERO, 0);
+            let o = eng.run(None);
+            (*eng.stats(), o.end_time())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

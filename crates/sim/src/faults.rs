@@ -23,6 +23,30 @@
 //! model in `lumina-dumper`; this module only owns what the engine must
 //! arbitrate.
 //!
+//! # The data-path chaos plane
+//!
+//! The [`FaultPlane`] deliberately leaves the host↔switch data links
+//! pristine: the paper's testbed trusts its DUT links. Real fabrics do
+//! not — links flap, loss arrives in sustained bursts, and PFC pause
+//! storms stall serialization for milliseconds. The [`ChaosPlane`] injects
+//! those *data-path* regimes, per directed link:
+//!
+//! * **Flap windows** take a link down for `[from, until)`: every frame
+//!   whose handoff *or* arrival falls inside the window is dropped —
+//!   including frames already in flight when the link went down.
+//! * **Pause windows** (PFC-style) stall a link's serialization: frames
+//!   handed to the link during the window depart at the window's end, in
+//!   order, without a single drop.
+//! * **Burst regimes** apply sustained seeded loss / corruption / reorder
+//!   probabilities inside their window, drawn from the plane's own RNG.
+//!
+//! Like the fault plane, the chaos plane owns an RNG seeded independently
+//! of the engine's ([`ChaosPlane::new`] folds in its own salt), and
+//! [`ChaosPlane::covers_link`] is checked before any draw — a run without
+//! a chaos plane, or with one that covers no link a frame crosses, makes
+//! *zero* chaos draws and replays byte-identically. Flap and pause
+//! decisions are pure window lookups and never touch the RNG at all.
+//!
 //! [`Engine`]: crate::Engine
 
 use crate::engine::{NodeId, PortId};
@@ -30,11 +54,16 @@ use crate::rng::SimRng;
 use crate::time::SimTime;
 use lumina_telemetry::MetricSet;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Salt folded into the fault seed so a plane seeded with the campaign
 /// seed still draws a stream unrelated to the engine's.
 const FAULT_SEED_SALT: u64 = 0xfa17_ab1e_0bad_cafe;
+
+/// Salt for the chaos plane's RNG: distinct from both the engine stream
+/// and the fault plane's, so mirror faults and data-path chaos can share
+/// one campaign seed without entangling their schedules.
+const CHAOS_SEED_SALT: u64 = 0xc7a0_5bad_5eed_f00d;
 
 /// Loss/duplication probabilities applied per transmit on marked links.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -89,7 +118,9 @@ impl MetricSet for FaultStats {
     }
 
     fn snapshot(&self) -> serde_json::Value {
-        serde_json::to_value(self).expect("FaultStats serializes")
+        // Infallible for a struct of plain integers; Null beats a panic
+        // inside a degraded run's teardown if that ever changes.
+        serde_json::to_value(self).unwrap_or(serde_json::Value::Null)
     }
 }
 
@@ -173,6 +204,228 @@ impl FaultPlane {
     }
 }
 
+/// A half-open `[from, until)` time window on a chaos-covered link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosWindow {
+    /// First affected instant (inclusive).
+    pub from: SimTime,
+    /// End of the regime (exclusive).
+    pub until: SimTime,
+}
+
+impl ChaosWindow {
+    /// True when `at` falls inside the window.
+    pub fn contains(&self, at: SimTime) -> bool {
+        at >= self.from && at < self.until
+    }
+}
+
+/// A sustained random-impairment regime on a link: seeded loss, payload
+/// corruption and reorder-by-delay, active inside its window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstRegime {
+    /// When the regime applies.
+    pub window: ChaosWindow,
+    /// Probability a frame in the window is dropped.
+    pub loss_prob: f64,
+    /// Probability a surviving frame has a tail byte flipped (the
+    /// receiver's ICRC check catches it, like line damage).
+    pub corrupt_prob: f64,
+    /// Probability a surviving frame is delayed past later traffic.
+    pub reorder_prob: f64,
+    /// Extra in-flight delay applied to reordered frames.
+    pub reorder_delay: SimTime,
+}
+
+/// The chaos schedule of one directed link.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkChaos {
+    /// Down/up windows: frames handed off or arriving inside one are lost.
+    pub flaps: Vec<ChaosWindow>,
+    /// PFC-style pause windows: serialization stalls, nothing drops.
+    pub pauses: Vec<ChaosWindow>,
+    /// Sustained loss/corruption/reorder regimes.
+    pub bursts: Vec<BurstRegime>,
+}
+
+impl LinkChaos {
+    /// True when this schedule can never touch a frame.
+    pub fn is_noop(&self) -> bool {
+        self.flaps.is_empty()
+            && self.pauses.is_empty()
+            && self.bursts.iter().all(|b| {
+                b.loss_prob <= 0.0 && b.corrupt_prob <= 0.0 && b.reorder_prob <= 0.0
+            })
+    }
+}
+
+/// What the chaos plane decided for one transmit on a covered link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFate {
+    /// Deliver normally.
+    Deliver,
+    /// Lost to a link-down window (deterministic, no RNG draw).
+    FlapDrop,
+    /// Lost to a burst regime's loss draw.
+    BurstDrop,
+    /// Delivered with one byte flipped at `offset` (xor `mask`).
+    Corrupt {
+        /// Byte offset into the frame, chosen near the tail so the flip
+        /// lands in payload/ICRC territory, not the routing headers.
+        offset: usize,
+        /// Bit flipped at that offset.
+        mask: u8,
+    },
+    /// Delivered late: arrival shifted by the contained delay.
+    Delay(SimTime),
+}
+
+/// Counters the chaos plane accumulates during a run. Recorded into
+/// telemetry (kind `chaos`) only when a plane is attached, so chaos-free
+/// runs keep their snapshots — and golden reports — unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosStats {
+    /// Frames lost to link-down windows (handoff or arrival inside one).
+    pub flap_drops: u64,
+    /// Frames lost to burst-regime loss draws.
+    pub burst_drops: u64,
+    /// Frames delivered with a flipped byte.
+    pub corruptions: u64,
+    /// Frames delivered late by a reorder draw.
+    pub reorders: u64,
+    /// Frames whose handoff was stalled by a pause window.
+    pub paused_frames: u64,
+    /// Total nanoseconds of pause-induced handoff delay.
+    pub pause_delay_ns: u64,
+}
+
+impl ChaosStats {
+    /// Frames the data path lost outright (flap + burst), the external
+    /// evidence the conformance oracle uses to justify retransmissions it
+    /// cannot attribute to the mirror record.
+    pub fn data_drops(&self) -> u64 {
+        self.flap_drops + self.burst_drops
+    }
+}
+
+impl MetricSet for ChaosStats {
+    fn metric_kind(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn snapshot(&self) -> serde_json::Value {
+        serde_json::to_value(self).unwrap_or(serde_json::Value::Null)
+    }
+}
+
+/// The seeded data-path chaos injector the engine consults. Build one,
+/// attach per-link schedules, then hand it to
+/// [`Engine::set_chaos_plane`](crate::Engine::set_chaos_plane).
+#[derive(Debug, Clone)]
+pub struct ChaosPlane {
+    rng: SimRng,
+    links: HashMap<(NodeId, PortId), LinkChaos>,
+    /// Run counters.
+    pub stats: ChaosStats,
+}
+
+impl ChaosPlane {
+    /// Create a plane with its own RNG stream derived from `seed`.
+    pub fn new(seed: u64) -> ChaosPlane {
+        ChaosPlane {
+            rng: SimRng::seed_from_u64(seed ^ CHAOS_SEED_SALT),
+            links: HashMap::new(),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// Subject `from:port` egress to a chaos schedule. No-op schedules
+    /// are not registered, so they cannot even cover a link.
+    pub fn set_link(&mut self, from: NodeId, port: PortId, chaos: LinkChaos) {
+        if !chaos.is_noop() {
+            self.links.insert((from, port), chaos);
+        }
+    }
+
+    /// True when a transmit on this link must consult the plane. Split
+    /// from [`fate`](Self::fate) so uncovered links never touch the RNG.
+    pub fn covers_link(&self, from: NodeId, port: PortId) -> bool {
+        self.links.contains_key(&(from, port))
+    }
+
+    /// True when no link carries any schedule.
+    pub fn is_noop(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// If a pause window covers the handoff instant `at`, the instant the
+    /// link resumes (the latest end among covering windows). Pure window
+    /// lookup — no RNG. Updates the pause counters.
+    pub fn pause_until(&mut self, from: NodeId, port: PortId, at: SimTime) -> Option<SimTime> {
+        let resume = self
+            .links
+            .get(&(from, port))?
+            .pauses
+            .iter()
+            .filter(|w| w.contains(at))
+            .map(|w| w.until)
+            .max()?;
+        self.stats.paused_frames += 1;
+        self.stats.pause_delay_ns += resume.saturating_since(at).as_nanos();
+        Some(resume)
+    }
+
+    /// Decide one transmit on a covered link. Flap windows are checked
+    /// first (deterministic — a down link needs no dice), then the burst
+    /// regime covering the handoff draws loss, corruption and reorder in
+    /// a fixed order, each only when its probability is positive — so the
+    /// schedule replays exactly for a given seed.
+    pub fn fate(
+        &mut self,
+        from: NodeId,
+        port: PortId,
+        handoff: SimTime,
+        arrival: SimTime,
+        frame_len: usize,
+    ) -> ChaosFate {
+        let Some(lc) = self.links.get(&(from, port)) else {
+            return ChaosFate::Deliver;
+        };
+        if lc
+            .flaps
+            .iter()
+            .any(|w| w.contains(handoff) || w.contains(arrival))
+        {
+            self.stats.flap_drops += 1;
+            return ChaosFate::FlapDrop;
+        }
+        let Some(burst) = lc.bursts.iter().find(|b| b.window.contains(handoff)).copied()
+        else {
+            return ChaosFate::Deliver;
+        };
+        if burst.loss_prob > 0.0 && self.rng.chance(burst.loss_prob) {
+            self.stats.burst_drops += 1;
+            return ChaosFate::BurstDrop;
+        }
+        if burst.corrupt_prob > 0.0 && self.rng.chance(burst.corrupt_prob) {
+            // Flip a bit in the frame's tail 32 bytes: payload/ICRC
+            // territory on any minimum-size RoCE frame, never the L2/L3
+            // headers (a header flip would be a routing fault, not line
+            // damage the ICRC is meant to catch).
+            let tail = frame_len.clamp(1, 32) as u64;
+            let offset = frame_len.saturating_sub(1 + self.rng.below(tail) as usize);
+            let mask = 1u8 << self.rng.below(8);
+            self.stats.corruptions += 1;
+            return ChaosFate::Corrupt { offset, mask };
+        }
+        if burst.reorder_prob > 0.0 && self.rng.chance(burst.reorder_prob) {
+            self.stats.reorders += 1;
+            return ChaosFate::Delay(burst.reorder_delay);
+        }
+        ChaosFate::Deliver
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +506,161 @@ mod tests {
         p.add_freeze(FreezeWindow { node: NodeId(1), from: t(0), until: t(10) });
         p.add_freeze(FreezeWindow { node: NodeId(1), from: t(5), until: t(30) });
         assert_eq!(p.frozen_until(NodeId(1), t(7)), Some(t(30)));
+    }
+
+    fn window(from_us: u64, until_us: u64) -> ChaosWindow {
+        ChaosWindow {
+            from: SimTime::from_micros(from_us),
+            until: SimTime::from_micros(until_us),
+        }
+    }
+
+    #[test]
+    fn flap_drops_are_deterministic_and_rng_free() {
+        let mut p = ChaosPlane::new(3);
+        p.set_link(
+            NodeId(0),
+            PortId(0),
+            LinkChaos {
+                flaps: vec![window(10, 20)],
+                ..LinkChaos::default()
+            },
+        );
+        let t = |us| SimTime::from_micros(us);
+        // Handoff inside the window, arrival inside the window, and both
+        // outside — two planes with different seeds agree exactly because
+        // flap decisions never draw.
+        let mut q = ChaosPlane::new(999);
+        q.set_link(
+            NodeId(0),
+            PortId(0),
+            LinkChaos {
+                flaps: vec![window(10, 20)],
+                ..LinkChaos::default()
+            },
+        );
+        for (h, a) in [(12, 13), (5, 15), (5, 6), (20, 21)] {
+            let fp = p.fate(NodeId(0), PortId(0), t(h), t(a), 100);
+            let fq = q.fate(NodeId(0), PortId(0), t(h), t(a), 100);
+            assert_eq!(fp, fq);
+        }
+        assert_eq!(p.stats.flap_drops, 2, "{:?}", p.stats);
+    }
+
+    #[test]
+    fn pause_stalls_without_dropping() {
+        let mut p = ChaosPlane::new(3);
+        p.set_link(
+            NodeId(1),
+            PortId(0),
+            LinkChaos {
+                pauses: vec![window(100, 150)],
+                ..LinkChaos::default()
+            },
+        );
+        let t = |us| SimTime::from_micros(us);
+        assert_eq!(p.pause_until(NodeId(1), PortId(0), t(120)), Some(t(150)));
+        assert_eq!(p.pause_until(NodeId(1), PortId(0), t(150)), None);
+        assert_eq!(p.pause_until(NodeId(1), PortId(0), t(99)), None);
+        assert_eq!(p.pause_until(NodeId(2), PortId(0), t(120)), None);
+        assert_eq!(p.stats.paused_frames, 1);
+        assert_eq!(p.stats.pause_delay_ns, 30_000);
+        // A paused frame is never a dropped frame.
+        assert_eq!(p.stats.data_drops(), 0);
+    }
+
+    #[test]
+    fn burst_regime_replays_bit_for_bit_and_zero_probs_never_draw() {
+        let chaos = |loss, corrupt, reorder| LinkChaos {
+            bursts: vec![BurstRegime {
+                window: window(0, 1000),
+                loss_prob: loss,
+                corrupt_prob: corrupt,
+                reorder_prob: reorder,
+                reorder_delay: SimTime::from_micros(5),
+            }],
+            ..LinkChaos::default()
+        };
+        let run = || {
+            let mut p = ChaosPlane::new(11);
+            p.set_link(NodeId(0), PortId(0), chaos(0.3, 0.2, 0.2));
+            (0..256)
+                .map(|i| {
+                    p.fate(
+                        NodeId(0),
+                        PortId(0),
+                        SimTime::from_micros(i),
+                        SimTime::from_micros(i + 1),
+                        128,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.contains(&ChaosFate::BurstDrop));
+        assert!(a.iter().any(|f| matches!(f, ChaosFate::Corrupt { .. })));
+        assert!(a
+            .iter()
+            .any(|f| matches!(f, ChaosFate::Delay(d) if *d == SimTime::from_micros(5))));
+        // All-zero probabilities leave the RNG untouched entirely — and a
+        // fully no-op schedule never even covers the link.
+        let mut p = ChaosPlane::new(11);
+        p.set_link(NodeId(0), PortId(0), chaos(0.0, 0.0, 0.0));
+        assert!(!p.covers_link(NodeId(0), PortId(0)));
+        assert!(p.is_noop());
+    }
+
+    #[test]
+    fn corruption_offsets_stay_in_the_frame_tail() {
+        let mut p = ChaosPlane::new(17);
+        p.set_link(
+            NodeId(0),
+            PortId(0),
+            LinkChaos {
+                bursts: vec![BurstRegime {
+                    window: window(0, 1000),
+                    loss_prob: 0.0,
+                    corrupt_prob: 1.0,
+                    reorder_prob: 0.0,
+                    reorder_delay: SimTime::ZERO,
+                }],
+                ..LinkChaos::default()
+            },
+        );
+        for len in [1usize, 2, 31, 32, 64, 1500] {
+            for _ in 0..32 {
+                let f = p.fate(
+                    NodeId(0),
+                    PortId(0),
+                    SimTime::from_micros(1),
+                    SimTime::from_micros(2),
+                    len,
+                );
+                let ChaosFate::Corrupt { offset, mask } = f else {
+                    panic!("expected corruption, got {f:?}");
+                };
+                assert!(offset < len, "offset {offset} out of frame len {len}");
+                assert!(offset + 32 >= len, "offset {offset} not in tail of {len}");
+                assert_eq!(mask.count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_stats_snapshot_round_trips() {
+        let s = ChaosStats {
+            flap_drops: 2,
+            burst_drops: 3,
+            corruptions: 1,
+            reorders: 4,
+            paused_frames: 5,
+            pause_delay_ns: 6,
+        };
+        let v = s.snapshot();
+        assert_eq!(v["flap_drops"], serde_json::Value::from(2u64));
+        assert_eq!(s.metric_kind(), "chaos");
+        assert_eq!(s.data_drops(), 5);
     }
 
     #[test]

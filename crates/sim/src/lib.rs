@@ -34,7 +34,10 @@ pub mod time;
 pub mod wheel;
 
 pub use engine::{Engine, EngineStats, FrameStats, NodeCtx, NodeId, PortId, RunOutcome};
-pub use faults::{FaultPlane, FaultStats, FreezeWindow, MirrorFaults};
+pub use faults::{
+    BurstRegime, ChaosFate, ChaosPlane, ChaosStats, ChaosWindow, FaultPlane, FaultStats,
+    FreezeWindow, LinkChaos, MirrorFaults,
+};
 pub use link::Link;
 pub use rng::SimRng;
 pub use time::{Bandwidth, SimTime};

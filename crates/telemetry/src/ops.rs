@@ -106,6 +106,15 @@ impl<W: Write> OpsReporter<W> {
         );
     }
 
+    /// Print a one-off operational note unconditionally (bypassing the
+    /// heartbeat rate limit) and flush. Supervisors use this to narrate
+    /// retries and backoff decisions that would otherwise happen as a
+    /// silent sleep.
+    pub fn note(&mut self, line: &str) {
+        let _ = writeln!(self.out, "{line}");
+        let _ = self.out.flush();
+    }
+
     /// Print the final summary line unconditionally and flush.
     pub fn finish(&mut self, snap: OpsSnapshot) {
         self.finish_at(snap, Instant::now());
@@ -205,6 +214,20 @@ mod tests {
             rep.tick_at(snap(i, i * 10), t0 + Duration::from_nanos(i));
         }
         assert_eq!(rep.lines_emitted(), 5);
+    }
+
+    #[test]
+    fn note_bypasses_the_rate_limit() {
+        let mut out = Vec::new();
+        let mut rep = OpsReporter::new(&mut out, Duration::from_secs(3600));
+        let t0 = Instant::now();
+        rep.tick_at(snap(1, 100), t0);
+        rep.note("retry 1/3: watchdog (backing off 50ms)");
+        rep.note("retry 2/3: watchdog (backing off 100ms)");
+        assert_eq!(rep.lines_emitted(), 1, "notes are not heartbeat lines");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("retry 1/3"), "{text}");
+        assert!(text.contains("retry 2/3"), "{text}");
     }
 
     #[test]

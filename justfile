@@ -23,7 +23,10 @@ check:
 # `fuzz-coverage` smoke through the CLI corpus-persistence path, the bench
 # gate (fails on >20% regression against the newest committed
 # BENCH_*.json), the pcap round-trip corpus (every preset re-ingests to
-# its live verdict) plus a live `ingest` smoke through the CLI, lint with
+# its live verdict) plus a live `ingest` smoke through the CLI, the
+# chaos/soak suite (noop-chaos byte-identity, the chaos×quirks
+# cross-matrix, the recovery-oracle property tests) plus a live `soak`
+# smoke sweeping every preset under generated chaos schedules, lint with
 # warnings fatal.
 ci:
     cargo build --release
@@ -38,11 +41,13 @@ ci:
     cargo test -q --test panic_guard
     cargo test -q --test trace_determinism
     cargo test -q --test ingest_roundtrip
+    cargo test -q --test chaos_soak
     cargo test -q -p lumina-bench hotpath
     just trace
     just fuzz-coverage
     just matrix
     just ingest
+    just soak
     just bench-gate
     cargo clippy -- -D warnings
 
@@ -91,6 +96,16 @@ matrix config="configs/matrix_demo.yaml":
 ingest config="configs/fig11_noisy_neighbor.yaml" out="target/ingest-smoke.pcap":
     cargo run --release -p lumina-core --bin lumina-cli -- {{config}} --pcap {{out}}
     cargo run --release -p lumina-core --bin lumina-cli -- ingest --pcap {{out}} --config {{config}}
+
+# Deterministic chaos soak: every preset swept under generated chaos
+# schedules (link flaps, pause storms, loss/corruption/reorder bursts),
+# each run graded by the liveness/recovery oracle; exits 11 on a proven
+# wedge. Byte-identical output for any --workers value. Doubles as the
+# CI smoke for the chaos-plane + soak CLI path. The chaos_demo preset is
+# skipped by design: it declares its own schedule (and its flap is
+# *supposed* to wedge — run it with `just demo configs/chaos_demo.yaml`).
+soak configs="configs" scenarios="2" workers="4":
+    cargo run --release -p lumina-core --bin lumina-cli -- soak --configs {{configs}} --scenarios {{scenarios}} --workers {{workers}}
 
 # Compare current performance against the newest committed BENCH_*.json;
 # exits 1 on a >20% regression. Record a new baseline with

@@ -229,6 +229,45 @@ fn trace_free_reports_never_gain_a_trace_key() {
 }
 
 #[test]
+fn chaos_free_reports_never_gain_chaos_keys() {
+    // The data-path chaos plane is absent-by-default: a config without an
+    // active `chaos:` section must produce a report with no "chaos" or
+    // "recovery" key at all — not even an empty one — or every pre-chaos
+    // golden silently invalidates. The other direction too: a chaos
+    // preset must carry both the plane's stats and the liveness oracle's
+    // verdict, so the keys cannot rot into a dead feature.
+    if updating() {
+        return;
+    }
+    let mut chaos_free = 0;
+    let mut chaotic = 0;
+    for (name, cfg) in corpus() {
+        let golden = std::fs::read_to_string(golden_dir().join(format!("{name}.json")))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        if cfg.chaos.as_ref().is_some_and(|c| !c.is_noop()) {
+            chaotic += 1;
+            assert!(
+                golden.contains("\"chaos\"") && golden.contains("\"recovery\""),
+                "{name}: chaos preset lost its chaos/recovery report"
+            );
+        } else {
+            chaos_free += 1;
+            assert!(
+                !golden.contains("\"chaos\""),
+                "{name}: chaos-free report gained a chaos section"
+            );
+            assert!(
+                !golden.contains("\"recovery\""),
+                "{name}: chaos-free report gained a recovery section"
+            );
+        }
+    }
+    // Both sides of the protection must actually be exercised.
+    assert!(chaos_free >= 8, "seed corpus shrank: {chaos_free}");
+    assert!(chaotic >= 1, "no chaos preset left in configs/");
+}
+
+#[test]
 fn device_free_reports_never_gain_a_device_key() {
     // The device registry is opt-in: a config without a `device:` section
     // must produce a report with no "device" key at all — not even an

@@ -44,6 +44,9 @@ fn audited_sources() -> Vec<PathBuf> {
     // forfeits the whole campaign's findings.
     files.push(root.join("crates/core/src/fuzz/coverage.rs"));
     files.push(root.join("crates/core/src/fuzz/shrink.rs"));
+    // The fault and chaos planes: they rewrite live frames mid-flight on
+    // every chaos-injected run, where a panic kills the soak campaign.
+    files.push(root.join("crates/sim/src/faults.rs"));
     // The offline-ingestion path: every byte here comes straight from a
     // capture file on disk — the most hostile input surface in the repo.
     files.push(root.join("crates/sim/src/pcap.rs"));

@@ -86,6 +86,7 @@ fn run_supervised_retries_watchdogs_a_bounded_number_of_times() {
         max_attempts: 3,
         backoff: Duration::from_millis(1),
         reseed_faults: true,
+        ..RetryPolicy::default()
     };
     let started = std::time::Instant::now();
     let err = match run_supervised(&cfg, &policy) {
@@ -113,6 +114,34 @@ fn run_supervised_passes_a_clean_run_through_untouched() {
 }
 
 #[test]
+fn backoff_delay_is_capped_jittered_and_deterministic() {
+    let policy = RetryPolicy {
+        backoff: Duration::from_millis(50),
+        backoff_cap: Duration::from_millis(200),
+        jitter: 0.25,
+        ..RetryPolicy::default()
+    };
+    // Deterministic: same (attempt, seed) → same delay, every time.
+    for attempt in 1..6u32 {
+        assert_eq!(
+            policy.backoff_delay(attempt, 7),
+            policy.backoff_delay(attempt, 7)
+        );
+    }
+    // Exponential then clamped: attempt 10 would be 50ms << 9 = 25.6s
+    // un-capped; the cap plus ≤25% jitter bounds it to 250ms.
+    let late = policy.backoff_delay(10, 7);
+    assert!(late >= Duration::from_millis(200), "{late:?}");
+    assert!(late <= Duration::from_millis(250), "{late:?}");
+    // The first sleep stays near the base, never below it.
+    let first = policy.backoff_delay(1, 7);
+    assert!(first >= Duration::from_millis(50), "{first:?}");
+    assert!(first <= Duration::from_millis(63), "{first:?}");
+    // Distinct seeds desynchronize their retry storms.
+    assert_ne!(policy.backoff_delay(3, 1), policy.backoff_delay(3, 2));
+}
+
+#[test]
 fn config_errors_are_never_retried() {
     let mut cfg = base_cfg();
     cfg.traffic.rdma_verb = "teleport".into();
@@ -120,6 +149,7 @@ fn config_errors_are_never_retried() {
         max_attempts: 5,
         backoff: Duration::from_secs(60), // would be felt if retried
         reseed_faults: false,
+        ..RetryPolicy::default()
     };
     let started = std::time::Instant::now();
     let err = match run_supervised(&cfg, &policy) {
